@@ -1,0 +1,130 @@
+// Command hyrec-server runs a standalone HyRec server exposing the
+// paper's web API — the Go analogue of the bundled Jetty deployment of
+// Section 4.1.
+//
+// Usage:
+//
+//	hyrec-server -addr :8080 -k 10 -r 10 -rotate 1h \
+//	    -snapshot state.snap -snapshot-interval 5m
+//
+// Endpoints (Table 1): /online, /neighbors, /rate, /recommendations,
+// /stats, /healthz.
+//
+// With -snapshot set, the server restores the profile and KNN tables from
+// the snapshot file at startup (if it exists), saves them periodically,
+// and saves once more on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/persist"
+	"hyrec/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyrec-server", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		k        = fs.Int("k", 10, "neighborhood size")
+		r        = fs.Int("r", 10, "recommendations per job")
+		rotate   = fs.Duration("rotate", time.Hour, "anonymous-mapping rotation period (0 disables)")
+		seed     = fs.Int64("seed", 1, "randomness seed")
+		noCache  = fs.Bool("no-profile-cache", false, "disable the serialized-profile cache")
+		noAnon   = fs.Bool("no-anonymizer", false, "send real identifiers (debugging only)")
+		gzipBest = fs.Bool("gzip-best", false, "use best-compression gzip instead of best-speed")
+		maxItems = fs.Int("max-profile-items", 0, "truncate candidate profiles to this many items (0 = unlimited)")
+		snapPath = fs.String("snapshot", "", "snapshot file for durable state (empty = stateless)")
+		snapIvl  = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (with -snapshot)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := hyrec.DefaultConfig()
+	cfg.K = *k
+	cfg.R = *r
+	cfg.Seed = *seed
+	cfg.DisableProfileCache = *noCache
+	cfg.DisableAnonymizer = *noAnon
+	cfg.MaxProfileItems = *maxItems
+	if *gzipBest {
+		cfg.GzipLevel = wire.GzipBestCompact
+	}
+
+	engine := hyrec.NewEngine(cfg)
+
+	var saver *persist.Saver
+	if *snapPath != "" {
+		switch snap, err := persist.Load(*snapPath); {
+		case err == nil:
+			if err := persist.Restore(engine, snap); err != nil {
+				return fmt.Errorf("restore snapshot: %w", err)
+			}
+			fmt.Printf("restored %d users from %s\n", engine.Profiles().Len(), *snapPath)
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no snapshot at %s; starting fresh\n", *snapPath)
+		default:
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+		saver = persist.NewSaver(engine, *snapPath, *snapIvl, func(err error) {
+			log.Printf("snapshot save failed: %v", err)
+		})
+		saver.Start()
+	}
+
+	srv := hyrec.NewHTTPServer(engine, *rotate)
+	srv.Start()
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: stop accepting, then take the final snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("hyrec-server listening on %s (k=%d r=%d rotate=%s)\n", *addr, *k, *r, *rotate)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if saver != nil {
+				if serr := saver.Close(); serr != nil {
+					log.Printf("final snapshot: %v", serr)
+				}
+			}
+			return err
+		}
+	}
+	if saver != nil {
+		if err := saver.Close(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		fmt.Printf("state saved to %s\n", *snapPath)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command hyrec-widget simulates one or more browser widgets against a
+// running hyrec-server: each simulated user rates random items, requests a
+// personalization job from /online, executes KNN selection and item
+// recommendation locally, and posts the result to /neighbors — the full
+// client loop of Section 3.2.
+//
+// Usage:
+//
+//	hyrec-widget -server http://localhost:8080 -users 50 -requests 20
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyrec-widget", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "http://localhost:8080", "hyrec-server base URL")
+		users    = fs.Int("users", 20, "number of simulated users")
+		requests = fs.Int("requests", 10, "requests per user")
+		items    = fs.Int("items", 500, "item-ID space")
+		seed     = fs.Int64("seed", 1, "randomness seed")
+		phone    = fs.Bool("smartphone", false, "simulate a smartphone device")
+		workers  = fs.Int("workers", 1, "parallel web-worker count inside each widget")
+		jaccard  = fs.Bool("jaccard", false, "use Jaccard similarity instead of cosine")
+		verbose  = fs.Bool("v", false, "log every interaction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []hyrec.WidgetOption{}
+	if *phone {
+		opts = append(opts, hyrec.WithDevice(hyrec.Smartphone()))
+	}
+	if *workers > 1 {
+		opts = append(opts, hyrec.WithWorkers(*workers))
+	}
+	if *jaccard {
+		opts = append(opts, hyrec.WithSimilarity(hyrec.Jaccard{}))
+	}
+	w := hyrec.NewWidget(opts...)
+	rng := rand.New(rand.NewSource(*seed))
+	client := &http.Client{
+		Transport: &http.Transport{DisableCompression: true},
+		Timeout:   30 * time.Second,
+	}
+
+	var totalJobs, totalRecs int
+	start := time.Now()
+	for round := 0; round < *requests; round++ {
+		for u := 0; u < *users; u++ {
+			item := rng.Intn(*items)
+			liked := rng.Float64() < 0.7
+			url := fmt.Sprintf("%s/online?uid=%d&item=%d&liked=%t", *server, u, item, liked)
+			resp, err := client.Get(url)
+			if err != nil {
+				return fmt.Errorf("request job: %w", err)
+			}
+			gz, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("read job: %w", err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("server returned %d: %s", resp.StatusCode, gz)
+			}
+			res, timing, err := w.ExecutePayload(gz)
+			if err != nil {
+				return fmt.Errorf("execute job: %w", err)
+			}
+			body, err := json.Marshal(res)
+			if err != nil {
+				return fmt.Errorf("marshal result: %w", err)
+			}
+			post, err := client.Post(*server+"/neighbors", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return fmt.Errorf("post result: %w", err)
+			}
+			io.Copy(io.Discard, post.Body)
+			post.Body.Close()
+			totalJobs++
+			totalRecs += len(res.Recommendations)
+			if *verbose {
+				fmt.Printf("u%d: job %dB → %d neighbors, %d recs in %v\n",
+					u, len(gz), len(res.Neighbors), len(res.Recommendations), timing.Total)
+			}
+			_ = core.UserID(u) // document the uid domain
+		}
+	}
+	fmt.Printf("executed %d jobs (%d recommendations) in %v\n", totalJobs, totalRecs, time.Since(start))
+	return nil
+}

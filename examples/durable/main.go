@@ -1,0 +1,77 @@
+// Durable: server state that survives restarts. The engine's Profile and
+// KNN tables are captured into a checksummed snapshot file, a "new
+// process" restores them, and the converged neighbourhoods are identical —
+// no re-convergence from random KNN after a deploy or crash.
+//
+//	go run ./examples/durable
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"hyrec"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hyrec-durable-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "state.snap")
+
+	// --- Process 1: serve traffic, converge, snapshot, "crash". ---
+	engine := hyrec.NewEngine(hyrec.DefaultConfig())
+	widget := hyrec.NewWidget()
+	for u := hyrec.UserID(1); u <= 30; u++ {
+		for i := 0; i < 8; i++ {
+			// Three taste communities of ten users each.
+			base := int(u-1) / 10 * 100
+			engine.Rate(u, hyrec.ItemID(base+(int(u)+i)%12), true)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for u := hyrec.UserID(1); u <= 30; u++ {
+			job, err := engine.Job(u)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, _ := widget.Execute(job)
+			if _, err := engine.ApplyResult(res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	before := engine.Neighbors(7)
+	if err := hyrec.SaveSnapshot(path, hyrec.CaptureSnapshot(engine)); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("process 1: converged neighbors of user 7: %v\n", before)
+	fmt.Printf("process 1: saved %d users to %s (%d bytes), exiting\n",
+		engine.Profiles().Len(), filepath.Base(path), info.Size())
+
+	// --- Process 2: fresh engine, restore, carry on where we left off. ---
+	engine2 := hyrec.NewEngine(hyrec.DefaultConfig())
+	snap, err := hyrec.LoadSnapshot(path)
+	if err != nil {
+		log.Fatal(err) // corrupt snapshots fail here, loudly
+	}
+	if err := hyrec.RestoreSnapshot(engine2, snap); err != nil {
+		log.Fatal(err)
+	}
+	after := engine2.Neighbors(7)
+	fmt.Printf("process 2: restored %d users; neighbors of user 7: %v\n",
+		engine2.Profiles().Len(), after)
+
+	if reflect.DeepEqual(before, after) {
+		fmt.Println("✓ KNN state survived the restart byte-for-byte")
+	} else {
+		fmt.Println("✗ neighborhoods diverged after restore")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: the smallest useful HyRec deployment — one in-process
+// engine, one widget, a handful of users — showing the full
+// rate → job → execute → apply loop and the resulting recommendations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyrec"
+)
+
+func main() {
+	engine := hyrec.NewEngine(hyrec.DefaultConfig())
+	widget := hyrec.NewWidget()
+
+	// Three users; alice and bob share tastes, carol is different.
+	type like struct {
+		user hyrec.UserID
+		item hyrec.ItemID
+	}
+	likes := []like{
+		{1, 100}, {1, 101}, {1, 102}, // alice: sci-fi
+		{2, 100}, {2, 101}, {2, 103}, // bob: sci-fi + one more
+		{3, 900}, {3, 901}, // carol: documentaries
+	}
+	for _, l := range likes {
+		engine.Rate(l.user, l.item, true)
+	}
+
+	// Alice visits the site: the server builds her a personalization job…
+	job, err := engine.Job(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server sent alice a job with %d candidate profiles (k=%d, r=%d)\n",
+		len(job.Candidates), job.K, job.R)
+
+	// …her browser executes it (KNN selection + item recommendation)…
+	result, timing := widget.Execute(job)
+	fmt.Printf("widget ran KNN+recommend in %v\n", timing.Total)
+
+	// …and the server folds the result back into its KNN table.
+	recs, err := engine.ApplyResult(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's neighbors: %v\n", engine.Neighbors(1))
+	fmt.Printf("recommended to alice: %v\n", recs)
+	// Bob liked item 103 and shares alice's taste, so 103 must appear.
+	for _, item := range recs {
+		if item == 103 {
+			fmt.Println("✓ collaborative filtering found bob's extra pick")
+		}
+	}
+}

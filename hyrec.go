@@ -1,0 +1,136 @@
+// Package hyrec is a from-scratch Go implementation of HyRec — the hybrid
+// user-based collaborative-filtering recommender of Boutet, Frey,
+// Guerraoui, Kermarrec and Patra (Middleware 2014) — together with every
+// substrate and baseline its evaluation depends on.
+//
+// HyRec splits recommendation work between a lightweight server and the
+// users' browsers: the server maintains the global profile and KNN tables
+// and samples candidate sets; each client executes its own KNN selection
+// and item recommendation on the sampled profiles and posts the refined
+// neighbourhood back. The iterative feedback loop converges close to the
+// exact KNN graph at a fraction of a centralized system's cost.
+//
+// # Quick start
+//
+//	eng := hyrec.NewEngine(hyrec.DefaultConfig())
+//	w := hyrec.NewWidget()
+//
+//	eng.Rate(42, 7, true)                  // user 42 likes item 7
+//	job, _ := eng.Job(42)                  // server builds a personalization job
+//	res, _ := w.Execute(job)               // "browser" runs KNN + recommendation
+//	recs, _ := eng.ApplyResult(res)        // server folds the result back
+//
+// For a network deployment, see NewHTTPServer and cmd/hyrec-server; for
+// trace-driven evaluation against the paper's baselines, see NewSystem and
+// the internal/replay package; for the experiment harness regenerating the
+// paper's tables and figures, see cmd/hyrec-bench.
+package hyrec
+
+import (
+	"net/http"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+)
+
+// Re-exported identifier types.
+type (
+	// UserID identifies a user.
+	UserID = core.UserID
+	// ItemID identifies an item.
+	ItemID = core.ItemID
+	// Rating is one binary opinion.
+	Rating = core.Rating
+	// Profile is an immutable user profile.
+	Profile = core.Profile
+	// Neighbor pairs a user with a similarity score.
+	Neighbor = core.Neighbor
+	// Similarity scores two profiles.
+	Similarity = core.Similarity
+	// Cosine is the paper's default similarity metric.
+	Cosine = core.Cosine
+	// Jaccard is an alternative similarity metric.
+	Jaccard = core.Jaccard
+	// SignedCosine counts shared dislikes as agreement (the §2.1
+	// non-binary extension).
+	SignedCosine = core.SignedCosine
+)
+
+// Server-side types.
+type (
+	// Config parametrises an Engine.
+	Config = server.Config
+	// Engine is the HyRec server (tables + sampler + orchestrator).
+	Engine = server.Engine
+	// Sampler is the candidate-set customization point of Table 1.
+	Sampler = server.Sampler
+	// RandomOnlySampler is the pure-exploration ablation sampler.
+	RandomOnlySampler = server.RandomOnlySampler
+	// NoRandomSampler is the pure-exploitation (two-hop-only) ablation
+	// sampler.
+	NoRandomSampler = server.NoRandomSampler
+)
+
+// Client-side types.
+type (
+	// Widget is the browser-side executor of personalization jobs.
+	Widget = widget.Widget
+	// Device models the client machine class.
+	Device = widget.Device
+	// WidgetOption customises a Widget.
+	WidgetOption = widget.Option
+)
+
+// Wire-level types.
+type (
+	// Job is a personalization job.
+	Job = wire.Job
+	// Result is a widget's reply.
+	Result = wire.Result
+)
+
+// DefaultConfig returns the paper's default parameters (k=10, r=10).
+func DefaultConfig() Config { return server.DefaultConfig() }
+
+// NewEngine builds a HyRec server engine.
+func NewEngine(cfg Config) *Engine { return server.NewEngine(cfg) }
+
+// NewWidget builds a client widget (cosine similarity, laptop device).
+func NewWidget(opts ...WidgetOption) *Widget { return widget.New(opts...) }
+
+// WithSimilarity overrides the widget's similarity metric.
+func WithSimilarity(m Similarity) WidgetOption { return widget.WithSimilarity(m) }
+
+// WithDevice sets the widget's device model.
+func WithDevice(d Device) WidgetOption { return widget.WithDevice(d) }
+
+// WithWorkers enables the widget's parallel (HTML5 web-worker analogue)
+// execution mode with n workers; results are identical to the sequential
+// widget.
+func WithWorkers(n int) WidgetOption { return widget.WithWorkers(n) }
+
+// Laptop is the reference client device.
+func Laptop() Device { return widget.Laptop() }
+
+// Smartphone is the paper's mobile client device.
+func Smartphone() Device { return widget.Smartphone() }
+
+// HTTPServer exposes an Engine over the paper's web API.
+type HTTPServer = server.HTTPServer
+
+// NewHTTPServer wraps an engine with the web API; rotateEvery > 0 rotates
+// the anonymous mapping periodically in the background (call Start).
+func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
+	return server.NewHTTPServer(engine, rotateEvery)
+}
+
+// Handler returns a ready-to-serve http.Handler for engine with anonymiser
+// rotation every rotateEvery (0 disables): the one-liner deployment path.
+func Handler(engine *Engine, rotateEvery time.Duration) http.Handler {
+	s := server.NewHTTPServer(engine, rotateEvery)
+	s.Start()
+	return s.Handler()
+}

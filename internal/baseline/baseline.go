@@ -1,0 +1,149 @@
+// Package baseline implements every system HyRec is compared against in
+// Section 5: the centralized Offline-Ideal (periodic brute-force KNN on a
+// back-end), Online-Ideal (brute-force KNN per request, the quality upper
+// bound), CRec (the sampling-based offline competitor with a centralized
+// front-end), and the Figure 7 KNN-construction runners (Exhaustive,
+// Offline-CRec, Mahout-style on Hadoop) on the simulated map-reduce
+// clusters.
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/metrics"
+)
+
+// profileStore is the shared profile state of the centralized systems.
+// It implements metrics.ProfileSource.
+type profileStore struct {
+	mu    sync.RWMutex
+	m     map[core.UserID]core.Profile
+	users []core.UserID
+}
+
+var _ metrics.ProfileSource = (*profileStore)(nil)
+
+func newProfileStore() *profileStore {
+	return &profileStore{m: make(map[core.UserID]core.Profile)}
+}
+
+func (s *profileStore) rate(u core.UserID, item core.ItemID, liked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[u]
+	if !ok {
+		p = core.NewProfile(u)
+		s.users = append(s.users, u)
+	}
+	s.m[u] = p.WithRating(item, liked)
+}
+
+// Profile implements metrics.ProfileSource.
+func (s *profileStore) Profile(u core.UserID) core.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.m[u]; ok {
+		return p
+	}
+	return core.NewProfile(u)
+}
+
+// Users implements metrics.ProfileSource.
+func (s *profileStore) Users() []core.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.UserID, len(s.users))
+	copy(out, s.users)
+	return out
+}
+
+func (s *profileStore) snapshot() []core.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.Profile, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, s.m[u])
+	}
+	return out
+}
+
+// frontEndRecommend is the centralized front-end's item-recommendation
+// path: Algorithm 2 over the profiles of u's current neighbours, computed
+// on the server (this is exactly the work HyRec offloads to browsers;
+// Figures 8–9 measure its cost).
+func frontEndRecommend(store *profileStore, u core.UserID, hood []core.UserID, n int) []core.ItemID {
+	if n <= 0 || len(hood) == 0 {
+		return nil
+	}
+	profiles := make([]core.Profile, 0, len(hood))
+	for _, v := range hood {
+		profiles = append(profiles, store.Profile(v))
+	}
+	recs := core.Recommend(store.Profile(u), profiles, n)
+	return recs
+}
+
+// knnState is a mutex-guarded user → neighbours map shared by the offline
+// systems.
+type knnState struct {
+	mu sync.RWMutex
+	m  map[core.UserID][]core.UserID
+}
+
+func newKNNState() *knnState { return &knnState{m: make(map[core.UserID][]core.UserID)} }
+
+func (k *knnState) get(u core.UserID) []core.UserID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.m[u]
+}
+
+func (k *knnState) replaceAll(next map[core.UserID][]core.UserID) {
+	k.mu.Lock()
+	k.m = next
+	k.mu.Unlock()
+}
+
+func (k *knnState) put(u core.UserID, hood []core.UserID) {
+	k.mu.Lock()
+	k.m[u] = hood
+	k.mu.Unlock()
+}
+
+// neighborsToIDs strips similarity scores.
+func neighborsToIDs(ns []core.Neighbor) []core.UserID {
+	out := make([]core.UserID, len(ns))
+	for i, n := range ns {
+		out[i] = n.User
+	}
+	return out
+}
+
+// periodic tracks period boundaries on the virtual clock. The first run
+// fires at the first Tick at or after one full period (offline clustering
+// has nothing to cluster at t=0).
+type periodic struct {
+	period time.Duration
+	next   time.Duration
+	inited bool
+}
+
+func newPeriodic(period time.Duration) *periodic {
+	return &periodic{period: period, next: period}
+}
+
+// due reports whether the period boundary has passed and advances it.
+func (p *periodic) due(t time.Duration) bool {
+	if p.period <= 0 {
+		return false
+	}
+	if t < p.next {
+		return false
+	}
+	for p.next <= t {
+		p.next += p.period
+	}
+	return true
+}

@@ -1,0 +1,356 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/mapreduce"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+)
+
+// clusteredProfiles builds two obvious taste communities.
+func clusteredProfiles(n int) []core.Profile {
+	out := make([]core.Profile, n)
+	for u := 0; u < n; u++ {
+		p := core.NewProfile(core.UserID(u))
+		base := core.ItemID(0)
+		if u%2 == 1 {
+			base = 100
+		}
+		for j := 0; j < 6; j++ {
+			p = p.WithRating(base+core.ItemID((u/2+j)%10), true)
+		}
+		out[u] = p
+	}
+	return out
+}
+
+func TestOfflineIdealFreezesBetweenPeriods(t *testing.T) {
+	s := NewOfflineIdeal(2, time.Hour, core.Cosine{})
+	s.Rate(0, core.Rating{User: 1, Item: 1, Liked: true})
+	s.Rate(0, core.Rating{User: 2, Item: 1, Liked: true})
+	// Before the first period boundary: no KNN at all.
+	if got := s.Neighbors(1); got != nil {
+		t.Fatalf("premature KNN: %v", got)
+	}
+	s.Tick(30 * time.Minute)
+	if got := s.Neighbors(1); got != nil {
+		t.Fatalf("KNN before boundary: %v", got)
+	}
+	s.Tick(time.Hour)
+	if got := s.Neighbors(1); len(got) == 0 || got[0] != 2 {
+		t.Fatalf("KNN after boundary: %v", got)
+	}
+	if s.Recomputations != 1 {
+		t.Fatalf("recomputations = %d", s.Recomputations)
+	}
+	// New similar user arrives; the frozen table must not change until the
+	// next boundary.
+	s.Rate(90*time.Minute, core.Rating{User: 3, Item: 1, Liked: true})
+	if got := s.Neighbors(3); got != nil {
+		t.Fatalf("new user has premature KNN: %v", got)
+	}
+	s.Tick(2 * time.Hour)
+	if got := s.Neighbors(3); len(got) == 0 {
+		t.Fatal("new user still without KNN after boundary")
+	}
+}
+
+func TestOfflineIdealRecommendUsesFrozenKNN(t *testing.T) {
+	s := NewOfflineIdeal(2, time.Hour, core.Cosine{})
+	s.Rate(0, core.Rating{User: 1, Item: 1, Liked: true})
+	s.Rate(0, core.Rating{User: 2, Item: 1, Liked: true})
+	s.Rate(0, core.Rating{User: 2, Item: 7, Liked: true})
+	s.Tick(time.Hour)
+	recs := s.Recommend(time.Hour, 1, 3)
+	if len(recs) != 1 || recs[0] != 7 {
+		t.Fatalf("recs = %v, want [7]", recs)
+	}
+	// Without a KNN entry there are no recommendations.
+	if recs := s.Recommend(time.Hour, 99, 3); recs != nil {
+		t.Fatalf("unknown user recs = %v", recs)
+	}
+}
+
+func TestOnlineIdealAlwaysFresh(t *testing.T) {
+	s := NewOnlineIdeal(2, core.Cosine{})
+	s.Rate(0, core.Rating{User: 1, Item: 1, Liked: true})
+	s.Rate(0, core.Rating{User: 2, Item: 1, Liked: true})
+	// No Tick needed: neighbours are computed on demand.
+	if got := s.Neighbors(1); len(got) == 0 || got[0] != 2 {
+		t.Fatalf("neighbors = %v", got)
+	}
+	s.Rate(time.Second, core.Rating{User: 3, Item: 1, Liked: true})
+	if got := s.Neighbors(3); len(got) == 0 {
+		t.Fatal("new user invisible to online ideal")
+	}
+	s.Rate(2*time.Second, core.Rating{User: 2, Item: 9, Liked: true})
+	recs := s.Recommend(2*time.Second, 1, 5)
+	found := false
+	for _, it := range recs {
+		if it == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fresh item not recommended: %v", recs)
+	}
+}
+
+func TestCRecRefinesPeriodically(t *testing.T) {
+	s := NewCRec(3, time.Hour, 5, core.Cosine{}, 42)
+	// Two clusters with overlapping-but-distinct profiles inside each
+	// cluster (identical profiles would leave same-cluster neighbours
+	// with nothing unseen to recommend).
+	for u := 0; u < 20; u++ {
+		base := core.ItemID(0)
+		if u%2 == 1 {
+			base = 100
+		}
+		for j := 0; j < 5; j++ {
+			item := base + core.ItemID((u/2+j)%10)
+			s.Rate(0, core.Rating{User: core.UserID(u), Item: item, Liked: true})
+		}
+	}
+	s.Tick(time.Hour)
+	if s.Recomputations != 1 {
+		t.Fatalf("recomputations = %d", s.Recomputations)
+	}
+	// After sampling iterations, user 0 (even cluster) should have
+	// same-cluster neighbours.
+	hood := s.Neighbors(0)
+	if len(hood) == 0 {
+		t.Fatal("no neighbours after batch run")
+	}
+	for _, v := range hood {
+		if v%2 != 0 {
+			t.Fatalf("cross-cluster neighbour %v in %v", v, hood)
+		}
+	}
+	if recs := s.Recommend(time.Hour, 0, 3); len(recs) == 0 {
+		t.Fatal("no recommendations after batch run")
+	}
+}
+
+func TestSamplingKNNConvergesToIdeal(t *testing.T) {
+	profiles := clusteredProfiles(40)
+	users := make([]core.UserID, len(profiles))
+	pmap := make(map[core.UserID]core.Profile, len(profiles))
+	src := metrics.MapSource{}
+	for i, p := range profiles {
+		users[i] = p.User()
+		pmap[p.User()] = p
+		src[p.User()] = p
+	}
+	table, ops := SamplingKNNCounted(users, pmap, nil, 4, 12, core.Cosine{}, 7)
+	if ops == 0 {
+		t.Fatal("no similarity ops counted")
+	}
+	gotV := metrics.ViewSimilarity(src, func(u core.UserID) []core.UserID { return table[u] }, core.Cosine{})
+	idealV := metrics.IdealViewSimilarity(src, 4, core.Cosine{})
+	if gotV < 0.85*idealV {
+		t.Fatalf("sampling view similarity %v too far below ideal %v", gotV, idealV)
+	}
+}
+
+func TestSamplingKNNEdgeCases(t *testing.T) {
+	if got := SamplingKNN(nil, nil, nil, 3, 5, core.Cosine{}, 1); len(got) != 0 {
+		t.Fatalf("empty population → %v", got)
+	}
+	users := []core.UserID{1}
+	pmap := map[core.UserID]core.Profile{1: core.NewProfile(1)}
+	got := SamplingKNN(users, pmap, nil, 0, 5, core.Cosine{}, 1)
+	if len(got) != 0 {
+		t.Fatalf("k=0 → %v", got)
+	}
+}
+
+// Regression: a single-user population must not hang the random-draw loop
+// (the only candidate is the excluded user herself). This is the state a
+// replayed system is in right after its first rating event.
+func TestSamplingKNNSingleUserTerminates(t *testing.T) {
+	users := []core.UserID{23}
+	pmap := map[core.UserID]core.Profile{23: core.NewProfile(23).WithRating(1, true)}
+	done := make(chan map[core.UserID][]core.UserID, 1)
+	go func() { done <- SamplingKNN(users, pmap, nil, 5, 3, core.Cosine{}, 7) }()
+	select {
+	case table := <-done:
+		if len(table[23]) != 0 {
+			t.Fatalf("lone user has neighbors: %v", table[23])
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SamplingKNN hung on a single-user population")
+	}
+}
+
+func TestExhaustiveBuildMatchesIdeal(t *testing.T) {
+	profiles := clusteredProfiles(30)
+	res := ExhaustiveBuild(profiles, 3, core.Cosine{}, mapreduce.SingleNode4Core())
+	if res.System != "Exhaustive" || len(res.KNN) != 30 {
+		t.Fatalf("res = %+v", res)
+	}
+	src := metrics.MapSource{}
+	for _, p := range profiles {
+		src[p.User()] = p
+	}
+	ideal := metrics.IdealKNN(src, 3, core.Cosine{})
+	for u, want := range ideal {
+		got := res.KNN[u]
+		if len(got) != len(want) {
+			t.Fatalf("user %v: %v vs %v", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i].User {
+				t.Fatalf("user %v entry %d: %v vs %v", u, got[i], i, want[i].User)
+			}
+		}
+	}
+	if res.SimilarityOps != 30*29 {
+		t.Fatalf("ops = %d", res.SimilarityOps)
+	}
+	if res.WallClock <= 0 {
+		t.Fatal("no simulated wall clock")
+	}
+}
+
+func TestCRecBuildProducesUsefulKNN(t *testing.T) {
+	profiles := clusteredProfiles(40)
+	res := CRecBuild(profiles, 4, 10, core.Cosine{}, mapreduce.SingleNode4Core(), 3)
+	if res.System != "CRec" || len(res.KNN) != 40 {
+		t.Fatalf("res system=%s knn=%d", res.System, len(res.KNN))
+	}
+	src := metrics.MapSource{}
+	for _, p := range profiles {
+		src[p.User()] = p
+	}
+	gotV := metrics.ViewSimilarity(src, func(u core.UserID) []core.UserID { return res.KNN[u] }, core.Cosine{})
+	idealV := metrics.IdealViewSimilarity(src, 4, core.Cosine{})
+	if gotV < 0.8*idealV {
+		t.Fatalf("CRec build view similarity %v vs ideal %v", gotV, idealV)
+	}
+}
+
+func TestMahoutBuildApproximatesIdeal(t *testing.T) {
+	profiles := clusteredProfiles(30)
+	res := MahoutBuild(profiles, 3, mapreduce.HadoopSingleNode(), 0, 5)
+	if len(res.KNN) == 0 {
+		t.Fatal("empty KNN")
+	}
+	// Every returned neighbour must share at least one item (co-occurrence
+	// based), i.e. belong to the same parity cluster.
+	for u, hood := range res.KNN {
+		for _, v := range hood {
+			if u%2 != v%2 {
+				t.Fatalf("cross-cluster neighbour %v for %v", v, u)
+			}
+		}
+	}
+	// Hadoop overheads must appear in the simulated wall-clock: 3 jobs ×
+	// 15s startup = 45s minimum.
+	if res.WallClock < 45*time.Second {
+		t.Fatalf("wall clock %v misses Hadoop startup costs", res.WallClock)
+	}
+	if res.SimilarityOps == 0 {
+		t.Fatal("no pair ops counted")
+	}
+}
+
+func TestMahoutBuildCapsPopularItems(t *testing.T) {
+	// One item liked by everyone: pair emission must be capped.
+	n := 80
+	profiles := make([]core.Profile, n)
+	for u := 0; u < n; u++ {
+		profiles[u] = core.NewProfile(core.UserID(u)).WithRating(1, true)
+	}
+	cap := 10
+	res := MahoutBuild(profiles, 3, mapreduce.HadoopSingleNode(), cap, 5)
+	maxPairs := int64(cap * (cap - 1) / 2)
+	if res.SimilarityOps > maxPairs {
+		t.Fatalf("pair ops %d exceed cap-derived bound %d", res.SimilarityOps, maxPairs)
+	}
+}
+
+func TestFigure7Ordering(t *testing.T) {
+	// The headline of Figure 7: CRec's sampling back-end needs far less
+	// work than exhaustive, and Mahout under Hadoop pays overheads that
+	// in-memory engines do not. Sampling wins when N² dominates
+	// N·iterations·|candidate set| — the paper's datasets have thousands
+	// of users, so test in that regime, not at toy sizes (the paper
+	// itself concedes ML1, its smallest set, to ClusMahout).
+	profiles := clusteredProfiles(400)
+	ex := ExhaustiveBuild(profiles, 4, core.Cosine{}, mapreduce.SingleNode4Core())
+	cr := CRecBuild(profiles, 4, 6, core.Cosine{}, mapreduce.SingleNode4Core(), 1)
+	mh := MahoutBuild(profiles, 4, mapreduce.HadoopSingleNode(), 300, 1)
+	if cr.SimilarityOps >= ex.SimilarityOps {
+		t.Fatalf("CRec ops %d ≥ exhaustive %d", cr.SimilarityOps, ex.SimilarityOps)
+	}
+	if mh.WallClock <= cr.WallClock {
+		t.Fatalf("Mahout wall %v ≤ CRec %v (Hadoop overheads missing)", mh.WallClock, cr.WallClock)
+	}
+}
+
+// End-to-end: all three systems process the same tiny trace through the
+// replay driver without blowing up, and OnlineIdeal's view similarity
+// dominates OfflineIdeal's at the end (freshness).
+func TestSystemsUnderReplay(t *testing.T) {
+	tr, err := dataset.Generate(dataset.Scaled(dataset.ML1Config(), 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := dataset.Binarize(tr)
+	if len(events) > 3000 {
+		events = events[:3000]
+	}
+
+	offline := NewOfflineIdeal(5, 7*24*time.Hour, core.Cosine{})
+	online := NewOnlineIdeal(5, core.Cosine{})
+	crec := NewCRec(5, 24*time.Hour, 8, core.Cosine{}, 11)
+	for _, sys := range []replay.System{offline, online, crec} {
+		if n := replay.NewDriver(sys).Run(events); n != len(events) {
+			t.Fatalf("%s processed %d of %d", sys.Name(), n, len(events))
+		}
+	}
+
+	offSrc := offline.Store()
+	offV := metrics.ViewSimilarity(offSrc, offline.Neighbors, core.Cosine{})
+	onV := metrics.ViewSimilarity(online.Store(), online.Neighbors, core.Cosine{})
+	if onV < offV {
+		t.Fatalf("online ideal %v below offline ideal %v", onV, offV)
+	}
+}
+
+func TestPeriodicHelper(t *testing.T) {
+	p := newPeriodic(time.Hour)
+	if p.due(30 * time.Minute) {
+		t.Fatal("due before boundary")
+	}
+	if !p.due(time.Hour) {
+		t.Fatal("not due at boundary")
+	}
+	if p.due(90 * time.Minute) {
+		t.Fatal("due twice in one period")
+	}
+	// Skipping several periods fires once and realigns.
+	if !p.due(10 * time.Hour) {
+		t.Fatal("not due after long skip")
+	}
+	if p.due(10*time.Hour + 30*time.Minute) {
+		t.Fatal("due again before next boundary")
+	}
+	disabled := newPeriodic(0)
+	if disabled.due(time.Hour) {
+		t.Fatal("zero-period timer fired")
+	}
+}
+
+func TestNamesAreStable(t *testing.T) {
+	if NewOfflineIdeal(1, time.Hour, core.Cosine{}).Name() != "offline-ideal(p=1h0m0s)" {
+		t.Error("offline name changed")
+	}
+	if NewOnlineIdeal(1, core.Cosine{}).Name() != "online-ideal" {
+		t.Error("online name changed")
+	}
+}

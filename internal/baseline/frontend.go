@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// FrontEnd serves a centralized recommender's client-facing endpoint for
+// the response-time experiments (Figures 8 and 9): GET /recommend?uid=U
+// computes item recommendation server-side — precisely the work HyRec
+// offloads to browsers. In Online mode it additionally recomputes the
+// user's exact KNN before recommending (the Online-Ideal bar of Figure 8).
+//
+// Mirroring Section 5.5's setup, the KNN table is assumed up to date from
+// a previous offline run; Seed installs that state.
+type FrontEnd struct {
+	k, r   int
+	metric core.Similarity
+	online bool
+
+	mu       sync.RWMutex
+	profiles map[core.UserID]core.Profile
+	users    []core.UserID
+	knn      map[core.UserID][]core.UserID
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewFrontEnd builds a front-end with neighbourhood size k returning r
+// recommendations; online selects the Online-Ideal behaviour.
+func NewFrontEnd(k, r int, metric core.Similarity, online bool) *FrontEnd {
+	return &FrontEnd{
+		k:        k,
+		r:        r,
+		metric:   metric,
+		online:   online,
+		profiles: make(map[core.UserID]core.Profile),
+		knn:      make(map[core.UserID][]core.UserID),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed installs the profile and KNN tables (the result of the offline
+// back-end run).
+func (f *FrontEnd) Seed(profiles []core.Profile, knn map[core.UserID][]core.UserID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.profiles = make(map[core.UserID]core.Profile, len(profiles))
+	f.users = f.users[:0]
+	for _, p := range profiles {
+		f.profiles[p.User()] = p
+		f.users = append(f.users, p.User())
+	}
+	f.knn = knn
+	if f.knn == nil {
+		f.knn = make(map[core.UserID][]core.UserID)
+	}
+}
+
+// Recommend is the server-side recommendation path. For the offline-CRec
+// front-end, the candidate set is rebuilt from the stored KNN graph
+// exactly as §2.1 describes (the user's neighbours, their neighbours, and
+// k random users) and Algorithm 2 runs over it. In Online mode the exact
+// KNN is recomputed first (brute force over all profiles).
+func (f *FrontEnd) Recommend(u core.UserID) []core.ItemID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p, ok := f.profiles[u]
+	if !ok {
+		return nil
+	}
+	var candidateIDs []core.UserID
+	if f.online {
+		all := make([]core.Profile, 0, len(f.users))
+		for _, v := range f.users {
+			all = append(all, f.profiles[v])
+		}
+		candidateIDs = neighborsToIDs(core.SelectKNN(p, all, f.k, f.metric))
+	} else {
+		lookup := func(v core.UserID) []core.UserID { return f.knn[v] }
+		random := func(r *rand.Rand, n int, exclude core.UserID) []core.UserID {
+			out := make([]core.UserID, 0, n)
+			for len(out) < n && len(f.users) > 1 {
+				v := f.users[r.Intn(len(f.users))]
+				if v != exclude {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		f.rngMu.Lock()
+		seed := f.rng.Int63()
+		f.rngMu.Unlock()
+		candidateIDs = core.BuildCandidateSet(u, f.k, lookup, random, rand.New(rand.NewSource(seed)))
+	}
+	candidates := make([]core.Profile, 0, len(candidateIDs))
+	for _, v := range candidateIDs {
+		if cp, ok := f.profiles[v]; ok {
+			candidates = append(candidates, cp)
+		}
+	}
+	return core.Recommend(p, candidates, f.r)
+}
+
+// Handler exposes GET /recommend?uid=U returning a JSON item list.
+func (f *FrontEnd) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		uid64, err := strconv.ParseUint(r.URL.Query().Get("uid"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad uid", http.StatusBadRequest)
+			return
+		}
+		recs := f.Recommend(core.UserID(uid64))
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(recs); err != nil {
+			return
+		}
+	})
+	return mux
+}

@@ -1,0 +1,227 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/mapreduce"
+	"hyrec/internal/topk"
+)
+
+// BuildResult describes one back-end KNN construction run — one bar of
+// Figure 7.
+type BuildResult struct {
+	// System is the back-end's name (Exhaustive, MahoutSingle, ClusMahout,
+	// CRec).
+	System string
+	// RealCompute is the host CPU time actually burned.
+	RealCompute time.Duration
+	// WallClock is the simulated wall-clock on the target cluster
+	// (measured task times scheduled onto the cluster, plus Hadoop
+	// overheads where applicable). This is Figure 7's y-axis.
+	WallClock time.Duration
+	// SimilarityOps counts pairwise similarity (or co-occurrence pair)
+	// computations: the scale-free work measure used to extrapolate to
+	// full-size datasets.
+	SimilarityOps int64
+	// KNN is the resulting table (user → neighbours best-first).
+	KNN map[core.UserID][]core.UserID
+}
+
+// ExhaustiveBuild computes the exact KNN of every user by brute force —
+// the paper's "Exhaustive" bar (the back-end of Offline-Ideal). The O(N²)
+// pair scan runs as one map-reduce job on the given cluster.
+func ExhaustiveBuild(profiles []core.Profile, k int, metric core.Similarity, cluster mapreduce.Cluster) BuildResult {
+	out, stats := mapreduce.Run(
+		profiles,
+		func(p core.Profile, emit func(uint32, []core.UserID)) {
+			emit(uint32(p.User()), neighborsToIDs(core.SelectKNN(p, profiles, k, metric)))
+		},
+		func(_ uint32, vs [][]core.UserID) []core.UserID { return vs[0] },
+		func(k uint32) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		mapreduce.Options{},
+	)
+	knn := make(map[core.UserID][]core.UserID, len(out))
+	for _, kv := range out {
+		knn[core.UserID(kv.Key)] = kv.Val
+	}
+	n := int64(len(profiles))
+	return BuildResult{
+		System:        "Exhaustive",
+		RealCompute:   stats.RealTime,
+		WallClock:     stats.SimulatedWallClock(cluster),
+		SimilarityOps: n * (n - 1),
+		KNN:           knn,
+	}
+}
+
+// CRecBuild runs the sampling-based batch KNN (Offline-CRec's back-end)
+// for the given number of iterations, pricing each iteration as one
+// lightweight map-reduce job on the cluster.
+func CRecBuild(profiles []core.Profile, k, iterations int, metric core.Similarity, cluster mapreduce.Cluster, seed int64) BuildResult {
+	users := make([]core.UserID, len(profiles))
+	pmap := make(map[core.UserID]core.Profile, len(profiles))
+	for i, p := range profiles {
+		users[i] = p.User()
+		pmap[p.User()] = p
+	}
+	var wall time.Duration
+	var real time.Duration
+	var ops int64
+	table := map[core.UserID][]core.UserID{}
+	for iter := 0; iter < iterations; iter++ {
+		start := time.Now()
+		var iterOps int64
+		table, iterOps = SamplingKNNCounted(users, pmap, table, k, 1, metric, seed+int64(iter))
+		elapsed := time.Since(start)
+		real += elapsed
+		ops += iterOps
+		// Price the iteration as a map wave over the users on the cluster:
+		// the host ran it on GOMAXPROCS cores; scale the aggregate compute
+		// onto the cluster's slots and charge the job startup.
+		stats := mapreduce.Stats{
+			MapTasks:       cluster.TotalCores(),
+			MapTaskTimes:   evenSplit(elapsed*time.Duration(hostWorkers()), cluster.TotalCores()),
+			MapTaskRecords: make([]int64, cluster.TotalCores()),
+		}
+		wall += stats.SimulatedWallClock(cluster)
+	}
+	return BuildResult{
+		System:        "CRec",
+		RealCompute:   real,
+		WallClock:     wall,
+		SimilarityOps: ops,
+		KNN:           table,
+	}
+}
+
+// MahoutBuild computes the exact user-based KNN the way Mahout's Hadoop
+// pipeline does: an inverted item → users index, item-wise co-occurrence
+// pair emission (capped per item like Mahout's maxPrefsPerUser sampling),
+// pairwise cosine from co-counts, and a final per-user top-k — three
+// chained map-reduce jobs, each priced with Hadoop startup and per-record
+// costs on the given cluster.
+func MahoutBuild(profiles []core.Profile, k int, cluster mapreduce.Cluster, maxUsersPerItem int, seed int64) BuildResult {
+	if maxUsersPerItem <= 0 {
+		maxUsersPerItem = 300
+	}
+	likedCount := make(map[core.UserID]int, len(profiles))
+	for _, p := range profiles {
+		likedCount[p.User()] = p.NumLiked()
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Job 1: invert profiles into item → users-who-liked.
+	inverted, s1 := mapreduce.Run(
+		profiles,
+		func(p core.Profile, emit func(uint32, core.UserID)) {
+			for _, item := range p.Liked() {
+				emit(uint32(item), p.User())
+			}
+		},
+		func(_ uint32, users []core.UserID) []core.UserID { return users },
+		func(k uint32) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		mapreduce.Options{},
+	)
+
+	// Job 2: per item, emit co-occurrence pairs (capped) and count them.
+	type pairKey uint64
+	mkPair := func(a, b core.UserID) pairKey {
+		if a > b {
+			a, b = b, a
+		}
+		return pairKey(uint64(a)<<32 | uint64(b))
+	}
+	var pairOps int64
+	coCounts, s2 := mapreduce.Run(
+		inverted,
+		func(kv mapreduce.KV[uint32, []core.UserID], emit func(pairKey, int)) {
+			users := kv.Val
+			if len(users) > maxUsersPerItem {
+				// Mahout-style down-sampling of overly popular items.
+				sampled := make([]core.UserID, maxUsersPerItem)
+				perm := rng.Perm(len(users))
+				for i := 0; i < maxUsersPerItem; i++ {
+					sampled[i] = users[perm[i]]
+				}
+				users = sampled
+			}
+			for i := 0; i < len(users); i++ {
+				for j := i + 1; j < len(users); j++ {
+					emit(mkPair(users[i], users[j]), 1)
+				}
+			}
+		},
+		func(_ pairKey, ones []int) int { return len(ones) },
+		func(k pairKey) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		mapreduce.Options{},
+	)
+	pairOps = s2.TotalRecords()
+
+	// Job 3: turn co-counts into similarities and keep each user's top-k.
+	type scored struct {
+		other core.UserID
+		sim   float64
+	}
+	perUser, s3 := mapreduce.Run(
+		coCounts,
+		func(kv mapreduce.KV[pairKey, int], emit func(uint32, scored)) {
+			a := core.UserID(uint64(kv.Key) >> 32)
+			b := core.UserID(uint64(kv.Key) & 0xFFFFFFFF)
+			na, nb := likedCount[a], likedCount[b]
+			if na == 0 || nb == 0 {
+				return
+			}
+			sim := float64(kv.Val) / math.Sqrt(float64(na)*float64(nb))
+			emit(uint32(a), scored{other: b, sim: sim})
+			emit(uint32(b), scored{other: a, sim: sim})
+		},
+		func(_ uint32, ss []scored) []core.UserID {
+			col := topk.New(k)
+			for _, s := range ss {
+				col.Offer(uint32(s.other), s.sim)
+			}
+			entries := col.Sorted()
+			out := make([]core.UserID, len(entries))
+			for i, e := range entries {
+				out[i] = core.UserID(e.ID)
+			}
+			return out
+		},
+		func(k uint32) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		mapreduce.Options{},
+	)
+
+	knn := make(map[core.UserID][]core.UserID, len(perUser))
+	for _, kv := range perUser {
+		knn[core.UserID(kv.Key)] = kv.Val
+	}
+	name := "MahoutSingle"
+	if cluster.Nodes > 1 {
+		name = "ClusMahout"
+	}
+	return BuildResult{
+		System:        name,
+		RealCompute:   s1.RealTime + s2.RealTime + s3.RealTime,
+		WallClock:     s1.SimulatedWallClock(cluster) + s2.SimulatedWallClock(cluster) + s3.SimulatedWallClock(cluster),
+		SimilarityOps: pairOps,
+		KNN:           knn,
+	}
+}
+
+func evenSplit(total time.Duration, parts int) []time.Duration {
+	out := make([]time.Duration, parts)
+	if parts == 0 {
+		return out
+	}
+	each := total / time.Duration(parts)
+	for i := range out {
+		out[i] = each
+	}
+	return out
+}
+
+func hostWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// rngSource hands out deterministic child seeds; it keeps the systems'
+// randomness reproducible without sharing one *rand.Rand across
+// goroutines.
+type rngSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRngSource(seed int64) *rngSource {
+	return &rngSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *rngSource) next() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63()
+}
+
+func (k *knnState) snapshotAll() map[core.UserID][]core.UserID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make(map[core.UserID][]core.UserID, len(k.m))
+	for u, hood := range k.m {
+		out[u] = hood
+	}
+	return out
+}
+
+// SamplingKNN runs `iterations` synchronous rounds of the sampling-based
+// KNN refinement (Algorithm 1 with the Section 3.1 candidate rule) over
+// the whole population — the computation Offline-CRec performs in batch on
+// its back-end. Rounds are parallelised across users; each round reads the
+// previous round's table, so the refinement is deterministic given the
+// seed. Returns the final user → neighbours table.
+//
+// SimilarityOps, when non-nil, accumulates the number of pairwise
+// similarity computations (Figure 7's work measure).
+func SamplingKNN(
+	users []core.UserID,
+	profiles map[core.UserID]core.Profile,
+	initial map[core.UserID][]core.UserID,
+	k, iterations int,
+	metric core.Similarity,
+	seed int64,
+) map[core.UserID][]core.UserID {
+	table, _ := SamplingKNNCounted(users, profiles, initial, k, iterations, metric, seed)
+	return table
+}
+
+// SamplingKNNCounted is SamplingKNN returning the similarity-computation
+// count as well.
+func SamplingKNNCounted(
+	users []core.UserID,
+	profiles map[core.UserID]core.Profile,
+	initial map[core.UserID][]core.UserID,
+	k, iterations int,
+	metric core.Similarity,
+	seed int64,
+) (map[core.UserID][]core.UserID, int64) {
+	if len(users) == 0 || k <= 0 {
+		return map[core.UserID][]core.UserID{}, 0
+	}
+	table := make(map[core.UserID][]core.UserID, len(users))
+	for u, hood := range initial {
+		table[u] = hood
+	}
+	var totalOps int64
+	workers := runtime.GOMAXPROCS(0)
+	for iter := 0; iter < iterations; iter++ {
+		next := make([]struct {
+			u    core.UserID
+			hood []core.UserID
+		}, len(users))
+		var ops int64
+		var opsMu sync.Mutex
+		var wg sync.WaitGroup
+		chunk := (len(users) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(users) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(users) {
+				hi = len(users)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(iter)*1_000_003 + int64(w)))
+				var localOps int64
+				lookup := func(v core.UserID) []core.UserID { return table[v] }
+				random := func(r *rand.Rand, n int, exclude core.UserID) []core.UserID {
+					out := make([]core.UserID, 0, n)
+					// Early in a replay the population can be smaller than
+					// n — or even just {exclude} — so cap the draws rather
+					// than spinning until enough distinct users exist.
+					for attempts := 0; len(out) < n && attempts < 8*n; attempts++ {
+						cand := users[r.Intn(len(users))]
+						if cand != exclude {
+							out = append(out, cand)
+						}
+					}
+					return out
+				}
+				for i := lo; i < hi; i++ {
+					u := users[i]
+					candidateIDs := core.BuildCandidateSet(u, k, lookup, random, rng)
+					candidates := make([]core.Profile, 0, len(candidateIDs))
+					for _, c := range candidateIDs {
+						if p, ok := profiles[c]; ok {
+							candidates = append(candidates, p)
+						}
+					}
+					localOps += int64(len(candidates))
+					next[i].u = u
+					next[i].hood = neighborsToIDs(core.SelectKNN(profiles[u], candidates, k, metric))
+				}
+				opsMu.Lock()
+				ops += localOps
+				opsMu.Unlock()
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		table = make(map[core.UserID][]core.UserID, len(users))
+		for _, e := range next {
+			table[e.u] = e.hood
+		}
+		totalOps += ops
+	}
+	return table, totalOps
+}

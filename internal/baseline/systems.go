@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+)
+
+// OfflineIdeal is the paper's "Offline Ideal" baseline: a back-end server
+// recomputes the exact KNN of every user periodically (period p in
+// Figures 3 and 6); between recomputations neighbourhoods are frozen — the
+// step-like behaviour of Figure 3. The front-end answers recommendation
+// requests from the frozen KNN table.
+type OfflineIdeal struct {
+	k      int
+	metric core.Similarity
+	store  *profileStore
+	knn    *knnState
+	timer  *periodic
+	// Recomputations counts back-end runs (used by the cost model).
+	Recomputations int
+}
+
+var _ replay.System = (*OfflineIdeal)(nil)
+
+// NewOfflineIdeal builds the baseline with neighbourhood size k and
+// recomputation period.
+func NewOfflineIdeal(k int, period time.Duration, metric core.Similarity) *OfflineIdeal {
+	return &OfflineIdeal{
+		k:      k,
+		metric: metric,
+		store:  newProfileStore(),
+		knn:    newKNNState(),
+		timer:  newPeriodic(period),
+	}
+}
+
+// Name implements replay.System.
+func (s *OfflineIdeal) Name() string { return fmt.Sprintf("offline-ideal(p=%s)", s.timer.period) }
+
+// Rate implements replay.System: profiles update immediately, but
+// neighbourhoods only at the next periodic run.
+func (s *OfflineIdeal) Rate(_ time.Duration, r core.Rating) {
+	s.store.rate(r.User, r.Item, r.Liked)
+}
+
+// Recommend implements replay.System (front-end α over the frozen KNN).
+func (s *OfflineIdeal) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	return frontEndRecommend(s.store, u, s.knn.get(u), n)
+}
+
+// Neighbors implements replay.System.
+func (s *OfflineIdeal) Neighbors(u core.UserID) []core.UserID { return s.knn.get(u) }
+
+// Tick implements replay.System: runs the back-end recomputation when a
+// period boundary passes.
+func (s *OfflineIdeal) Tick(t time.Duration) {
+	if !s.timer.due(t) {
+		return
+	}
+	s.recompute()
+}
+
+func (s *OfflineIdeal) recompute() {
+	ideal := metrics.IdealKNN(s.store, s.k, s.metric)
+	next := make(map[core.UserID][]core.UserID, len(ideal))
+	for u, ns := range ideal {
+		next[u] = neighborsToIDs(ns)
+	}
+	s.knn.replaceAll(next)
+	s.Recomputations++
+}
+
+// Store exposes the profile source for metrics.
+func (s *OfflineIdeal) Store() metrics.ProfileSource { return s.store }
+
+// OnlineIdeal is the inapplicable-but-instructive upper bound: it computes
+// the exact KNN of the requesting user before every recommendation
+// ("huge response times", Section 5.2 — Figure 8 quantifies them).
+type OnlineIdeal struct {
+	k      int
+	metric core.Similarity
+	store  *profileStore
+}
+
+var _ replay.System = (*OnlineIdeal)(nil)
+
+// NewOnlineIdeal builds the upper-bound system.
+func NewOnlineIdeal(k int, metric core.Similarity) *OnlineIdeal {
+	return &OnlineIdeal{k: k, metric: metric, store: newProfileStore()}
+}
+
+// Name implements replay.System.
+func (s *OnlineIdeal) Name() string { return "online-ideal" }
+
+// Rate implements replay.System.
+func (s *OnlineIdeal) Rate(_ time.Duration, r core.Rating) {
+	s.store.rate(r.User, r.Item, r.Liked)
+}
+
+// Recommend implements replay.System: exact KNN now, then α.
+func (s *OnlineIdeal) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	return frontEndRecommend(s.store, u, s.Neighbors(u), n)
+}
+
+// Neighbors implements replay.System with an on-demand exact scan.
+func (s *OnlineIdeal) Neighbors(u core.UserID) []core.UserID {
+	profiles := s.store.snapshot()
+	return neighborsToIDs(core.SelectKNN(s.store.Profile(u), profiles, s.k, s.metric))
+}
+
+// Tick implements replay.System (nothing is periodic here).
+func (s *OnlineIdeal) Tick(time.Duration) {}
+
+// Store exposes the profile source for metrics.
+func (s *OnlineIdeal) Store() metrics.ProfileSource { return s.store }
+
+// CRec is the Offline-CRec competitor: the same sampling-based KNN
+// algorithm as HyRec, but run periodically in batch on a back-end
+// (map-reduce style), with a centralized front-end computing
+// recommendations on demand. It is the cost baseline of Table 3 and the
+// front-end baseline of Figures 8–9.
+type CRec struct {
+	k          int
+	metric     core.Similarity
+	iterations int
+	store      *profileStore
+	knn        *knnState
+	timer      *periodic
+	rng        *rngSource
+	// Recomputations counts back-end runs (used by the cost model).
+	Recomputations int
+}
+
+var _ replay.System = (*CRec)(nil)
+
+// NewCRec builds the baseline: every period, `iterations` sampling rounds
+// refine the whole KNN table (10–20 suffice per the gossip literature
+// cited in Section 2.3).
+func NewCRec(k int, period time.Duration, iterations int, metric core.Similarity, seed int64) *CRec {
+	return &CRec{
+		k:          k,
+		metric:     metric,
+		iterations: iterations,
+		store:      newProfileStore(),
+		knn:        newKNNState(),
+		timer:      newPeriodic(period),
+		rng:        newRngSource(seed),
+	}
+}
+
+// Name implements replay.System.
+func (s *CRec) Name() string { return fmt.Sprintf("crec(p=%s)", s.timer.period) }
+
+// Rate implements replay.System.
+func (s *CRec) Rate(_ time.Duration, r core.Rating) {
+	s.store.rate(r.User, r.Item, r.Liked)
+}
+
+// Recommend implements replay.System (front-end α over the batch KNN).
+func (s *CRec) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	return frontEndRecommend(s.store, u, s.knn.get(u), n)
+}
+
+// Neighbors implements replay.System.
+func (s *CRec) Neighbors(u core.UserID) []core.UserID { return s.knn.get(u) }
+
+// Tick implements replay.System.
+func (s *CRec) Tick(t time.Duration) {
+	if !s.timer.due(t) {
+		return
+	}
+	s.recompute()
+}
+
+func (s *CRec) recompute() {
+	users := s.store.Users()
+	profiles := make(map[core.UserID]core.Profile, len(users))
+	for _, u := range users {
+		profiles[u] = s.store.Profile(u)
+	}
+	next := SamplingKNN(users, profiles, s.knn.snapshotAll(), s.k, s.iterations, s.metric, s.rng.next())
+	s.knn.replaceAll(next)
+	s.Recomputations++
+}
+
+// Store exposes the profile source for metrics.
+func (s *CRec) Store() metrics.ProfileSource { return s.store }

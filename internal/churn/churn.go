@@ -1,0 +1,157 @@
+// Package churn models user-machine availability: each user alternates
+// between online and offline sessions with exponentially distributed
+// durations, the standard churn model for peer-to-peer analyses.
+//
+// Section 2.3 of the HyRec paper lists on/off-line patterns among the
+// deployment challenges of fully decentralized recommenders, and
+// Section 2.4 claims HyRec side-steps them because the server serves
+// offline users' profiles from its tables. This package supplies the
+// availability substrate that the ChurnStudy experiment uses to test that
+// claim: the same model gates P2P gossip participation and HyRec client
+// requests, so the two architectures face identical user behaviour.
+package churn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+// ErrBadDurations reports non-positive session-duration means.
+var ErrBadDurations = errors.New("churn: mean online/offline durations must be positive")
+
+// Model generates a deterministic on/off schedule per user. Queries may
+// arrive in any time order; schedules extend lazily and are memoized, so
+// the same (user, time) query always returns the same answer.
+//
+// Safe for concurrent use.
+type Model struct {
+	meanOn  time.Duration
+	meanOff time.Duration
+	seed    int64
+
+	mu        sync.Mutex
+	schedules map[core.UserID]*schedule
+}
+
+// schedule is one user's alternating session timeline: state(0) = startOn,
+// flipping at each boundary. boundaries is strictly increasing.
+type schedule struct {
+	startOn    bool
+	boundaries []time.Duration
+	rng        *rand.Rand
+}
+
+// NewModel builds an availability model where sessions last meanOn online
+// and meanOff offline on average (exponentially distributed). The
+// stationary online probability is meanOn / (meanOn + meanOff).
+func NewModel(meanOn, meanOff time.Duration, seed int64) (*Model, error) {
+	if meanOn <= 0 || meanOff <= 0 {
+		return nil, ErrBadDurations
+	}
+	return &Model{
+		meanOn:    meanOn,
+		meanOff:   meanOff,
+		seed:      seed,
+		schedules: make(map[core.UserID]*schedule),
+	}, nil
+}
+
+// AlwaysOnline returns a model under which every user is permanently
+// online — the no-churn baseline of availability studies.
+func AlwaysOnline() *Model { return nil }
+
+// OnlineFraction returns the stationary probability that a user is online.
+func (m *Model) OnlineFraction() float64 {
+	if m == nil {
+		return 1
+	}
+	return float64(m.meanOn) / float64(m.meanOn+m.meanOff)
+}
+
+// Online reports whether user u's machine is online at virtual time t.
+// A nil model is always online.
+func (m *Model) Online(u core.UserID, t time.Duration) bool {
+	if m == nil {
+		return true
+	}
+	if t < 0 {
+		t = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.scheduleLocked(u)
+	s.extend(t, m.meanOn, m.meanOff)
+	return s.stateAt(t)
+}
+
+// Availability adapts the model to the callback form used by
+// gossip.Network and the replay harness. Valid on a nil model.
+func (m *Model) Availability() func(core.UserID, time.Duration) bool {
+	return m.Online
+}
+
+func (m *Model) scheduleLocked(u core.UserID) *schedule {
+	s, ok := m.schedules[u]
+	if !ok {
+		// Per-user stream: mix the user ID into the seed (splitmix-style)
+		// so schedules are independent and order-insensitive.
+		z := uint64(m.seed) + uint64(u)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		rng := rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+		s = &schedule{
+			// Stationary start state.
+			startOn: rng.Float64() < m.OnlineFraction(),
+			rng:     rng,
+		}
+		m.schedules[u] = s
+	}
+	return s
+}
+
+// extend grows the boundary list until it covers time t.
+func (s *schedule) extend(t time.Duration, meanOn, meanOff time.Duration) {
+	for len(s.boundaries) == 0 || s.boundaries[len(s.boundaries)-1] <= t {
+		last := time.Duration(0)
+		if len(s.boundaries) > 0 {
+			last = s.boundaries[len(s.boundaries)-1]
+		}
+		mean := meanOn
+		if !s.stateIndexOn(len(s.boundaries)) {
+			mean = meanOff
+		}
+		d := time.Duration(s.rng.ExpFloat64() * float64(mean))
+		if d < time.Second {
+			d = time.Second // avoid zero-length sessions
+		}
+		s.boundaries = append(s.boundaries, last+d)
+	}
+}
+
+// stateIndexOn reports the state during segment i (segment 0 precedes the
+// first boundary).
+func (s *schedule) stateIndexOn(i int) bool {
+	if i%2 == 0 {
+		return s.startOn
+	}
+	return !s.startOn
+}
+
+// stateAt returns the state at time t (boundaries must already cover t).
+func (s *schedule) stateAt(t time.Duration) bool {
+	// Binary search for the segment containing t.
+	lo, hi := 0, len(s.boundaries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.boundaries[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.stateIndexOn(lo)
+}

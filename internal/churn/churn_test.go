@@ -1,0 +1,177 @@
+package churn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, time.Hour, 1); err == nil {
+		t.Fatal("accepted zero meanOn")
+	}
+	if _, err := NewModel(time.Hour, -1, 1); err == nil {
+		t.Fatal("accepted negative meanOff")
+	}
+	if _, err := NewModel(time.Hour, time.Hour, 1); err != nil {
+		t.Fatalf("rejected valid model: %v", err)
+	}
+}
+
+func TestNilModelAlwaysOnline(t *testing.T) {
+	m := AlwaysOnline()
+	if m.OnlineFraction() != 1 {
+		t.Fatalf("fraction = %v", m.OnlineFraction())
+	}
+	if !m.Online(42, 5*time.Hour) {
+		t.Fatal("nil model reported offline")
+	}
+	if f := m.Availability(); !f(1, 0) {
+		t.Fatal("nil model availability callback reported offline")
+	}
+}
+
+func TestOnlineFraction(t *testing.T) {
+	m, err := NewModel(3*time.Hour, time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OnlineFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("fraction = %v, want 0.75", got)
+	}
+}
+
+// The empirical fraction of (user, time) samples online must match the
+// stationary probability.
+func TestEmpiricalOnlineFraction(t *testing.T) {
+	m, err := NewModel(2*time.Hour, 2*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, total := 0, 0
+	for u := core.UserID(0); u < 200; u++ {
+		for h := 0; h < 50; h++ {
+			total++
+			if m.Online(u, time.Duration(h)*time.Hour) {
+				online++
+			}
+		}
+	}
+	got := float64(online) / float64(total)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("empirical online fraction = %.3f, want ≈ 0.5", got)
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a, _ := NewModel(time.Hour, time.Hour, 3)
+	b, _ := NewModel(time.Hour, time.Hour, 3)
+	for u := core.UserID(0); u < 20; u++ {
+		for h := 0; h < 30; h++ {
+			tm := time.Duration(h) * 17 * time.Minute
+			if a.Online(u, tm) != b.Online(u, tm) {
+				t.Fatalf("instances diverged at u=%v t=%v", u, tm)
+			}
+		}
+	}
+}
+
+// Query order must not influence answers (lazy extension is memoized).
+func TestQueryOrderIndependence(t *testing.T) {
+	forward, _ := NewModel(time.Hour, 30*time.Minute, 5)
+	backward, _ := NewModel(time.Hour, 30*time.Minute, 5)
+
+	times := make([]time.Duration, 40)
+	for i := range times {
+		times[i] = time.Duration(i) * 23 * time.Minute
+	}
+	fw := make([]bool, len(times))
+	for i, tm := range times {
+		fw[i] = forward.Online(9, tm)
+	}
+	for i := len(times) - 1; i >= 0; i-- {
+		if got := backward.Online(9, times[i]); got != fw[i] {
+			t.Fatalf("order-dependent answer at t=%v", times[i])
+		}
+	}
+}
+
+// Property: repeated queries at the same instant always agree, and
+// negative times behave like zero.
+func TestOnlineStableProperty(t *testing.T) {
+	m, _ := NewModel(45*time.Minute, 90*time.Minute, 11)
+	prop := func(u uint16, minutes uint16) bool {
+		tm := time.Duration(minutes) * time.Minute
+		first := m.Online(core.UserID(u), tm)
+		for i := 0; i < 3; i++ {
+			if m.Online(core.UserID(u), tm) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Online(1, -time.Hour) != m.Online(1, 0) {
+		t.Fatal("negative time disagrees with zero")
+	}
+}
+
+// Users must have distinct schedules (otherwise churn is perfectly
+// correlated and the model is useless).
+func TestUsersIndependent(t *testing.T) {
+	m, _ := NewModel(time.Hour, time.Hour, 13)
+	same := 0
+	const users = 100
+	for u := core.UserID(0); u < users; u++ {
+		if m.Online(u, 90*time.Minute) == m.Online(u+users, 90*time.Minute) {
+			same++
+		}
+	}
+	// Perfect correlation would give same == users; independence ≈ half.
+	if same > users*3/4 {
+		t.Fatalf("schedules look correlated: %d/%d agree", same, users)
+	}
+}
+
+func TestSessionsAlternate(t *testing.T) {
+	m, _ := NewModel(time.Hour, time.Hour, 17)
+	// Scan one user minute-by-minute; count transitions. With mean 1h
+	// sessions over 48h we expect on the order of 24–48 flips, certainly
+	// at least one and not thousands.
+	flips := 0
+	prev := m.Online(3, 0)
+	for min := 1; min < 48*60; min++ {
+		cur := m.Online(3, time.Duration(min)*time.Minute)
+		if cur != prev {
+			flips++
+			prev = cur
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no session transitions in 48h")
+	}
+	if flips > 1000 {
+		t.Fatalf("%d transitions in 48h: sessions collapsing to minimum", flips)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	m, _ := NewModel(time.Hour, time.Hour, 19)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				m.Online(core.UserID(i%37), time.Duration(g*i)*time.Minute)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Anonymizer implements HyRec's anonymous mapping (Section 3.1): user and
+// item identifiers leaving the server are replaced by per-epoch pseudonyms
+// so that a curious client cannot tell which user a received profile
+// belongs to. Pseudonyms are reshuffled periodically by calling Advance;
+// the mapping for the previous epoch remains resolvable so that in-flight
+// personalization jobs can still be applied when their results return.
+//
+// Instead of materialising a shuffle table over the whole ID space, the
+// mapping is a keyed 4-round Feistel permutation over 32-bit IDs: an O(1)
+// memory bijection whose inverse runs the rounds backwards. This is a
+// deliberate design decision (see DESIGN.md §5) and is property-tested for
+// bijectivity.
+//
+// Anonymizer is safe for concurrent use.
+type Anonymizer struct {
+	mu    sync.RWMutex
+	epoch uint64
+	cur   feistelKeys
+	prev  feistelKeys
+	rng   *rand.Rand
+}
+
+var _ Aliaser = (*Anonymizer)(nil)
+
+const feistelRounds = 4
+
+type feistelKeys [feistelRounds]uint32
+
+// NewAnonymizer returns an Anonymizer seeded deterministically; epoch 0's
+// keys are drawn immediately.
+func NewAnonymizer(seed int64) *Anonymizer {
+	a := &Anonymizer{rng: rand.New(rand.NewSource(seed))}
+	a.cur = a.drawKeys()
+	a.prev = a.cur
+	return a
+}
+
+func (a *Anonymizer) drawKeys() feistelKeys {
+	var k feistelKeys
+	for i := range k {
+		k[i] = a.rng.Uint32()
+	}
+	return k
+}
+
+// Aliaser mints pseudonyms for one epoch. The canonical implementations
+// are *Anonymizer (always the live epoch; individual calls are atomic but
+// a sequence of calls may straddle an Advance) and *AliasView (a pinned
+// snapshot whose Epoch and aliases are mutually consistent — what job
+// assembly must use; see Anonymizer.View).
+type Aliaser interface {
+	// Epoch identifies the mapping the aliases belong to.
+	Epoch() uint64
+	// AliasUser returns the pseudonym for u.
+	AliasUser(u UserID) UserID
+	// AliasItem returns the pseudonym for i.
+	AliasItem(i ItemID) ItemID
+}
+
+// Epoch returns the current epoch number.
+func (a *Anonymizer) Epoch() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch
+}
+
+// View pins the current epoch's mapping into an immutable snapshot.
+// A personalization job must be assembled against a single view: reading
+// Epoch and minting aliases directly on the Anonymizer can straddle a
+// concurrent Advance, stamping the job with an epoch that does not match
+// its pseudonyms — which would make the server resolve them to wrong (but
+// plausible) identifiers when the result returns.
+func (a *Anonymizer) View() *AliasView {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return &AliasView{epoch: a.epoch, keys: a.cur}
+}
+
+// AliasView is a consistent (epoch, mapping) snapshot. Immutable and safe
+// for concurrent use.
+type AliasView struct {
+	epoch uint64
+	keys  feistelKeys
+}
+
+var _ Aliaser = (*AliasView)(nil)
+
+// Epoch implements Aliaser.
+func (v *AliasView) Epoch() uint64 { return v.epoch }
+
+// AliasUser implements Aliaser.
+func (v *AliasView) AliasUser(u UserID) UserID {
+	return UserID(feistelForward(uint32(u), v.keys))
+}
+
+// AliasItem implements Aliaser.
+func (v *AliasView) AliasItem(i ItemID) ItemID {
+	return ItemID(feistelForward(uint32(i), v.keys))
+}
+
+// IdentityAliaser sends real identifiers — the mapping used when
+// anonymisation is disabled (Config.DisableAnonymizer).
+type IdentityAliaser struct{}
+
+var _ Aliaser = IdentityAliaser{}
+
+// Epoch implements Aliaser; the identity mapping never rotates.
+func (IdentityAliaser) Epoch() uint64 { return 0 }
+
+// AliasUser implements Aliaser.
+func (IdentityAliaser) AliasUser(u UserID) UserID { return u }
+
+// AliasItem implements Aliaser.
+func (IdentityAliaser) AliasItem(i ItemID) ItemID { return i }
+
+// Advance rotates to a fresh pseudonym mapping. Jobs stamped with the
+// previous epoch remain translatable; anything older is rejected.
+func (a *Anonymizer) Advance() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.prev = a.cur
+	a.cur = a.drawKeys()
+	a.epoch++
+}
+
+// AliasUser returns the pseudonym for u in the current epoch.
+func (a *Anonymizer) AliasUser(u UserID) UserID {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return UserID(feistelForward(uint32(u), a.cur))
+}
+
+// AliasItem returns the pseudonym for i in the current epoch. Items share
+// the permutation keys with users; the spaces are disjoint Go types so no
+// confusion can arise in callers.
+func (a *Anonymizer) AliasItem(i ItemID) ItemID {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return ItemID(feistelForward(uint32(i), a.cur))
+}
+
+// ResolveUser inverts a pseudonym minted in the given epoch. It returns
+// false when the epoch is neither current nor the immediately preceding
+// one (the job is too stale to apply safely).
+func (a *Anonymizer) ResolveUser(alias UserID, epoch uint64) (UserID, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	switch epoch {
+	case a.epoch:
+		return UserID(feistelBackward(uint32(alias), a.cur)), true
+	case a.epoch - 1:
+		if a.epoch == 0 {
+			return 0, false
+		}
+		return UserID(feistelBackward(uint32(alias), a.prev)), true
+	default:
+		return 0, false
+	}
+}
+
+// ResolveItem inverts an item pseudonym minted in the given epoch.
+func (a *Anonymizer) ResolveItem(alias ItemID, epoch uint64) (ItemID, bool) {
+	u, ok := a.ResolveUser(UserID(alias), epoch)
+	return ItemID(u), ok
+}
+
+// feistelForward applies the 4-round balanced Feistel network to x.
+// Splitting 32 bits into two 16-bit halves with any round function yields
+// a permutation of the full 32-bit space.
+func feistelForward(x uint32, keys feistelKeys) uint32 {
+	l, r := uint16(x>>16), uint16(x)
+	for i := 0; i < feistelRounds; i++ {
+		l, r = r, l^roundF(r, keys[i])
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// feistelBackward inverts feistelForward.
+func feistelBackward(x uint32, keys feistelKeys) uint32 {
+	l, r := uint16(x>>16), uint16(x)
+	for i := feistelRounds - 1; i >= 0; i-- {
+		l, r = r^roundF(l, keys[i]), l
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// roundF is a cheap nonlinear round function (xorshift-multiply mix).
+func roundF(half uint16, key uint32) uint16 {
+	v := uint32(half)*0x9E3779B1 ^ key
+	v ^= v >> 15
+	v *= 0x85EBCA77
+	v ^= v >> 13
+	return uint16(v)
+}

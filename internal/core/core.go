@@ -1,0 +1,43 @@
+// Package core implements the user-based collaborative-filtering primitives
+// at the heart of HyRec (Boutet et al., Middleware 2014): immutable user
+// profiles over binary ratings, similarity metrics, KNN selection
+// (Algorithm 1, γ), item recommendation (Algorithm 2, α), the
+// candidate-set sampling rule used by the server's Sampler, and the
+// anonymous user/item mapping.
+//
+// Everything in this package is pure computation: no I/O, no clocks, no
+// global state. Randomness is always injected as *rand.Rand so that replays
+// and tests are deterministic.
+package core
+
+import "fmt"
+
+// UserID identifies a user. In HyRec, user identifiers that leave the
+// server are first pseudonymised by an Anonymizer.
+type UserID uint32
+
+// ItemID identifies an item (a movie, a news story, ...). Item identifiers
+// in outgoing candidate sets are pseudonymised alongside user identifiers.
+type ItemID uint32
+
+// String implements fmt.Stringer.
+func (u UserID) String() string { return fmt.Sprintf("u%d", uint32(u)) }
+
+// String implements fmt.Stringer.
+func (i ItemID) String() string { return fmt.Sprintf("i%d", uint32(i)) }
+
+// Rating is one binary opinion: user u liked (or not) item i.
+// The paper projects star ratings onto {liked, disliked} by comparing to
+// the user's own mean (Section 5.1); dataset loaders perform that
+// projection before ratings reach this package.
+type Rating struct {
+	User  UserID
+	Item  ItemID
+	Liked bool
+}
+
+// Neighbor pairs a candidate user with her similarity to a reference user.
+type Neighbor struct {
+	User UserID
+	Sim  float64
+}

@@ -1,0 +1,44 @@
+package core
+
+import "hyrec/internal/topk"
+
+// SelectKNN implements Algorithm 1 of the paper, γ(P_u, S_u): it scores
+// every candidate profile against p with the given similarity metric and
+// returns the k most similar users, best first. The reference user is
+// skipped if present in the candidate set. Ties break on the smaller
+// UserID so the selection is deterministic.
+//
+// This is exactly the computation the HyRec widget performs in the browser;
+// the centralized baselines reuse it server-side.
+func SelectKNN(p Profile, candidates []Profile, k int, metric Similarity) []Neighbor {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	col := topk.New(k)
+	for _, c := range candidates {
+		if c.User() == p.User() {
+			continue
+		}
+		col.Offer(uint32(c.User()), metric.Score(p, c))
+	}
+	entries := col.Sorted()
+	out := make([]Neighbor, len(entries))
+	for i, e := range entries {
+		out[i] = Neighbor{User: UserID(e.ID), Sim: e.Score}
+	}
+	return out
+}
+
+// ViewSimilarity returns the mean similarity between p and its neighbors'
+// profiles — the paper's "view similarity" metric (Section 5.1). It returns
+// 0 for an empty neighborhood.
+func ViewSimilarity(p Profile, neighborhood []Profile, metric Similarity) float64 {
+	if len(neighborhood) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range neighborhood {
+		sum += metric.Score(p, n)
+	}
+	return sum / float64(len(neighborhood))
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewProfile(7)
+	if p.User() != 7 {
+		t.Errorf("User = %v", p.User())
+	}
+	if p.Size() != 0 || p.NumLiked() != 0 || p.Version() != 0 {
+		t.Errorf("empty profile not empty: %v", p)
+	}
+	if p.Contains(1) || p.LikedContains(1) {
+		t.Error("empty profile claims to contain an item")
+	}
+}
+
+func TestWithRatingBasics(t *testing.T) {
+	p := NewProfile(1).WithRating(10, true).WithRating(5, true).WithRating(20, false)
+	if p.Size() != 3 || p.NumLiked() != 2 {
+		t.Fatalf("size=%d liked=%d", p.Size(), p.NumLiked())
+	}
+	if got := p.Liked(); len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("Liked = %v, want sorted [5 10]", got)
+	}
+	if !p.Contains(20) || p.LikedContains(20) {
+		t.Error("disliked item misclassified")
+	}
+	if p.Version() != 3 {
+		t.Errorf("Version = %d, want 3", p.Version())
+	}
+}
+
+func TestWithRatingImmutability(t *testing.T) {
+	p1 := NewProfile(1).WithRating(1, true)
+	p2 := p1.WithRating(2, true)
+	if p1.Size() != 1 {
+		t.Fatalf("parent mutated: %v", p1)
+	}
+	if p2.Size() != 2 {
+		t.Fatalf("child wrong: %v", p2)
+	}
+}
+
+func TestReRatingMovesBetweenSets(t *testing.T) {
+	p := NewProfile(1).WithRating(3, true)
+	p = p.WithRating(3, false)
+	if p.LikedContains(3) {
+		t.Error("item still liked after re-rating to dislike")
+	}
+	if !p.Contains(3) {
+		t.Error("item lost after re-rating")
+	}
+	if p.Size() != 1 {
+		t.Errorf("Size = %d, want 1", p.Size())
+	}
+	p = p.WithRating(3, true)
+	if !p.LikedContains(3) || p.Size() != 1 {
+		t.Errorf("re-like failed: %v", p)
+	}
+}
+
+func TestDuplicateRatingIsIdempotent(t *testing.T) {
+	p := NewProfile(1).WithRating(3, true).WithRating(3, true)
+	if p.Size() != 1 || p.NumLiked() != 1 {
+		t.Fatalf("duplicate like not idempotent: %v", p)
+	}
+}
+
+func TestWithoutItem(t *testing.T) {
+	p := NewProfile(1).WithRating(1, true).WithRating(2, false)
+	p = p.WithoutItem(1)
+	if p.Contains(1) || !p.Contains(2) || p.Size() != 1 {
+		t.Fatalf("WithoutItem wrong: %v", p)
+	}
+	// Removing an absent item is a no-op on content.
+	q := p.WithoutItem(99)
+	if !q.Equal(p) {
+		t.Error("removing absent item changed content")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := NewProfile(1)
+	for i := ItemID(1); i <= 10; i++ {
+		p = p.WithRating(i, true)
+	}
+	tr := p.Truncate(3)
+	if tr.NumLiked() != 3 {
+		t.Fatalf("Truncate kept %d", tr.NumLiked())
+	}
+	// Keeps the tail (largest IDs here since inserts were ascending).
+	if got := tr.Liked(); got[0] != 8 || got[2] != 10 {
+		t.Fatalf("Truncate kept %v", got)
+	}
+	// Truncating below size is a copy.
+	same := p.Truncate(100)
+	if !same.Equal(p) {
+		t.Error("over-large truncate changed content")
+	}
+}
+
+func TestProfileFromRatings(t *testing.T) {
+	rs := []Rating{
+		{User: 1, Item: 4, Liked: true},
+		{User: 1, Item: 2, Liked: false},
+		{User: 1, Item: 4, Liked: false}, // overwrite
+	}
+	p := ProfileFromRatings(1, rs)
+	if p.LikedContains(4) || !p.Contains(4) || !p.Contains(2) {
+		t.Fatalf("ProfileFromRatings wrong: %v", p)
+	}
+}
+
+func TestEqualIgnoresVersion(t *testing.T) {
+	a := NewProfile(1).WithRating(1, true)
+	b := NewProfile(1).WithRating(2, true).WithoutItem(2).WithRating(1, true)
+	if !a.Equal(b) {
+		t.Error("content-equal profiles not Equal")
+	}
+	c := NewProfile(2).WithRating(1, true)
+	if a.Equal(c) {
+		t.Error("different users Equal")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if UserID(3).String() != "u3" || ItemID(4).String() != "i4" {
+		t.Error("ID String() wrong")
+	}
+	if NewProfile(3).String() == "" {
+		t.Error("Profile String() empty")
+	}
+}
+
+// Property: liked/disliked stay sorted, duplicate-free and disjoint under
+// any sequence of ratings.
+func TestProfileInvariantsProperty(t *testing.T) {
+	prop := func(ops []struct {
+		Item  uint16
+		Liked bool
+	}) bool {
+		p := NewProfile(1)
+		for _, op := range ops {
+			p = p.WithRating(ItemID(op.Item), op.Liked)
+		}
+		return sortedUnique(p.Liked()) && sortedUnique(p.Disliked()) &&
+			IntersectCount(p.Liked(), p.Disliked()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a profile agrees with a reference map-based implementation.
+func TestProfileMatchesMapModelProperty(t *testing.T) {
+	prop := func(ops []struct {
+		Item  uint8 // small domain to force collisions
+		Liked bool
+	}) bool {
+		p := NewProfile(1)
+		model := map[ItemID]bool{}
+		for _, op := range ops {
+			p = p.WithRating(ItemID(op.Item), op.Liked)
+			model[ItemID(op.Item)] = op.Liked
+		}
+		if p.Size() != len(model) {
+			return false
+		}
+		for item, liked := range model {
+			if p.LikedContains(item) != liked || !p.Contains(item) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedUnique(ids []ItemID) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []ItemID
+		want int
+	}{
+		{nil, nil, 0},
+		{[]ItemID{1}, nil, 0},
+		{[]ItemID{1, 2, 3}, []ItemID{2, 3, 4}, 2},
+		{[]ItemID{1, 2, 3}, []ItemID{4, 5}, 0},
+		{[]ItemID{1, 2, 3}, []ItemID{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Errorf("IntersectCount(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := IntersectCount(c.b, c.a); got != c.want {
+			t.Errorf("IntersectCount symmetric (%v,%v) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntersectCountGallopingPath(t *testing.T) {
+	// Force the galloping branch: |b| >= 32|a|.
+	big := make([]ItemID, 1000)
+	for i := range big {
+		big[i] = ItemID(2 * i)
+	}
+	small := []ItemID{0, 2, 999, 1000, 1998}
+	// Members of big among small: 0, 2, 1000, 1998 → 4.
+	if got := IntersectCount(small, big); got != 4 {
+		t.Fatalf("galloping intersect = %d, want 4", got)
+	}
+}
+
+func TestIntersectCountMatchesMapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		a := randomSortedIDs(rng, rng.Intn(50), 200)
+		b := randomSortedIDs(rng, rng.Intn(2000), 4000)
+		want := 0
+		set := map[ItemID]bool{}
+		for _, x := range a {
+			set[x] = true
+		}
+		for _, x := range b {
+			if set[x] {
+				want++
+			}
+		}
+		if got := IntersectCount(a, b); got != want {
+			t.Fatalf("trial %d: got %d want %d", trial, got, want)
+		}
+	}
+}
+
+func randomSortedIDs(rng *rand.Rand, n, domain int) []ItemID {
+	seen := map[ItemID]bool{}
+	for len(seen) < n {
+		seen[ItemID(rng.Intn(domain))] = true
+	}
+	out := make([]ItemID, 0, n)
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func BenchmarkWithRating(b *testing.B) {
+	p := NewProfile(1)
+	for i := 0; i < 200; i++ {
+		p = p.WithRating(ItemID(i*3), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.WithRating(ItemID(i%1000), i%2 == 0)
+	}
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSortedIDs(rng, 150, 2000)
+	y := randomSortedIDs(rng, 150, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectCount(x, y)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalidSets reports that liked/disliked item sets passed to
+// ProfileFromSets are not disjoint.
+var ErrInvalidSets = errors.New("core: liked and disliked sets intersect")
+
+// ProfileFromSets builds a profile directly from liked and disliked item
+// sets, in O(n log n) instead of the O(n²) of repeated WithRating calls.
+// The inputs need not be sorted; duplicates are removed. The two sets must
+// be disjoint. The slices are copied, so the caller keeps ownership.
+//
+// Bulk constructors like this are the fast path for dataset loaders, the
+// persistence layer, and the privacy perturbation mechanism, all of which
+// materialise whole profiles at once.
+func ProfileFromSets(u UserID, liked, disliked []ItemID) (Profile, error) {
+	l := normalizeIDs(liked)
+	d := normalizeIDs(disliked)
+	if intersects(l, d) {
+		return Profile{}, fmt.Errorf("%w: user %v", ErrInvalidSets, u)
+	}
+	return Profile{user: u, version: uint64(len(l) + len(d)), liked: l, disliked: d}, nil
+}
+
+// normalizeIDs returns a fresh sorted duplicate-free copy of ids.
+func normalizeIDs(ids []ItemID) []ItemID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]ItemID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// intersects reports whether two sorted slices share an element.
+func intersects(a, b []ItemID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

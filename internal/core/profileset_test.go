@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileFromSetsBasic(t *testing.T) {
+	p, err := ProfileFromSets(7, []ItemID{5, 3, 5, 1}, []ItemID{9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Liked(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("liked = %v", got)
+	}
+	if got := p.Disliked(); len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("disliked = %v", got)
+	}
+	if p.User() != 7 {
+		t.Fatalf("user = %v", p.User())
+	}
+}
+
+func TestProfileFromSetsEmpty(t *testing.T) {
+	p, err := ProfileFromSets(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("size = %d", p.Size())
+	}
+}
+
+func TestProfileFromSetsRejectsOverlap(t *testing.T) {
+	if _, err := ProfileFromSets(1, []ItemID{1, 2, 3}, []ItemID{3, 4}); err == nil {
+		t.Fatal("expected ErrInvalidSets")
+	}
+}
+
+func TestProfileFromSetsCopiesInput(t *testing.T) {
+	liked := []ItemID{4, 2}
+	p, err := ProfileFromSets(1, liked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liked[0] = 99
+	if got := p.Liked(); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("profile aliased caller slice: %v", got)
+	}
+}
+
+// Property: ProfileFromSets agrees with the incremental WithRating path.
+func TestProfileFromSetsMatchesWithRating(t *testing.T) {
+	prop := func(rawLiked, rawDisliked []uint8) bool {
+		liked := make([]ItemID, 0, len(rawLiked))
+		seen := map[ItemID]bool{}
+		for _, b := range rawLiked {
+			liked = append(liked, ItemID(b))
+			seen[ItemID(b)] = true
+		}
+		disliked := make([]ItemID, 0, len(rawDisliked))
+		for _, b := range rawDisliked {
+			// Keep the sets disjoint: shift colliding IDs out of range.
+			id := ItemID(b)
+			if seen[id] {
+				id += 1000
+			}
+			disliked = append(disliked, id)
+		}
+
+		bulk, err := ProfileFromSets(1, liked, disliked)
+		if err != nil {
+			return false
+		}
+		incr := NewProfile(1)
+		for _, i := range liked {
+			incr = incr.WithRating(i, true)
+		}
+		for _, i := range disliked {
+			incr = incr.WithRating(i, false)
+		}
+		return bulk.Equal(incr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalizeIDs output is sorted, duplicate-free, and preserves
+// the input as a set.
+func TestNormalizeIDsProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		ids := make([]ItemID, len(raw))
+		set := map[ItemID]bool{}
+		for i, v := range raw {
+			ids[i] = ItemID(v)
+			set[ItemID(v)] = true
+		}
+		out := normalizeIDs(ids)
+		if len(out) != len(set) {
+			return false
+		}
+		for i, v := range out {
+			if !set[v] {
+				return false
+			}
+			if i > 0 && out[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

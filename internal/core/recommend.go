@@ -1,0 +1,56 @@
+package core
+
+import "hyrec/internal/topk"
+
+// Recommend implements Algorithm 2 of the paper, α(S_u, P_u): it counts,
+// over the candidate profiles, the popularity of every liked item the
+// reference user has not been exposed to, and returns the r most popular,
+// most popular first. Ties break on the smaller ItemID for determinism.
+//
+// The HyRec widget runs this in the browser; the CRec baseline runs the
+// identical code on the front-end server, which is precisely the cost
+// HyRec offloads (Figures 8 and 9).
+func Recommend(p Profile, candidates []Profile, r int) []ItemID {
+	if r <= 0 {
+		return nil
+	}
+	return TopItems(CountUnseen(p, candidates), r)
+}
+
+// TopItems returns the r most popular items from a popularity tally, most
+// popular first, ties broken on the smaller ItemID. Exposed so callers
+// that assemble tallies differently (parallel widgets, DP-corrected
+// estimators) share the exact selection semantics of Algorithm 2.
+func TopItems(popularity map[ItemID]int, r int) []ItemID {
+	if r <= 0 || len(popularity) == 0 {
+		return nil
+	}
+	col := topk.New(r)
+	for item, count := range popularity {
+		col.Offer(uint32(item), float64(count))
+	}
+	entries := col.Sorted()
+	out := make([]ItemID, len(entries))
+	for i, e := range entries {
+		out[i] = ItemID(e.ID)
+	}
+	return out
+}
+
+// CountUnseen tallies how many candidate profiles like each item that the
+// reference user has not rated. Exposed as a building block for custom
+// recommendation policies (Table 1: setRecommendedItems()).
+func CountUnseen(p Profile, candidates []Profile) map[ItemID]int {
+	popularity := make(map[ItemID]int, 64)
+	for _, c := range candidates {
+		if c.User() == p.User() {
+			continue
+		}
+		for _, item := range c.Liked() {
+			if !p.Contains(item) {
+				popularity[item]++
+			}
+		}
+	}
+	return popularity
+}

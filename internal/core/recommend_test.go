@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRecommendBasic(t *testing.T) {
+	ref := profileOf(1, 100) // has seen item 100
+	candidates := []Profile{
+		profileOf(2, 100, 1, 2),
+		profileOf(3, 1, 2, 3),
+		profileOf(4, 2),
+	}
+	// Popularity among unseen: 1→2, 2→3, 3→1; 100 excluded (seen).
+	got := Recommend(ref, candidates, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("Recommend = %v, want [2 1]", got)
+	}
+}
+
+func TestRecommendExcludesAllExposed(t *testing.T) {
+	// Disliked items must also be excluded: the user has been exposed.
+	ref := NewProfile(1).WithRating(5, false)
+	candidates := []Profile{profileOf(2, 5), profileOf(3, 5), profileOf(4, 6)}
+	got := Recommend(ref, candidates, 5)
+	for _, item := range got {
+		if item == 5 {
+			t.Fatal("recommended an exposed (disliked) item")
+		}
+	}
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("Recommend = %v, want [6]", got)
+	}
+}
+
+func TestRecommendSkipsSelfProfile(t *testing.T) {
+	ref := profileOf(1, 1)
+	// The candidate set can include the user herself; her own items must
+	// not count as popularity votes.
+	candidates := []Profile{profileOf(1, 42), profileOf(2, 7)}
+	got := Recommend(ref, candidates, 5)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Recommend = %v, want [7]", got)
+	}
+}
+
+func TestRecommendTieBreakDeterministic(t *testing.T) {
+	ref := NewProfile(1)
+	candidates := []Profile{profileOf(2, 9, 4), profileOf(3, 9, 4)}
+	got := Recommend(ref, candidates, 2)
+	if got[0] != 4 || got[1] != 9 {
+		t.Fatalf("tie-break = %v, want [4 9]", got)
+	}
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	ref := profileOf(1, 1)
+	if got := Recommend(ref, nil, 5); len(got) != 0 {
+		t.Errorf("no candidates → %v", got)
+	}
+	if got := Recommend(ref, []Profile{profileOf(2, 3)}, 0); got != nil {
+		t.Errorf("r=0 → %v", got)
+	}
+	// All candidate items already seen.
+	got := Recommend(profileOf(1, 3), []Profile{profileOf(2, 3)}, 5)
+	if len(got) != 0 {
+		t.Errorf("all-seen → %v", got)
+	}
+}
+
+func TestCountUnseen(t *testing.T) {
+	ref := profileOf(1, 1)
+	candidates := []Profile{profileOf(2, 1, 2), profileOf(3, 2, 3)}
+	counts := CountUnseen(ref, candidates)
+	if counts[1] != 0 || counts[2] != 2 || counts[3] != 1 {
+		t.Fatalf("CountUnseen = %v", counts)
+	}
+	if _, seen := counts[1]; seen {
+		t.Error("seen item present in popularity map")
+	}
+}
+
+func BenchmarkRecommend(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	candidates := make([]Profile, 120)
+	for u := range candidates {
+		p := NewProfile(UserID(u + 2))
+		for j := 0; j < 100; j++ {
+			p = p.WithRating(ItemID(rng.Intn(1700)), true)
+		}
+		candidates[u] = p
+	}
+	ref := NewProfile(1)
+	for j := 0; j < 100; j++ {
+		ref = ref.WithRating(ItemID(rng.Intn(1700)), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Recommend(ref, candidates, 10)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "math/rand"
+
+// NeighborLookup resolves the current KNN approximation of a user. The
+// server's KNN table provides it; tests provide fixtures.
+type NeighborLookup func(UserID) []UserID
+
+// RandomUsers returns n users drawn (approximately) uniformly from the
+// population, excluding `exclude`. The server's profile table provides it.
+type RandomUsers func(rng *rand.Rand, n int, exclude UserID) []UserID
+
+// BuildCandidateSet implements the HyRec Sampler rule (Section 3.1): the
+// candidate set for u aggregates (i) u's current KNN N_u, (ii) the KNN of
+// every member of N_u (the 2-hop neighborhood), and (iii) k random users.
+// Duplicates and u itself are removed, so the result never exceeds
+// 2k + k² entries — and shrinks as the KNN graph converges, which is what
+// Figure 5 measures.
+//
+// The order of the result is deterministic given the inputs and rng state:
+// one-hop neighbors first, then two-hop, then random picks.
+func BuildCandidateSet(u UserID, k int, knn NeighborLookup, random RandomUsers, rng *rand.Rand) []UserID {
+	if k <= 0 {
+		return nil
+	}
+	seen := make(map[UserID]struct{}, 2*k+k*k)
+	seen[u] = struct{}{}
+	out := make([]UserID, 0, 2*k+k*k)
+	add := func(v UserID) {
+		if _, dup := seen[v]; dup {
+			return
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+
+	oneHop := knn(u)
+	for _, v := range oneHop {
+		add(v)
+	}
+	for _, v := range oneHop {
+		for _, w := range knn(v) {
+			add(w)
+		}
+	}
+	for _, v := range random(rng, k, u) {
+		add(v)
+	}
+	return out
+}
+
+// MaxCandidateSetSize returns the paper's upper bound 2k + k² on the size
+// of a candidate set built with parameter k.
+func MaxCandidateSetSize(k int) int { return 2*k + k*k }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fixedLookup(m map[UserID][]UserID) NeighborLookup {
+	return func(u UserID) []UserID { return m[u] }
+}
+
+func sequentialRandom(pool []UserID) RandomUsers {
+	return func(rng *rand.Rand, n int, exclude UserID) []UserID {
+		out := make([]UserID, 0, n)
+		for _, u := range pool {
+			if u == exclude || len(out) == n {
+				continue
+			}
+			out = append(out, u)
+		}
+		return out
+	}
+}
+
+func TestBuildCandidateSetAggregatesThreeSources(t *testing.T) {
+	knn := fixedLookup(map[UserID][]UserID{
+		1: {2, 3},
+		2: {4},
+		3: {5},
+	})
+	random := sequentialRandom([]UserID{6, 7})
+	got := BuildCandidateSet(1, 2, knn, random, rand.New(rand.NewSource(1)))
+	want := []UserID{2, 3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuildCandidateSetExcludesSelfAndDuplicates(t *testing.T) {
+	knn := fixedLookup(map[UserID][]UserID{
+		1: {2, 3},
+		2: {1, 3}, // self and duplicate
+		3: {2},    // duplicate
+	})
+	random := sequentialRandom([]UserID{2, 1, 9})
+	got := BuildCandidateSet(1, 2, knn, random, rand.New(rand.NewSource(1)))
+	seen := map[UserID]bool{}
+	for _, u := range got {
+		if u == 1 {
+			t.Fatal("candidate set contains the user herself")
+		}
+		if seen[u] {
+			t.Fatalf("duplicate %v in %v", u, got)
+		}
+		seen[u] = true
+	}
+	if !seen[9] {
+		t.Error("random pick missing")
+	}
+}
+
+func TestBuildCandidateSetEmptyKNN(t *testing.T) {
+	// A brand-new user has no neighbors: the set is purely random picks —
+	// this is how cold users bootstrap (Section 5.3 discussion).
+	knn := fixedLookup(nil)
+	random := sequentialRandom([]UserID{5, 6, 7})
+	got := BuildCandidateSet(1, 3, knn, random, rand.New(rand.NewSource(1)))
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBuildCandidateSetZeroK(t *testing.T) {
+	if got := BuildCandidateSet(1, 0, fixedLookup(nil), sequentialRandom(nil), rand.New(rand.NewSource(1))); got != nil {
+		t.Fatalf("k=0 → %v", got)
+	}
+}
+
+func TestMaxCandidateSetSize(t *testing.T) {
+	if MaxCandidateSetSize(10) != 120 {
+		t.Fatalf("bound(10) = %d", MaxCandidateSetSize(10))
+	}
+}
+
+// Property: |S_u| ≤ 2k + k², u ∉ S_u, no duplicates — the paper's stated
+// bound (Section 3.1).
+func TestCandidateSetBoundProperty(t *testing.T) {
+	prop := func(seed int64, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%15) + 1
+		n := int(nRaw)%100 + k + 2
+		// Random KNN graph over n users.
+		table := make(map[UserID][]UserID, n)
+		users := make([]UserID, n)
+		for i := 0; i < n; i++ {
+			users[i] = UserID(i)
+		}
+		for i := 0; i < n; i++ {
+			var hood []UserID
+			for j := 0; j < k; j++ {
+				hood = append(hood, UserID(rng.Intn(n)))
+			}
+			table[UserID(i)] = hood
+		}
+		random := func(r *rand.Rand, m int, exclude UserID) []UserID {
+			out := make([]UserID, 0, m)
+			for len(out) < m {
+				u := UserID(r.Intn(n))
+				if u != exclude {
+					out = append(out, u)
+				}
+			}
+			return out
+		}
+		got := BuildCandidateSet(3, k, fixedLookup(table), random, rng)
+		if len(got) > MaxCandidateSetSize(k) {
+			return false
+		}
+		seen := map[UserID]bool{}
+		for _, u := range got {
+			if u == 3 || seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func signedProfile(t *testing.T, u UserID, liked, disliked []ItemID) Profile {
+	t.Helper()
+	p, err := ProfileFromSets(u, liked, disliked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSignedCosineAgreement(t *testing.T) {
+	a := signedProfile(t, 1, []ItemID{1, 2}, []ItemID{9})
+	b := signedProfile(t, 2, []ItemID{1, 2}, []ItemID{9})
+	if got := (SignedCosine{}).Score(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical signed profiles: score = %v, want 1", got)
+	}
+}
+
+func TestSignedCosineOppositeOpinions(t *testing.T) {
+	a := signedProfile(t, 1, []ItemID{1, 2}, nil)
+	b := signedProfile(t, 2, nil, []ItemID{1, 2})
+	if got := (SignedCosine{}).Score(a, b); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("opposite profiles: score = %v, want -1", got)
+	}
+}
+
+func TestSignedCosineSharedDislikesCount(t *testing.T) {
+	// Two users who only share dislikes are similar under SignedCosine
+	// and invisible to plain Cosine.
+	a := signedProfile(t, 1, []ItemID{1}, []ItemID{50, 51})
+	b := signedProfile(t, 2, []ItemID{2}, []ItemID{50, 51})
+	signed := (SignedCosine{}).Score(a, b)
+	plain := (Cosine{}).Score(a, b)
+	if plain != 0 {
+		t.Fatalf("cosine saw dislikes: %v", plain)
+	}
+	if signed <= 0 {
+		t.Fatalf("signed cosine ignored shared dislikes: %v", signed)
+	}
+}
+
+func TestSignedCosineReducesToCosineWithoutDislikes(t *testing.T) {
+	prop := func(rawA, rawB []uint8) bool {
+		la := make([]ItemID, 0, len(rawA))
+		for _, v := range rawA {
+			la = append(la, ItemID(v))
+		}
+		lb := make([]ItemID, 0, len(rawB))
+		for _, v := range rawB {
+			lb = append(lb, ItemID(v))
+		}
+		a, err := ProfileFromSets(1, la, nil)
+		if err != nil {
+			return false
+		}
+		b, err := ProfileFromSets(2, lb, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs((SignedCosine{}).Score(a, b)-(Cosine{}).Score(a, b)) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Properties: symmetry and range.
+func TestSignedCosineSymmetricAndBounded(t *testing.T) {
+	prop := func(rawLa, rawDa, rawLb, rawDb []uint8) bool {
+		mk := func(u UserID, rawL, rawD []uint8) (Profile, bool) {
+			seen := map[ItemID]bool{}
+			var liked, disliked []ItemID
+			for _, v := range rawL {
+				id := ItemID(v)
+				if !seen[id] {
+					seen[id] = true
+					liked = append(liked, id)
+				}
+			}
+			for _, v := range rawD {
+				id := ItemID(v)
+				if !seen[id] {
+					seen[id] = true
+					disliked = append(disliked, id)
+				}
+			}
+			p, err := ProfileFromSets(u, liked, disliked)
+			return p, err == nil
+		}
+		a, ok := mk(1, rawLa, rawDa)
+		if !ok {
+			return false
+		}
+		b, ok := mk(2, rawLb, rawDb)
+		if !ok {
+			return false
+		}
+		s := SignedCosine{}
+		ab, ba := s.Score(a, b), s.Score(b, a)
+		return ab == ba && ab >= -1-1e-9 && ab <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedCosineEmptyProfiles(t *testing.T) {
+	empty := NewProfile(1)
+	full := signedProfile(t, 2, []ItemID{1}, nil)
+	if got := (SignedCosine{}).Score(empty, full); got != 0 {
+		t.Fatalf("empty profile score = %v", got)
+	}
+}

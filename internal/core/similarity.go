@@ -1,0 +1,105 @@
+package core
+
+import "math"
+
+// Similarity scores how close two user profiles are. HyRec's widget ships
+// cosine similarity by default but the metric is a customization point
+// (Table 1 of the paper: setSimilarity()); anything implementing this
+// interface can be plugged into KNN selection.
+type Similarity interface {
+	// Score returns the similarity between two profiles. Larger is more
+	// similar. Implementations must be symmetric and deterministic.
+	Score(a, b Profile) float64
+	// Name returns a short identifier used in logs and benchmark tables.
+	Name() string
+}
+
+// Cosine is the binary cosine similarity used throughout the paper:
+// |L(a) ∩ L(b)| / sqrt(|L(a)|·|L(b)|) over the liked sets.
+type Cosine struct{}
+
+var _ Similarity = Cosine{}
+
+// Score implements Similarity.
+func (Cosine) Score(a, b Profile) float64 {
+	na, nb := len(a.liked), len(b.liked)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := IntersectCount(a.liked, b.liked)
+	if inter == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(na)*float64(nb))
+}
+
+// Name implements Similarity.
+func (Cosine) Name() string { return "cosine" }
+
+// Jaccard is |L(a) ∩ L(b)| / |L(a) ∪ L(b)|, provided as an alternative
+// metric demonstrating the customization interface.
+type Jaccard struct{}
+
+var _ Similarity = Jaccard{}
+
+// Score implements Similarity.
+func (Jaccard) Score(a, b Profile) float64 {
+	na, nb := len(a.liked), len(b.liked)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := IntersectCount(a.liked, b.liked)
+	union := na + nb - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Name implements Similarity.
+func (Jaccard) Name() string { return "jaccard" }
+
+// SignedCosine extends the binary cosine to signed opinions, the
+// "non-binary case" hook of Section 2.1: profiles are ±1 vectors (liked
+// = +1, disliked = −1, unrated = 0) and the score is their cosine,
+//
+//	(|L_a∩L_b| + |D_a∩D_b| − |L_a∩D_b| − |D_a∩L_b|) / √(‖a‖·‖b‖)
+//
+// so shared dislikes count as agreement and opposite opinions as
+// disagreement. It reduces exactly to Cosine when neither profile has
+// dislikes. Scores lie in [−1, 1].
+type SignedCosine struct{}
+
+var _ Similarity = SignedCosine{}
+
+// Score implements Similarity.
+func (SignedCosine) Score(a, b Profile) float64 {
+	na := len(a.liked) + len(a.disliked)
+	nb := len(b.liked) + len(b.disliked)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	agree := IntersectCount(a.liked, b.liked) + IntersectCount(a.disliked, b.disliked)
+	clash := IntersectCount(a.liked, b.disliked) + IntersectCount(a.disliked, b.liked)
+	if agree == 0 && clash == 0 {
+		return 0
+	}
+	return float64(agree-clash) / math.Sqrt(float64(na)*float64(nb))
+}
+
+// Name implements Similarity.
+func (SignedCosine) Name() string { return "signed-cosine" }
+
+// Overlap is the raw intersection size |L(a) ∩ L(b)|; cheap, un-normalised,
+// useful as a recall-oriented baseline in ablations.
+type Overlap struct{}
+
+var _ Similarity = Overlap{}
+
+// Score implements Similarity.
+func (Overlap) Score(a, b Profile) float64 {
+	return float64(IntersectCount(a.liked, b.liked))
+}
+
+// Name implements Similarity.
+func (Overlap) Name() string { return "overlap" }

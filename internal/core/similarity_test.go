@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func profileOf(u UserID, liked ...ItemID) Profile {
+	p := NewProfile(u)
+	for _, i := range liked {
+		p = p.WithRating(i, true)
+	}
+	return p
+}
+
+func TestCosineKnownValues(t *testing.T) {
+	a := profileOf(1, 1, 2, 3, 4)
+	b := profileOf(2, 3, 4, 5, 6)
+	// |∩| = 2, sqrt(4*4) = 4 → 0.5.
+	if got := (Cosine{}).Score(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("cosine = %v, want 0.5", got)
+	}
+}
+
+func TestCosineIdenticalIsOne(t *testing.T) {
+	a := profileOf(1, 1, 2, 3)
+	b := profileOf(2, 1, 2, 3)
+	if got := (Cosine{}).Score(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine identical = %v, want 1", got)
+	}
+}
+
+func TestSimilaritiesEmptyAndDisjoint(t *testing.T) {
+	empty := NewProfile(1)
+	full := profileOf(2, 1, 2)
+	other := profileOf(3, 5, 6)
+	for _, m := range []Similarity{Cosine{}, Jaccard{}, Overlap{}} {
+		if got := m.Score(empty, full); got != 0 {
+			t.Errorf("%s(empty, full) = %v", m.Name(), got)
+		}
+		if got := m.Score(full, other); got != 0 {
+			t.Errorf("%s(disjoint) = %v", m.Name(), got)
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	a := profileOf(1, 1, 2, 3)
+	b := profileOf(2, 2, 3, 4)
+	// |∩|=2, |∪|=4 → 0.5.
+	if got := (Jaccard{}).Score(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 0.5", got)
+	}
+}
+
+func TestOverlapKnownValues(t *testing.T) {
+	a := profileOf(1, 1, 2, 3)
+	b := profileOf(2, 2, 3, 4)
+	if got := (Overlap{}).Score(a, b); got != 2 {
+		t.Fatalf("overlap = %v, want 2", got)
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	names := map[string]Similarity{"cosine": Cosine{}, "jaccard": Jaccard{}, "overlap": Overlap{}}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("Name = %q, want %q", m.Name(), want)
+		}
+	}
+}
+
+// Properties: symmetry; cosine and jaccard bounded in [0,1]; disliked items
+// never influence similarity.
+func TestSimilarityProperties(t *testing.T) {
+	metrics := []Similarity{Cosine{}, Jaccard{}}
+	prop := func(aLiked, bLiked []uint8, aDis, bDis []uint8) bool {
+		a, b := NewProfile(1), NewProfile(2)
+		for _, i := range aLiked {
+			a = a.WithRating(ItemID(i), true)
+		}
+		for _, i := range bLiked {
+			b = b.WithRating(ItemID(i), true)
+		}
+		aNoDis, bNoDis := a, b
+		for _, i := range aDis {
+			a = a.WithRating(ItemID(i)+1000, false)
+		}
+		for _, i := range bDis {
+			b = b.WithRating(ItemID(i)+1000, false)
+		}
+		for _, m := range metrics {
+			ab, ba := m.Score(a, b), m.Score(b, a)
+			if ab != ba {
+				return false
+			}
+			if ab < 0 || ab > 1+1e-12 {
+				return false
+			}
+			if m.Score(aNoDis, bNoDis) != ab {
+				return false // disliked items leaked into similarity
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewProfile(1)
+	c := NewProfile(2)
+	for i := 0; i < 150; i++ {
+		a = a.WithRating(ItemID(rng.Intn(2000)), true)
+		c = c.WithRating(ItemID(rng.Intn(2000)), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(Cosine{}).Score(a, c)
+	}
+}

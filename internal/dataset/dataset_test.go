@@ -1,0 +1,332 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+func tinyConfig() GenConfig {
+	cfg := ML1Config()
+	return Scaled(cfg, 0.08) // ~75 users, ~481 items, ~8000 ratings
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []GenConfig{
+		{Name: "u", Users: 1, Items: 10, Ratings: 10, Span: time.Hour, Topics: 2},
+		{Name: "i", Users: 10, Items: 1, Ratings: 10, Span: time.Hour, Topics: 2},
+		{Name: "r", Users: 10, Items: 10, Ratings: 5, Span: time.Hour, Topics: 2},
+		{Name: "s", Users: 10, Items: 10, Ratings: 10, Span: 0, Topics: 2},
+		{Name: "t", Users: 10, Items: 10, Ratings: 10, Span: time.Hour, Topics: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+}
+
+func TestGenerateMatchesConfiguredScale(t *testing.T) {
+	cfg := tinyConfig()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != cfg.Ratings {
+		t.Fatalf("events = %d, want %d", len(tr.Events), cfg.Ratings)
+	}
+	s := ComputeStats(tr)
+	if s.ObservedUsers != cfg.Users {
+		t.Errorf("observed users = %d, want %d (every user must have ≥1 rating)", s.ObservedUsers, cfg.Users)
+	}
+	if s.ObservedItems > cfg.Items {
+		t.Errorf("observed items = %d > %d", s.ObservedItems, cfg.Items)
+	}
+	wantAvg := float64(cfg.Ratings) / float64(cfg.Users)
+	if math.Abs(s.AvgRatings-wantAvg) > 1 {
+		t.Errorf("avg ratings = %.1f, want ≈%.1f", s.AvgRatings, wantAvg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestGenerateEventsSortedAndInSpan(t *testing.T) {
+	tr, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range tr.Events {
+		if i > 0 && ev.T < tr.Events[i-1].T {
+			t.Fatalf("events unsorted at %d", i)
+		}
+		if ev.T < 0 || ev.T > tr.Span+24*time.Hour {
+			t.Fatalf("event %d far outside span: %v", i, ev.T)
+		}
+		if int(ev.User) >= tr.Users || int(ev.Item) >= tr.Items {
+			t.Fatalf("event %d out of ID range: %+v", i, ev)
+		}
+	}
+}
+
+func TestGenerateNoDuplicateUserItemPairs(t *testing.T) {
+	tr, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		u core.UserID
+		i core.ItemID
+	}
+	seen := make(map[pair]bool, len(tr.Events))
+	for _, ev := range tr.Events {
+		p := pair{ev.User, ev.Item}
+		if seen[p] {
+			t.Fatalf("duplicate rating %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+// The generator must produce community structure: users sharing topics
+// should be measurably more similar than random pairs — otherwise the CF
+// evaluation is meaningless.
+func TestGenerateHasCommunityStructure(t *testing.T) {
+	tr, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[core.UserID]core.Profile{}
+	for _, ev := range Binarize(tr) {
+		p, ok := profiles[ev.User]
+		if !ok {
+			p = core.NewProfile(ev.User)
+		}
+		profiles[ev.User] = p.WithRating(ev.Item, ev.Liked)
+	}
+	users := make([]core.Profile, 0, len(profiles))
+	for _, p := range profiles {
+		if p.NumLiked() >= 5 {
+			users = append(users, p)
+		}
+	}
+	if len(users) < 20 {
+		t.Skip("too few active users at this scale")
+	}
+	// Mean best-neighbor similarity must far exceed mean random-pair
+	// similarity.
+	var bestSum, randSum float64
+	count := 0
+	for i := 0; i < 20; i++ {
+		ref := users[i]
+		best := 0.0
+		for j, other := range users {
+			if j == i {
+				continue
+			}
+			s := (core.Cosine{}).Score(ref, other)
+			if s > best {
+				best = s
+			}
+		}
+		bestSum += best
+		randSum += (core.Cosine{}).Score(ref, users[(i+len(users)/2)%len(users)])
+		count++
+	}
+	meanBest, meanRand := bestSum/float64(count), randSum/float64(count)
+	if meanBest < meanRand*1.5 || meanBest < 0.1 {
+		t.Fatalf("no community structure: best=%.3f random=%.3f", meanBest, meanRand)
+	}
+}
+
+func TestBinarizeAboveUserMean(t *testing.T) {
+	tr := &Trace{
+		Name: "t", Users: 2, Items: 4, Span: time.Hour,
+		Events: []Event{
+			{T: 1, User: 1, Item: 1, Value: 5},
+			{T: 2, User: 1, Item: 2, Value: 1},
+			{T: 3, User: 1, Item: 3, Value: 3}, // mean=3, not strictly above → disliked
+			{T: 4, User: 2, Item: 1, Value: 2},
+		},
+	}
+	got := Binarize(tr)
+	if !got[0].Liked || got[1].Liked || got[2].Liked {
+		t.Fatalf("binarise wrong: %+v", got[:3])
+	}
+	// User 2 has a single rating → liked.
+	if !got[3].Liked {
+		t.Fatal("single-rating user should binarise to liked")
+	}
+}
+
+func TestBinarizeConstantVotesAreLiked(t *testing.T) {
+	tr := &Trace{
+		Name: "digg", Users: 1, Items: 3, Span: time.Hour,
+		Events: []Event{
+			{T: 1, User: 1, Item: 1, Value: 1},
+			{T: 2, User: 1, Item: 2, Value: 1},
+			{T: 3, User: 1, Item: 3, Value: 1},
+		},
+	}
+	for i, ev := range Binarize(tr) {
+		if !ev.Liked {
+			t.Fatalf("vote %d not liked", i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	events := make([]BinaryEvent, 10)
+	for i := range events {
+		events[i].T = time.Duration(i)
+	}
+	train, test := Split(events, 0.8)
+	if len(train) != 8 || len(test) != 2 {
+		t.Fatalf("split = %d/%d", len(train), len(test))
+	}
+	// Clamping.
+	train, test = Split(events, -1)
+	if len(train) != 0 || len(test) != 10 {
+		t.Fatal("negative frac not clamped")
+	}
+	train, test = Split(events, 2)
+	if len(train) != 10 || len(test) != 0 {
+		t.Fatal("overlarge frac not clamped")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr, err := Generate(Scaled(ML1Config(), 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Users != tr.Users || got.Items != tr.Items {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tr)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range got.Events {
+		a, b := got.Events[i], tr.Events[i]
+		// Timestamps are persisted at second granularity.
+		if a.User != b.User || a.Item != b.Item || a.Value != b.Value ||
+			a.T.Truncate(time.Second) != b.T.Truncate(time.Second) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"# hyrec-trace v1 users=x\n",
+		"# hyrec-trace v1 name=t users=1 items=1 span_s=10\n1 2\n",
+		"# hyrec-trace v1 name=t users=1 items=1 span_s=10\na b c d\n",
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# hyrec-trace v1 name=t users=2 items=2 span_s=100\n\n# comment\n5 0 1 3\n"
+	tr, err := Load(bytes.NewReader([]byte(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Value != 3 {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := Scaled(ML2Config(), 0.1)
+	// Users and ratings scale by f; items by √f (≈ 4000·0.3162 = 1265).
+	if cfg.Users != 604 || cfg.Items != 1265 || cfg.Ratings != 100_000 {
+		t.Fatalf("scaled = %+v", cfg)
+	}
+	if cfg.Name != "ML2@0.1" {
+		t.Fatalf("name = %q", cfg.Name)
+	}
+	same := Scaled(ML2Config(), 1)
+	if same.Name != "ML2" {
+		t.Fatalf("unit scale renamed: %q", same.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for scale 0")
+		}
+	}()
+	Scaled(ML2Config(), 0)
+}
+
+func TestPresetConfigsMatchTable2(t *testing.T) {
+	rows := []struct {
+		cfg     GenConfig
+		users   int
+		items   int
+		ratings int
+	}{
+		{ML1Config(), 943, 1700, 100_000},
+		{ML2Config(), 6040, 4000, 1_000_000},
+		{ML3Config(), 69_878, 10_000, 10_000_000},
+		{DiggConfig(), 59_167, 7_724, 782_807},
+	}
+	for _, row := range rows {
+		if row.cfg.Users != row.users || row.cfg.Items != row.items || row.cfg.Ratings != row.ratings {
+			t.Errorf("%s preset does not match Table 2: %+v", row.cfg.Name, row.cfg)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	tr, err := Generate(Scaled(DiggConfig(), 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	if s.String() == "" || s.LikedFraction != 1 {
+		// Digg votes all binarise to liked.
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func BenchmarkGenerateML1(b *testing.B) {
+	cfg := Scaled(ML1Config(), 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

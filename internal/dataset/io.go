@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+// Save writes a trace in the plain-text format
+//
+//	# hyrec-trace v1 name=<name> users=<n> items=<n> span_s=<seconds>
+//	<t_seconds> <user> <item> <value>
+//
+// one event per line, compatible with awk/cut-style inspection.
+func Save(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# hyrec-trace v1 name=%s users=%d items=%d span_s=%d\n",
+		tr.Name, tr.Users, tr.Items, int64(tr.Span.Seconds())); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, ev := range tr.Events {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %g\n",
+			int64(ev.T.Seconds()), uint32(ev.User), uint32(ev.Item), ev.Value); err != nil {
+			return fmt.Errorf("dataset: write event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes a trace to path, creating or truncating it.
+func SaveFile(path string, tr *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return Save(f, tr)
+}
+
+// Load parses a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	tr, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ev, err := parseEvent(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	return tr, nil
+}
+
+// LoadFile parses a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func parseHeader(line string) (*Trace, error) {
+	if !strings.HasPrefix(line, "# hyrec-trace v1 ") {
+		return nil, fmt.Errorf("dataset: bad header %q", line)
+	}
+	tr := &Trace{}
+	for _, field := range strings.Fields(line[len("# hyrec-trace v1 "):]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("dataset: bad header field %q", field)
+		}
+		switch key {
+		case "name":
+			tr.Name = val
+		case "users", "items", "span_s":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad header value %q: %w", field, err)
+			}
+			switch key {
+			case "users":
+				tr.Users = int(n)
+			case "items":
+				tr.Items = int(n)
+			case "span_s":
+				tr.Span = time.Duration(n) * time.Second
+			}
+		}
+	}
+	return tr, nil
+}
+
+func parseEvent(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Event{}, fmt.Errorf("want 4 fields, got %d", len(fields))
+	}
+	t, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time: %w", err)
+	}
+	user, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad user: %w", err)
+	}
+	item, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad item: %w", err)
+	}
+	value, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad value: %w", err)
+	}
+	return Event{
+		T:     time.Duration(t) * time.Second,
+		User:  core.UserID(user),
+		Item:  core.ItemID(item),
+		Value: value,
+	}, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/churn"
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/gossip"
+	"hyrec/internal/metrics"
+)
+
+// ChurnRow is one availability level of the churn study.
+type ChurnRow struct {
+	// OnlineFraction is the stationary probability a user machine is up.
+	OnlineFraction float64
+	// HyRecRatio is HyRec's average view similarity as a fraction of the
+	// ideal KNN's (1 = converged to optimum).
+	HyRecRatio float64
+	// P2PRatio is the same quantity for the decentralized recommender.
+	P2PRatio float64
+}
+
+// ChurnStudy quantifies the Section 2.4 availability argument: HyRec's
+// server can place *offline* users in candidate sets (it owns their
+// profiles), while a P2P overlay can only exchange with peers that are
+// concurrently online. Both systems see the same static population, the
+// same virtual-time horizon, and the same per-user availability schedule;
+// the study reports how close each gets to the ideal KNN as availability
+// degrades.
+func ChurnStudy(opt Options) []ChurnRow {
+	scale := opt.scaleOr(0.08)
+	tr, err := dataset.Generate(dataset.Scaled(dataset.ML1Config(), scale))
+	if err != nil {
+		opt.logf("churn: %v\n", err)
+		return nil
+	}
+	events := dataset.Binarize(tr)
+
+	// Static population: apply every rating up front so that convergence —
+	// not profile dynamics — is the only variable.
+	profiles := make(map[core.UserID]core.Profile)
+	for _, ev := range events {
+		p, ok := profiles[ev.User]
+		if !ok {
+			p = core.NewProfile(ev.User)
+		}
+		profiles[ev.User] = p.WithRating(ev.Item, ev.Liked)
+	}
+	src := metrics.MapSource(profiles)
+	metric := core.Cosine{}
+	const k = 10
+	ideal := metrics.IdealViewSimilarity(src, k, metric)
+	if ideal == 0 {
+		opt.logf("churn: degenerate population (ideal view similarity 0)\n")
+		return nil
+	}
+
+	const (
+		horizon   = 24 * time.Hour
+		reqPeriod = 30 * time.Minute // HyRec: one request per online user per period
+		sessBase  = 4 * time.Hour    // mean on+off cycle length
+	)
+	seed := opt.seedOr(1)
+	fractions := []float64{1.0, 0.5, 0.2}
+
+	rows := make([]ChurnRow, 0, len(fractions))
+	for _, f := range fractions {
+		var model *churn.Model
+		if f < 1 {
+			m, err := churn.NewModel(
+				time.Duration(f*float64(sessBase)),
+				time.Duration((1-f)*float64(sessBase)),
+				seed+int64(f*100),
+			)
+			if err != nil {
+				opt.logf("churn: model f=%.2f: %v\n", f, err)
+				continue
+			}
+			model = m
+		}
+
+		rows = append(rows, ChurnRow{
+			OnlineFraction: f,
+			HyRecRatio:     hyrecUnderChurn(profiles, src, model, k, horizon, reqPeriod, seed, metric) / ideal,
+			P2PRatio:       p2pUnderChurn(profiles, src, model, k, horizon, seed, metric) / ideal,
+		})
+		opt.logf("churn: f=%.2f hyrec=%.3f p2p=%.3f (of ideal)\n",
+			f, rows[len(rows)-1].HyRecRatio, rows[len(rows)-1].P2PRatio)
+	}
+	return rows
+}
+
+// hyrecUnderChurn loads the population into a HyRec engine and lets every
+// user issue one personalization request per reqPeriod while online.
+func hyrecUnderChurn(
+	profiles map[core.UserID]core.Profile,
+	src metrics.ProfileSource,
+	model *churn.Model,
+	k int,
+	horizon, reqPeriod time.Duration,
+	seed int64,
+	metric core.Similarity,
+) float64 {
+	cfg := hyrec.DefaultConfig()
+	cfg.K = k
+	cfg.Seed = seed
+	sys := hyrec.NewSystem(cfg)
+	for u, p := range profiles {
+		for _, item := range p.Liked() {
+			sys.Engine().Rate(u, item, true)
+		}
+		for _, item := range p.Disliked() {
+			sys.Engine().Rate(u, item, false)
+		}
+	}
+	users := src.Users()
+	for t := reqPeriod; t <= horizon; t += reqPeriod {
+		for _, u := range users {
+			if model.Online(u, t) {
+				sys.Recommend(t, u, 0) // triggers one KNN iteration
+			}
+		}
+	}
+	// View similarity is measured against the true profiles, not the
+	// engine's (identical here, but src is the single source of truth).
+	return metrics.ViewSimilarity(src, sys.Neighbors, metric)
+}
+
+// p2pUnderChurn runs the gossip overlay over the same horizon with the
+// same availability schedule.
+func p2pUnderChurn(
+	profiles map[core.UserID]core.Profile,
+	src metrics.ProfileSource,
+	model *churn.Model,
+	k int,
+	horizon time.Duration,
+	seed int64,
+	metric core.Similarity,
+) float64 {
+	cfg := gossip.DefaultConfig()
+	cfg.K = k
+	cfg.Seed = seed
+	cfg.Period = 10 * time.Minute
+	net := gossip.NewNetwork(cfg)
+	for u, p := range profiles {
+		for _, item := range p.Liked() {
+			net.Rate(u, item, true)
+		}
+		for _, item := range p.Disliked() {
+			net.Rate(u, item, false)
+		}
+	}
+	net.SetAvailability(model.Availability())
+	net.AdvanceTo(horizon)
+	neighbors := func(u core.UserID) []core.UserID {
+		node := net.Node(u)
+		if node == nil {
+			return nil
+		}
+		return node.Neighbors()
+	}
+	return metrics.ViewSimilarity(src, neighbors, metric)
+}
+
+// FprintChurn renders the churn study.
+func FprintChurn(w io.Writer, rows []ChurnRow) {
+	fmt.Fprintln(w, "Churn study: KNN quality vs machine availability (fraction of ideal view similarity)")
+	fmt.Fprintf(w, "%16s %12s %12s\n", "online fraction", "hyrec", "p2p")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%16.2f %12.3f %12.3f\n", r.OnlineFraction, r.HyRecRatio, r.P2PRatio)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnStudySmoke(t *testing.T) {
+	rows := ChurnStudy(Options{Scale: 0.04, Seed: 5})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].OnlineFraction != 1.0 {
+		t.Fatalf("first row fraction = %v", rows[0].OnlineFraction)
+	}
+	for _, r := range rows {
+		if r.HyRecRatio < 0 || r.HyRecRatio > 1.5 {
+			t.Errorf("f=%.2f: hyrec ratio out of range: %v", r.OnlineFraction, r.HyRecRatio)
+		}
+		if r.P2PRatio < 0 || r.P2PRatio > 1.5 {
+			t.Errorf("f=%.2f: p2p ratio out of range: %v", r.OnlineFraction, r.P2PRatio)
+		}
+	}
+	// The headline claim: at low availability HyRec holds up better than
+	// P2P. Allow slack for the tiny smoke-test scale.
+	low := rows[len(rows)-1]
+	if low.P2PRatio > low.HyRecRatio+0.15 {
+		t.Errorf("at f=%.2f P2P (%.3f) beat HyRec (%.3f) by more than the noise margin",
+			low.OnlineFraction, low.P2PRatio, low.HyRecRatio)
+	}
+
+	var sb strings.Builder
+	FprintChurn(&sb, rows)
+	if !strings.Contains(sb.String(), "online fraction") {
+		t.Fatalf("render malformed:\n%s", sb.String())
+	}
+}

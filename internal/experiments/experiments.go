@@ -1,0 +1,140 @@
+// Package experiments implements the reproduction harness: one entry point
+// per table and figure of the paper's evaluation (Section 5). The
+// cmd/hyrec-bench binary is a thin CLI over this package and the
+// repository-root benchmarks call the same entry points at reduced scale,
+// so `go test -bench` and the full harness exercise identical code.
+//
+// Every experiment takes an Options value controlling workload scale and
+// verbosity and returns a printable result; EXPERIMENTS.md records
+// paper-reported versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies dataset sizes (1 = the paper's Table 2 sizes).
+	// Experiments document their default when Scale is 0.
+	Scale float64
+	// Requests overrides request counts in load experiments (0 = default).
+	Requests int
+	// Out receives human-readable progress; nil silences it.
+	Out io.Writer
+	// Seed drives workload generation and system randomness.
+	Seed int64
+}
+
+func (o Options) scaleOr(def float64) float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return def
+}
+
+func (o Options) requestsOr(def int) int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return def
+}
+
+func (o Options) seedOr(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// generate builds a trace for cfg scaled by scale, failing loudly: the
+// harness treats generation errors as programmer errors (invalid flags are
+// caught earlier).
+func generate(cfg dataset.GenConfig, scale float64) (*dataset.Trace, []dataset.BinaryEvent, error) {
+	cfg = dataset.Scaled(cfg, scale)
+	tr, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: generate %s: %w", cfg.Name, err)
+	}
+	return tr, dataset.Binarize(tr), nil
+}
+
+// day is a virtual-time day.
+const day = 24 * time.Hour
+
+// syntheticProfiles builds n profiles of exactly ps liked items each,
+// drawn from an item space 10× larger — the controlled population of the
+// server-side experiments (Section 5.5 "we artificially control the size
+// of profiles").
+func syntheticProfiles(n, ps int, seed int64) []core.Profile {
+	profiles := make([]core.Profile, n)
+	next := uint32(seed)
+	randInt := func(mod int) int {
+		// xorshift32: deterministic and cheap; quality is irrelevant here.
+		next ^= next << 13
+		next ^= next >> 17
+		next ^= next << 5
+		return int(next % uint32(mod))
+	}
+	itemSpace := 10 * ps
+	if itemSpace < 100 {
+		itemSpace = 100
+	}
+	for u := 0; u < n; u++ {
+		seen := make(map[core.ItemID]struct{}, ps)
+		items := make([]core.ItemID, 0, ps)
+		for len(items) < ps {
+			it := core.ItemID(randInt(itemSpace))
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			items = append(items, it)
+		}
+		p, err := core.ProfileFromSets(core.UserID(u), items, nil)
+		if err != nil {
+			// Unreachable: the disliked set is empty.
+			panic(err)
+		}
+		profiles[u] = p
+	}
+	return profiles
+}
+
+// randomKNN assigns k random neighbours to every user — the "assume the
+// KNN table is up to date" worst case of Section 5.5 (full-size candidate
+// sets).
+func randomKNN(users int, k int, seed int64) map[core.UserID][]core.UserID {
+	next := uint32(seed*2654435761 + 1)
+	randInt := func(mod int) int {
+		next ^= next << 13
+		next ^= next >> 17
+		next ^= next << 5
+		return int(next % uint32(mod))
+	}
+	table := make(map[core.UserID][]core.UserID, users)
+	for u := 0; u < users; u++ {
+		seen := map[core.UserID]bool{core.UserID(u): true}
+		hood := make([]core.UserID, 0, k)
+		for len(hood) < k && len(hood) < users-1 {
+			v := core.UserID(randInt(users))
+			if !seen[v] {
+				seen[v] = true
+				hood = append(hood, v)
+			}
+		}
+		table[core.UserID(u)] = hood
+	}
+	return table
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/core"
+	"hyrec/internal/gossip"
+	"hyrec/internal/stress"
+	"hyrec/internal/wire"
+)
+
+// Fig11Row is one background-activity curve of Figure 11: monitor progress
+// (loop iterations) at each baseline CPU-load level.
+type Fig11Row struct {
+	Activity string
+	Loads    []float64
+	Loops    []int64
+}
+
+// Figure11 reproduces the client-impact experiment: a monitoring loop
+// (repeated similarity computations) measures machine progress while
+// (a) nothing, (b) the HyRec widget, (c) a display loop fetching ~1 kB of
+// HTTP content, or (d) a decentralized recommender runs in the background,
+// across stress-induced CPU loads.
+func Figure11(opt Options) []Fig11Row {
+	loads := []float64{0, 0.25, 0.5, 0.75}
+	window := 150 * time.Millisecond
+	if opt.Requests > 0 { // reuse Requests as a window-ms override in this experiment
+		window = time.Duration(opt.Requests) * time.Millisecond
+	}
+
+	// The monitored unit of work: one cosine similarity on ~100-item
+	// profiles, matching the paper's monitoring tool.
+	a := syntheticProfiles(2, 100, opt.seedOr(1))
+	monitorUnit := func() { (core.Cosine{}).Score(a[0], a[1]) }
+
+	// Background activity: HyRec widget executing jobs in a loop.
+	job := buildWidgetJob(100, 10, opt.seedOr(1))
+	w := hyrec.NewWidget()
+	hyrecLoop := func(stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Execute(job)
+			}
+		}
+	}
+
+	// Display activity: fetch 1004 bytes over HTTP and "render" it.
+	content := strings.Repeat("x", 1004)
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(rw, content)
+	}))
+	defer ts.Close()
+	displayLoop := func(stop <-chan struct{}) {
+		buf := make([]byte, 2048)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				resp, err := http.Get(ts.URL)
+				if err != nil {
+					continue
+				}
+				for {
+					n, err := resp.Body.Read(buf)
+					_ = n
+					if err != nil {
+						break
+					}
+				}
+				resp.Body.Close()
+			}
+		}
+	}
+
+	// Decentralized activity: continuous gossip rounds on a small overlay.
+	net := gossip.NewNetwork(gossip.DefaultConfig())
+	for u := 0; u < 50; u++ {
+		for j := 0; j < 10; j++ {
+			net.Rate(core.UserID(u), core.ItemID((u*3+j)%100), true)
+		}
+	}
+	gossipLoop := func(stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				net.RunRounds(1)
+			}
+		}
+	}
+
+	activities := []struct {
+		name string
+		run  func(stop <-chan struct{})
+	}{
+		{"baseline", nil},
+		{"hyrec", hyrecLoop},
+		{"display", displayLoop},
+		{"decentralized", gossipLoop},
+	}
+
+	rows := make([]Fig11Row, 0, len(activities))
+	for _, act := range activities {
+		row := Fig11Row{Activity: act.name, Loads: loads}
+		for _, load := range loads {
+			stopLoad := stress.Load(load)
+			var stopActivity chan struct{}
+			if act.run != nil {
+				stopActivity = make(chan struct{})
+				go act.run(stopActivity)
+			}
+			row.Loops = append(row.Loops, stress.Monitor(window, monitorUnit))
+			if stopActivity != nil {
+				close(stopActivity)
+			}
+			stopLoad()
+		}
+		rows = append(rows, row)
+		opt.logf("fig11 %s: %v\n", act.name, row.Loops)
+	}
+	return rows
+}
+
+// buildWidgetJob constructs a worst-case personalization job (full
+// candidate set) with the given profile size.
+func buildWidgetJob(ps, k int, seed int64) *wire.Job {
+	profiles := syntheticProfiles(core.MaxCandidateSetSize(k)+1, ps, seed)
+	job := &wire.Job{UID: 0, K: k, R: 10, Profile: wire.ProfileToMsg(profiles[0], nil)}
+	for _, p := range profiles[1:] {
+		job.Candidates = append(job.Candidates, wire.ProfileToMsg(p, nil))
+	}
+	return job
+}
+
+// FprintFigure11 renders the client-impact table.
+func FprintFigure11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintln(w, "Figure 11: monitor progress (loop iterations) under background activity and CPU load")
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s", "activity")
+	for _, l := range rows[0].Loads {
+		fmt.Fprintf(w, " %9.0f%%", 100*l)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.Activity)
+		for _, n := range r.Loops {
+			fmt.Fprintf(w, " %10d", n)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec"
+)
+
+// Fig13Point is one profile-size sample of Figure 13: widget KNN+recommend
+// time per device and k.
+type Fig13Point struct {
+	ProfileSize int
+	LaptopK10Ms float64
+	LaptopK20Ms float64
+	PhoneK10Ms  float64
+	PhoneK20Ms  float64
+}
+
+// Figure13 measures the combined KNN-selection + recommendation time of
+// the widget across profile sizes 10..500 for k=10 and k=20, on the
+// laptop (measured) and the smartphone (device-scaled). The paper reports
+// sub-linear growth: ×1.5 on the laptop and ×7.2 on the smartphone from
+// ps=10 to ps=500.
+func Figure13(opt Options) []Fig13Point {
+	reps := opt.requestsOr(30)
+	phone := hyrec.Smartphone()
+	w := hyrec.NewWidget()
+	sizes := []int{10, 50, 100, 200, 300, 400, 500}
+	var out []Fig13Point
+	for _, ps := range sizes {
+		p := Fig13Point{ProfileSize: ps}
+		for _, k := range []int{10, 20} {
+			job := buildWidgetJob(ps, k, opt.seedOr(1))
+			var total time.Duration
+			for i := 0; i < reps; i++ {
+				_, timing := w.Execute(job)
+				total += timing.KNN + timing.Recommend
+			}
+			mean := total / time.Duration(reps)
+			ms := float64(mean) / float64(time.Millisecond)
+			phoneMs := float64(phone.Scale(mean)) / float64(time.Millisecond)
+			if k == 10 {
+				p.LaptopK10Ms, p.PhoneK10Ms = ms, phoneMs
+			} else {
+				p.LaptopK20Ms, p.PhoneK20Ms = ms, phoneMs
+			}
+		}
+		out = append(out, p)
+		opt.logf("fig13 ps=%d: laptop k10 %.3fms k20 %.3fms\n", ps, p.LaptopK10Ms, p.LaptopK20Ms)
+	}
+	return out
+}
+
+// FprintFigure13 renders the widget-scaling table.
+func FprintFigure13(w io.Writer, points []Fig13Point) {
+	fmt.Fprintln(w, "Figure 13: widget KNN+recommend time vs profile size (ms)")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "ps", "laptop k10", "laptop k20", "phone k10", "phone k20")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %12.3f %12.3f %12.3f %12.3f\n",
+			p.ProfileSize, p.LaptopK10Ms, p.LaptopK20Ms, p.PhoneK10Ms, p.PhoneK20Ms)
+	}
+}

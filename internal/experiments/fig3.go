@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/baseline"
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+)
+
+// Fig3Point is one weekly sample of Figure 3: average view similarity of
+// each system plus the global-knowledge upper bound.
+type Fig3Point struct {
+	Day        float64
+	HyRec10    float64
+	HyRec10IR7 float64
+	HyRec20    float64
+	Offline10  float64 // Offline-Ideal recomputed weekly
+	Ideal10    float64 // online-ideal upper bound at this instant
+}
+
+// Figure3 replays the ML1 trace through HyRec (k=10, k=20, and k=10 with
+// the inter-request cap of 7 days) and the weekly Offline-Ideal baseline,
+// sampling average view similarity once per virtual week. Default scale
+// 0.15 keeps the brute-force upper bound cheap; pass Scale=1 for the
+// paper-size run.
+func Figure3(opt Options) []Fig3Point {
+	scale := opt.scaleOr(0.15)
+	_, events, err := generate(dataset.ML1Config(), scale)
+	if err != nil {
+		opt.logf("fig3: %v\n", err)
+		return nil
+	}
+
+	type run struct {
+		name   string
+		series []float64
+	}
+	metric := core.Cosine{}
+	sample := 7 * day
+
+	// HyRec variants.
+	hyrecSeries := func(k int, irCap time.Duration) ([]float64, []float64, []float64) {
+		cfg := hyrec.DefaultConfig()
+		cfg.K = k
+		cfg.Seed = opt.seedOr(1)
+		sys := hyrec.NewSystem(cfg)
+		var series, idealSeries, days []float64
+		d := replay.NewDriver(sys)
+		d.Every = sample
+		d.InterRequestCap = irCap
+		d.Observer = func(t time.Duration, _ int) {
+			src := sys.ProfileSource()
+			series = append(series, metrics.ViewSimilarity(src, sys.Neighbors, metric))
+			idealSeries = append(idealSeries, metrics.IdealViewSimilarity(src, k, metric))
+			days = append(days, t.Hours()/24)
+		}
+		d.Run(events)
+		return series, idealSeries, days
+	}
+
+	h10, ideal10, days := hyrecSeries(10, 0)
+	h10ir7, _, _ := hyrecSeries(10, 7*day)
+	h20, _, _ := hyrecSeries(20, 0)
+
+	// Offline-Ideal with weekly recomputation.
+	off := baseline.NewOfflineIdeal(10, 7*day, metric)
+	var offSeries []float64
+	d := replay.NewDriver(off)
+	d.Every = sample
+	d.Observer = func(t time.Duration, _ int) {
+		offSeries = append(offSeries, metrics.ViewSimilarity(off.Store(), off.Neighbors, metric))
+	}
+	d.Run(events)
+
+	n := len(days)
+	points := make([]Fig3Point, 0, n)
+	for i := 0; i < n; i++ {
+		p := Fig3Point{Day: days[i], HyRec10: h10[i], Ideal10: ideal10[i]}
+		if i < len(h10ir7) {
+			p.HyRec10IR7 = h10ir7[i]
+		}
+		if i < len(h20) {
+			p.HyRec20 = h20[i]
+		}
+		if i < len(offSeries) {
+			p.Offline10 = offSeries[i]
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// FprintFigure3 renders the series as columns.
+func FprintFigure3(w io.Writer, points []Fig3Point) {
+	fmt.Fprintln(w, "Figure 3: average view similarity over time (ML1)")
+	fmt.Fprintf(w, "%8s %10s %12s %10s %12s %10s\n", "day", "hyrec k10", "k10 IR=7d", "hyrec k20", "offline p7d", "ideal k10")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8.0f %10.4f %12.4f %10.4f %12.4f %10.4f\n",
+			p.Day, p.HyRec10, p.HyRec10IR7, p.HyRec20, p.Offline10, p.Ideal10)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hyrec"
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+)
+
+// Fig4Bucket aggregates Figure 4's scatter into profile-size buckets: the
+// per-user view similarity as a percentage of that user's ideal.
+type Fig4Bucket struct {
+	MinSize, MaxSize int
+	Users            int
+	MeanRatioPct     float64
+	PctAbove70       float64
+}
+
+// Fig4Result is the full Figure 4 outcome.
+type Fig4Result struct {
+	Buckets []Fig4Bucket
+	// OverallPctAbove70 is the paper's headline: "the vast majority of
+	// users have view-similarity ratios above 70%".
+	OverallPctAbove70 float64
+	Users             int
+}
+
+// Figure4 replays ML1 through HyRec (k=10) and reports each user's view
+// similarity as a fraction of her ideal, bucketed by profile size (the
+// paper's proxy for activity: more ratings → more KNN iterations).
+func Figure4(opt Options) Fig4Result {
+	scale := opt.scaleOr(0.15)
+	_, events, err := generate(dataset.ML1Config(), scale)
+	if err != nil {
+		opt.logf("fig4: %v\n", err)
+		return Fig4Result{}
+	}
+	cfg := hyrec.DefaultConfig()
+	cfg.K = 10
+	cfg.Seed = opt.seedOr(1)
+	sys := hyrec.NewSystem(cfg)
+	replay.NewDriver(sys).Run(events)
+
+	ratios := metrics.PerUserViewRatio(sys.ProfileSource(), sys.Neighbors, cfg.K, core.Cosine{})
+	points := make([]metrics.RatioPoint, 0, len(ratios))
+	for _, rp := range ratios {
+		points = append(points, rp)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].ProfileSize < points[j].ProfileSize })
+
+	bounds := []int{0, 25, 50, 100, 200, 400, 800, 1 << 30}
+	res := Fig4Result{Users: len(points)}
+	above70 := 0
+	for b := 0; b+1 < len(bounds); b++ {
+		var sum float64
+		var n, above int
+		for _, pt := range points {
+			if pt.ProfileSize >= bounds[b] && pt.ProfileSize < bounds[b+1] {
+				sum += pt.Ratio
+				n++
+				if pt.Ratio >= 0.7 {
+					above++
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		res.Buckets = append(res.Buckets, Fig4Bucket{
+			MinSize:      bounds[b],
+			MaxSize:      bounds[b+1],
+			Users:        n,
+			MeanRatioPct: 100 * sum / float64(n),
+			PctAbove70:   100 * float64(above) / float64(n),
+		})
+	}
+	for _, pt := range points {
+		if pt.Ratio >= 0.7 {
+			above70++
+		}
+	}
+	if len(points) > 0 {
+		res.OverallPctAbove70 = 100 * float64(above70) / float64(len(points))
+	}
+	return res
+}
+
+// FprintFigure4 renders the bucketed scatter.
+func FprintFigure4(w io.Writer, res Fig4Result) {
+	fmt.Fprintln(w, "Figure 4: % of ideal view similarity vs profile size (ML1, k=10)")
+	fmt.Fprintf(w, "%16s %8s %12s %12s\n", "profile size", "users", "mean ratio%", "≥70% share")
+	for _, b := range res.Buckets {
+		hi := fmt.Sprintf("%d", b.MaxSize)
+		if b.MaxSize >= 1<<30 {
+			hi = "∞"
+		}
+		fmt.Fprintf(w, "%8d–%-7s %8d %11.1f%% %11.1f%%\n", b.MinSize, hi, b.Users, b.MeanRatioPct, b.PctAbove70)
+	}
+	fmt.Fprintf(w, "overall: %.1f%% of %d users above the 70%% ratio\n", res.OverallPctAbove70, res.Users)
+}

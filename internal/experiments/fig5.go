@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/replay"
+)
+
+// Fig5Series is one k-value's candidate-set-size-over-time curve.
+type Fig5Series struct {
+	K      int
+	Bound  int // the 2k + k² upper bound
+	Minute []float64
+	Size   []float64
+}
+
+// Figure5 replays ML1 through HyRec for k ∈ {5, 10, 20} and samples the
+// mean candidate-set size over windows of virtual time, showing the
+// convergence-driven shrinkage below the 2k+k² bound.
+func Figure5(opt Options) []Fig5Series {
+	scale := opt.scaleOr(0.15)
+	_, events, err := generate(dataset.ML1Config(), scale)
+	if err != nil {
+		opt.logf("fig5: %v\n", err)
+		return nil
+	}
+	var out []Fig5Series
+	for _, k := range []int{5, 10, 20} {
+		cfg := hyrec.DefaultConfig()
+		cfg.K = k
+		cfg.Seed = opt.seedOr(1)
+		sys := hyrec.NewSystem(cfg)
+		series := Fig5Series{K: k, Bound: core.MaxCandidateSetSize(k)}
+		d := replay.NewDriver(sys)
+		d.Every = 7 * day
+		d.Observer = func(t time.Duration, _ int) {
+			mean, jobs := sys.Engine().CandidateSetStats()
+			if jobs == 0 {
+				return
+			}
+			sys.Engine().ResetCandidateStats()
+			series.Minute = append(series.Minute, t.Minutes())
+			series.Size = append(series.Size, mean)
+		}
+		d.Run(events)
+		out = append(out, series)
+	}
+	return out
+}
+
+// FprintFigure5 renders the convergence curves.
+func FprintFigure5(w io.Writer, series []Fig5Series) {
+	fmt.Fprintln(w, "Figure 5: average candidate-set size over time (ML1)")
+	for _, s := range series {
+		fmt.Fprintf(w, "k=%d (bound %d):\n", s.K, s.Bound)
+		for i := range s.Minute {
+			fmt.Fprintf(w, "  t=%8.0fmin  size=%6.1f\n", s.Minute[i], s.Size[i])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/baseline"
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/metrics"
+)
+
+// Fig6Result holds the Figure 6 recommendation-quality curves: hits per
+// requested list length n (1..MaxN) for each system.
+type Fig6Result struct {
+	MaxN      int
+	Positives int
+	HyRec     []int
+	Offline24 []int
+	Offline1h []int
+	Online    []int
+}
+
+// Figure6 runs the Section 5.3 protocol on ML1: 80/20 time split, then for
+// each positive test rating the user requests n recommendations and a hit
+// is counted when the rated item appears. Systems: HyRec (k=10),
+// Offline-Ideal with 24h and 1h periods, and the Online-Ideal upper bound.
+func Figure6(opt Options) Fig6Result {
+	scale := opt.scaleOr(0.15)
+	_, events, err := generate(dataset.ML1Config(), scale)
+	if err != nil {
+		opt.logf("fig6: %v\n", err)
+		return Fig6Result{}
+	}
+	train, test := dataset.Split(events, 0.8)
+	const maxN = 10
+	metric := core.Cosine{}
+
+	cfg := hyrec.DefaultConfig()
+	cfg.K = 10
+	cfg.Seed = opt.seedOr(1)
+
+	res := Fig6Result{MaxN: maxN}
+
+	hy := metrics.EvaluateQuality(hyrec.NewSystem(cfg), train, test, maxN)
+	res.HyRec = hy.Hits
+	res.Positives = hy.Positives
+	opt.logf("fig6: hyrec done (%d positives)\n", hy.Positives)
+
+	off24 := metrics.EvaluateQuality(baseline.NewOfflineIdeal(10, 24*time.Hour, metric), train, test, maxN)
+	res.Offline24 = off24.Hits
+	opt.logf("fig6: offline p=24h done\n")
+
+	off1 := metrics.EvaluateQuality(baseline.NewOfflineIdeal(10, time.Hour, metric), train, test, maxN)
+	res.Offline1h = off1.Hits
+	opt.logf("fig6: offline p=1h done\n")
+
+	online := metrics.EvaluateQuality(baseline.NewOnlineIdeal(10, metric), train, test, maxN)
+	res.Online = online.Hits
+	opt.logf("fig6: online ideal done\n")
+
+	return res
+}
+
+// FprintFigure6 renders the quality curves.
+func FprintFigure6(w io.Writer, res Fig6Result) {
+	fmt.Fprintf(w, "Figure 6: recommendation quality vs #recommendations (ML1, k=10, %d positives)\n", res.Positives)
+	fmt.Fprintf(w, "%4s %8s %14s %14s %12s\n", "n", "hyrec", "offline p=24h", "offline p=1h", "online ideal")
+	for n := 0; n < res.MaxN; n++ {
+		get := func(xs []int) int {
+			if n < len(xs) {
+				return xs[n]
+			}
+			return 0
+		}
+		fmt.Fprintf(w, "%4d %8d %14d %14d %12d\n",
+			n+1, get(res.HyRec), get(res.Offline24), get(res.Offline1h), get(res.Online))
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig9Point is one concurrency sample of Figure 9.
+type Fig9Point struct {
+	Concurrency int
+	HyRecPS10   float64
+	HyRecPS100  float64
+	CRecPS10    float64
+	CRecPS100   float64
+}
+
+// Figure9 measures mean response time under a growing number of concurrent
+// requests for profile sizes 10 and 100, HyRec versus the CRec front-end.
+func Figure9(opt Options) []Fig9Point {
+	levels := []int{1, 10, 50, 100, 200, 400}
+	var out []Fig9Point
+	for _, c := range levels {
+		requests := opt.requestsOr(0)
+		if requests == 0 {
+			requests = 4 * c
+			if requests < 200 {
+				requests = 200
+			}
+		}
+		p := Fig9Point{Concurrency: c}
+		p.HyRecPS10 = measureHyRec(10, 10, requests, c, opt)
+		p.HyRecPS100 = measureHyRec(100, 10, requests, c, opt)
+		p.CRecPS10 = measureCRec(10, 10, requests, c, false, opt)
+		p.CRecPS100 = measureCRec(100, 10, requests, c, false, opt)
+		out = append(out, p)
+		opt.logf("fig9 c=%d: hyrec ps100 %.2fms, crec ps100 %.2fms\n", c, p.HyRecPS100, p.CRecPS100)
+	}
+	return out
+}
+
+// FprintFigure9 renders the concurrency table.
+func FprintFigure9(w io.Writer, points []Fig9Point) {
+	fmt.Fprintln(w, "Figure 9: mean response time vs concurrent requests (ms)")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "conc", "hyrec ps10", "hyrec ps100", "crec ps10", "crec ps100")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %12.2f %12.2f %12.2f %12.2f\n",
+			p.Concurrency, p.HyRecPS10, p.HyRecPS100, p.CRecPS10, p.CRecPS100)
+	}
+}

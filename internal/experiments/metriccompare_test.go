@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricCompareSmoke(t *testing.T) {
+	rows := MetricCompare(Options{Scale: 0.04, Seed: 6})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Metric] = true
+		if r.Positives == 0 {
+			t.Fatalf("%s evaluated no positives", r.Metric)
+		}
+		if r.Hits < 0 || r.Hits > r.Positives {
+			t.Fatalf("%s hits out of range: %+v", r.Metric, r)
+		}
+	}
+	for _, want := range []string{"cosine", "jaccard", "signed-cosine", "overlap"} {
+		if !names[want] {
+			t.Fatalf("missing metric %q in %v", want, names)
+		}
+	}
+
+	var sb strings.Builder
+	FprintMetrics(&sb, rows)
+	if !strings.Contains(sb.String(), "signed-cosine") {
+		t.Fatalf("render malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrivacyAblationSmoke(t *testing.T) {
+	rows := PrivacyAblation(Options{Scale: 0.05, Seed: 3})
+	if len(rows) < 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// First row is the unprotected baseline.
+	if !math.IsInf(rows[0].Epsilon, 1) || rows[0].FlipProb != 0 {
+		t.Fatalf("baseline row malformed: %+v", rows[0])
+	}
+	if rows[0].Positives == 0 {
+		t.Fatal("no positive test ratings evaluated")
+	}
+	// Flip probability must increase as epsilon decreases.
+	var lastEps, lastFlip float64 = math.Inf(1), 0
+	for _, r := range rows {
+		if r.Memoized {
+			continue
+		}
+		if r.Epsilon < lastEps && r.FlipProb < lastFlip {
+			t.Errorf("flip prob not monotone: ε=%v flip=%v after ε=%v flip=%v",
+				r.Epsilon, r.FlipProb, lastEps, lastFlip)
+		}
+		lastEps, lastFlip = r.Epsilon, r.FlipProb
+	}
+	// The expected trade-off shape: the strongest privacy setting should
+	// not beat the unprotected baseline.
+	strongest := rows[0]
+	for _, r := range rows {
+		if !r.Memoized && r.Epsilon < strongest.Epsilon {
+			strongest = r
+		}
+	}
+	if strongest.Hits > rows[0].Hits {
+		t.Logf("note: ε=%v beat baseline (%d > %d) at this scale — noise, but worth logging",
+			strongest.Epsilon, strongest.Hits, rows[0].Hits)
+	}
+
+	var sb strings.Builder
+	FprintPrivacy(&sb, rows)
+	out := sb.String()
+	if !strings.Contains(out, "epsilon") || !strings.Contains(out, "off") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}

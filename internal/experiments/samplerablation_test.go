@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplerAblationSmoke(t *testing.T) {
+	rows := SamplerAblation(Options{Scale: 0.04, Seed: 4})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	final := rows[len(rows)-1]
+	if final.Full <= 0 {
+		t.Fatal("full sampler never improved over empty KNN")
+	}
+	// The paper's design claim, directionally: after convergence the full
+	// rule is at least as good as either ablated variant (generous margin
+	// for the tiny smoke scale).
+	if final.NoRandom > final.Full*1.25 {
+		t.Errorf("no-random (%.3f) beat full (%.3f) decisively", final.NoRandom, final.Full)
+	}
+	if final.RandomOnly > final.Full*1.25 {
+		t.Errorf("random-only (%.3f) beat full (%.3f) decisively", final.RandomOnly, final.Full)
+	}
+	// Ratios must be sane fractions of ideal.
+	for _, r := range rows {
+		for _, v := range []float64{r.Full, r.NoRandom, r.RandomOnly} {
+			if v < 0 || v > 1.2 {
+				t.Fatalf("ratio out of range at round %d: %+v", r.Round, r)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	FprintSampler(&sb, rows)
+	if !strings.Contains(sb.String(), "no-random") {
+		t.Fatalf("render malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyrec/internal/dataset"
+)
+
+// Table2Row pairs generated-trace statistics with the paper's published
+// row.
+type Table2Row struct {
+	Stats      dataset.Stats
+	PaperUsers int
+	PaperItems int
+	PaperAvg   float64
+}
+
+// Table2 regenerates the dataset-statistics table. Scale defaults to the
+// full Table 2 sizes for ML1 and a reduced factor for the larger traces
+// (override with Options.Scale; the row names record the factor).
+func Table2(opt Options) []Table2Row {
+	specs := []struct {
+		cfg   dataset.GenConfig
+		scale float64
+		users int
+		items int
+		avg   float64
+	}{
+		{dataset.ML1Config(), opt.scaleOr(1.0), 943, 1700, 106},
+		{dataset.ML2Config(), opt.scaleOr(0.2), 6040, 4000, 166},
+		{dataset.ML3Config(), opt.scaleOr(0.02), 69878, 10000, 143},
+		{dataset.DiggConfig(), opt.scaleOr(0.05), 59167, 7724, 13},
+	}
+	rows := make([]Table2Row, 0, len(specs))
+	for _, spec := range specs {
+		tr, _, err := generate(spec.cfg, spec.scale)
+		if err != nil {
+			opt.logf("table2: %v\n", err)
+			continue
+		}
+		s := dataset.ComputeStats(tr)
+		rows = append(rows, Table2Row{Stats: s, PaperUsers: spec.users, PaperItems: spec.items, PaperAvg: spec.avg})
+		opt.logf("%s   (paper: users=%d items=%d avg=%.0f)\n", s, spec.users, spec.items, spec.avg)
+	}
+	return rows
+}
+
+// FprintTable2 renders rows as the harness's Table 2.
+func FprintTable2(w interface{ Write([]byte) (int, error) }, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: dataset statistics (generated vs paper)\n")
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %8s | %10s %10s %8s\n",
+		"dataset", "users", "items", "ratings", "avg", "paper-usr", "paper-itm", "p-avg")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %10d %12d %8.0f | %10d %10d %8.0f\n",
+			r.Stats.Name, r.Stats.ObservedUsers, r.Stats.ObservedItems, r.Stats.Ratings,
+			r.Stats.AvgRatings, r.PaperUsers, r.PaperItems, r.PaperAvg)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStalenessStudySmoke(t *testing.T) {
+	rows := StalenessStudy(Options{Scale: 0.04, Seed: 2})
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].System != "hyrec (online)" || rows[0].Rebuilds != 0 {
+		t.Fatalf("hyrec row malformed: %+v", rows[0])
+	}
+	if rows[0].Positives == 0 {
+		t.Fatal("no positives evaluated")
+	}
+	// TiVo variants must have run at least their initial build, and a
+	// shorter period means at least as many rebuilds.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rebuilds < 1 {
+			t.Errorf("%s never built correlations", rows[i].System)
+		}
+	}
+	if rows[3].Rebuilds < rows[1].Rebuilds {
+		t.Errorf("p=1d rebuilds (%d) < p=14d rebuilds (%d)", rows[3].Rebuilds, rows[1].Rebuilds)
+	}
+
+	var sb strings.Builder
+	FprintTivo(&sb, rows)
+	if !strings.Contains(sb.String(), "hyrec (online)") {
+		t.Fatalf("render missing systems:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,216 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+)
+
+func buildNetwork(t *testing.T, n int) *Network {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 4
+	net := NewNetwork(cfg)
+	for u := 0; u < n; u++ {
+		base := core.ItemID(0)
+		if u%2 == 1 {
+			base = 100
+		}
+		for j := 0; j < 6; j++ {
+			net.Rate(core.UserID(u), base+core.ItemID((u/2+j)%10), true)
+		}
+	}
+	return net
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	a := net.Join(1)
+	b := net.Join(1)
+	if a != b || net.Size() != 1 {
+		t.Fatal("Join not idempotent")
+	}
+}
+
+func TestRateUpdatesLocalProfile(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	net.Rate(1, 5, true)
+	node := net.Node(1)
+	if node == nil || !node.profile.LikedContains(5) {
+		t.Fatal("local profile not updated")
+	}
+}
+
+func TestClusteringConvergesToCommunities(t *testing.T) {
+	net := buildNetwork(t, 40)
+	net.RunRounds(25)
+	// After convergence, every node's cluster view should be same-parity
+	// (the two communities share no items at all).
+	violations := 0
+	checked := 0
+	for u := 0; u < 40; u++ {
+		for _, v := range net.Node(core.UserID(u)).Neighbors() {
+			checked++
+			if int(v)%2 != u%2 {
+				violations++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cluster entries at all")
+	}
+	if violations > checked/10 {
+		t.Fatalf("%d/%d cross-community neighbours after convergence", violations, checked)
+	}
+}
+
+func TestClusteringApproachesIdealViewSimilarity(t *testing.T) {
+	net := buildNetwork(t, 40)
+	net.RunRounds(30)
+	src := metrics.MapSource{}
+	for u := 0; u < 40; u++ {
+		src[core.UserID(u)] = net.Node(core.UserID(u)).profile
+	}
+	gotV := metrics.ViewSimilarity(src, func(u core.UserID) []core.UserID {
+		return net.Node(u).Neighbors()
+	}, core.Cosine{})
+	idealV := metrics.IdealViewSimilarity(src, 4, core.Cosine{})
+	if gotV < 0.7*idealV {
+		t.Fatalf("gossip view similarity %v too far below ideal %v", gotV, idealV)
+	}
+}
+
+func TestBandwidthGrowsPerRound(t *testing.T) {
+	net := buildNetwork(t, 20)
+	net.RunRounds(1)
+	after1 := net.TotalBytes()
+	if after1 == 0 {
+		t.Fatal("no traffic after one round")
+	}
+	net.RunRounds(9)
+	after10 := net.TotalBytes()
+	// Standing gossip traffic: roughly linear in rounds (clusters grow a
+	// little, so allow a wide band).
+	if after10 < 5*after1 {
+		t.Fatalf("traffic did not accumulate: %d after 1 round, %d after 10", after1, after10)
+	}
+	if net.MeanNodeTraffic() <= 0 {
+		t.Fatal("mean node traffic not positive")
+	}
+}
+
+func TestSentEqualsReceivedGlobally(t *testing.T) {
+	net := buildNetwork(t, 20)
+	net.RunRounds(5)
+	var sent, recv int64
+	for u := 0; u < 20; u++ {
+		node := net.Node(core.UserID(u))
+		sent += node.BytesSent()
+		recv += node.BytesReceived()
+	}
+	if sent != recv {
+		t.Fatalf("conservation violated: sent %d, received %d", sent, recv)
+	}
+}
+
+func TestRecommendIsLocal(t *testing.T) {
+	net := buildNetwork(t, 20)
+	net.RunRounds(15)
+	before := net.TotalBytes()
+	recs := net.Recommend(0, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations from cluster view")
+	}
+	if net.TotalBytes() != before {
+		t.Fatal("Recommend generated traffic (must be local)")
+	}
+	// Unknown user: nil, no crash.
+	if recs := net.Recommend(999, 5); recs != nil {
+		t.Fatalf("unknown user recs = %v", recs)
+	}
+}
+
+func TestAdvanceToRunsPeriodRounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = time.Minute
+	net := NewNetwork(cfg)
+	net.Rate(1, 1, true)
+	net.Rate(2, 1, true)
+	net.AdvanceTo(5 * time.Minute)
+	if net.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", net.Rounds)
+	}
+	// No double-running when time does not advance past a boundary.
+	net.AdvanceTo(5*time.Minute + 30*time.Second)
+	if net.Rounds != 5 {
+		t.Fatalf("rounds = %d after sub-period advance", net.Rounds)
+	}
+}
+
+func TestSystemAdapter(t *testing.T) {
+	var _ replay.System = (*System)(nil)
+	sys := NewSystem(DefaultConfig())
+	if sys.Name() != "p2p" {
+		t.Fatal("name")
+	}
+	sys.Rate(0, core.Rating{User: 1, Item: 1, Liked: true})
+	sys.Rate(0, core.Rating{User: 2, Item: 1, Liked: true})
+	sys.Tick(3 * time.Minute)
+	if sys.Network().Rounds != 3 {
+		t.Fatalf("rounds = %d", sys.Network().Rounds)
+	}
+	if sys.Neighbors(999) != nil {
+		t.Fatal("unknown user has neighbours")
+	}
+	// After gossip, the two identical users should find each other.
+	if hood := sys.Neighbors(1); len(hood) == 0 || hood[0] != 2 {
+		t.Fatalf("neighbors = %v", hood)
+	}
+	if recs := sys.Recommend(3*time.Minute, 1, 3); recs != nil {
+		// User 2 has no items user 1 lacks; empty or nil is fine. Just no
+		// panic.
+		_ = recs
+	}
+}
+
+func TestRPSViewBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RPSView = 5
+	net := NewNetwork(cfg)
+	for u := 0; u < 50; u++ {
+		net.Rate(core.UserID(u), 1, true)
+	}
+	net.RunRounds(10)
+	for u := 0; u < 50; u++ {
+		if got := len(net.Node(core.UserID(u)).rps); got > 5 {
+			t.Fatalf("rps view of %d exceeds bound: %d", u, got)
+		}
+	}
+}
+
+func TestClusterViewBounded(t *testing.T) {
+	net := buildNetwork(t, 30)
+	net.RunRounds(10)
+	for u := 0; u < 30; u++ {
+		if got := len(net.Node(core.UserID(u)).cluster); got > 4 {
+			t.Fatalf("cluster view of %d exceeds k: %d", u, got)
+		}
+	}
+}
+
+func BenchmarkGossipRound(b *testing.B) {
+	cfg := DefaultConfig()
+	net := NewNetwork(cfg)
+	for u := 0; u < 500; u++ {
+		for j := 0; j < 10; j++ {
+			net.Rate(core.UserID(u), core.ItemID((u*7+j)%300), true)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunRounds(1)
+	}
+}

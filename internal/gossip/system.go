@@ -1,0 +1,48 @@
+package gossip
+
+import (
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/replay"
+)
+
+// System adapts the P2P Network to the replay.System interface so the
+// same traces drive it and the centralized systems.
+type System struct {
+	net *Network
+}
+
+var _ replay.System = (*System)(nil)
+
+// NewSystem wraps a network built from cfg.
+func NewSystem(cfg Config) *System { return &System{net: NewNetwork(cfg)} }
+
+// Network exposes the underlying overlay (bandwidth meters etc.).
+func (s *System) Network() *Network { return s.net }
+
+// Name implements replay.System.
+func (s *System) Name() string { return "p2p" }
+
+// Rate implements replay.System.
+func (s *System) Rate(_ time.Duration, r core.Rating) {
+	s.net.Rate(r.User, r.Item, r.Liked)
+}
+
+// Recommend implements replay.System.
+func (s *System) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	return s.net.Recommend(u, n)
+}
+
+// Neighbors implements replay.System.
+func (s *System) Neighbors(u core.UserID) []core.UserID {
+	node := s.net.Node(u)
+	if node == nil {
+		return nil
+	}
+	return node.Neighbors()
+}
+
+// Tick implements replay.System: gossip rounds run on every period
+// boundary of the virtual clock.
+func (s *System) Tick(t time.Duration) { s.net.AdvanceTo(t) }

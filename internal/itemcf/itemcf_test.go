@@ -1,0 +1,304 @@
+package itemcf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+func likeOnly(t *testing.T, u core.UserID, items ...core.ItemID) core.Profile {
+	t.Helper()
+	p, err := core.ProfileFromSets(u, items, nil)
+	if err != nil {
+		t.Fatalf("ProfileFromSets: %v", err)
+	}
+	return p
+}
+
+func TestBuildCorrelationsCosine(t *testing.T) {
+	// Users 1,2 like {10, 11}; user 3 likes {10, 12}.
+	profiles := []core.Profile{
+		likeOnly(t, 1, 10, 11),
+		likeOnly(t, 2, 10, 11),
+		likeOnly(t, 3, 10, 12),
+	}
+	tbl := BuildCorrelations(profiles, 0, 10, 0)
+
+	// likers: 10→3, 11→2, 12→1.
+	if got := tbl.Likers(10); got != 3 {
+		t.Fatalf("likers(10) = %d", got)
+	}
+	// corr(10,11) = 2/sqrt(3·2).
+	want := 2 / math.Sqrt(6)
+	if got := corrOf(tbl, 10, 11); math.Abs(got-want) > 1e-12 {
+		t.Errorf("corr(10,11) = %v, want %v", got, want)
+	}
+	// corr(10,12) = 1/sqrt(3·1).
+	want = 1 / math.Sqrt(3)
+	if got := corrOf(tbl, 10, 12); math.Abs(got-want) > 1e-12 {
+		t.Errorf("corr(10,12) = %v, want %v", got, want)
+	}
+	// 11 and 12 are never co-liked.
+	if got := corrOf(tbl, 11, 12); got != 0 {
+		t.Errorf("corr(11,12) = %v, want 0", got)
+	}
+}
+
+func corrOf(tbl *CorrelationTable, i, j core.ItemID) float64 {
+	for _, nb := range tbl.Row(i) {
+		if nb.Item == j {
+			return nb.Corr
+		}
+	}
+	return 0
+}
+
+func TestBuildCorrelationsSymmetric(t *testing.T) {
+	profiles := []core.Profile{
+		likeOnly(t, 1, 1, 2, 3),
+		likeOnly(t, 2, 2, 3, 4),
+		likeOnly(t, 3, 1, 3, 4),
+	}
+	tbl := BuildCorrelations(profiles, 0, 10, 0)
+	for i := core.ItemID(1); i <= 4; i++ {
+		for j := core.ItemID(1); j <= 4; j++ {
+			if math.Abs(corrOf(tbl, i, j)-corrOf(tbl, j, i)) > 1e-12 {
+				t.Fatalf("corr(%v,%v) asymmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildCorrelationsTopLTrims(t *testing.T) {
+	// Item 0 co-occurs with 20 other items; TopL=5 must keep 5.
+	var profiles []core.Profile
+	for i := 1; i <= 20; i++ {
+		profiles = append(profiles, likeOnly(t, core.UserID(i), 0, core.ItemID(i)))
+	}
+	tbl := BuildCorrelations(profiles, 0, 5, 0)
+	if got := len(tbl.Row(0)); got != 5 {
+		t.Fatalf("row(0) length = %d, want 5", got)
+	}
+}
+
+func TestBuildCorrelationsRowsSortedAndBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		// Small random population.
+		profiles := make([]core.Profile, 0, 8)
+		next := uint64(seed)
+		rnd := func(mod int) int {
+			next = next*6364136223846793005 + 1442695040888963407
+			return int((next >> 33) % uint64(mod))
+		}
+		for u := 0; u < 8; u++ {
+			items := make([]core.ItemID, 0, 6)
+			for n := 0; n < 6; n++ {
+				items = append(items, core.ItemID(rnd(12)))
+			}
+			p, err := core.ProfileFromSets(core.UserID(u), items, nil)
+			if err != nil {
+				return false
+			}
+			profiles = append(profiles, p)
+		}
+		tbl := BuildCorrelations(profiles, 0, 4, 0)
+		for i := core.ItemID(0); i < 12; i++ {
+			row := tbl.Row(i)
+			if len(row) > 4 {
+				return false
+			}
+			for n, nb := range row {
+				if nb.Corr <= 0 || nb.Corr > 1+1e-9 {
+					return false
+				}
+				if n > 0 && row[n-1].Corr < nb.Corr {
+					return false
+				}
+				if nb.Item == i {
+					return false // no self-correlation
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPairsPerUserCapsWork(t *testing.T) {
+	// One profile with 40 likes would contribute 780 pairs uncapped.
+	items := make([]core.ItemID, 40)
+	for i := range items {
+		items[i] = core.ItemID(i)
+	}
+	p, err := core.ProfileFromSets(1, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := BuildCorrelations([]core.Profile{p}, 0, 100, 10)
+	pairCount := 0
+	seen := map[[2]core.ItemID]bool{}
+	for i := core.ItemID(0); i < 40; i++ {
+		for _, nb := range capped.Row(i) {
+			key := [2]core.ItemID{i, nb.Item}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if !seen[key] {
+				seen[key] = true
+				pairCount++
+			}
+		}
+	}
+	if pairCount != 10 {
+		t.Fatalf("capped build produced %d pairs, want 10", pairCount)
+	}
+}
+
+func TestRecommendFromCorrelations(t *testing.T) {
+	// Population: many users co-like (1,2) and (1,3); 3 more than 2.
+	profiles := []core.Profile{
+		likeOnly(t, 1, 1, 3),
+		likeOnly(t, 2, 1, 3),
+		likeOnly(t, 3, 1, 3),
+		likeOnly(t, 4, 1, 2),
+		likeOnly(t, 5, 1, 2),
+	}
+	tbl := BuildCorrelations(profiles, 0, 10, 0)
+	me := likeOnly(t, 99, 1)
+	recs := RecommendFromCorrelations(me, tbl, 2)
+	if len(recs) != 2 || recs[0] != 3 || recs[1] != 2 {
+		t.Fatalf("recs = %v, want [3 2]", recs)
+	}
+}
+
+func TestRecommendSkipsSeenItems(t *testing.T) {
+	profiles := []core.Profile{
+		likeOnly(t, 1, 1, 2),
+		likeOnly(t, 2, 1, 2),
+	}
+	tbl := BuildCorrelations(profiles, 0, 10, 0)
+	me := likeOnly(t, 99, 1, 2) // already seen item 2
+	if recs := RecommendFromCorrelations(me, tbl, 5); len(recs) != 0 {
+		t.Fatalf("recommended seen items: %v", recs)
+	}
+}
+
+func TestRecommendNilTableAndZeroR(t *testing.T) {
+	me := likeOnly(t, 1, 1)
+	if got := RecommendFromCorrelations(me, nil, 5); got != nil {
+		t.Fatalf("nil table → %v", got)
+	}
+	tbl := BuildCorrelations([]core.Profile{me}, 0, 10, 0)
+	if got := RecommendFromCorrelations(me, tbl, 0); got != nil {
+		t.Fatalf("r=0 → %v", got)
+	}
+}
+
+func TestSystemStaleness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClientRefresh = 0 // clients always see the server table
+	sys := New(cfg)
+	day := 24 * time.Hour
+
+	// Build community: users 1-3 like items 1,2 at t=0. The first rating
+	// triggers the initial build.
+	for u := core.UserID(1); u <= 3; u++ {
+		sys.Rate(0, core.Rating{User: u, Item: 1, Liked: true})
+		sys.Rate(0, core.Rating{User: u, Item: 2, Liked: true})
+	}
+	if sys.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d, want 1 (initial)", sys.Rebuilds())
+	}
+
+	// New co-liked item appears right after the build: correlations are
+	// stale, so it must NOT be recommendable yet.
+	for u := core.UserID(2); u <= 3; u++ {
+		sys.Rate(day, core.Rating{User: u, Item: 7, Liked: true})
+	}
+	sys.Tick(2 * day)
+	if recs := sys.Recommend(2*day, 1, 5); contains(recs, 7) {
+		t.Fatalf("stale table already recommends item 7: %v", recs)
+	}
+
+	// After the recompute period the rebuild runs and item 7 appears.
+	sys.Tick(16 * day)
+	if sys.Rebuilds() != 2 {
+		t.Fatalf("rebuilds = %d, want 2", sys.Rebuilds())
+	}
+	if recs := sys.Recommend(16*day, 1, 5); !contains(recs, 7) {
+		t.Fatalf("rebuilt table misses item 7: %v", recs)
+	}
+}
+
+func TestSystemClientRefreshLag(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecomputePeriod = 24 * time.Hour
+	cfg.ClientRefresh = 24 * time.Hour
+	sys := New(cfg)
+	hour := time.Hour
+
+	for u := core.UserID(1); u <= 3; u++ {
+		sys.Rate(0, core.Rating{User: u, Item: 1, Liked: true})
+		sys.Rate(0, core.Rating{User: u, Item: 2, Liked: true})
+	}
+	// Client 1 fetches its snapshot at t=1h.
+	sys.Recommend(1*hour, 1, 5)
+
+	// Server rebuilds at t=30h with a new co-liked item.
+	for u := core.UserID(2); u <= 3; u++ {
+		sys.Rate(2*hour, core.Rating{User: u, Item: 7, Liked: true})
+	}
+	sys.Tick(30 * hour)
+	if sys.Rebuilds() < 2 {
+		t.Fatalf("server did not rebuild: %d", sys.Rebuilds())
+	}
+
+	// At t=20h the client cache (fetched 1h) is still fresh (<24h): stale.
+	if recs := sys.Recommend(20*hour, 1, 5); contains(recs, 7) {
+		t.Fatalf("client saw server rebuild before refresh interval: %v", recs)
+	}
+	// At t=26h the refresh interval has passed: the client re-downloads.
+	if recs := sys.Recommend(40*hour, 1, 5); !contains(recs, 7) {
+		t.Fatalf("client never refreshed: %v", recs)
+	}
+}
+
+func TestSystemUnknownUser(t *testing.T) {
+	sys := New(DefaultConfig())
+	if recs := sys.Recommend(0, 42, 5); recs != nil {
+		t.Fatalf("unknown user got %v", recs)
+	}
+}
+
+func TestSystemNeighborsAlwaysNil(t *testing.T) {
+	sys := New(DefaultConfig())
+	sys.Rate(0, core.Rating{User: 1, Item: 1, Liked: true})
+	if nbs := sys.Neighbors(1); nbs != nil {
+		t.Fatalf("item-based CF reported user neighbours: %v", nbs)
+	}
+}
+
+func TestTableAge(t *testing.T) {
+	sys := New(DefaultConfig())
+	if age := sys.TableAge(time.Hour); age != 0 {
+		t.Fatalf("age before build = %v", age)
+	}
+	sys.Rate(time.Hour, core.Rating{User: 1, Item: 1, Liked: true})
+	if age := sys.TableAge(3 * time.Hour); age != 2*time.Hour {
+		t.Fatalf("age = %v, want 2h", age)
+	}
+}
+
+func contains(items []core.ItemID, x core.ItemID) bool {
+	for _, i := range items {
+		if i == x {
+			return true
+		}
+	}
+	return false
+}

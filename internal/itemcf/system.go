@@ -1,0 +1,153 @@
+package itemcf
+
+import (
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/replay"
+)
+
+// Config parametrises the TiVo-style system.
+type Config struct {
+	// R is the number of items recommended per request.
+	R int
+	// TopL bounds each item's correlation row.
+	TopL int
+	// RecomputePeriod is the server-side correlation rebuild interval
+	// (two weeks in TiVo's deployment).
+	RecomputePeriod time.Duration
+	// ClientRefresh is how often a client re-downloads correlation rows
+	// (once a day in TiVo's deployment). Effective staleness is therefore
+	// up to RecomputePeriod + ClientRefresh.
+	ClientRefresh time.Duration
+	// MaxPairsPerUser caps the quadratic pair contribution of one profile
+	// during correlation builds (0 = unlimited).
+	MaxPairsPerUser int
+}
+
+// DefaultConfig returns TiVo's published schedule: correlations every two
+// weeks, client refresh daily, rows of 50.
+func DefaultConfig() Config {
+	return Config{
+		R:               10,
+		TopL:            50,
+		RecomputePeriod: 14 * 24 * time.Hour,
+		ClientRefresh:   24 * time.Hour,
+		MaxPairsPerUser: 4096,
+	}
+}
+
+// System is the replayable TiVo-style recommender. Not safe for concurrent
+// use: the replay driver is single-threaded, like all baseline systems in
+// this repository.
+type System struct {
+	cfg      Config
+	profiles map[core.UserID]core.Profile
+
+	table       *CorrelationTable
+	nextRebuild time.Duration
+	rebuilds    int
+
+	// Per-client correlation snapshot and its fetch time, modelling the
+	// daily client download.
+	clientTable map[core.UserID]*CorrelationTable
+	clientFetch map[core.UserID]time.Duration
+}
+
+var _ replay.System = (*System)(nil)
+
+// New builds a TiVo-style system.
+func New(cfg Config) *System {
+	if cfg.R <= 0 {
+		cfg.R = 10
+	}
+	if cfg.RecomputePeriod <= 0 {
+		cfg.RecomputePeriod = 14 * 24 * time.Hour
+	}
+	return &System{
+		cfg:         cfg,
+		profiles:    make(map[core.UserID]core.Profile),
+		clientTable: make(map[core.UserID]*CorrelationTable),
+		clientFetch: make(map[core.UserID]time.Duration),
+	}
+}
+
+// Name implements replay.System.
+func (s *System) Name() string { return "tivo-itemcf" }
+
+// Rebuilds reports how many server-side correlation builds have run.
+func (s *System) Rebuilds() int { return s.rebuilds }
+
+// TableAge returns how stale the server-side table is at virtual time t
+// (0 if never built — there is nothing to be stale against).
+func (s *System) TableAge(t time.Duration) time.Duration {
+	if s.table == nil {
+		return 0
+	}
+	return t - s.table.BuiltAt()
+}
+
+// Rate implements replay.System: profile update only; item-based CF does
+// no per-request server work (that is its selling point and its weakness).
+func (s *System) Rate(t time.Duration, r core.Rating) {
+	p, ok := s.profiles[r.User]
+	if !ok {
+		p = core.NewProfile(r.User)
+	}
+	s.profiles[r.User] = p.WithRating(r.Item, r.Liked)
+	if s.table == nil {
+		// First activity schedules the first build one period out,
+		// mirroring a deployment that starts with an empty model.
+		s.rebuild(t)
+	}
+}
+
+// Recommend implements replay.System: scores come from the client's
+// (possibly stale) correlation snapshot.
+func (s *System) Recommend(t time.Duration, u core.UserID, n int) []core.ItemID {
+	p, ok := s.profiles[u]
+	if !ok {
+		return nil
+	}
+	tbl := s.clientSnapshot(t, u)
+	recs := RecommendFromCorrelations(p, tbl, s.cfg.R)
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}
+
+// Neighbors implements replay.System. Item-based CF has no user
+// neighbourhoods, so this is always nil; view-similarity metrics skip it.
+func (s *System) Neighbors(core.UserID) []core.UserID { return nil }
+
+// Tick implements replay.System: runs the periodic server-side rebuild.
+func (s *System) Tick(t time.Duration) {
+	if s.table != nil && t >= s.nextRebuild {
+		s.rebuild(t)
+	}
+}
+
+// rebuild recomputes the correlation table at time t.
+func (s *System) rebuild(t time.Duration) {
+	ordered := sortedUserIDs(s.profiles)
+	profiles := make([]core.Profile, 0, len(ordered))
+	for _, u := range ordered {
+		profiles = append(profiles, s.profiles[u])
+	}
+	s.table = BuildCorrelations(profiles, t, s.cfg.TopL, s.cfg.MaxPairsPerUser)
+	s.rebuilds++
+	s.nextRebuild = t + s.cfg.RecomputePeriod
+}
+
+// clientSnapshot returns u's cached correlation table, refreshing it from
+// the server when the client-refresh interval has elapsed.
+func (s *System) clientSnapshot(t time.Duration, u core.UserID) *CorrelationTable {
+	cached, ok := s.clientTable[u]
+	if ok && s.cfg.ClientRefresh > 0 && t-s.clientFetch[u] < s.cfg.ClientRefresh {
+		return cached
+	}
+	s.clientTable[u] = s.table
+	s.clientFetch[u] = t
+	return s.table
+}

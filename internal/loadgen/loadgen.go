@@ -1,0 +1,125 @@
+// Package loadgen is the ab-style closed-loop HTTP load generator used to
+// reproduce the server-side experiments: Figure 8 (response time vs
+// profile size, 1000 requests) and Figure 9 (response time vs number of
+// concurrent requests). Like Apache ab, it keeps a fixed number of
+// in-flight requests and reports latency statistics.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"hyrec/internal/stats"
+)
+
+// Result summarises one load-generation run.
+type Result struct {
+	Requests    int
+	Concurrency int
+	Failures    int
+	Elapsed     time.Duration
+	// Latency is the per-request latency summary in milliseconds.
+	Latency stats.Summary
+	// Throughput is completed requests per second.
+	Throughput float64
+	// BytesRead is the total response payload volume.
+	BytesRead int64
+}
+
+// String renders a one-line report.
+func (r Result) String() string {
+	return fmt.Sprintf("n=%d c=%d fail=%d rps=%.0f mean=%.2fms p95=%.2fms",
+		r.Requests, r.Concurrency, r.Failures, r.Throughput, r.Latency.Mean, r.Latency.P95)
+}
+
+// Target produces the URL for the i-th request, letting callers spread
+// load across users (ab hits one URL; our experiments rotate uid).
+type Target func(i int) string
+
+// FixedTarget always returns url.
+func FixedTarget(url string) Target { return func(int) string { return url } }
+
+// Run issues `requests` GETs against target with `concurrency` in-flight
+// workers, draining response bodies (like ab -n -c). The client disables
+// transparent decompression so gzip payloads are measured as transferred.
+func Run(target Target, requests, concurrency int) Result {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			DisableCompression:  true,
+			MaxIdleConnsPerHost: concurrency,
+		},
+		Timeout: 60 * time.Second,
+	}
+
+	latencies := make([]float64, requests)
+	var failures int
+	var bytesRead int64
+	var mu sync.Mutex
+
+	var next int
+	var nextMu sync.Mutex
+	takeTicket := func() (int, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= requests {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := takeTicket()
+				if !ok {
+					return
+				}
+				reqStart := time.Now()
+				resp, err := client.Get(target(i))
+				var n int64
+				if err == nil {
+					n, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				elapsed := time.Since(reqStart)
+				mu.Lock()
+				latencies[i] = float64(elapsed) / float64(time.Millisecond)
+				if err != nil || resp.StatusCode >= 400 {
+					failures++
+				}
+				bytesRead += n
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Failures:    failures,
+		Elapsed:     elapsed,
+		Latency:     stats.Summarize(latencies),
+		BytesRead:   bytesRead,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(requests) / elapsed.Seconds()
+	}
+	return res
+}

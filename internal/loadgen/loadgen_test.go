@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBasic(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("hello"))
+	}))
+	defer ts.Close()
+
+	res := Run(FixedTarget(ts.URL), 50, 4)
+	if res.Requests != 50 || res.Failures != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if hits.Load() != 50 {
+		t.Fatalf("server saw %d requests", hits.Load())
+	}
+	if res.BytesRead != 50*5 {
+		t.Fatalf("bytes = %d", res.BytesRead)
+	}
+	if res.Throughput <= 0 || res.Latency.N != 50 {
+		t.Fatalf("summary = %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRunCountsFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	res := Run(FixedTarget(ts.URL), 10, 2)
+	if res.Failures != 10 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+}
+
+func TestRunUnreachableTarget(t *testing.T) {
+	// A port nothing listens on: every request errors but Run terminates.
+	res := Run(FixedTarget("http://127.0.0.1:1/x"), 5, 2)
+	if res.Failures != 5 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+}
+
+func TestTargetRotation(t *testing.T) {
+	var mu [16]atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		uid, _ := strconv.Atoi(r.URL.Query().Get("uid"))
+		mu[uid%16].Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	target := func(i int) string { return ts.URL + "?uid=" + strconv.Itoa(i%16) }
+	Run(target, 64, 8)
+	for i := range mu {
+		if mu[i].Load() != 4 {
+			t.Fatalf("uid %d hit %d times, want 4", i, mu[i].Load())
+		}
+	}
+}
+
+func TestRunClampsDegenerateArgs(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	res := Run(FixedTarget(ts.URL), 0, 0)
+	if res.Requests != 1 || res.Concurrency != 1 {
+		t.Fatalf("degenerate args not clamped: %+v", res)
+	}
+}
+
+func TestConcurrencyActuallyOverlaps(t *testing.T) {
+	var inflight, peak atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inflight.Add(-1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	Run(FixedTarget(ts.URL), 32, 8)
+	if peak.Load() < 4 {
+		t.Fatalf("peak concurrency = %d, want ≥4", peak.Load())
+	}
+}

@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// KV is a key-value pair flowing between phases.
+type KV[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Stats records what one map-reduce job did: task counts, record counts
+// and measured per-task durations, sufficient for a Cluster to schedule
+// the job and price its overheads.
+type Stats struct {
+	MapTasks          int
+	ReduceTasks       int
+	MapTaskTimes      []time.Duration
+	ReduceTaskTimes   []time.Duration
+	MapTaskRecords    []int64 // records emitted by each map task
+	ReduceTaskRecords []int64 // records consumed by each reduce task
+	RealTime          time.Duration
+}
+
+// TotalRecords returns all records that crossed the shuffle.
+func (s Stats) TotalRecords() int64 {
+	var n int64
+	for _, r := range s.MapTaskRecords {
+		n += r
+	}
+	return n
+}
+
+// SimulatedWallClock prices the job on cluster c: startup, then the map
+// wave, then the reduce wave, with per-record overhead added to each
+// task's measured duration.
+func (s Stats) SimulatedWallClock(c Cluster) time.Duration {
+	mapDur := make([]time.Duration, len(s.MapTaskTimes))
+	for i, d := range s.MapTaskTimes {
+		mapDur[i] = d + time.Duration(s.MapTaskRecords[i])*c.PerRecord
+	}
+	redDur := make([]time.Duration, len(s.ReduceTaskTimes))
+	for i, d := range s.ReduceTaskTimes {
+		redDur[i] = d + time.Duration(s.ReduceTaskRecords[i])*c.PerRecord
+	}
+	return c.JobStartup + c.Makespan(mapDur) + c.Makespan(redDur)
+}
+
+// Options tunes a Run invocation.
+type Options struct {
+	// MapTasks is the number of input splits (defaults to 4×workers).
+	MapTasks int
+	// ReduceTasks is the number of key partitions (defaults to MapTasks).
+	ReduceTasks int
+	// Workers bounds host parallelism (defaults to GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MapTasks <= 0 {
+		o.MapTasks = 4 * o.Workers
+	}
+	if o.ReduceTasks <= 0 {
+		o.ReduceTasks = o.MapTasks
+	}
+	return o
+}
+
+// Run executes a full map-shuffle-reduce over inputs: mapf is applied to
+// every input (grouped into opt.MapTasks splits), emitted pairs are
+// partitioned by key hash into opt.ReduceTasks groups, and reducef folds
+// each key's values. Results are returned unordered along with the
+// measured Stats.
+func Run[I any, K comparable, V any, R any](
+	inputs []I,
+	mapf func(I, func(K, V)),
+	reducef func(K, []V) R,
+	hash func(K) uint64,
+	opt Options,
+) ([]KV[K, R], Stats) {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	nMap := opt.MapTasks
+	if nMap > len(inputs) {
+		nMap = len(inputs)
+	}
+	if nMap == 0 {
+		return nil, Stats{RealTime: time.Since(start)}
+	}
+
+	stats := Stats{
+		MapTasks:          nMap,
+		ReduceTasks:       opt.ReduceTasks,
+		MapTaskTimes:      make([]time.Duration, nMap),
+		MapTaskRecords:    make([]int64, nMap),
+		ReduceTaskTimes:   make([]time.Duration, opt.ReduceTasks),
+		ReduceTaskRecords: make([]int64, opt.ReduceTasks),
+	}
+
+	// --- Map phase: each split emits into per-reduce-partition buckets. ---
+	type bucket map[K][]V
+	partitioned := make([][]bucket, nMap) // [mapTask][reducePart]
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	chunk := (len(inputs) + nMap - 1) / nMap
+	for t := 0; t < nMap; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			taskStart := time.Now()
+			buckets := make([]bucket, opt.ReduceTasks)
+			var emitted int64
+			emit := func(k K, v V) {
+				p := int(hash(k) % uint64(opt.ReduceTasks))
+				if buckets[p] == nil {
+					buckets[p] = make(bucket)
+				}
+				buckets[p][k] = append(buckets[p][k], v)
+				emitted++
+			}
+			for i := lo; i < hi; i++ {
+				mapf(inputs[i], emit)
+			}
+			partitioned[t] = buckets
+			stats.MapTaskTimes[t] = time.Since(taskStart)
+			stats.MapTaskRecords[t] = emitted
+		}(t, lo, hi)
+	}
+	wg.Wait()
+
+	// --- Shuffle + reduce phase: one task per partition. ---
+	results := make([][]KV[K, R], opt.ReduceTasks)
+	for p := 0; p < opt.ReduceTasks; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			taskStart := time.Now()
+			merged := make(map[K][]V)
+			var consumed int64
+			for t := 0; t < nMap; t++ {
+				if partitioned[t] == nil || partitioned[t][p] == nil {
+					continue
+				}
+				for k, vs := range partitioned[t][p] {
+					merged[k] = append(merged[k], vs...)
+					consumed += int64(len(vs))
+				}
+			}
+			out := make([]KV[K, R], 0, len(merged))
+			for k, vs := range merged {
+				out = append(out, KV[K, R]{Key: k, Val: reducef(k, vs)})
+			}
+			results[p] = out
+			stats.ReduceTaskTimes[p] = time.Since(taskStart)
+			stats.ReduceTaskRecords[p] = consumed
+		}(p)
+	}
+	wg.Wait()
+
+	var flat []KV[K, R]
+	for _, part := range results {
+		flat = append(flat, part...)
+	}
+	stats.RealTime = time.Since(start)
+	return flat, stats
+}
+
+// HashUint64 is a convenience key-hash for integer keys.
+func HashUint64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}

@@ -1,0 +1,224 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	out, stats := Run(
+		docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(_ string, ones []int) int { return len(ones) },
+		hashString,
+		Options{MapTasks: 2, ReduceTasks: 3},
+	)
+	got := map[string]int{}
+	for _, kv := range out {
+		got[kv.Key] = kv.Val
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%q = %d, want %d", k, got[k], v)
+		}
+	}
+	if stats.MapTasks != 2 || stats.ReduceTasks != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.TotalRecords() != 6 {
+		t.Errorf("records = %d, want 6", stats.TotalRecords())
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, stats := Run(
+		nil,
+		func(int, func(int, int)) {},
+		func(_ int, vs []int) int { return len(vs) },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+		Options{},
+	)
+	if len(out) != 0 || stats.MapTasks != 0 {
+		t.Fatalf("out=%v stats=%+v", out, stats)
+	}
+	if stats.SimulatedWallClock(SingleNode4Core()) != 0 {
+		t.Fatal("empty job has nonzero simulated time")
+	}
+}
+
+func TestMoreTasksThanInputs(t *testing.T) {
+	out, stats := Run(
+		[]int{1, 2},
+		func(x int, emit func(int, int)) { emit(x, x) },
+		func(_ int, vs []int) int { return vs[0] },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+		Options{MapTasks: 100},
+	)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if stats.MapTasks > 2 {
+		t.Fatalf("map tasks = %d, want ≤2", stats.MapTasks)
+	}
+}
+
+// Property: Run produces the same aggregate as a sequential reference for
+// arbitrary integer streams, independent of task counts.
+func TestMatchesSequentialProperty(t *testing.T) {
+	prop := func(xs []uint8, mapTasks, reduceTasks uint8) bool {
+		inputs := make([]int, len(xs))
+		for i, x := range xs {
+			inputs[i] = int(x % 16)
+		}
+		out, _ := Run(
+			inputs,
+			func(x int, emit func(int, int)) { emit(x, 1) },
+			func(_ int, ones []int) int { return len(ones) },
+			func(k int) uint64 { return HashUint64(uint64(k)) },
+			Options{MapTasks: int(mapTasks%8) + 1, ReduceTasks: int(reduceTasks%8) + 1},
+		)
+		want := map[int]int{}
+		for _, x := range inputs {
+			want[x]++
+		}
+		if len(out) != len(want) {
+			return false
+		}
+		for _, kv := range out {
+			if want[kv.Key] != kv.Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanSingleSlot(t *testing.T) {
+	c := Cluster{Nodes: 1, CoresPerNode: 1}
+	tasks := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	if got := c.Makespan(tasks); got != 6*time.Second {
+		t.Fatalf("makespan = %v, want 6s", got)
+	}
+}
+
+func TestMakespanPerfectSplit(t *testing.T) {
+	c := Cluster{Nodes: 1, CoresPerNode: 2}
+	tasks := []time.Duration{3 * time.Second, 2 * time.Second, 1 * time.Second}
+	// LPT: slot1=3s, slot2=2+1=3s → makespan 3s.
+	if got := c.Makespan(tasks); got != 3*time.Second {
+		t.Fatalf("makespan = %v, want 3s", got)
+	}
+}
+
+func TestMakespanEmptyAndDegenerate(t *testing.T) {
+	c := Cluster{Nodes: 0, CoresPerNode: 0}
+	if got := c.Makespan(nil); got != 0 {
+		t.Fatalf("empty makespan = %v", got)
+	}
+	if c.TotalCores() != 1 {
+		t.Fatalf("degenerate cluster cores = %d", c.TotalCores())
+	}
+}
+
+// Property: makespan is between max(task) and sum(task), and never
+// increases when cores are added.
+func TestMakespanBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16, cores uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tasks := make([]time.Duration, len(raw))
+		var sum, max time.Duration
+		for i, r := range raw {
+			tasks[i] = time.Duration(r) * time.Millisecond
+			sum += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		n := int(cores%8) + 1
+		c1 := Cluster{Nodes: 1, CoresPerNode: n}
+		c2 := Cluster{Nodes: 1, CoresPerNode: n + 1}
+		m1, m2 := c1.Makespan(tasks), c2.Makespan(tasks)
+		return m1 >= max && m1 <= sum && m2 <= m1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedWallClockAddsOverheads(t *testing.T) {
+	s := Stats{
+		MapTasks:          2,
+		ReduceTasks:       1,
+		MapTaskTimes:      []time.Duration{time.Second, time.Second},
+		MapTaskRecords:    []int64{1000, 1000},
+		ReduceTaskTimes:   []time.Duration{time.Second},
+		ReduceTaskRecords: []int64{2000},
+	}
+	light := Cluster{Nodes: 1, CoresPerNode: 2}
+	heavy := Cluster{Nodes: 1, CoresPerNode: 2, JobStartup: 10 * time.Second, PerRecord: time.Millisecond}
+	lightTime := s.SimulatedWallClock(light)
+	heavyTime := s.SimulatedWallClock(heavy)
+	if lightTime != 2*time.Second { // map wave 1s (2 cores), reduce 1s
+		t.Fatalf("light = %v, want 2s", lightTime)
+	}
+	// heavy: +10s startup, map tasks 1s+1s overhead each → wave 2s,
+	// reduce 1s+2s → 3s. Total = 15s.
+	if heavyTime != 15*time.Second {
+		t.Fatalf("heavy = %v, want 15s", heavyTime)
+	}
+}
+
+func TestClusterPresets(t *testing.T) {
+	if SingleNode4Core().TotalCores() != 4 {
+		t.Error("SingleNode4Core cores")
+	}
+	if HadoopTwoNodes().TotalCores() != 8 {
+		t.Error("HadoopTwoNodes cores")
+	}
+	if HadoopSingleNode().JobStartup == 0 {
+		t.Error("Hadoop preset lost its startup cost")
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	docs := make([]string, 1000)
+	for i := range docs {
+		docs[i] = "alpha beta gamma delta epsilon"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(
+			docs,
+			func(doc string, emit func(string, int)) {
+				for _, w := range strings.Fields(doc) {
+					emit(w, 1)
+				}
+			},
+			func(_ string, ones []int) int { return len(ones) },
+			hashString,
+			Options{},
+		)
+	}
+}

@@ -1,0 +1,223 @@
+// Package metrics implements the paper's evaluation metrics (Section 5.1):
+// the brute-force ideal KNN used as an upper bound, view similarity (mean
+// profile similarity between a user and her neighbours), and the
+// recommendation-quality counter of Levandoski et al. adopted by the
+// paper. The ideal-KNN computation is parallelised across CPUs because it
+// is the evaluation's hot loop (O(N²) pairs).
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/replay"
+)
+
+// ProfileSource yields profile snapshots; both the HyRec server tables and
+// the baselines' local maps satisfy it via small adapters.
+type ProfileSource interface {
+	// Profile returns u's current profile.
+	Profile(u core.UserID) core.Profile
+	// Users lists all known users.
+	Users() []core.UserID
+}
+
+// MapSource adapts a plain map to a ProfileSource (used by tests and
+// baselines).
+type MapSource map[core.UserID]core.Profile
+
+var _ ProfileSource = MapSource(nil)
+
+// Profile implements ProfileSource.
+func (m MapSource) Profile(u core.UserID) core.Profile {
+	if p, ok := m[u]; ok {
+		return p
+	}
+	return core.NewProfile(u)
+}
+
+// Users implements ProfileSource.
+func (m MapSource) Users() []core.UserID {
+	out := make([]core.UserID, 0, len(m))
+	for u := range m {
+		out = append(out, u)
+	}
+	return out
+}
+
+// IdealKNN computes, by exhaustive pairwise comparison, the true k nearest
+// neighbours of every user — the "ideal KNN" upper bound of Section 5.2.
+// Work is sharded across all CPUs.
+func IdealKNN(src ProfileSource, k int, metric core.Similarity) map[core.UserID][]core.Neighbor {
+	users := src.Users()
+	profiles := make([]core.Profile, len(users))
+	for i, u := range users {
+		profiles[i] = src.Profile(u)
+	}
+	out := make(map[core.UserID][]core.Neighbor, len(users))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(users) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(users) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(users) {
+			hi = len(users)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := make(map[core.UserID][]core.Neighbor, hi-lo)
+			for i := lo; i < hi; i++ {
+				local[users[i]] = core.SelectKNN(profiles[i], profiles, k, metric)
+			}
+			mu.Lock()
+			for u, ns := range local {
+				out[u] = ns
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ViewSimilarity returns the mean, over all users with a non-empty
+// neighbourhood, of the mean similarity between the user's profile and her
+// neighbours' profiles — the y-axis of Figure 3.
+func ViewSimilarity(src ProfileSource, neighbors func(core.UserID) []core.UserID, metric core.Similarity) float64 {
+	users := src.Users()
+	var sum float64
+	counted := 0
+	for _, u := range users {
+		hood := neighbors(u)
+		if len(hood) == 0 {
+			continue
+		}
+		p := src.Profile(u)
+		var s float64
+		for _, v := range hood {
+			s += metric.Score(p, src.Profile(v))
+		}
+		sum += s / float64(len(hood))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// IdealViewSimilarity returns the view similarity of the ideal KNN — the
+// "Offline/Online Ideal" upper-bound curves.
+func IdealViewSimilarity(src ProfileSource, k int, metric core.Similarity) float64 {
+	ideal := IdealKNN(src, k, metric)
+	return ViewSimilarity(src, func(u core.UserID) []core.UserID {
+		ns := ideal[u]
+		out := make([]core.UserID, len(ns))
+		for i, n := range ns {
+			out[i] = n.User
+		}
+		return out
+	}, metric)
+}
+
+// PerUserViewRatio returns, for each user, her view similarity as a
+// fraction of her ideal view similarity (Figure 4's y-axis), keyed by the
+// user's profile size (its x-axis). Users with zero ideal similarity are
+// skipped.
+func PerUserViewRatio(src ProfileSource, neighbors func(core.UserID) []core.UserID, k int, metric core.Similarity) map[core.UserID]RatioPoint {
+	ideal := IdealKNN(src, k, metric)
+	out := make(map[core.UserID]RatioPoint)
+	for _, u := range src.Users() {
+		idealNs := ideal[u]
+		if len(idealNs) == 0 {
+			continue
+		}
+		var idealSim float64
+		for _, n := range idealNs {
+			idealSim += n.Sim
+		}
+		idealSim /= float64(len(idealNs))
+		if idealSim == 0 {
+			continue
+		}
+		p := src.Profile(u)
+		hood := neighbors(u)
+		var got float64
+		if len(hood) > 0 {
+			for _, v := range hood {
+				got += metric.Score(p, src.Profile(v))
+			}
+			got /= float64(len(hood))
+		}
+		out[u] = RatioPoint{ProfileSize: p.Size(), Ratio: got / idealSim}
+	}
+	return out
+}
+
+// RatioPoint is one Figure 4 scatter point.
+type RatioPoint struct {
+	ProfileSize int
+	Ratio       float64
+}
+
+// QualityResult holds the Figure 6 recommendation-quality counters: for
+// each requested list length n (1-indexed: Hits[0] is n=1), the number of
+// positive test ratings whose item appeared in the n recommendations.
+type QualityResult struct {
+	Hits      []int
+	Positives int
+}
+
+// EvaluateQuality implements the protocol of Section 5.1 ("Recommendation
+// Quality", after [37]): replay the training events, then walk the test
+// events in time order; before each positive test rating the user requests
+// maxN recommendations, a hit at length n is counted when the rated item
+// appears among the first n, and the rating is then applied. The system's
+// periodic tasks keep running on the virtual clock throughout.
+func EvaluateQuality(sys replay.System, train, test []dataset.BinaryEvent, maxN int) QualityResult {
+	driver := replay.NewDriver(sys)
+	driver.Run(train)
+
+	res := QualityResult{Hits: make([]int, maxN)}
+	for _, ev := range test {
+		sys.Tick(ev.T)
+		if ev.Liked {
+			res.Positives++
+			recs := sys.Recommend(ev.T, ev.User, maxN)
+			for i, item := range recs {
+				if item == ev.Item {
+					for n := i; n < maxN; n++ {
+						res.Hits[n]++
+					}
+					break
+				}
+			}
+		}
+		sys.Rate(ev.T, ev.Rating())
+	}
+	return res
+}
+
+// Recall returns hits at n as a fraction of positives.
+func (q QualityResult) Recall(n int) float64 {
+	if q.Positives == 0 || n < 1 || n > len(q.Hits) {
+		return 0
+	}
+	return float64(q.Hits[n-1]) / float64(q.Positives)
+}
+
+// TimePoint is one sample of a metric-over-virtual-time curve (Figures 3
+// and 5).
+type TimePoint struct {
+	T     time.Duration
+	Value float64
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+	"hyrec/internal/replay"
+)
+
+func profileOf(u core.UserID, liked ...core.ItemID) core.Profile {
+	p := core.NewProfile(u)
+	for _, i := range liked {
+		p = p.WithRating(i, true)
+	}
+	return p
+}
+
+func fixtureSource() MapSource {
+	return MapSource{
+		1: profileOf(1, 1, 2, 3),
+		2: profileOf(2, 1, 2, 3), // identical to 1
+		3: profileOf(3, 1, 2),    // close to 1,2
+		4: profileOf(4, 9, 10),   // distant
+	}
+}
+
+func TestMapSource(t *testing.T) {
+	src := fixtureSource()
+	if got := src.Profile(1); got.NumLiked() != 3 {
+		t.Fatalf("Profile(1) = %v", got)
+	}
+	if got := src.Profile(99); got.Size() != 0 {
+		t.Fatalf("unknown user = %v", got)
+	}
+	if len(src.Users()) != 4 {
+		t.Fatalf("Users = %v", src.Users())
+	}
+}
+
+func TestIdealKNN(t *testing.T) {
+	src := fixtureSource()
+	ideal := IdealKNN(src, 2, core.Cosine{})
+	if len(ideal) != 4 {
+		t.Fatalf("ideal covers %d users", len(ideal))
+	}
+	// User 1's best neighbour is 2 (sim 1.0), then 3.
+	ns := ideal[1]
+	if len(ns) != 2 || ns[0].User != 2 || ns[1].User != 3 {
+		t.Fatalf("ideal[1] = %v", ns)
+	}
+	if ns[0].Sim != 1.0 {
+		t.Fatalf("sim = %v", ns[0].Sim)
+	}
+	// No self neighbours anywhere.
+	for u, hood := range ideal {
+		for _, n := range hood {
+			if n.User == u {
+				t.Fatalf("user %v is her own ideal neighbour", u)
+			}
+		}
+	}
+}
+
+func TestIdealKNNParallelConsistency(t *testing.T) {
+	// Many users to exercise the worker split; results must match the
+	// single-user brute force.
+	src := MapSource{}
+	for u := core.UserID(0); u < 200; u++ {
+		p := core.NewProfile(u)
+		for j := 0; j < 8; j++ {
+			p = p.WithRating(core.ItemID((int(u)*7+j*13)%60), true)
+		}
+		src[u] = p
+	}
+	ideal := IdealKNN(src, 5, core.Cosine{})
+	profiles := make([]core.Profile, 0, len(src))
+	for _, p := range src {
+		profiles = append(profiles, p)
+	}
+	for _, u := range []core.UserID{0, 37, 199} {
+		want := core.SelectKNN(src[u], profiles, 5, core.Cosine{})
+		got := ideal[u]
+		if len(got) != len(want) {
+			t.Fatalf("user %v: %v vs %v", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("user %v entry %d: %v vs %v", u, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestViewSimilarity(t *testing.T) {
+	src := fixtureSource()
+	neighbors := func(u core.UserID) []core.UserID {
+		if u == 1 {
+			return []core.UserID{2} // sim 1.0
+		}
+		return nil
+	}
+	// Only user 1 has a neighbourhood → average = 1.0.
+	if got := ViewSimilarity(src, neighbors, core.Cosine{}); got != 1.0 {
+		t.Fatalf("view similarity = %v", got)
+	}
+	// Nobody has neighbours → 0.
+	if got := ViewSimilarity(src, func(core.UserID) []core.UserID { return nil }, core.Cosine{}); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestIdealViewSimilarityIsUpperBound(t *testing.T) {
+	src := fixtureSource()
+	idealV := IdealViewSimilarity(src, 2, core.Cosine{})
+	// Any other neighbour assignment scores no higher.
+	arbitrary := func(u core.UserID) []core.UserID {
+		switch u {
+		case 1:
+			return []core.UserID{4} // bad choice
+		case 2:
+			return []core.UserID{3, 4}
+		default:
+			return []core.UserID{1}
+		}
+	}
+	otherV := ViewSimilarity(src, arbitrary, core.Cosine{})
+	if otherV > idealV {
+		t.Fatalf("ideal %v beaten by arbitrary %v", idealV, otherV)
+	}
+}
+
+func TestPerUserViewRatio(t *testing.T) {
+	src := fixtureSource()
+	// Give user 1 her ideal neighbours and user 2 a bad neighbourhood.
+	neighbors := func(u core.UserID) []core.UserID {
+		switch u {
+		case 1:
+			return []core.UserID{2, 3}
+		case 2:
+			return []core.UserID{4}
+		default:
+			return nil
+		}
+	}
+	ratios := PerUserViewRatio(src, neighbors, 2, core.Cosine{})
+	if r, ok := ratios[1]; !ok || r.Ratio < 0.99 || r.ProfileSize != 3 {
+		t.Fatalf("ratios[1] = %+v", ratios[1])
+	}
+	if r := ratios[2]; r.Ratio != 0 {
+		t.Fatalf("ratios[2] = %+v (disjoint neighbour should score 0)", r)
+	}
+	// Users without stored neighbourhoods still appear (ratio 0) as long
+	// as their ideal similarity is positive.
+	if _, ok := ratios[3]; !ok {
+		t.Fatal("user 3 missing")
+	}
+}
+
+// perfectOracle recommends exactly the item the next test event rates —
+// EvaluateQuality must then count every positive as a hit.
+type perfectOracle struct {
+	answers map[core.UserID]core.ItemID
+}
+
+func (o *perfectOracle) Name() string                        { return "oracle" }
+func (o *perfectOracle) Rate(time.Duration, core.Rating)     {}
+func (o *perfectOracle) Neighbors(core.UserID) []core.UserID { return nil }
+func (o *perfectOracle) Tick(time.Duration)                  {}
+func (o *perfectOracle) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	if item, ok := o.answers[u]; ok && n > 0 {
+		return []core.ItemID{item}
+	}
+	return nil
+}
+
+var _ replay.System = (*perfectOracle)(nil)
+
+func TestEvaluateQualityPerfectOracle(t *testing.T) {
+	test := []dataset.BinaryEvent{
+		{T: 1, User: 1, Item: 10, Liked: true},
+		{T: 2, User: 2, Item: 20, Liked: true},
+		{T: 3, User: 3, Item: 30, Liked: false}, // negative: not counted
+	}
+	oracle := &perfectOracle{answers: map[core.UserID]core.ItemID{1: 10, 2: 20}}
+	res := EvaluateQuality(oracle, nil, test, 5)
+	if res.Positives != 2 {
+		t.Fatalf("positives = %d", res.Positives)
+	}
+	for n := 1; n <= 5; n++ {
+		if res.Recall(n) != 1.0 {
+			t.Fatalf("recall(%d) = %v", n, res.Recall(n))
+		}
+	}
+}
+
+func TestEvaluateQualityHitPosition(t *testing.T) {
+	// Oracle returns the target in position 3: hits must count for n≥3 only.
+	oracle := &oracleAtPosition{}
+	test := []dataset.BinaryEvent{{T: 1, User: 1, Item: 42, Liked: true}}
+	res := EvaluateQuality(oracle, nil, test, 5)
+	if res.Hits[0] != 0 || res.Hits[1] != 0 || res.Hits[2] != 1 || res.Hits[4] != 1 {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+type oracleAtPosition struct{}
+
+func (o *oracleAtPosition) Name() string                        { return "pos3" }
+func (o *oracleAtPosition) Rate(time.Duration, core.Rating)     {}
+func (o *oracleAtPosition) Neighbors(core.UserID) []core.UserID { return nil }
+func (o *oracleAtPosition) Tick(time.Duration)                  {}
+func (o *oracleAtPosition) Recommend(_ time.Duration, _ core.UserID, n int) []core.ItemID {
+	return []core.ItemID{1, 2, 42, 3, 4}[:min(n, 5)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRecallBounds(t *testing.T) {
+	q := QualityResult{Hits: []int{1, 2}, Positives: 4}
+	if q.Recall(0) != 0 || q.Recall(3) != 0 {
+		t.Fatal("out-of-range recall not 0")
+	}
+	if q.Recall(1) != 0.25 || q.Recall(2) != 0.5 {
+		t.Fatalf("recall = %v, %v", q.Recall(1), q.Recall(2))
+	}
+	empty := QualityResult{Hits: []int{0}, Positives: 0}
+	if empty.Recall(1) != 0 {
+		t.Fatal("empty recall not 0")
+	}
+}

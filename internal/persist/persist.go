@@ -1,0 +1,262 @@
+// Package persist provides durable snapshots of the HyRec server state —
+// the global Profile and KNN tables of Section 3.1. A deployment saves a
+// snapshot on shutdown (or periodically; see Saver) and restores it on
+// start, so the KNN approximations users converged to survive restarts
+// instead of re-converging from random neighbourhoods.
+//
+// The on-disk format is a small framed container: magic, format version,
+// body length, and a CRC-32 over the JSON-encoded body. Load verifies the
+// frame before touching the body, so truncated or bit-flipped files fail
+// with ErrCorrupt instead of silently restoring garbage. Save writes to a
+// temporary file in the destination directory and renames it into place,
+// so a crash mid-save never destroys the previous snapshot.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+)
+
+// Frame constants. The magic's trailing byte doubles as a major-format
+// discriminator, separate from Version which tracks body-schema revisions.
+var magic = [8]byte{'H', 'Y', 'R', 'S', 'N', 'A', 'P', 1}
+
+// Version is the current body-schema version.
+const Version uint32 = 1
+
+// maxBodyLen rejects absurd length fields before allocating (a corrupt
+// length would otherwise ask for petabytes).
+const maxBodyLen = 1 << 32
+
+var (
+	// ErrBadMagic reports a file that is not a HyRec snapshot.
+	ErrBadMagic = errors.New("persist: not a hyrec snapshot (bad magic)")
+	// ErrBadVersion reports an unsupported snapshot schema version.
+	ErrBadVersion = errors.New("persist: unsupported snapshot version")
+	// ErrCorrupt reports a frame whose checksum or length does not match
+	// its body.
+	ErrCorrupt = errors.New("persist: snapshot corrupt")
+)
+
+// UserRecord is one user's profile in a snapshot.
+type UserRecord struct {
+	ID       uint32   `json:"id"`
+	Liked    []uint32 `json:"liked,omitempty"`
+	Disliked []uint32 `json:"disliked,omitempty"`
+}
+
+// KNNRecord is one user's neighbourhood in a snapshot.
+type KNNRecord struct {
+	ID        uint32   `json:"id"`
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+// Snapshot is a point-in-time copy of the server's global tables. Records
+// are sorted by user ID, so identical state encodes to identical bytes.
+type Snapshot struct {
+	// SavedAtUnix is the wall-clock save time (seconds since epoch).
+	SavedAtUnix int64        `json:"saved_at"`
+	Users       []UserRecord `json:"users"`
+	KNN         []KNNRecord  `json:"knn"`
+}
+
+// Capture copies the engine's tables into a Snapshot. Each profile is an
+// immutable snapshot, so the copy is consistent per user; cross-user
+// consistency is not transactional (profiles are independent, and the KNN
+// table is an approximation by design).
+func Capture(e *server.Engine) *Snapshot {
+	s := &Snapshot{SavedAtUnix: time.Now().Unix()}
+	e.Profiles().ForEach(func(p core.Profile) {
+		s.Users = append(s.Users, UserRecord{
+			ID:       uint32(p.User()),
+			Liked:    toUint32(p.Liked()),
+			Disliked: toUint32(p.Disliked()),
+		})
+	})
+	sort.Slice(s.Users, func(i, j int) bool { return s.Users[i].ID < s.Users[j].ID })
+	for _, rec := range s.Users {
+		u := core.UserID(rec.ID)
+		if nbs := e.KNN().Get(u); len(nbs) > 0 {
+			s.KNN = append(s.KNN, KNNRecord{ID: rec.ID, Neighbors: usersToUint32(nbs)})
+		}
+	}
+	return s
+}
+
+// Restore loads a snapshot into the engine: snapshot users' profiles and
+// neighbourhoods replace any existing entries; users the snapshot does not
+// mention are left untouched. Restoring into a fresh engine reproduces the
+// captured state exactly.
+func Restore(e *server.Engine, s *Snapshot) error {
+	for _, rec := range s.Users {
+		p, err := core.ProfileFromSets(core.UserID(rec.ID), toItemIDs(rec.Liked), toItemIDs(rec.Disliked))
+		if err != nil {
+			return fmt.Errorf("persist: restore user %d: %w", rec.ID, err)
+		}
+		e.Profiles().Put(p)
+	}
+	for _, rec := range s.KNN {
+		e.KNN().Put(core.UserID(rec.ID), toUserIDs(rec.Neighbors))
+	}
+	return nil
+}
+
+// Encode writes the framed snapshot to w.
+func (s *Snapshot) Encode(w io.Writer) error {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("persist: encode body: %w", err)
+	}
+	var head bytes.Buffer
+	head.Write(magic[:])
+	if err := binary.Write(&head, binary.BigEndian, Version); err != nil {
+		return fmt.Errorf("persist: encode header: %w", err)
+	}
+	if err := binary.Write(&head, binary.BigEndian, uint64(len(body))); err != nil {
+		return fmt.Errorf("persist: encode header: %w", err)
+	}
+	if err := binary.Write(&head, binary.BigEndian, crc32.ChecksumIEEE(body)); err != nil {
+		return fmt.Errorf("persist: encode header: %w", err)
+	}
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("persist: write body: %w", err)
+	}
+	return nil
+}
+
+// Decode reads and verifies a framed snapshot from r.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(r, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if gotMagic != magic {
+		return nil, ErrBadMagic
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, version, Version)
+	}
+	var bodyLen uint64
+	if err := binary.Read(r, binary.BigEndian, &bodyLen); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if bodyLen > maxBodyLen {
+		return nil, fmt.Errorf("%w: body length %d", ErrCorrupt, bodyLen)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.BigEndian, &sum); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("%w: body json: %v", ErrCorrupt, err)
+	}
+	return &s, nil
+}
+
+// Save atomically writes the snapshot to path: encode to a temp file in
+// the same directory, sync, then rename over the destination.
+func Save(path string, s *Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = s.Encode(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close temp: %w", err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: rename into place: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+func toUint32(items []core.ItemID) []uint32 {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(items))
+	for i, it := range items {
+		out[i] = uint32(it)
+	}
+	return out
+}
+
+func toItemIDs(raw []uint32) []core.ItemID {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]core.ItemID, len(raw))
+	for i, v := range raw {
+		out[i] = core.ItemID(v)
+	}
+	return out
+}
+
+func usersToUint32(users []core.UserID) []uint32 {
+	out := make([]uint32, len(users))
+	for i, u := range users {
+		out[i] = uint32(u)
+	}
+	return out
+}
+
+func toUserIDs(raw []uint32) []core.UserID {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]core.UserID, len(raw))
+	for i, v := range raw {
+		out[i] = core.UserID(v)
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+)
+
+func seededEngine(t *testing.T) *server.Engine {
+	t.Helper()
+	cfg := server.DefaultConfig()
+	cfg.DisableAnonymizer = true
+	e := server.NewEngine(cfg)
+	for u := core.UserID(1); u <= 20; u++ {
+		for i := 0; i < int(u%7)+1; i++ {
+			e.Rate(u, core.ItemID(i*3), i%2 == 0)
+		}
+	}
+	// Converge a few KNN iterations so the KNN table is non-empty.
+	for u := core.UserID(1); u <= 20; u++ {
+		job, err := e.Job(u)
+		if err != nil {
+			t.Fatalf("job(%v): %v", u, err)
+		}
+		_ = job
+		e.KNN().Put(u, []core.UserID{u%20 + 1, (u+5)%20 + 1})
+	}
+	return e
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := seededEngine(t)
+	snap := Capture(e)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("round trip mismatch:\nsaved: %+v\nloaded: %+v", snap, got)
+	}
+}
+
+func TestCaptureSortedAndDeterministic(t *testing.T) {
+	e := seededEngine(t)
+	a, b := Capture(e), Capture(e)
+	a.SavedAtUnix, b.SavedAtUnix = 0, 0
+	var bufA, bufB bytes.Buffer
+	if err := a.Encode(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("identical state produced different snapshot bytes")
+	}
+	for i := 1; i < len(a.Users); i++ {
+		if a.Users[i-1].ID >= a.Users[i].ID {
+			t.Fatal("user records not sorted")
+		}
+	}
+}
+
+func TestSaveLoadRestore(t *testing.T) {
+	e := seededEngine(t)
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := Save(path, Capture(e)); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.DisableAnonymizer = true
+	fresh := server.NewEngine(cfg)
+	if err := Restore(fresh, loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	if fresh.Profiles().Len() != e.Profiles().Len() {
+		t.Fatalf("restored %d users, want %d", fresh.Profiles().Len(), e.Profiles().Len())
+	}
+	for _, u := range e.Profiles().Users() {
+		want, got := e.Profiles().Get(u), fresh.Profiles().Get(u)
+		if !want.Equal(got) {
+			t.Fatalf("user %v: profile mismatch: %v vs %v", u, want, got)
+		}
+		if !reflect.DeepEqual(e.KNN().Get(u), fresh.KNN().Get(u)) {
+			t.Fatalf("user %v: knn mismatch", u)
+		}
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	e := seededEngine(t)
+	if err := Save(path, Capture(e)); err != nil {
+		t.Fatal(err)
+	}
+	// A second save must leave no temp droppings and keep the file valid.
+	if err := Save(path, Capture(e)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", ent.Name())
+		}
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("post-overwrite load: %v", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.snap"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := append([]byte("NOTASNAP"), make([]byte, 64)...)
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	e := seededEngine(t)
+	var buf bytes.Buffer
+	if err := Capture(e).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8]++ // bump the version field (big-endian uint32 at offset 8)
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+// Corruption injection: flipping any single byte of the body must be
+// detected by the checksum.
+func TestDecodeDetectsBitFlips(t *testing.T) {
+	e := seededEngine(t)
+	var buf bytes.Buffer
+	if err := Capture(e).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	const headerLen = 8 + 4 + 8 + 4
+	for _, offset := range []int{headerLen, headerLen + 7, len(pristine) - 1} {
+		data := append([]byte(nil), pristine...)
+		data[offset] ^= 0x40
+		if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: want ErrCorrupt, got %v", offset, err)
+		}
+	}
+}
+
+func TestDecodeDetectsTruncation(t *testing.T) {
+	e := seededEngine(t)
+	var buf bytes.Buffer
+	if err := Capture(e).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, keep := range []int{0, 4, 12, 23, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(bytes.NewReader(data[:keep])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate to %d: want ErrCorrupt, got %v", keep, err)
+		}
+	}
+}
+
+func TestDecodeRejectsInsaneLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0, 0, 0, 1})                         // version 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // huge length
+	buf.Write([]byte{0, 0, 0, 0})                         // crc
+	_, err := Decode(&buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// Property: any snapshot (not just engine-captured ones) survives an
+// encode/decode round trip.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	prop := func(ids []uint16, savedAt int64) bool {
+		s := &Snapshot{SavedAtUnix: savedAt}
+		seen := map[uint32]bool{}
+		for _, id := range ids {
+			if seen[uint32(id)] {
+				continue
+			}
+			seen[uint32(id)] = true
+			s.Users = append(s.Users, UserRecord{
+				ID:    uint32(id),
+				Liked: []uint32{uint32(id) * 2},
+			})
+			s.KNN = append(s.KNN, KNNRecord{ID: uint32(id), Neighbors: []uint32{1, 2}})
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(s, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsOverlappingSets(t *testing.T) {
+	s := &Snapshot{Users: []UserRecord{{ID: 1, Liked: []uint32{3}, Disliked: []uint32{3}}}}
+	cfg := server.DefaultConfig()
+	e := server.NewEngine(cfg)
+	if err := Restore(e, s); err == nil {
+		t.Fatal("expected error for item in both liked and disliked")
+	}
+}
+
+func TestSaverLifecycle(t *testing.T) {
+	e := seededEngine(t)
+	path := filepath.Join(t.TempDir(), "periodic.snap")
+	saver := NewSaver(e, path, 10*time.Millisecond, nil)
+	saver.Start()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for saver.Saves() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if saver.Saves() == 0 {
+		t.Fatal("no periodic save within deadline")
+	}
+	if err := saver.Close(); err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+	if err := saver.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("loading final snapshot: %v", err)
+	}
+}
+
+func TestSaverReportsErrors(t *testing.T) {
+	e := seededEngine(t)
+	// Unwritable destination directory.
+	var gotErr error
+	saver := NewSaver(e, "/nonexistent-dir-hyrec/state.snap", time.Hour, func(err error) { gotErr = err })
+	saver.saveOnce()
+	if gotErr == nil {
+		t.Fatal("save into missing directory reported no error")
+	}
+	if saver.Saves() != 0 {
+		t.Fatalf("failed save counted: %d", saver.Saves())
+	}
+}
+
+func TestSaverZeroPeriodNeverTicksButFinalSaves(t *testing.T) {
+	e := seededEngine(t)
+	path := filepath.Join(t.TempDir(), "final-only.snap")
+	saver := NewSaver(e, path, 0, nil)
+	saver.Start() // no background loop
+	if err := saver.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if saver.Saves() != 1 {
+		t.Fatalf("saves = %d, want exactly the final one", saver.Saves())
+	}
+}

@@ -1,0 +1,103 @@
+package persist
+
+import (
+	"sync"
+	"time"
+
+	"hyrec/internal/server"
+)
+
+// Saver periodically captures and saves engine snapshots in the
+// background — the deployment loop cmd/hyrec-server runs when -snapshot
+// is set. Construct with NewSaver, stop with Close (which performs one
+// final save).
+type Saver struct {
+	engine *server.Engine
+	path   string
+	period time.Duration
+
+	// onError, when non-nil, receives save failures (the loop keeps
+	// running: a full disk now does not preclude a successful save later).
+	onError func(error)
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	mu    sync.Mutex
+	saves int
+}
+
+// NewSaver builds a saver writing engine snapshots to path every period.
+// onError may be nil.
+func NewSaver(engine *server.Engine, path string, period time.Duration, onError func(error)) *Saver {
+	return &Saver{
+		engine:  engine,
+		path:    path,
+		period:  period,
+		onError: onError,
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the background loop. Calling Start twice is a no-op.
+func (s *Saver) Start() {
+	s.startOnce.Do(func() {
+		if s.period <= 0 {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ticker := time.NewTicker(s.period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					s.saveOnce()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the loop and performs one final save, returning its error.
+// Safe to call multiple times; only the first performs the final save.
+func (s *Saver) Close() error {
+	var final error
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		final = Save(s.path, Capture(s.engine))
+		if final == nil {
+			s.countSave()
+		}
+	})
+	return final
+}
+
+// Saves reports how many successful saves have completed.
+func (s *Saver) Saves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}
+
+func (s *Saver) saveOnce() {
+	if err := Save(s.path, Capture(s.engine)); err != nil {
+		if s.onError != nil {
+			s.onError(err)
+		}
+		return
+	}
+	s.countSave()
+}
+
+func (s *Saver) countSave() {
+	s.mu.Lock()
+	s.saves++
+	s.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+package privacy
+
+import (
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// Accountant tracks per-user privacy expenditure under sequential
+// composition: every release of a user's (fresh-noise) perturbed profile
+// spends ε, so after n releases the user's cumulative guarantee is n·ε.
+// Content providers can consult it to stop sampling over-exposed users or
+// to switch them to memoized noise.
+//
+// Safe for concurrent use.
+type Accountant struct {
+	epsilon float64
+
+	mu       sync.Mutex
+	releases map[core.UserID]int
+}
+
+// NewAccountant tracks spend at epsilon per release.
+func NewAccountant(epsilonPerRelease float64) *Accountant {
+	return &Accountant{
+		epsilon:  epsilonPerRelease,
+		releases: make(map[core.UserID]int),
+	}
+}
+
+// Charge records one release of u's perturbed profile and returns the new
+// cumulative spend.
+func (a *Accountant) Charge(u core.UserID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.releases[u]++
+	return float64(a.releases[u]) * a.epsilon
+}
+
+// Spent returns u's cumulative privacy spend (0 for unseen users).
+func (a *Accountant) Spent(u core.UserID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return float64(a.releases[u]) * a.epsilon
+}
+
+// Releases returns how many times u's profile has been released.
+func (a *Accountant) Releases(u core.UserID) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releases[u]
+}
+
+// MaxSpent returns the largest cumulative spend across all users, the
+// quantity a provider would alert on.
+func (a *Accountant) MaxSpent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	max := 0
+	for _, n := range a.releases {
+		if n > max {
+			max = n
+		}
+	}
+	return float64(max) * a.epsilon
+}
+
+// Guard wraps a profile filter so that every invocation is charged to the
+// accountant: the composition point between mechanism and budget tracking.
+func (a *Accountant) Guard(filter func(core.Profile) core.Profile) func(core.Profile) core.Profile {
+	return func(p core.Profile) core.Profile {
+		a.Charge(p.User())
+		return filter(p)
+	}
+}

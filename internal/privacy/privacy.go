@@ -1,0 +1,280 @@
+// Package privacy implements the stronger privacy mechanism the paper's
+// concluding remarks call for: ε-local-differential-privacy perturbation of
+// the profiles HyRec ships inside candidate sets.
+//
+// The anonymous mapping of Section 3.1 hides *who* a profile belongs to but
+// ships the profile's item set verbatim, so an adversary who can
+// cross-check items against an external dataset may re-identify users
+// (the paper cites the Netflix-prize attack). Randomized response closes
+// that channel: each bit of the liked-item vector is reported truthfully
+// with probability e^ε/(1+e^ε) and flipped otherwise, which is the
+// canonical ε-differentially-private release of a binary attribute. The
+// perturbation runs on the server just before profiles leave it, so widgets
+// and the wire format are untouched.
+//
+// Two deployment modes are provided:
+//
+//   - Fresh noise per job (NewRandomizedResponse + Filter): every release
+//     re-randomises. Simple, but an adversary who observes the same profile
+//     in many candidate sets can average the noise away; the privacy budget
+//     grows linearly with releases (track it with an Accountant).
+//   - Memoized noise (WithMemo): one perturbation is drawn per profile
+//     version and replayed for every release of that version, the
+//     "permanent randomized response" defence introduced by RAPPOR. Repeat
+//     observations then reveal nothing new; the budget is ε per profile
+//     *version* rather than per release.
+//
+// A useful structural fact, proved in TestRankingInvariance: correcting the
+// observed popularity counts for the randomisation (CorrectedCount) is a
+// strictly increasing affine map, so the ranking produced by Algorithm 2 on
+// perturbed profiles is already the ranking a bias-corrected estimator
+// would produce. Recommendation quality degrades only through the noise
+// itself, not through estimator bias.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// ErrBadEpsilon reports a non-positive or NaN privacy parameter.
+var ErrBadEpsilon = errors.New("privacy: epsilon must be positive and finite")
+
+// ErrBadUniverse reports an empty item universe.
+var ErrBadUniverse = errors.New("privacy: item universe must be non-empty")
+
+// RandomizedResponse perturbs binary liked-item vectors under ε-local
+// differential privacy. Item identifiers are assumed to live in the dense
+// universe [0, NumItems); identifiers outside the universe pass through
+// unperturbed (they cannot be flipped on, so keeping them truthful is the
+// conservative choice for utility and is documented behaviour, not a
+// privacy guarantee — size the universe to cover the catalogue).
+//
+// Safe for concurrent use.
+type RandomizedResponse struct {
+	epsilon  float64
+	numItems uint32
+	keep     float64 // P(report 1 | true 1) = e^ε / (1+e^ε)
+	flip     float64 // P(report 1 | true 0) = 1 / (1+e^ε)
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	memo map[memoKey][]core.ItemID // nil unless WithMemo
+}
+
+type memoKey struct {
+	user    core.UserID
+	version uint64
+}
+
+// Option customises a RandomizedResponse.
+type Option func(*RandomizedResponse)
+
+// WithMemo enables permanent randomized response: the perturbed liked set
+// is drawn once per (user, profile-version) pair and replayed for every
+// subsequent release of that version, defeating noise-averaging attacks.
+// The memo table grows by one entry per profile version released; callers
+// replaying long traces should prefer fresh noise or periodically rebuild
+// the mechanism.
+func WithMemo() Option {
+	return func(rr *RandomizedResponse) { rr.memo = make(map[memoKey][]core.ItemID) }
+}
+
+// NewRandomizedResponse builds a mechanism with privacy parameter epsilon
+// over the item universe [0, numItems). Seed drives all randomness, so
+// replays are deterministic.
+func NewRandomizedResponse(epsilon float64, numItems uint32, seed int64, opts ...Option) (*RandomizedResponse, error) {
+	if math.IsNaN(epsilon) || epsilon <= 0 || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("%w: got %v", ErrBadEpsilon, epsilon)
+	}
+	if numItems == 0 {
+		return nil, ErrBadUniverse
+	}
+	e := math.Exp(epsilon)
+	rr := &RandomizedResponse{
+		epsilon:  epsilon,
+		numItems: numItems,
+		keep:     e / (1 + e),
+		flip:     1 / (1 + e),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for _, opt := range opts {
+		opt(rr)
+	}
+	return rr, nil
+}
+
+// Epsilon returns the per-release privacy parameter.
+func (rr *RandomizedResponse) Epsilon() float64 { return rr.epsilon }
+
+// KeepProb returns P(item reported | item present) = e^ε/(1+e^ε).
+func (rr *RandomizedResponse) KeepProb() float64 { return rr.keep }
+
+// FlipProb returns P(item reported | item absent) = 1/(1+e^ε).
+func (rr *RandomizedResponse) FlipProb() float64 { return rr.flip }
+
+// Perturb returns a differentially-private release of p: the liked set is
+// passed through per-bit randomized response and the disliked set is
+// dropped entirely (candidate profiles' disliked sets are never read by
+// the widget's KNN selection or recommendation, so releasing them would
+// spend privacy budget for zero utility).
+func (rr *RandomizedResponse) Perturb(p core.Profile) core.Profile {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+
+	if rr.memo != nil {
+		key := memoKey{user: p.User(), version: p.Version()}
+		if liked, ok := rr.memo[key]; ok {
+			return mustProfile(p.User(), liked)
+		}
+		liked := rr.perturbLocked(p.Liked())
+		rr.memo[key] = liked
+		return mustProfile(p.User(), liked)
+	}
+	return mustProfile(p.User(), rr.perturbLocked(p.Liked()))
+}
+
+// Filter adapts the mechanism to the server's CandidateFilter hook.
+func (rr *RandomizedResponse) Filter() func(core.Profile) core.Profile {
+	return rr.Perturb
+}
+
+// perturbLocked draws one randomized-response release of the liked set.
+// Caller holds rr.mu.
+func (rr *RandomizedResponse) perturbLocked(liked []core.ItemID) []core.ItemID {
+	out := make([]core.ItemID, 0, len(liked))
+	inUniverse := 0
+	for _, item := range liked {
+		if uint32(item) >= rr.numItems {
+			out = append(out, item) // outside the universe: pass through
+			continue
+		}
+		inUniverse++
+		if rr.rng.Float64() < rr.keep {
+			out = append(out, item)
+		}
+	}
+
+	absent := int(rr.numItems) - inUniverse
+	spurious := rr.binomialLocked(absent, rr.flip)
+	if spurious > 0 {
+		out = append(out, rr.sampleAbsentLocked(liked, spurious)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// binomialLocked samples Binomial(n, p) in O(np) expected time using
+// geometric gap skipping, which keeps small-flip-probability perturbation
+// cheap even over large item universes. Caller holds rr.mu.
+func (rr *RandomizedResponse) binomialLocked(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	logq := math.Log1p(-p)
+	count := 0
+	pos := 0
+	for {
+		u := rr.rng.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		skip := int(math.Log(u) / logq)
+		pos += skip + 1
+		if pos > n {
+			return count
+		}
+		count++
+	}
+}
+
+// sampleAbsentLocked draws `count` distinct item IDs from the universe that
+// are not in the (sorted) present set. Rejection sampling when the draw is
+// sparse, complement enumeration when it is dense. Caller holds rr.mu.
+func (rr *RandomizedResponse) sampleAbsentLocked(present []core.ItemID, count int) []core.ItemID {
+	m := int(rr.numItems)
+	inUniverse := 0
+	for _, it := range present {
+		if uint32(it) < rr.numItems {
+			inUniverse++
+		}
+	}
+	available := m - inUniverse
+	if count > available {
+		count = available
+	}
+	if count <= 0 {
+		return nil
+	}
+
+	// Dense draw: walking the complement once beats quadratic rejection.
+	if count*3 > available {
+		complement := make([]core.ItemID, 0, available)
+		for id := uint32(0); id < rr.numItems; id++ {
+			if !containsSortedID(present, core.ItemID(id)) {
+				complement = append(complement, core.ItemID(id))
+			}
+		}
+		rr.rng.Shuffle(len(complement), func(i, j int) {
+			complement[i], complement[j] = complement[j], complement[i]
+		})
+		return complement[:count]
+	}
+
+	chosen := make(map[core.ItemID]struct{}, count)
+	out := make([]core.ItemID, 0, count)
+	for len(out) < count {
+		id := core.ItemID(rr.rng.Intn(m))
+		if containsSortedID(present, id) {
+			continue
+		}
+		if _, dup := chosen[id]; dup {
+			continue
+		}
+		chosen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// CorrectedCount returns the unbiased estimate of how many of n true
+// profiles contain an item, given that `observed` of their perturbed
+// releases report it: (observed − n·q) / (p − q) with p = KeepProb,
+// q = FlipProb. The map is strictly increasing in `observed`, so rankings
+// computed on raw perturbed counts (as Algorithm 2 does) coincide with
+// rankings on corrected counts.
+func (rr *RandomizedResponse) CorrectedCount(observed, n int) float64 {
+	return (float64(observed) - float64(n)*rr.flip) / (rr.keep - rr.flip)
+}
+
+// MemoLen reports the number of memoized releases (0 without WithMemo);
+// exposed so deployments can watch the memo table's growth.
+func (rr *RandomizedResponse) MemoLen() int {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	return len(rr.memo)
+}
+
+// mustProfile builds a liked-only profile from an already-deduplicated set.
+func mustProfile(u core.UserID, liked []core.ItemID) core.Profile {
+	p, err := core.ProfileFromSets(u, liked, nil)
+	if err != nil {
+		// Unreachable: disliked is empty, so the sets cannot intersect.
+		panic(fmt.Sprintf("privacy: internal profile construction: %v", err))
+	}
+	return p
+}
+
+func containsSortedID(ids []core.ItemID, x core.ItemID) bool {
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= x })
+	return i < len(ids) && ids[i] == x
+}

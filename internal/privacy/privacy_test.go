@@ -1,0 +1,395 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hyrec/internal/core"
+)
+
+func mustRR(t *testing.T, eps float64, numItems uint32, seed int64, opts ...Option) *RandomizedResponse {
+	t.Helper()
+	rr, err := NewRandomizedResponse(eps, numItems, seed, opts...)
+	if err != nil {
+		t.Fatalf("NewRandomizedResponse(%v, %d): %v", eps, numItems, err)
+	}
+	return rr
+}
+
+func profileOf(t *testing.T, u core.UserID, liked ...core.ItemID) core.Profile {
+	t.Helper()
+	p, err := core.ProfileFromSets(u, liked, nil)
+	if err != nil {
+		t.Fatalf("ProfileFromSets: %v", err)
+	}
+	return p
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		name     string
+		eps      float64
+		numItems uint32
+	}{
+		{"zero epsilon", 0, 100},
+		{"negative epsilon", -1, 100},
+		{"NaN epsilon", math.NaN(), 100},
+		{"infinite epsilon", math.Inf(1), 100},
+		{"empty universe", 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewRandomizedResponse(tc.eps, tc.numItems, 1); err == nil {
+				t.Fatalf("expected error for eps=%v numItems=%d", tc.eps, tc.numItems)
+			}
+		})
+	}
+}
+
+func TestProbabilitiesSatisfyRRIdentity(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+		rr := mustRR(t, eps, 1000, 1)
+		// The defining DP property of binary RR: ln(p/q) = ε.
+		got := math.Log(rr.KeepProb() / rr.FlipProb())
+		if math.Abs(got-eps) > 1e-9 {
+			t.Errorf("eps=%v: ln(p/q) = %v", eps, got)
+		}
+		if sum := rr.KeepProb() + rr.FlipProb(); math.Abs(sum-1) > 1e-9 {
+			t.Errorf("eps=%v: p+q = %v, want 1", eps, sum)
+		}
+	}
+}
+
+// Statistical check of the mechanism's two flip rates over many trials.
+func TestPerturbFlipRates(t *testing.T) {
+	const (
+		numItems = 400
+		trials   = 300
+		eps      = 1.0
+	)
+	rr := mustRR(t, eps, numItems, 42)
+	liked := make([]core.ItemID, 0, numItems/2)
+	for i := 0; i < numItems/2; i++ {
+		liked = append(liked, core.ItemID(2*i)) // even items liked
+	}
+	p := profileOf(t, 7, liked...)
+
+	kept, spurious := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		out := rr.Perturb(p)
+		for _, it := range out.Liked() {
+			if uint32(it)%2 == 0 {
+				kept++
+			} else {
+				spurious++
+			}
+		}
+	}
+	n := float64(trials * numItems / 2)
+	keepRate := float64(kept) / n
+	flipRate := float64(spurious) / n
+	if math.Abs(keepRate-rr.KeepProb()) > 0.02 {
+		t.Errorf("keep rate = %.4f, want ≈ %.4f", keepRate, rr.KeepProb())
+	}
+	if math.Abs(flipRate-rr.FlipProb()) > 0.02 {
+		t.Errorf("flip rate = %.4f, want ≈ %.4f", flipRate, rr.FlipProb())
+	}
+}
+
+func TestPerturbDropsDisliked(t *testing.T) {
+	rr := mustRR(t, 2, 100, 1)
+	p := core.NewProfile(3).WithRating(5, true).WithRating(9, false).WithRating(11, false)
+	out := rr.Perturb(p)
+	if len(out.Disliked()) != 0 {
+		t.Fatalf("perturbed profile leaks disliked items: %v", out.Disliked())
+	}
+	if out.User() != p.User() {
+		t.Fatalf("user changed: %v -> %v", p.User(), out.User())
+	}
+}
+
+func TestPerturbPassesThroughOutOfUniverseItems(t *testing.T) {
+	rr := mustRR(t, 8, 10, 1) // tiny universe, high epsilon
+	p := profileOf(t, 1, 3, 9999)
+	sawOutside := false
+	for i := 0; i < 50; i++ {
+		out := rr.Perturb(p)
+		for _, it := range out.Liked() {
+			if it == 9999 {
+				sawOutside = true
+			}
+			if uint32(it) >= 10 && it != 9999 {
+				t.Fatalf("minted item outside universe: %v", it)
+			}
+		}
+	}
+	if !sawOutside {
+		t.Fatal("out-of-universe item was never passed through")
+	}
+}
+
+// Property: output profiles are structurally valid — sorted, duplicate-free
+// liked sets confined to the universe (plus pass-throughs), disjoint from
+// the (empty) disliked set.
+func TestPerturbOutputWellFormed(t *testing.T) {
+	rr := mustRR(t, 0.5, 256, 99)
+	prop := func(rawLiked []uint8, uid uint16) bool {
+		liked := make([]core.ItemID, 0, len(rawLiked))
+		for _, b := range rawLiked {
+			liked = append(liked, core.ItemID(b))
+		}
+		p, err := core.ProfileFromSets(core.UserID(uid), liked, nil)
+		if err != nil {
+			return false
+		}
+		out := rr.Perturb(p)
+		got := out.Liked()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false // unsorted or duplicate
+			}
+		}
+		for _, it := range got {
+			if uint32(it) >= 256 {
+				return false // outside universe (no pass-throughs possible here)
+			}
+		}
+		return len(out.Disliked()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbDeterministicWithSeed(t *testing.T) {
+	p := profileOf(t, 1, 2, 4, 6, 8, 10)
+	a := mustRR(t, 1, 100, 7)
+	b := mustRR(t, 1, 100, 7)
+	for i := 0; i < 10; i++ {
+		pa, pb := a.Perturb(p), b.Perturb(p)
+		if !pa.Equal(pb) {
+			t.Fatalf("iteration %d: same seed diverged: %v vs %v", i, pa.Liked(), pb.Liked())
+		}
+	}
+}
+
+func TestMemoReplaysSameRelease(t *testing.T) {
+	rr := mustRR(t, 1, 100, 7, WithMemo())
+	p := profileOf(t, 1, 2, 4, 6, 8, 10)
+	first := rr.Perturb(p)
+	for i := 0; i < 20; i++ {
+		if out := rr.Perturb(p); !out.Equal(first) {
+			t.Fatalf("memoized release changed on call %d", i)
+		}
+	}
+	if rr.MemoLen() != 1 {
+		t.Fatalf("MemoLen = %d, want 1", rr.MemoLen())
+	}
+	// A new profile version draws fresh noise and a new memo entry.
+	p2 := p.WithRating(12, true)
+	rr.Perturb(p2)
+	if rr.MemoLen() != 2 {
+		t.Fatalf("MemoLen after version bump = %d, want 2", rr.MemoLen())
+	}
+}
+
+func TestFreshNoiseVariesAcrossCalls(t *testing.T) {
+	rr := mustRR(t, 0.5, 1000, 7) // low epsilon: heavy noise
+	p := profileOf(t, 1, 1, 2, 3, 4, 5)
+	first := rr.Perturb(p)
+	for i := 0; i < 10; i++ {
+		if !rr.Perturb(p).Equal(first) {
+			return // observed variation, as expected
+		}
+	}
+	t.Fatal("10 fresh-noise releases were all identical")
+}
+
+// The unbiased estimator recovers true counts in expectation.
+func TestCorrectedCountUnbiased(t *testing.T) {
+	const (
+		numItems = 200
+		n        = 3000 // population of perturbed releases
+		eps      = 1.0
+	)
+	rr := mustRR(t, eps, numItems, 11)
+	// 40% of the population likes item 17; nobody likes item 23.
+	liker := profileOf(t, 1, 17)
+	nonLiker := profileOf(t, 2, 50)
+	observed17, observed23 := 0, 0
+	for i := 0; i < n; i++ {
+		src := nonLiker
+		if i%5 < 2 { // 40%
+			src = liker
+		}
+		out := rr.Perturb(src)
+		if out.LikedContains(17) {
+			observed17++
+		}
+		if out.LikedContains(23) {
+			observed23++
+		}
+	}
+	est17 := rr.CorrectedCount(observed17, n)
+	est23 := rr.CorrectedCount(observed23, n)
+	want17 := 0.4 * n
+	if math.Abs(est17-want17) > 0.06*n {
+		t.Errorf("corrected count for item17 = %.0f, want ≈ %.0f", est17, want17)
+	}
+	if math.Abs(est23) > 0.06*n {
+		t.Errorf("corrected count for item23 = %.0f, want ≈ 0", est23)
+	}
+}
+
+// Bias correction is strictly increasing in the observed count, so the
+// top-r ranking of Algorithm 2 on perturbed candidates is identical with
+// and without correction.
+func TestRankingInvariance(t *testing.T) {
+	rr := mustRR(t, 1, 100, 1)
+	prop := func(counts []uint8) bool {
+		n := 500
+		corrected := make([]float64, len(counts))
+		for i, c := range counts {
+			corrected[i] = rr.CorrectedCount(int(c), n)
+		}
+		rawOrder := argsortDesc(func(i int) float64 { return float64(counts[i]) }, len(counts))
+		corrOrder := argsortDesc(func(i int) float64 { return corrected[i] }, len(counts))
+		for i := range rawOrder {
+			if rawOrder[i] != corrOrder[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func argsortDesc(val func(int) float64, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return val(idx[a]) > val(idx[b]) })
+	return idx
+}
+
+func TestBinomialSamplerMatchesMean(t *testing.T) {
+	rr := mustRR(t, 1, 100, 5)
+	const trials = 2000
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.1}, {1000, 0.01}, {50, 0.5}, {10, 0.9},
+	}
+	for _, tc := range cases {
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += rr.binomialLocked(tc.n, tc.p)
+		}
+		mean := float64(sum) / trials
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(float64(tc.n) * tc.p * (1 - tc.p))
+		if math.Abs(mean-want) > 4*sd/math.Sqrt(trials)+0.5 {
+			t.Errorf("Binomial(%d,%.2f): mean = %.2f, want ≈ %.2f", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialSamplerEdgeCases(t *testing.T) {
+	rr := mustRR(t, 1, 100, 5)
+	if got := rr.binomialLocked(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := rr.binomialLocked(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := rr.binomialLocked(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := rr.binomialLocked(-5, 0.5); got != 0 {
+		t.Errorf("Binomial(-5, .5) = %d", got)
+	}
+}
+
+// Dense spurious draws must not loop forever and must respect the
+// available-complement bound.
+func TestSampleAbsentDense(t *testing.T) {
+	rr := mustRR(t, 0.1, 50, 3) // eps=0.1 → flip ≈ 0.475
+	present := []core.ItemID{0, 1, 2, 3, 4}
+	out := rr.sampleAbsentLocked(present, 100) // ask for more than exist
+	if len(out) != 45 {
+		t.Fatalf("got %d absent items, want all 45", len(out))
+	}
+	seen := make(map[core.ItemID]bool)
+	for _, it := range out {
+		if seen[it] {
+			t.Fatalf("duplicate %v", it)
+		}
+		seen[it] = true
+		if containsSortedID(present, it) {
+			t.Fatalf("sampled a present item %v", it)
+		}
+	}
+}
+
+func TestAccountantComposition(t *testing.T) {
+	a := NewAccountant(0.5)
+	if got := a.Spent(1); got != 0 {
+		t.Fatalf("fresh user spent %v", got)
+	}
+	a.Charge(1)
+	a.Charge(1)
+	a.Charge(2)
+	if got := a.Spent(1); got != 1.0 {
+		t.Errorf("user1 spent %v, want 1.0", got)
+	}
+	if got := a.Releases(1); got != 2 {
+		t.Errorf("user1 releases %d, want 2", got)
+	}
+	if got := a.MaxSpent(); got != 1.0 {
+		t.Errorf("MaxSpent %v, want 1.0", got)
+	}
+}
+
+func TestAccountantGuardCharges(t *testing.T) {
+	rr := mustRR(t, 1, 100, 1)
+	a := NewAccountant(rr.Epsilon())
+	filter := a.Guard(rr.Filter())
+	p := profileOf(t, 9, 1, 2, 3)
+	filter(p)
+	filter(p)
+	if got := a.Releases(9); got != 2 {
+		t.Fatalf("guarded filter charged %d releases, want 2", got)
+	}
+}
+
+func TestConcurrentPerturb(t *testing.T) {
+	rr := mustRR(t, 1, 500, 1, WithMemo())
+	p := profileOf(t, 1, 1, 2, 3, 4, 5, 6, 7, 8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				q := p
+				if rng.Intn(2) == 0 {
+					q = p.WithRating(core.ItemID(rng.Intn(500)), true)
+				}
+				out := rr.Perturb(q)
+				if out.User() != q.User() {
+					panic("user mismatch")
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

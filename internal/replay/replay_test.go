@@ -1,0 +1,115 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/dataset"
+)
+
+// recorder is a System that logs calls for assertions.
+type recorder struct {
+	rates      []core.Rating
+	recommends []core.UserID
+	ticks      []time.Duration
+}
+
+var _ System = (*recorder)(nil)
+
+func (r *recorder) Name() string { return "recorder" }
+func (r *recorder) Rate(_ time.Duration, rating core.Rating) {
+	r.rates = append(r.rates, rating)
+}
+func (r *recorder) Recommend(_ time.Duration, u core.UserID, _ int) []core.ItemID {
+	r.recommends = append(r.recommends, u)
+	return nil
+}
+func (r *recorder) Neighbors(core.UserID) []core.UserID { return nil }
+func (r *recorder) Tick(t time.Duration)                { r.ticks = append(r.ticks, t) }
+
+func evts(ts ...int) []dataset.BinaryEvent {
+	out := make([]dataset.BinaryEvent, len(ts))
+	for i, t := range ts {
+		out[i] = dataset.BinaryEvent{
+			T:     time.Duration(t) * time.Hour,
+			User:  core.UserID(i % 3),
+			Item:  core.ItemID(i),
+			Liked: true,
+		}
+	}
+	return out
+}
+
+func TestRunDeliversAllEvents(t *testing.T) {
+	rec := &recorder{}
+	d := NewDriver(rec)
+	n := d.Run(evts(1, 2, 3, 4))
+	if n != 4 || len(rec.rates) != 4 {
+		t.Fatalf("processed %d, rated %d", n, len(rec.rates))
+	}
+	// Ticks are non-decreasing and precede every rating.
+	for i := 1; i < len(rec.ticks); i++ {
+		if rec.ticks[i] < rec.ticks[i-1] {
+			t.Fatal("ticks decreased")
+		}
+	}
+}
+
+func TestObserverFiresPerPeriod(t *testing.T) {
+	rec := &recorder{}
+	d := NewDriver(rec)
+	d.Every = 2 * time.Hour
+	var observed []time.Duration
+	d.Observer = func(tm time.Duration, processed int) {
+		observed = append(observed, tm)
+	}
+	d.Run(evts(1, 2, 3, 4, 5, 6))
+	if len(observed) < 3 {
+		t.Fatalf("observer fired %d times: %v", len(observed), observed)
+	}
+	// Final observation at the last event.
+	if observed[len(observed)-1] != 6*time.Hour {
+		t.Fatalf("last observation at %v", observed[len(observed)-1])
+	}
+}
+
+func TestObserverDisabledWithoutPeriod(t *testing.T) {
+	rec := &recorder{}
+	d := NewDriver(rec)
+	fired := false
+	d.Observer = func(time.Duration, int) { fired = true }
+	d.Run(evts(1, 2))
+	if fired {
+		t.Fatal("observer fired with Every=0")
+	}
+}
+
+func TestInterRequestCapInjectsKeepAlives(t *testing.T) {
+	rec := &recorder{}
+	d := NewDriver(rec)
+	d.InterRequestCap = 2 * time.Hour
+	// User 0 rates at t=1h then is silent until t=9h (user 1 rates at 9h);
+	// user 0 must get keep-alive requests at 3h,5h,7h... before the 9h event.
+	events := []dataset.BinaryEvent{
+		{T: 1 * time.Hour, User: 0, Item: 1, Liked: true},
+		{T: 9 * time.Hour, User: 1, Item: 2, Liked: true},
+	}
+	d.Run(events)
+	count := 0
+	for _, u := range rec.recommends {
+		if u == 0 {
+			count++
+		}
+	}
+	if count < 3 {
+		t.Fatalf("keep-alives for user 0 = %d, want ≥3 (%v)", count, rec.recommends)
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	rec := &recorder{}
+	if n := NewDriver(rec).Run(nil); n != 0 {
+		t.Fatalf("n = %d", n)
+	}
+}

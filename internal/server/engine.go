@@ -1,0 +1,430 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// Sampler is the server-side customization point of Table 1: given a user
+// and the neighborhood parameter k it returns the candidate set for the
+// next KNN iteration. The default implementation follows Section 3.1
+// (one-hop ∪ two-hop ∪ k random users); content providers may plug
+// alternatives.
+type Sampler interface {
+	Sample(u core.UserID, k int) []core.UserID
+}
+
+// Config parametrises an Engine. The zero value is not usable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// K is the neighborhood size (10–20 in the paper).
+	K int
+	// R is the number of items recommended per personalization job.
+	R int
+	// Seed drives all server-side randomness (sampling, anonymisation).
+	Seed int64
+	// DisableAnonymizer sends real identifiers on the wire. Only for
+	// debugging and ablations; the paper's deployment always anonymises.
+	DisableAnonymizer bool
+	// DisableProfileCache turns off the serialized-profile cache
+	// (ablation: BenchmarkAblationProfileCache).
+	DisableProfileCache bool
+	// GzipLevel for outgoing personalization jobs.
+	GzipLevel wire.GzipLevel
+	// MaxProfileItems, when positive, truncates profiles embedded in
+	// candidate sets to bound message size (Section 6 discussion).
+	MaxProfileItems int
+	// CandidateFilter, when non-nil, transforms every candidate profile
+	// just before it is serialized into a personalization job. This is the
+	// privacy hook the paper's conclusion calls for: internal/privacy
+	// plugs differentially-private perturbation in here. The requesting
+	// user's own profile is never filtered (it goes back to its owner).
+	// Setting a filter bypasses the serialized-profile cache for
+	// candidates, since filtered output may differ between jobs.
+	CandidateFilter func(core.Profile) core.Profile
+}
+
+// DefaultConfig returns the paper's default parameters: k=10, r=10,
+// BestSpeed gzip, anonymisation and profile cache enabled.
+func DefaultConfig() Config {
+	return Config{K: 10, R: 10, Seed: 1, GzipLevel: wire.GzipBestSpeed}
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 {
+		return errors.New("server: config K must be positive")
+	}
+	if c.R <= 0 {
+		return errors.New("server: config R must be positive")
+	}
+	return nil
+}
+
+// Engine is the HyRec server: profile and KNN tables plus the Sampler and
+// the Personalization orchestrator. It is transport-agnostic; http.go
+// exposes it over the paper's web API, and the replay harness drives it
+// in-process. Safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	profiles *ProfileTable
+	knn      *KNNTable
+	anon     *core.Anonymizer
+	cache    *wire.ProfileCache
+	meter    *wire.Meter
+	sampler  Sampler
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Candidate-set size accounting (Figure 5): sum and count of candidate
+	// sets issued since the last ResetCandidateStats call.
+	candSum   atomic.Int64
+	candCount atomic.Int64
+}
+
+// ErrStaleEpoch is returned when a widget result refers to an anonymiser
+// epoch that is no longer resolvable.
+var ErrStaleEpoch = errors.New("server: result from stale anonymiser epoch")
+
+// ErrUnknownUser is returned for operations on users never seen by Rate or
+// Job.
+var ErrUnknownUser = errors.New("server: unknown user")
+
+// NewEngine builds an engine from cfg. It panics on invalid configuration
+// (programmer error), mirroring stdlib constructors like topk.New.
+func NewEngine(cfg Config) *Engine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		profiles: NewProfileTable(),
+		knn:      NewKNNTable(),
+		meter:    &wire.Meter{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if !cfg.DisableAnonymizer {
+		e.anon = core.NewAnonymizer(cfg.Seed + 1)
+	}
+	if !cfg.DisableProfileCache {
+		e.cache = wire.NewProfileCache()
+	}
+	e.sampler = &defaultSampler{engine: e}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Meter returns the engine's bandwidth meter.
+func (e *Engine) Meter() *wire.Meter { return e.meter }
+
+// Profiles exposes the profile table (read-mostly; used by metrics).
+func (e *Engine) Profiles() *ProfileTable { return e.profiles }
+
+// KNN exposes the KNN table (used by metrics and the sampler).
+func (e *Engine) KNN() *KNNTable { return e.knn }
+
+// SetSampler replaces the candidate-set strategy (Table 1's Sampler
+// interface). Must be called before serving traffic.
+func (e *Engine) SetSampler(s Sampler) {
+	if s == nil {
+		panic("server: nil sampler")
+	}
+	e.sampler = s
+}
+
+// RotateAnonymizer advances the anonymous mapping to a fresh epoch
+// (Section 3.1: identifiers are periodically shuffled). The HTTP server
+// calls this on a timer; the replay harness on virtual-time boundaries.
+func (e *Engine) RotateAnonymizer() {
+	if e.anon != nil {
+		e.anon.Advance()
+	}
+}
+
+// Rate records that user u rated an item. This is the profile-update step
+// the orchestrator performs when a user accesses the site (Arrow 1 of
+// Figure 1).
+func (e *Engine) Rate(u core.UserID, item core.ItemID, liked bool) {
+	e.profiles.Update(u, func(p core.Profile) core.Profile {
+		return p.WithRating(item, liked)
+	})
+}
+
+// Neighbors returns u's current KNN approximation.
+func (e *Engine) Neighbors(u core.UserID) []core.UserID { return e.knn.Get(u) }
+
+// Job assembles the personalization job for u: profile update has already
+// happened via Rate; this runs the Sampler and packages the candidate
+// profiles (Arrow 2 of Figure 1).
+func (e *Engine) Job(u core.UserID) (*wire.Job, error) {
+	if !e.profiles.Known(u) {
+		// First contact: register the user with an empty profile so she
+		// can appear in other users' random samples.
+		e.profiles.Put(core.NewProfile(u))
+	}
+	p := e.profiles.Get(u)
+	candidates := e.sampler.Sample(u, e.cfg.K)
+	e.recordCandidates(len(candidates))
+
+	// One pinned view per job: every pseudonym in the message belongs to
+	// the epoch the job is stamped with, even if RotateAnonymizer runs
+	// concurrently.
+	view := e.anonView()
+	job := &wire.Job{
+		UID:        uint32(view.AliasUser(u)),
+		Epoch:      view.Epoch(),
+		K:          e.cfg.K,
+		R:          e.cfg.R,
+		Profile:    wire.ProfileToMsg(p, view),
+		Candidates: make([]wire.ProfileMsg, 0, len(candidates)),
+	}
+	for _, c := range candidates {
+		cp := e.candidateProfile(c)
+		job.Candidates = append(job.Candidates, wire.ProfileToMsg(cp, view))
+	}
+	return job, nil
+}
+
+// anonView pins the anonymiser's current epoch for the duration of one job
+// assembly (identity mapping when anonymisation is disabled).
+func (e *Engine) anonView() core.Aliaser {
+	if e.anon == nil {
+		return core.IdentityAliaser{}
+	}
+	return e.anon.View()
+}
+
+// candidateProfile loads c's profile and applies the outbound transforms
+// (truncation, then the privacy filter) in the order a deployment would.
+func (e *Engine) candidateProfile(c core.UserID) core.Profile {
+	cp := e.profiles.Get(c)
+	if e.cfg.MaxProfileItems > 0 && cp.Size() > e.cfg.MaxProfileItems {
+		cp = cp.Truncate(e.cfg.MaxProfileItems)
+	}
+	if e.cfg.CandidateFilter != nil {
+		cp = e.cfg.CandidateFilter(cp)
+	}
+	return cp
+}
+
+// JobPayload assembles u's personalization job and serializes it:
+// raw JSON (assembled from cached fragments when the cache is enabled)
+// plus the gzip payload that would cross the wire. Both sizes are metered.
+func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) {
+	if !e.profiles.Known(u) {
+		e.profiles.Put(core.NewProfile(u))
+	}
+	p := e.profiles.Get(u)
+	candidates := e.sampler.Sample(u, e.cfg.K)
+	e.recordCandidates(len(candidates))
+
+	// As in Job: one pinned view keeps the epoch stamp and every
+	// pseudonym consistent under concurrent rotation.
+	view := e.anonView()
+	job := &wire.Job{
+		UID:     uint32(view.AliasUser(u)),
+		Epoch:   view.Epoch(),
+		K:       e.cfg.K,
+		R:       e.cfg.R,
+		Profile: wire.ProfileToMsg(p, view),
+		// Candidates are injected during encoding below.
+	}
+
+	// With the cache enabled, candidate fragments come from the cache and
+	// encoding is a concatenation of memoised byte slices. A candidate
+	// filter forces the uncached path: filtered profiles may differ
+	// between jobs, so memoising their encodings would be incorrect.
+	useCache := e.cache != nil && e.cfg.CandidateFilter == nil
+	msgs := make([]wire.ProfileMsg, 0, len(candidates))
+	frags := make([][]byte, 0, len(candidates))
+	for _, c := range candidates {
+		cp := e.candidateProfile(c)
+		if useCache {
+			frags = append(frags, e.cache.Fragment(cp, view))
+		} else {
+			msgs = append(msgs, wire.ProfileToMsg(cp, view))
+		}
+	}
+
+	if useCache {
+		jsonBody = e.assembleWithCache(job, frags)
+	} else {
+		job.Candidates = msgs
+		jsonBody = wire.AppendJob(nil, job, nil)
+	}
+
+	gzBody, err = wire.Compress(jsonBody, e.cfg.GzipLevel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
+	}
+	e.meter.CountJob(len(jsonBody), len(gzBody))
+	return jsonBody, gzBody, nil
+}
+
+// assembleWithCache builds the job JSON splicing pre-encoded candidate
+// fragments. Byte-for-byte identical to wire.AppendJob output.
+func (e *Engine) assembleWithCache(job *wire.Job, frags [][]byte) []byte {
+	size := 96 + len(job.Profile.Liked)*11
+	for _, f := range frags {
+		size += len(f) + 1
+	}
+	dst := make([]byte, 0, size)
+	dst = append(dst, `{"uid":`...)
+	dst = appendUint(dst, uint64(job.UID))
+	dst = append(dst, `,"epoch":`...)
+	dst = appendUint(dst, job.Epoch)
+	dst = append(dst, `,"k":`...)
+	dst = appendUint(dst, uint64(job.K))
+	dst = append(dst, `,"r":`...)
+	dst = appendUint(dst, uint64(job.R))
+	dst = append(dst, `,"profile":`...)
+	dst = wire.AppendProfileMsg(dst, job.Profile)
+	dst = append(dst, `,"candidates":[`...)
+	for i, f := range frags {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, f...)
+	}
+	return append(dst, `]}`...)
+}
+
+func appendUint(dst []byte, x uint64) []byte {
+	if x == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+// ApplyResult folds a widget's KNN selection back into the KNN table
+// (Arrow 3 of Figure 1), translating pseudonyms minted under the result's
+// epoch. Recommendations are translated and returned so the caller (HTTP
+// layer or replay harness) can expose them.
+func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
+	u, ok := e.resolveUser(core.UserID(res.UID), res.Epoch)
+	if !ok {
+		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrStaleEpoch, res.UID, res.Epoch)
+	}
+	if !e.profiles.Known(u) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, u)
+	}
+	// The client is untrusted (Section 6: "HyRec limits the impact of
+	// untrusted and malicious nodes"): it can only corrupt its own row,
+	// but that row feeds other users' candidate sets, so the server
+	// enforces the protocol's shape — duplicates dropped, self dropped,
+	// at most K neighbors and R recommendations.
+	neighbors := make([]core.UserID, 0, min(len(res.Neighbors), e.cfg.K))
+	seen := make(map[core.UserID]struct{}, e.cfg.K)
+	for _, alias := range res.Neighbors {
+		if len(neighbors) >= e.cfg.K {
+			break
+		}
+		v, ok := e.resolveUser(core.UserID(alias), res.Epoch)
+		if !ok {
+			return nil, fmt.Errorf("%w: neighbor alias %d epoch %d", ErrStaleEpoch, alias, res.Epoch)
+		}
+		if v == u {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		neighbors = append(neighbors, v)
+	}
+	e.knn.Put(u, neighbors)
+
+	recAliases := res.Recommendations
+	if len(recAliases) > e.cfg.R {
+		recAliases = recAliases[:e.cfg.R]
+	}
+	recs := make([]core.ItemID, 0, len(recAliases))
+	for _, alias := range recAliases {
+		item, ok := e.resolveItem(core.ItemID(alias), res.Epoch)
+		if !ok {
+			return nil, fmt.Errorf("%w: item alias %d epoch %d", ErrStaleEpoch, alias, res.Epoch)
+		}
+		recs = append(recs, item)
+	}
+	e.meter.CountResult(len(res.Neighbors)*10 + len(res.Recommendations)*10 + 32)
+	return recs, nil
+}
+
+func (e *Engine) resolveUser(alias core.UserID, epoch uint64) (core.UserID, bool) {
+	if e.anon == nil {
+		return alias, true
+	}
+	return e.anon.ResolveUser(alias, epoch)
+}
+
+func (e *Engine) resolveItem(alias core.ItemID, epoch uint64) (core.ItemID, bool) {
+	if e.anon == nil {
+		return alias, true
+	}
+	return e.anon.ResolveItem(alias, epoch)
+}
+
+func (e *Engine) recordCandidates(n int) {
+	e.candSum.Add(int64(n))
+	e.candCount.Add(1)
+}
+
+// CandidateSetStats returns the mean candidate-set size and the number of
+// jobs issued since the last reset — the quantity Figure 5 tracks over
+// time.
+func (e *Engine) CandidateSetStats() (mean float64, jobs int64) {
+	jobs = e.candCount.Load()
+	if jobs == 0 {
+		return 0, 0
+	}
+	return float64(e.candSum.Load()) / float64(jobs), jobs
+}
+
+// ResetCandidateStats clears the candidate-set accounting window.
+func (e *Engine) ResetCandidateStats() {
+	e.candSum.Store(0)
+	e.candCount.Store(0)
+}
+
+// randomUsers draws from the roster under the engine's seeded RNG.
+func (e *Engine) randomUsers(n int, exclude core.UserID) []core.UserID {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return e.profiles.RandomUsers(e.rng, n, exclude)
+}
+
+// defaultSampler implements Section 3.1's rule via core.BuildCandidateSet.
+type defaultSampler struct {
+	engine *Engine
+}
+
+var _ Sampler = (*defaultSampler)(nil)
+
+func (s *defaultSampler) Sample(u core.UserID, k int) []core.UserID {
+	e := s.engine
+	lookup := func(v core.UserID) []core.UserID { return e.knn.Get(v) }
+	random := func(_ *rand.Rand, n int, exclude core.UserID) []core.UserID {
+		return e.randomUsers(n, exclude)
+	}
+	// The rng passed through is unused by `random` (the engine's own
+	// locked rng is); pass a throwaway source to satisfy the contract.
+	e.rngMu.Lock()
+	seed := e.rng.Int63()
+	e.rngMu.Unlock()
+	return core.BuildCandidateSet(u, k, lookup, random, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// uidCookie is the cookie the widget identifies users through (Section
+// 4.2: "It identifies users through a cookie"). /online mints a fresh user
+// ID and sets the cookie when a request carries neither ?uid nor the
+// cookie.
+const uidCookie = "hyrec_uid"
+
+// HTTPServer exposes an Engine over the paper's web API (Table 1):
+//
+//	GET  /online?uid=U                         → gzip JSON personalization job
+//	GET  /neighbors?uid=U&epoch=E&id0=..&idN=..→ apply a KNN update (query form)
+//	POST /neighbors                            → apply a wire.Result (JSON body)
+//	POST /rate?uid=U&item=I&liked=true         → record a rating
+//	GET  /recommendations?uid=U                → last recommendations for U
+//	GET  /stats                                → bandwidth/throughput counters
+//	GET  /healthz                              → liveness
+//
+// The /online response is gzip-compressed JSON with Content-Encoding: gzip,
+// exactly as the paper's Jetty deployment serves it.
+type HTTPServer struct {
+	engine *Engine
+
+	recMu   sync.RWMutex
+	lastRec map[core.UserID][]core.ItemID
+
+	seen *presence
+
+	mintMu sync.Mutex
+	mint   *rand.Rand
+
+	rotateEvery time.Duration
+	stopRotate  chan struct{}
+	rotateWG    sync.WaitGroup
+	startOnce   sync.Once
+	stopOnce    sync.Once
+}
+
+// NewHTTPServer wraps engine. If rotateEvery > 0, a background goroutine
+// rotates the anonymous mapping on that period until Close is called.
+func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
+	return &HTTPServer{
+		engine:      engine,
+		lastRec:     make(map[core.UserID][]core.ItemID),
+		seen:        newPresence(),
+		mint:        rand.New(rand.NewSource(engine.Config().Seed + 7919)),
+		rotateEvery: rotateEvery,
+		stopRotate:  make(chan struct{}),
+	}
+}
+
+// Start launches the anonymiser-rotation loop (no-op when rotateEvery ≤ 0).
+func (s *HTTPServer) Start() {
+	s.startOnce.Do(func() {
+		if s.rotateEvery <= 0 {
+			return
+		}
+		s.rotateWG.Add(1)
+		go func() {
+			defer s.rotateWG.Done()
+			ticker := time.NewTicker(s.rotateEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					s.engine.RotateAnonymizer()
+				case <-s.stopRotate:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops background work. Safe to call multiple times.
+func (s *HTTPServer) Close() {
+	s.stopOnce.Do(func() { close(s.stopRotate) })
+	s.rotateWG.Wait()
+}
+
+// Handler returns the route table.
+func (s *HTTPServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/online", s.handleOnline)
+	mux.HandleFunc("/online/", s.handleOnline)
+	mux.HandleFunc("/neighbors", s.handleNeighbors)
+	mux.HandleFunc("/neighbors/", s.handleNeighbors)
+	mux.HandleFunc("/rate", s.handleRate)
+	mux.HandleFunc("/recommendations", s.handleRecommendations)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
+	uid, known, err := s.uidFromRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !known {
+		// First visit without identification: mint an ID and hand it to
+		// the browser as a cookie (Section 4.2).
+		uid = s.mintUser()
+		http.SetCookie(w, &http.Cookie{
+			Name:     uidCookie,
+			Value:    strconv.FormatUint(uint64(uid), 10),
+			Path:     "/",
+			HttpOnly: true,
+			SameSite: http.SameSiteLaxMode,
+		})
+	}
+	s.seen.Touch(uid)
+	// The widget may piggyback the rating that triggered the request.
+	if itemStr := r.URL.Query().Get("item"); itemStr != "" {
+		item, liked, err := rateParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.engine.Rate(uid, item, liked)
+	}
+	_, gz, err := s.engine.JobPayload(uid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
+	if _, err := w.Write(gz); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	var res wire.Result
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			http.Error(w, fmt.Sprintf("bad result body: %v", err), http.StatusBadRequest)
+			return
+		}
+	default:
+		// Query form per Table 1: ?uid=U&epoch=E&id0=..&id1=..
+		q := r.URL.Query()
+		uid64, err := strconv.ParseUint(q.Get("uid"), 10, 32)
+		if err != nil {
+			http.Error(w, "bad uid", http.StatusBadRequest)
+			return
+		}
+		epoch, _ := strconv.ParseUint(q.Get("epoch"), 10, 64)
+		res = wire.Result{UID: uint32(uid64), Epoch: epoch}
+		for i := 0; ; i++ {
+			v := q.Get("id" + strconv.Itoa(i))
+			if v == "" {
+				break
+			}
+			id64, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad id%d", i), http.StatusBadRequest)
+				return
+			}
+			res.Neighbors = append(res.Neighbors, uint32(id64))
+		}
+		for _, v := range strings.Split(q.Get("recs"), ",") {
+			if v == "" {
+				continue
+			}
+			id64, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				http.Error(w, "bad recs", http.StatusBadRequest)
+				return
+			}
+			res.Recommendations = append(res.Recommendations, uint32(id64))
+		}
+	}
+
+	recs, err := s.engine.ApplyResult(&res)
+	switch {
+	case errors.Is(err, ErrStaleEpoch):
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case errors.Is(err, ErrUnknownUser):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if u, ok := s.engine.resolveUser(core.UserID(res.UID), res.Epoch); ok {
+		s.seen.Touch(u)
+		s.recMu.Lock()
+		s.lastRec[u] = recs
+		s.recMu.Unlock()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
+	uid, known, err := s.uidFromRequest(r)
+	if err != nil || !known {
+		http.Error(w, errOrMissing(err), http.StatusBadRequest)
+		return
+	}
+	item, liked, err := rateParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.seen.Touch(uid)
+	s.engine.Rate(uid, item, liked)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *HTTPServer) handleRecommendations(w http.ResponseWriter, r *http.Request) {
+	uid, known, err := s.uidFromRequest(r)
+	if err != nil || !known {
+		http.Error(w, errOrMissing(err), http.StatusBadRequest)
+		return
+	}
+	s.recMu.RLock()
+	recs := s.lastRec[uid]
+	s.recMu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(recs); err != nil {
+		return
+	}
+}
+
+func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	m := s.engine.Meter()
+	w.Header().Set("Content-Type", "application/json")
+	stats := map[string]int64{
+		"json_bytes":   m.JSONBytes(),
+		"gzip_bytes":   m.GzipBytes(),
+		"result_bytes": m.ResultBytes(),
+		"messages":     m.Messages(),
+		"users":        int64(s.engine.Profiles().Len()),
+		"online_users": int64(s.seen.Online(presenceWindow)),
+		"knn_entries":  int64(s.engine.KNN().Len()),
+	}
+	if err := json.NewEncoder(w).Encode(stats); err != nil {
+		return
+	}
+}
+
+// uidFromRequest resolves the requesting user: an explicit ?uid parameter
+// wins; otherwise the identification cookie is consulted. known is false
+// when the request carries neither.
+func (s *HTTPServer) uidFromRequest(r *http.Request) (uid core.UserID, known bool, err error) {
+	if raw := r.URL.Query().Get("uid"); raw != "" {
+		uid64, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad uid %q", raw)
+		}
+		return core.UserID(uid64), true, nil
+	}
+	if c, err := r.Cookie(uidCookie); err == nil {
+		uid64, err := strconv.ParseUint(c.Value, 10, 32)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad %s cookie %q", uidCookie, c.Value)
+		}
+		return core.UserID(uid64), true, nil
+	}
+	return 0, false, nil
+}
+
+// mintUser allocates an unused user ID and registers it so concurrent
+// mints cannot collide.
+func (s *HTTPServer) mintUser() core.UserID {
+	s.mintMu.Lock()
+	defer s.mintMu.Unlock()
+	for {
+		id := core.UserID(s.mint.Uint32())
+		if id == 0 || s.engine.Profiles().Known(id) {
+			continue
+		}
+		s.engine.Profiles().Put(core.NewProfile(id))
+		return id
+	}
+}
+
+// errOrMissing renders a uid-resolution failure for a 400 response.
+func errOrMissing(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "missing uid (no ?uid parameter or " + uidCookie + " cookie)"
+}
+
+func rateParams(r *http.Request) (core.ItemID, bool, error) {
+	q := r.URL.Query()
+	item64, err := strconv.ParseUint(q.Get("item"), 10, 32)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad item %q", q.Get("item"))
+	}
+	liked := true
+	if v := q.Get("liked"); v != "" {
+		liked, err = strconv.ParseBool(v)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad liked %q", v)
+		}
+	}
+	return core.ItemID(item64), liked, nil
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+)
+
+func newTestHTTP(t *testing.T) (*HTTPServer, *httptest.Server) {
+	t.Helper()
+	e := NewEngine(testConfig())
+	s := NewHTTPServer(e, 0)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// rawClient disables Go's transparent response decompression so tests can
+// observe the gzip bytes actually sent on the wire (a browser widget sees
+// decompressed JSON; these tests verify the wire format itself).
+func rawClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableCompression: true}}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestHTTP(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// An unidentified /online is a first visit: the server mints an identity
+// and hands it back as a cookie (Section 4.2), rather than erroring.
+func TestOnlineWithoutUIDMintsCookie(t *testing.T) {
+	_, ts := newTestHTTP(t)
+	resp, err := http.Get(ts.URL + "/online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	found := false
+	for _, c := range resp.Cookies() {
+		if c.Name == uidCookie && c.Value != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s cookie on first visit", uidCookie)
+	}
+}
+
+func TestOnlineReturnsGzipJob(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	s.engine.Rate(1, 5, true)
+	s.engine.Rate(2, 5, true)
+
+	resp, err := rawClient().Get(ts.URL + "/online?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wire.Decompress(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := wire.DecodeJob(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.K != 3 || len(job.Profile.Liked) != 1 {
+		t.Fatalf("job = %+v", job)
+	}
+}
+
+func TestOnlineWithPiggybackedRating(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	resp, err := http.Get(ts.URL + "/online?uid=4&item=9&liked=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !s.engine.Profiles().Get(4).LikedContains(9) {
+		t.Fatal("piggybacked rating not recorded")
+	}
+}
+
+func TestRateEndpoint(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	resp, err := http.Post(ts.URL+"/rate?uid=3&item=7&liked=false", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	p := s.engine.Profiles().Get(3)
+	if !p.Contains(7) || p.LikedContains(7) {
+		t.Fatal("dislike not recorded")
+	}
+}
+
+func TestRateBadParams(t *testing.T) {
+	_, ts := newTestHTTP(t)
+	for _, path := range []string{"/rate?uid=x&item=1", "/rate?uid=1&item=x", "/rate?uid=1&item=1&liked=zzz"} {
+		resp, err := http.Post(ts.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestFullWidgetRoundTripOverHTTP is the paper's interaction diagram
+// (Figure 1, arrows 1–3) over a real HTTP stack.
+func TestFullWidgetRoundTripOverHTTP(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	// Seed the population.
+	for u := core.UserID(1); u <= 8; u++ {
+		s.engine.Rate(u, core.ItemID(u%3), true)
+		s.engine.Rate(u, 100, true) // shared item
+	}
+
+	// Arrow 1: client request.
+	resp, err := rawClient().Get(ts.URL + "/online?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arrow 2: the widget executes the job.
+	w := widget.New()
+	res, _, err := w.ExecutePayload(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arrow 3: POST the result back.
+	body, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/neighbors", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("neighbors status = %d", resp2.StatusCode)
+	}
+
+	if len(s.engine.Neighbors(1)) == 0 {
+		t.Fatal("KNN table empty after round trip")
+	}
+
+	// Recommendations are retrievable.
+	resp3, err := http.Get(ts.URL + "/recommendations?uid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var recs []core.ItemID
+	if err := json.NewDecoder(resp3.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsQueryForm(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	cfg := testConfig()
+	cfg.DisableAnonymizer = true
+	e := NewEngine(cfg)
+	s.engine = e // swap in a plain-ID engine for the query-form test
+	e.Rate(1, 1, true)
+	e.Rate(2, 1, true)
+
+	q := url.Values{}
+	q.Set("uid", "1")
+	q.Set("epoch", "0")
+	q.Set("id0", "2")
+	q.Set("recs", "9,10")
+	resp, err := http.Get(ts.URL + "/neighbors?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	hood := e.Neighbors(1)
+	if len(hood) != 1 || hood[0] != 2 {
+		t.Fatalf("neighbors = %v", hood)
+	}
+}
+
+func TestNeighborsStaleEpochGives410(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	s.engine.Rate(1, 1, true)
+	jsonBody, _, err := s.engine.JobPayload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := wire.DecodeJob(jsonBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := widget.New().Execute(job)
+	s.engine.RotateAnonymizer()
+	s.engine.RotateAnonymizer()
+
+	body, _ := json.Marshal(res)
+	resp, err := http.Post(ts.URL+"/neighbors", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	s.engine.Rate(1, 1, true)
+	if _, _, err := s.engine.JobPayload(1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["gzip_bytes"] == 0 || stats["users"] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestRotationLoopStartsAndStops(t *testing.T) {
+	e := NewEngine(testConfig())
+	s := NewHTTPServer(e, time.Millisecond)
+	s.Start()
+	deadline := time.After(2 * time.Second)
+	for e.anon.Epoch() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("anonymiser never rotated")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Close()
+	s.Close() // idempotent
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	s, ts := newTestHTTP(t)
+	for u := core.UserID(0); u < 16; u++ {
+		s.engine.Rate(u, core.ItemID(u%5), true)
+	}
+	errc := make(chan error, 8)
+	client := rawClient()
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			w := widget.New()
+			for i := 0; i < 30; i++ {
+				uid := (g*7 + i) % 16
+				resp, err := client.Get(fmt.Sprintf("%s/online?uid=%d&item=%d&liked=true", ts.URL, uid, i))
+				if err != nil {
+					errc <- err
+					return
+				}
+				gz, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				res, _, err := w.ExecutePayload(gz)
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, _ := json.Marshal(res)
+				resp2, err := http.Post(ts.URL+"/neighbors", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp2.Body)
+				resp2.Body.Close()
+				if resp2.StatusCode != http.StatusNoContent {
+					errc <- fmt.Errorf("neighbors status %d", resp2.StatusCode)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.engine.KNN().Len() == 0 {
+		t.Fatal("no KNN entries after concurrent traffic")
+	}
+}
+
+func TestUIDParamParsing(t *testing.T) {
+	s := NewHTTPServer(NewEngine(DefaultConfig()), 0)
+	for _, tc := range []struct {
+		raw  string
+		ok   bool
+		want core.UserID
+	}{
+		{"5", true, 5}, {"0", true, 0}, {strconv.FormatUint(1<<32-1, 10), true, core.UserID(1<<32 - 1)},
+		{"-1", false, 0}, {"abc", false, 0}, {strconv.FormatUint(1<<33, 10), false, 0},
+	} {
+		r := httptest.NewRequest(http.MethodGet, "/online?uid="+tc.raw, nil)
+		got, known, err := s.uidFromRequest(r)
+		if tc.ok && (err != nil || !known || got != tc.want) {
+			t.Errorf("uid %q: got %v known=%v, %v", tc.raw, got, known, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("uid %q: expected error", tc.raw)
+		}
+	}
+	// No uid and no cookie: not an error, just unidentified.
+	r := httptest.NewRequest(http.MethodGet, "/online", nil)
+	if _, known, err := s.uidFromRequest(r); known || err != nil {
+		t.Errorf("empty request: known=%v err=%v", known, err)
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+// presenceWindow is how recently a user must have been seen to count as
+// online in /stats. Section 2.4's argument for the hybrid design is that
+// the central entity "can effectively manage dynamic connections and
+// disconnections of users"; this tracker is that management surface.
+const presenceWindow = 5 * time.Minute
+
+// presence records per-user last-contact times. Safe for concurrent use.
+// The clock is injectable for tests.
+type presence struct {
+	mu   sync.RWMutex
+	last map[core.UserID]time.Time
+	now  func() time.Time
+}
+
+func newPresence() *presence {
+	return &presence{last: make(map[core.UserID]time.Time), now: time.Now}
+}
+
+// Touch records contact from u.
+func (p *presence) Touch(u core.UserID) {
+	p.mu.Lock()
+	p.last[u] = p.now()
+	p.mu.Unlock()
+}
+
+// LastSeen returns u's most recent contact time (zero if never seen).
+func (p *presence) LastSeen(u core.UserID) time.Time {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.last[u]
+}
+
+// Online counts users seen within the presence window. It also prunes
+// entries older than ten windows so the map tracks the active population,
+// not the all-time one.
+func (p *presence) Online(window time.Duration) int {
+	now := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for u, t := range p.last {
+		switch {
+		case now.Sub(t) <= window:
+			n++
+		case now.Sub(t) > 10*window:
+			delete(p.last, u)
+		}
+	}
+	return n
+}

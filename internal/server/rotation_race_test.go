@@ -1,0 +1,74 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// Regression test: job assembly must pin one anonymiser epoch. Before the
+// AliasView fix, Job could stamp epoch E while minting aliases under E+1
+// when RotateAnonymizer ran concurrently; the server would then resolve
+// the returned aliases under the wrong permutation, yielding a random —
+// almost surely unregistered — user, silently corrupting the KNN table.
+// With only a handful of registered users in a 2³²-ID space, any such
+// mis-resolution shows up as ErrUnknownUser.
+func TestJobEpochConsistentUnderRotation(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEngine(cfg)
+	const users = 20
+	for u := core.UserID(1); u <= users; u++ {
+		e.Rate(u, core.ItemID(u%5), true)
+	}
+
+	stop := make(chan struct{})
+	var rotWG sync.WaitGroup
+	rotWG.Add(1)
+	go func() {
+		defer rotWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.RotateAnonymizer()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				u := core.UserID(i%users + 1)
+				job, err := e.Job(u)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, err = e.ApplyResult(&wire.Result{UID: job.UID, Epoch: job.Epoch})
+				// Stale is legitimate under a fast rotator (≥2 epochs
+				// passed in flight); unknown-user means the epoch stamp
+				// and the aliases diverged.
+				if err != nil && !errors.Is(err, ErrStaleEpoch) {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	rotWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("epoch/alias divergence under rotation: %v", err)
+	default:
+	}
+}

@@ -1,0 +1,210 @@
+// Package server implements the HyRec server side (Section 3.1 of the
+// paper): the global Profile and KNN tables, the Sampler that assembles
+// candidate sets, and the Personalization orchestrator that turns client
+// requests into personalization jobs and folds widget results back into
+// the KNN table. An HTTP front-end (http.go) exposes the paper's web API.
+package server
+
+import (
+	"math/rand"
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// numShards spreads table locks; a power of two so the shard index is a
+// mask operation.
+const numShards = 64
+
+func shardOf(u core.UserID) int { return int(uint32(u)*0x9E3779B1>>26) & (numShards - 1) }
+
+// ProfileTable is the server's global user → profile map. It additionally
+// maintains a dense roster of known users so the Sampler can draw uniform
+// random users in O(1) per pick. Safe for concurrent use.
+type ProfileTable struct {
+	shards [numShards]profileShard
+
+	rosterMu sync.RWMutex
+	roster   []core.UserID
+}
+
+type profileShard struct {
+	mu sync.RWMutex
+	m  map[core.UserID]core.Profile
+}
+
+// NewProfileTable returns an empty table.
+func NewProfileTable() *ProfileTable {
+	t := &ProfileTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[core.UserID]core.Profile)
+	}
+	return t
+}
+
+// Get returns the current profile snapshot of u. Unknown users get a fresh
+// empty profile (HyRec treats first contact as an empty-profile user).
+func (t *ProfileTable) Get(u core.UserID) core.Profile {
+	s := &t.shards[shardOf(u)]
+	s.mu.RLock()
+	p, ok := s.m[u]
+	s.mu.RUnlock()
+	if !ok {
+		return core.NewProfile(u)
+	}
+	return p
+}
+
+// Known reports whether u has ever been stored.
+func (t *ProfileTable) Known(u core.UserID) bool {
+	s := &t.shards[shardOf(u)]
+	s.mu.RLock()
+	_, ok := s.m[u]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Put stores a profile snapshot, registering the user on first sight.
+func (t *ProfileTable) Put(p core.Profile) {
+	u := p.User()
+	s := &t.shards[shardOf(u)]
+	s.mu.Lock()
+	_, existed := s.m[u]
+	s.m[u] = p
+	s.mu.Unlock()
+	if !existed {
+		t.rosterMu.Lock()
+		t.roster = append(t.roster, u)
+		t.rosterMu.Unlock()
+	}
+}
+
+// Update applies fn to u's profile atomically with respect to other
+// Updates of the same user, and returns the new snapshot.
+func (t *ProfileTable) Update(u core.UserID, fn func(core.Profile) core.Profile) core.Profile {
+	s := &t.shards[shardOf(u)]
+	s.mu.Lock()
+	p, existed := s.m[u]
+	if !existed {
+		p = core.NewProfile(u)
+	}
+	p = fn(p)
+	s.m[u] = p
+	s.mu.Unlock()
+	if !existed {
+		t.rosterMu.Lock()
+		t.roster = append(t.roster, u)
+		t.rosterMu.Unlock()
+	}
+	return p
+}
+
+// Len returns the number of registered users.
+func (t *ProfileTable) Len() int {
+	t.rosterMu.RLock()
+	defer t.rosterMu.RUnlock()
+	return len(t.roster)
+}
+
+// RandomUsers draws n users uniformly (with replacement across draws, but
+// without duplicates in one call), excluding `exclude`. Fewer than n are
+// returned when the population is too small.
+func (t *ProfileTable) RandomUsers(rng *rand.Rand, n int, exclude core.UserID) []core.UserID {
+	t.rosterMu.RLock()
+	defer t.rosterMu.RUnlock()
+	total := len(t.roster)
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]core.UserID, 0, n)
+	seen := make(map[core.UserID]struct{}, n)
+	// Cap attempts so a tiny population cannot loop forever.
+	for attempts := 0; len(out) < n && attempts < 8*n; attempts++ {
+		u := t.roster[rng.Intn(total)]
+		if u == exclude {
+			continue
+		}
+		if _, dup := seen[u]; dup {
+			continue
+		}
+		seen[u] = struct{}{}
+		out = append(out, u)
+	}
+	return out
+}
+
+// ForEach invokes fn on a snapshot of every (user, profile) pair. The
+// iteration order is unspecified.
+func (t *ProfileTable) ForEach(fn func(core.Profile)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		snapshot := make([]core.Profile, 0, len(s.m))
+		for _, p := range s.m {
+			snapshot = append(snapshot, p)
+		}
+		s.mu.RUnlock()
+		for _, p := range snapshot {
+			fn(p)
+		}
+	}
+}
+
+// Users returns a copy of the user roster.
+func (t *ProfileTable) Users() []core.UserID {
+	t.rosterMu.RLock()
+	defer t.rosterMu.RUnlock()
+	out := make([]core.UserID, len(t.roster))
+	copy(out, t.roster)
+	return out
+}
+
+// KNNTable is the server's global user → current-KNN-approximation map.
+// Safe for concurrent use.
+type KNNTable struct {
+	shards [numShards]knnShard
+}
+
+type knnShard struct {
+	mu sync.RWMutex
+	m  map[core.UserID][]core.UserID
+}
+
+// NewKNNTable returns an empty table.
+func NewKNNTable() *KNNTable {
+	t := &KNNTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[core.UserID][]core.UserID)
+	}
+	return t
+}
+
+// Get returns the current neighbors of u (never modified by the table
+// afterwards; callers must not mutate it).
+func (t *KNNTable) Get(u core.UserID) []core.UserID {
+	s := &t.shards[shardOf(u)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[u]
+}
+
+// Put replaces u's neighbor list. The slice is stored as-is; the caller
+// must not modify it afterwards.
+func (t *KNNTable) Put(u core.UserID, neighbors []core.UserID) {
+	s := &t.shards[shardOf(u)]
+	s.mu.Lock()
+	s.m[u] = neighbors
+	s.mu.Unlock()
+}
+
+// Len returns the number of users with a stored neighborhood.
+func (t *KNNTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

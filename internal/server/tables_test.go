@@ -1,0 +1,198 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyrec/internal/core"
+)
+
+func TestProfileTableGetUnknown(t *testing.T) {
+	tb := NewProfileTable()
+	p := tb.Get(5)
+	if p.User() != 5 || p.Size() != 0 {
+		t.Fatalf("unknown user profile: %v", p)
+	}
+	if tb.Known(5) {
+		t.Error("Get must not register users")
+	}
+}
+
+func TestProfileTablePutGet(t *testing.T) {
+	tb := NewProfileTable()
+	p := core.NewProfile(1).WithRating(3, true)
+	tb.Put(p)
+	if !tb.Known(1) || tb.Len() != 1 {
+		t.Fatal("Put did not register")
+	}
+	got := tb.Get(1)
+	if !got.Equal(p) {
+		t.Fatalf("Get = %v", got)
+	}
+}
+
+func TestProfileTableUpdate(t *testing.T) {
+	tb := NewProfileTable()
+	got := tb.Update(2, func(p core.Profile) core.Profile { return p.WithRating(9, true) })
+	if !got.LikedContains(9) {
+		t.Fatal("update result wrong")
+	}
+	if !tb.Get(2).LikedContains(9) {
+		t.Fatal("update not stored")
+	}
+	if tb.Len() != 1 {
+		t.Fatal("update did not register user")
+	}
+	// Second update of same user must not re-register.
+	tb.Update(2, func(p core.Profile) core.Profile { return p.WithRating(10, true) })
+	if tb.Len() != 1 {
+		t.Fatal("duplicate roster entry")
+	}
+}
+
+func TestProfileTableRandomUsers(t *testing.T) {
+	tb := NewProfileTable()
+	for u := core.UserID(0); u < 50; u++ {
+		tb.Put(core.NewProfile(u))
+	}
+	rng := rand.New(rand.NewSource(1))
+	got := tb.RandomUsers(rng, 10, 7)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[core.UserID]bool{}
+	for _, u := range got {
+		if u == 7 {
+			t.Fatal("excluded user drawn")
+		}
+		if seen[u] {
+			t.Fatal("duplicate draw in one call")
+		}
+		seen[u] = true
+	}
+}
+
+func TestProfileTableRandomUsersSmallPopulation(t *testing.T) {
+	tb := NewProfileTable()
+	tb.Put(core.NewProfile(1))
+	rng := rand.New(rand.NewSource(1))
+	// Asking for more users than exist must terminate and return what's
+	// available (possibly less).
+	got := tb.RandomUsers(rng, 5, 1)
+	if len(got) != 0 {
+		t.Fatalf("only excluded user exists, got %v", got)
+	}
+	if got := tb.RandomUsers(rng, 3, 99); len(got) != 1 {
+		t.Fatalf("got %v, want just user 1", got)
+	}
+	// Empty table.
+	empty := NewProfileTable()
+	if got := empty.RandomUsers(rng, 3, 0); got != nil {
+		t.Fatalf("empty table returned %v", got)
+	}
+}
+
+func TestProfileTableRandomUsersUniformish(t *testing.T) {
+	tb := NewProfileTable()
+	const n = 20
+	for u := core.UserID(0); u < n; u++ {
+		tb.Put(core.NewProfile(u))
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := map[core.UserID]int{}
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		for _, u := range tb.RandomUsers(rng, 1, n+1) {
+			counts[u]++
+		}
+	}
+	// Each user should get ~draws/n = 200; allow wide tolerance.
+	for u := core.UserID(0); u < n; u++ {
+		if counts[u] < 100 || counts[u] > 320 {
+			t.Errorf("user %v drawn %d times, expected ≈200", u, counts[u])
+		}
+	}
+}
+
+func TestProfileTableForEachAndUsers(t *testing.T) {
+	tb := NewProfileTable()
+	for u := core.UserID(0); u < 10; u++ {
+		tb.Put(core.NewProfile(u).WithRating(core.ItemID(u), true))
+	}
+	count := 0
+	tb.ForEach(func(p core.Profile) {
+		if !p.LikedContains(core.ItemID(p.User())) {
+			t.Errorf("wrong profile for %v", p.User())
+		}
+		count++
+	})
+	if count != 10 {
+		t.Fatalf("ForEach visited %d", count)
+	}
+	if len(tb.Users()) != 10 {
+		t.Fatal("Users() wrong length")
+	}
+}
+
+func TestProfileTableConcurrent(t *testing.T) {
+	tb := NewProfileTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				u := core.UserID(rng.Intn(100))
+				tb.Update(u, func(p core.Profile) core.Profile {
+					return p.WithRating(core.ItemID(i), true)
+				})
+				tb.Get(u)
+				tb.RandomUsers(rng, 3, u)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tb.Len() == 0 || tb.Len() > 100 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestKNNTable(t *testing.T) {
+	kt := NewKNNTable()
+	if kt.Get(1) != nil {
+		t.Fatal("unknown user has neighbors")
+	}
+	kt.Put(1, []core.UserID{2, 3})
+	if got := kt.Get(1); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("Get = %v", got)
+	}
+	kt.Put(1, []core.UserID{4})
+	if got := kt.Get(1); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("overwrite failed: %v", got)
+	}
+	if kt.Len() != 1 {
+		t.Fatalf("Len = %d", kt.Len())
+	}
+}
+
+func TestKNNTableConcurrent(t *testing.T) {
+	kt := NewKNNTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				u := core.UserID(i % 64)
+				kt.Put(u, []core.UserID{core.UserID(g), core.UserID(i)})
+				kt.Get(u)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if kt.Len() != 64 {
+		t.Fatalf("Len = %d", kt.Len())
+	}
+}

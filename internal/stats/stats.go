@@ -1,0 +1,226 @@
+// Package stats provides the small statistical toolkit used across the
+// HyRec evaluation harness: online means, percentiles, fixed-bucket
+// histograms and linear fits. Everything is allocation-light and
+// deterministic so benchmark output is reproducible.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It copies xs, leaving it unsorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary condenses a sample into the moments the benchmark tables report.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// String renders the summary in one line for harness output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// DurationsToMillis converts a slice of durations to float64 milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the running population variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// LinearFit returns slope and intercept of the least-squares line through
+// (xs[i], ys[i]). Both slices must have equal length ≥ 2.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, Mean(ys)
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// Histogram counts observations into uniform buckets over [lo, hi).
+// Out-of-range observations clamp into the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	total   int
+}
+
+// NewHistogram creates a histogram with n uniform buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// FractionAbove returns the fraction of observations with value ≥ x.
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	first := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if first < 0 {
+		first = 0
+	}
+	count := 0
+	for i := first; i < len(h.buckets); i++ {
+		count += h.buckets[i]
+	}
+	return float64(count) / float64(h.total)
+}

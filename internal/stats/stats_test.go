@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+	// Population stddev of {1,2,3,4} is sqrt(1.25).
+	if got := StdDev([]float64{1, 2, 3, 4}); !almostEqual(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(1.25))
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev single = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEqual(s.Mean, 2.5, 1e-12) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String() empty")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatalf("Summarize(nil).N = %d", empty.N)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("Welford sd %v != batch %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.StdDev() != 0 {
+		t.Fatal("zero-value Welford variance not 0")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Var() != 0 {
+		t.Fatalf("after one add: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v; want 2, 1", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, i := LinearFit([]float64{1}, []float64{2}); s != 0 || i != 0 {
+		t.Fatalf("short input fit = %v,%v", s, i)
+	}
+	// Vertical line: all x equal.
+	s, i := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if s != 0 || !almostEqual(i, 2, 1e-12) {
+		t.Fatalf("vertical fit = %v,%v", s, i)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0.5, 1.5, 9.5, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 2 { // 0.5 and clamped -3
+		t.Errorf("Bucket(0) = %d, want 2", h.Bucket(0))
+	}
+	if h.Bucket(9) != 2 { // 9.5 and clamped 42
+		t.Errorf("Bucket(9) = %d, want 2", h.Bucket(9))
+	}
+	if got := h.FractionAbove(9); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("FractionAbove(9) = %v, want 0.4", got)
+	}
+	if h.NumBuckets() != 10 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestDurationsToMillis(t *testing.T) {
+	got := DurationsToMillis([]time.Duration{time.Second, 1500 * time.Microsecond})
+	if got[0] != 1000 || got[1] != 1.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return pa <= pb && pa >= lo && pb <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package stress reproduces the client-machine instrumentation of
+// Section 5.6: a duty-cycle CPU load generator (the paper uses the Linux
+// `stress` tool and the antutu benchmark) and a progress monitor that
+// counts similarity-computation loops per time window (Figure 11's
+// y-axis). Both are real executions, not models; the widget's Device
+// abstraction handles cross-device extrapolation separately.
+package stress
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Load occupies approximately `fraction` of every CPU with busy-work until
+// the returned stop function is called. The duty cycle alternates ~5 ms
+// busy and proportional idle slices, the same strategy `stress --cpu`
+// variants use.
+func Load(fraction float64) (stop func()) {
+	if fraction <= 0 {
+		return func() {}
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	const slice = 5 * time.Millisecond
+	busy := time.Duration(float64(slice) * fraction)
+	idle := slice - busy
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink := uint64(1)
+			for ctx.Err() == nil {
+				deadline := time.Now().Add(busy)
+				for time.Now().Before(deadline) {
+					sink = sink*6364136223846793005 + 1442695040888963407
+				}
+				if idle > 0 {
+					timer := time.NewTimer(idle)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						timer.Stop()
+					}
+				}
+			}
+			atomic.AddUint64(&blackhole, sink)
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// blackhole defeats dead-code elimination of the busy loops.
+var blackhole uint64
+
+// Monitor runs fn in a tight loop for the given window and returns how
+// many iterations completed — the "number of loops" progress measure of
+// Figure 11. fn should be a small unit of work (one similarity
+// computation in the paper).
+func Monitor(window time.Duration, fn func()) (iterations int64) {
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		fn()
+		iterations++
+	}
+	return iterations
+}
+
+// MeasureUnderLoad reports Monitor's progress at each background CPU-load
+// level, restoring an idle machine between levels. It is the harness
+// behind Figures 11 and 12.
+func MeasureUnderLoad(levels []float64, window time.Duration, fn func()) []int64 {
+	out := make([]int64, len(levels))
+	for i, level := range levels {
+		stop := Load(level)
+		out[i] = Monitor(window, fn)
+		stop()
+	}
+	return out
+}

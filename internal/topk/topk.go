@@ -1,0 +1,120 @@
+// Package topk provides a bounded top-k collector used by the KNN-selection
+// and item-recommendation kernels (Algorithms 1 and 2 of the HyRec paper).
+//
+// The collector keeps the k entries with the highest scores out of an
+// arbitrary stream, in O(log k) per offer and O(k) memory. Ties are broken
+// deterministically by preferring the smaller ID, so that replays and tests
+// are reproducible regardless of offer order.
+package topk
+
+import "sort"
+
+// Entry is a scored identifier. ID is wide enough for both user and item
+// identifiers used throughout the module.
+type Entry struct {
+	ID    uint32
+	Score float64
+}
+
+// better reports whether a should be ranked strictly ahead of b.
+// Higher scores win; equal scores prefer the smaller ID.
+func better(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// Collector accumulates the k best entries from a stream of offers.
+// The zero value is unusable; construct with New.
+type Collector struct {
+	k int
+	// h is a binary min-heap ordered by "worst first": h[0] is the entry
+	// that the next better offer would evict.
+	h []Entry
+}
+
+// New returns a Collector that retains the k highest-scoring entries.
+// k must be positive.
+func New(k int) *Collector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Collector{k: k, h: make([]Entry, 0, k)}
+}
+
+// K returns the configured capacity of the collector.
+func (c *Collector) K() int { return c.k }
+
+// Len returns the number of entries currently retained.
+func (c *Collector) Len() int { return len(c.h) }
+
+// Offer considers a new entry. It is kept if fewer than k entries have been
+// seen or if it beats the current worst retained entry.
+func (c *Collector) Offer(id uint32, score float64) {
+	e := Entry{ID: id, Score: score}
+	if len(c.h) < c.k {
+		c.h = append(c.h, e)
+		c.up(len(c.h) - 1)
+		return
+	}
+	if better(e, c.h[0]) {
+		c.h[0] = e
+		c.down(0)
+	}
+}
+
+// Threshold returns the score an offer must strictly beat (up to tie-break)
+// to be retained, and false if the collector is not yet full.
+func (c *Collector) Threshold() (float64, bool) {
+	if len(c.h) < c.k {
+		return 0, false
+	}
+	return c.h[0].Score, true
+}
+
+// Sorted returns the retained entries ordered best-first (descending score,
+// ascending ID on ties). The collector remains valid and unchanged.
+func (c *Collector) Sorted() []Entry {
+	out := make([]Entry, len(c.h))
+	copy(out, c.h)
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// Reset empties the collector, retaining its capacity.
+func (c *Collector) Reset() { c.h = c.h[:0] }
+
+// worse is the heap ordering: the root must be the entry that loses to all
+// others, i.e. the minimum under "better".
+func (c *Collector) worse(i, j int) bool { return better(c.h[j], c.h[i]) }
+
+func (c *Collector) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.worse(i, parent) {
+			break
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+func (c *Collector) down(i int) {
+	n := len(c.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.worse(l, smallest) {
+			smallest = l
+		}
+		if r < n && c.worse(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.h[i], c.h[smallest] = c.h[smallest], c.h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,110 @@
+package widget
+
+import (
+	"sync"
+
+	"hyrec/internal/core"
+	"hyrec/internal/topk"
+)
+
+// minParallelCandidates is the candidate-set size below which the parallel
+// path is not worth the goroutine fan-out.
+const minParallelCandidates = 16
+
+// WithWorkers enables the HTML5-web-worker execution mode the paper's
+// conclusion anticipates ("recent technologies like support for JavaScript
+// threads in HTML5 may further improve the performance of HyRec"): KNN
+// similarity scoring and recommendation tallying are partitioned across n
+// parallel workers. Results are bit-identical to the sequential path (the
+// per-chunk top-k merge preserves Algorithm 1's deterministic tie-breaks),
+// which TestParallelMatchesSequential verifies. n ≤ 1 keeps the
+// single-threaded widget.
+func WithWorkers(n int) Option {
+	return func(w *Widget) { w.workers = n }
+}
+
+// Workers returns the configured worker count (1 = sequential).
+func (w *Widget) Workers() int {
+	if w.workers <= 1 {
+		return 1
+	}
+	return w.workers
+}
+
+// selectKNN runs Algorithm 1 sequentially or across workers.
+func (w *Widget) selectKNN(own core.Profile, candidates []core.Profile, k int) []core.Neighbor {
+	if w.workers <= 1 || len(candidates) < minParallelCandidates || k <= 0 {
+		return core.SelectKNN(own, candidates, k, w.metric)
+	}
+	chunks := splitProfiles(candidates, w.workers)
+	partial := make([][]core.Neighbor, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, chunk []core.Profile) {
+			defer wg.Done()
+			partial[i] = core.SelectKNN(own, chunk, k, w.metric)
+		}(i, chunk)
+	}
+	wg.Wait()
+
+	// Merge: any entry outside its chunk's top-k is dominated by k entries
+	// from that same chunk, so the union of chunk top-ks contains the
+	// global top-k.
+	col := topk.New(k)
+	for _, ns := range partial {
+		for _, n := range ns {
+			col.Offer(uint32(n.User), n.Sim)
+		}
+	}
+	entries := col.Sorted()
+	out := make([]core.Neighbor, len(entries))
+	for i, e := range entries {
+		out[i] = core.Neighbor{User: core.UserID(e.ID), Sim: e.Score}
+	}
+	return out
+}
+
+// recommend runs Algorithm 2 sequentially or across workers.
+func (w *Widget) recommend(own core.Profile, candidates []core.Profile, r int) []core.ItemID {
+	if w.workers <= 1 || len(candidates) < minParallelCandidates || r <= 0 {
+		return core.Recommend(own, candidates, r)
+	}
+	chunks := splitProfiles(candidates, w.workers)
+	partial := make([]map[core.ItemID]int, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, chunk []core.Profile) {
+			defer wg.Done()
+			partial[i] = core.CountUnseen(own, chunk)
+		}(i, chunk)
+	}
+	wg.Wait()
+
+	merged := partial[0]
+	for _, m := range partial[1:] {
+		for item, count := range m {
+			merged[item] += count
+		}
+	}
+	return core.TopItems(merged, r)
+}
+
+// splitProfiles partitions profiles into at most n contiguous chunks of
+// near-equal size (never returning empty chunks).
+func splitProfiles(profiles []core.Profile, n int) [][]core.Profile {
+	if n > len(profiles) {
+		n = len(profiles)
+	}
+	chunks := make([][]core.Profile, 0, n)
+	chunkLen := (len(profiles) + n - 1) / n
+	for lo := 0; lo < len(profiles); lo += chunkLen {
+		hi := lo + chunkLen
+		if hi > len(profiles) {
+			hi = len(profiles)
+		}
+		chunks = append(chunks, profiles[lo:hi])
+	}
+	return chunks
+}

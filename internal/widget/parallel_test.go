@@ -1,0 +1,115 @@
+package widget
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// randomJob builds a job with n candidate profiles drawn from a seeded rng.
+func randomJob(n, profileSize, items int, seed int64) *wire.Job {
+	rng := rand.New(rand.NewSource(seed))
+	job := &wire.Job{UID: 0, K: 10, R: 10}
+	mkProfile := func(id uint32) wire.ProfileMsg {
+		liked := make(map[uint32]bool, profileSize)
+		for len(liked) < profileSize {
+			liked[uint32(rng.Intn(items))] = true
+		}
+		msg := wire.ProfileMsg{ID: id}
+		for it := range liked {
+			msg.Liked = append(msg.Liked, it)
+		}
+		return msg
+	}
+	job.Profile = mkProfile(0)
+	for i := 1; i <= n; i++ {
+		job.Candidates = append(job.Candidates, mkProfile(uint32(i)))
+	}
+	return job
+}
+
+// The web-worker mode must be result-identical to the sequential widget.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := New()
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := New(WithWorkers(workers))
+		for seed := int64(0); seed < 8; seed++ {
+			job := randomJob(60, 12, 150, seed)
+			want, _ := seq.Execute(job)
+			got, _ := par.Execute(job)
+			if !reflect.DeepEqual(want.Neighbors, got.Neighbors) {
+				t.Fatalf("workers=%d seed=%d: neighbors diverged\nseq: %v\npar: %v",
+					workers, seed, want.Neighbors, got.Neighbors)
+			}
+			if !reflect.DeepEqual(want.Recommendations, got.Recommendations) {
+				t.Fatalf("workers=%d seed=%d: recommendations diverged\nseq: %v\npar: %v",
+					workers, seed, want.Recommendations, got.Recommendations)
+			}
+		}
+	}
+}
+
+// Property: equality holds across arbitrary worker counts and sizes.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	seq := New()
+	prop := func(workers uint8, nCand uint8, seed int64) bool {
+		w := int(workers%7) + 2 // 2..8
+		n := int(nCand%80) + 1  // 1..80 (crosses the parallel threshold)
+		job := randomJob(n, 8, 100, seed)
+		want, _ := seq.Execute(job)
+		got, _ := New(WithWorkers(w)).Execute(job)
+		return reflect.DeepEqual(want.Neighbors, got.Neighbors) &&
+			reflect.DeepEqual(want.Recommendations, got.Recommendations)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersAccessor(t *testing.T) {
+	if got := New().Workers(); got != 1 {
+		t.Fatalf("default workers = %d", got)
+	}
+	if got := New(WithWorkers(0)).Workers(); got != 1 {
+		t.Fatalf("workers(0) = %d", got)
+	}
+	if got := New(WithWorkers(4)).Workers(); got != 4 {
+		t.Fatalf("workers(4) = %d", got)
+	}
+}
+
+func TestSplitProfilesCoversAll(t *testing.T) {
+	profiles := make([]core.Profile, 23)
+	for i := range profiles {
+		profiles[i] = core.NewProfile(core.UserID(i))
+	}
+	for n := 1; n <= 30; n++ {
+		chunks := splitProfiles(profiles, n)
+		total := 0
+		for _, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("n=%d produced empty chunk", n)
+			}
+			total += len(c)
+		}
+		if total != len(profiles) {
+			t.Fatalf("n=%d covered %d of %d profiles", n, total, len(profiles))
+		}
+	}
+}
+
+func TestParallelSmallJobFallsBack(t *testing.T) {
+	// Below the threshold the parallel widget takes the sequential path —
+	// observable only through identical behaviour, so verify the tiny job
+	// still works with absurd worker counts.
+	par := New(WithWorkers(64))
+	job := randomJob(3, 5, 50, 1)
+	res, _ := par.Execute(job)
+	if len(res.Neighbors) == 0 {
+		t.Fatal("no neighbors selected")
+	}
+}

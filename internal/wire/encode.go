@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"hyrec/internal/core"
+)
+
+// AppendProfileMsg appends the JSON encoding of m to dst and returns the
+// extended slice. The output is byte-identical to encoding/json's Marshal
+// of ProfileMsg, so jobs assembled from cached fragments remain parseable
+// by any JSON decoder.
+func AppendProfileMsg(dst []byte, m ProfileMsg) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, uint64(m.ID), 10)
+	dst = append(dst, `,"liked":`...)
+	dst = appendUintArray(dst, m.Liked)
+	if len(m.Disliked) > 0 {
+		dst = append(dst, `,"disliked":`...)
+		dst = appendUintArray(dst, m.Disliked)
+	}
+	return append(dst, '}')
+}
+
+// AppendJob appends the JSON encoding of j to dst, using enc to encode each
+// candidate profile (enc may serve cached fragments). It produces the same
+// bytes as EncodeJob.
+func AppendJob(dst []byte, j *Job, enc func(dst []byte, m ProfileMsg) []byte) []byte {
+	if enc == nil {
+		enc = AppendProfileMsg
+	}
+	dst = append(dst, `{"uid":`...)
+	dst = strconv.AppendUint(dst, uint64(j.UID), 10)
+	dst = append(dst, `,"epoch":`...)
+	dst = strconv.AppendUint(dst, j.Epoch, 10)
+	dst = append(dst, `,"k":`...)
+	dst = strconv.AppendInt(dst, int64(j.K), 10)
+	dst = append(dst, `,"r":`...)
+	dst = strconv.AppendInt(dst, int64(j.R), 10)
+	dst = append(dst, `,"profile":`...)
+	dst = enc(dst, j.Profile)
+	dst = append(dst, `,"candidates":`...)
+	if j.Candidates == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i, c := range j.Candidates {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = enc(dst, c)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+func appendUintArray(dst []byte, xs []uint32) []byte {
+	if xs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendUint(dst, uint64(x), 10)
+	}
+	return append(dst, ']')
+}
+
+// ProfileCache memoises the JSON fragment of each user's profile, keyed by
+// (profile version, anonymiser epoch). The orchestrator assembles
+// personalization jobs by concatenating cached fragments, turning per-request
+// serialization into memcpy — the "serialized-profile cache" design decision
+// benchmarked by BenchmarkAblationProfileCache. Safe for concurrent use.
+type ProfileCache struct {
+	mu    sync.RWMutex
+	epoch uint64
+	m     map[core.UserID]cachedFragment
+}
+
+type cachedFragment struct {
+	version uint64
+	data    []byte
+}
+
+// NewProfileCache returns an empty cache.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{m: make(map[core.UserID]cachedFragment)}
+}
+
+// Fragment returns the JSON fragment for profile p under anon's epoch,
+// computing and caching it on miss. The returned slice must not be
+// modified. Pass a core.AliasView so the fragment's epoch matches the
+// job it is spliced into.
+func (c *ProfileCache) Fragment(p core.Profile, anon core.Aliaser) []byte {
+	epoch := uint64(0)
+	if anon != nil {
+		epoch = anon.Epoch()
+	}
+	c.mu.RLock()
+	if c.epoch == epoch {
+		if f, ok := c.m[p.User()]; ok && f.version == p.Version() {
+			c.mu.RUnlock()
+			return f.data
+		}
+	}
+	c.mu.RUnlock()
+
+	data := AppendProfileMsg(nil, ProfileToMsg(p, anon))
+
+	c.mu.Lock()
+	if c.epoch != epoch {
+		// The anonymiser rotated: every cached pseudonym is stale.
+		c.m = make(map[core.UserID]cachedFragment, len(c.m))
+		c.epoch = epoch
+	}
+	c.m[p.User()] = cachedFragment{version: p.Version(), data: data}
+	c.mu.Unlock()
+	return data
+}
+
+// Len returns the number of cached fragments (for tests and stats).
+func (c *ProfileCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// SortUint32 sorts ids ascending; helper shared by tests and the widget
+// when normalising wire arrays.
+func SortUint32(ids []uint32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// GzipLevel selects the compression effort for outgoing jobs. The paper
+// compresses "on the fly"; we default to BestSpeed, trading a slightly
+// larger payload for front-end latency (ablation:
+// BenchmarkAblationGzipLevel).
+type GzipLevel int
+
+// Supported compression levels. GzipHuffmanOnly (Huffman coding without
+// Lempel-Ziv matching) is the latency escape hatch: the paper's J2EE stack
+// compressed with native zlib, which is several times faster than Go's
+// pure-Go gzip at the same level, so deployments that care about
+// single-request latency more than the last 20% of bandwidth can pick it
+// (see BenchmarkAblationGzipLevel for the measured trade-off).
+const (
+	GzipBestSpeed   GzipLevel = gzip.BestSpeed
+	GzipDefault     GzipLevel = -1 // gzip.DefaultCompression
+	GzipBestCompact GzipLevel = gzip.BestCompression
+	GzipHuffmanOnly GzipLevel = gzip.HuffmanOnly
+)
+
+// writerPools pools gzip writers per level: (de)allocating a gzip.Writer
+// per request dominates small-message latency otherwise.
+var writerPools sync.Map // GzipLevel → *sync.Pool
+
+func pool(level GzipLevel) *sync.Pool {
+	if p, ok := writerPools.Load(level); ok {
+		return p.(*sync.Pool)
+	}
+	p := &sync.Pool{New: func() any {
+		w, err := gzip.NewWriterLevel(io.Discard, int(level))
+		if err != nil {
+			// Level is validated by callers; fall back to default.
+			w = gzip.NewWriter(io.Discard)
+		}
+		return w
+	}}
+	actual, _ := writerPools.LoadOrStore(level, p)
+	return actual.(*sync.Pool)
+}
+
+// Compress gzips data at the given level.
+func Compress(data []byte, level GzipLevel) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(data)/3 + 64)
+	p := pool(level)
+	w, ok := p.Get().(*gzip.Writer)
+	if !ok {
+		return nil, fmt.Errorf("wire: corrupt gzip writer pool")
+	}
+	w.Reset(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("wire: gzip write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("wire: gzip close: %w", err)
+	}
+	p.Put(w)
+	return buf.Bytes(), nil
+}
+
+// Decompress inflates a gzip payload.
+func Decompress(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("wire: gzip open: %w", err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: gzip read: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("wire: gzip close: %w", err)
+	}
+	return out, nil
+}
+
+// Meter counts bytes crossing a boundary, in both raw (JSON) and
+// compressed (gzip) form. It backs Figure 10 and the per-node bandwidth
+// comparison of Section 5.6. Safe for concurrent use; the zero value is
+// ready.
+type Meter struct {
+	jsonBytes  atomic.Int64
+	gzipBytes  atomic.Int64
+	messages   atomic.Int64
+	resultJSON atomic.Int64
+}
+
+// CountJob records one outgoing personalization job.
+func (m *Meter) CountJob(jsonLen, gzipLen int) {
+	m.jsonBytes.Add(int64(jsonLen))
+	m.gzipBytes.Add(int64(gzipLen))
+	m.messages.Add(1)
+}
+
+// CountResult records one incoming widget result.
+func (m *Meter) CountResult(jsonLen int) {
+	m.resultJSON.Add(int64(jsonLen))
+	m.messages.Add(1)
+}
+
+// JSONBytes returns cumulative uncompressed job bytes.
+func (m *Meter) JSONBytes() int64 { return m.jsonBytes.Load() }
+
+// GzipBytes returns cumulative compressed job bytes.
+func (m *Meter) GzipBytes() int64 { return m.gzipBytes.Load() }
+
+// ResultBytes returns cumulative result bytes (client → server).
+func (m *Meter) ResultBytes() int64 { return m.resultJSON.Load() }
+
+// Messages returns the total number of metered messages.
+func (m *Meter) Messages() int64 { return m.messages.Load() }
+
+// TotalOnWire returns the bytes that actually crossed the network:
+// compressed jobs plus (uncompressed) results.
+func (m *Meter) TotalOnWire() int64 { return m.GzipBytes() + m.ResultBytes() }

@@ -1,0 +1,122 @@
+// Package wire defines HyRec's on-the-wire message formats (Section 4.2 of
+// the paper): JSON personalization jobs and KNN-update results, gzip
+// compression with pooled writers, a version-keyed cache of serialized
+// profiles, and byte meters used to reproduce the bandwidth experiments
+// (Figure 10 and Section 5.6).
+//
+// All identifiers inside messages are pseudonyms minted by a
+// core.Anonymizer; this package never sees real IDs.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hyrec/internal/core"
+)
+
+// ProfileMsg is the JSON form of one (pseudonymised) user profile.
+type ProfileMsg struct {
+	ID       uint32   `json:"id"`
+	Liked    []uint32 `json:"liked"`
+	Disliked []uint32 `json:"disliked,omitempty"`
+}
+
+// Job is a personalization job: everything the widget needs to run one
+// iteration of KNN selection (Algorithm 1) and item recommendation
+// (Algorithm 2). It carries the requesting user's own profile plus the
+// candidate set assembled by the Sampler.
+type Job struct {
+	UID        uint32       `json:"uid"`
+	Epoch      uint64       `json:"epoch"`
+	K          int          `json:"k"`
+	R          int          `json:"r"`
+	Profile    ProfileMsg   `json:"profile"`
+	Candidates []ProfileMsg `json:"candidates"`
+}
+
+// Result is the widget's reply: the user's new k nearest neighbours (best
+// first) and the recommendations it computed, all still pseudonymised under
+// the job's epoch.
+type Result struct {
+	UID             uint32   `json:"uid"`
+	Epoch           uint64   `json:"epoch"`
+	Neighbors       []uint32 `json:"neighbors"`
+	Recommendations []uint32 `json:"recs"`
+}
+
+// EncodeJob serializes a job with encoding/json. The hot path uses
+// AppendJob / JobEncoder with the profile cache instead; both produce
+// byte-identical JSON, which TestEncoderEquivalence verifies.
+func EncodeJob(j *Job) ([]byte, error) { return json.Marshal(j) }
+
+// DecodeJob parses a personalization job.
+func DecodeJob(data []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("wire: decode job: %w", err)
+	}
+	return &j, nil
+}
+
+// EncodeResult serializes a widget result.
+func EncodeResult(r *Result) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeResult parses a widget result.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("wire: decode result: %w", err)
+	}
+	return &r, nil
+}
+
+// ProfileToMsg converts a core.Profile into its wire form, pseudonymising
+// every identifier with the given aliaser — pass a core.AliasView when
+// assembling a job so every identifier belongs to one epoch. A nil anon
+// sends real IDs (used by tests and by deployments that disable
+// anonymisation).
+func ProfileToMsg(p core.Profile, anon core.Aliaser) ProfileMsg {
+	msg := ProfileMsg{
+		ID:    aliasUser(p.User(), anon),
+		Liked: aliasItems(p.Liked(), anon),
+	}
+	if len(p.Disliked()) > 0 {
+		msg.Disliked = aliasItems(p.Disliked(), anon)
+	}
+	return msg
+}
+
+// MsgToProfile reconstructs a profile from its wire form. Identifiers are
+// kept as-is (pseudonymised); the widget works entirely in pseudonym space,
+// which is safe because the anonymiser's bijection preserves set
+// intersections and therefore similarities.
+func MsgToProfile(m ProfileMsg) core.Profile {
+	p := core.NewProfile(core.UserID(m.ID))
+	for _, i := range m.Liked {
+		p = p.WithRating(core.ItemID(i), true)
+	}
+	for _, i := range m.Disliked {
+		p = p.WithRating(core.ItemID(i), false)
+	}
+	return p
+}
+
+func aliasUser(u core.UserID, anon core.Aliaser) uint32 {
+	if anon == nil {
+		return uint32(u)
+	}
+	return uint32(anon.AliasUser(u))
+}
+
+func aliasItems(items []core.ItemID, anon core.Aliaser) []uint32 {
+	out := make([]uint32, len(items))
+	for i, it := range items {
+		if anon == nil {
+			out[i] = uint32(it)
+		} else {
+			out[i] = uint32(anon.AliasItem(it))
+		}
+	}
+	return out
+}

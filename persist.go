@@ -1,0 +1,30 @@
+package hyrec
+
+import "hyrec/internal/persist"
+
+// Durable state (see internal/persist): checksummed snapshots of the
+// server's Profile and KNN tables, so converged neighbourhoods survive
+// restarts. cmd/hyrec-server wires these behind its -snapshot flag.
+
+type (
+	// Snapshot is a point-in-time copy of an engine's global tables.
+	Snapshot = persist.Snapshot
+	// SnapshotSaver periodically saves engine snapshots in the background.
+	SnapshotSaver = persist.Saver
+)
+
+// CaptureSnapshot copies the engine's tables into a snapshot.
+func CaptureSnapshot(e *Engine) *Snapshot { return persist.Capture(e) }
+
+// RestoreSnapshot loads a snapshot into the engine (snapshot users replace
+// existing entries; others are untouched).
+func RestoreSnapshot(e *Engine, s *Snapshot) error { return persist.Restore(e, s) }
+
+// SaveSnapshot atomically writes a snapshot file (temp file + rename; a
+// crash mid-save never destroys the previous snapshot).
+func SaveSnapshot(path string, s *Snapshot) error { return persist.Save(path, s) }
+
+// LoadSnapshot reads and verifies a snapshot file, failing with
+// persist.ErrCorrupt on truncation or bit rot rather than restoring
+// garbage.
+func LoadSnapshot(path string) (*Snapshot, error) { return persist.Load(path) }

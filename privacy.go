@@ -1,0 +1,39 @@
+package hyrec
+
+import "hyrec/internal/privacy"
+
+// Privacy extension (see internal/privacy): ε-local-differential-privacy
+// perturbation of candidate profiles, the "stronger privacy mechanism" the
+// paper's concluding remarks propose. Plug a mechanism into
+// Config.CandidateFilter and every profile leaving the server is released
+// under randomized response.
+
+type (
+	// RandomizedResponse is the ε-LDP profile perturbation mechanism.
+	RandomizedResponse = privacy.RandomizedResponse
+	// PrivacyOption customises a RandomizedResponse.
+	PrivacyOption = privacy.Option
+	// PrivacyAccountant tracks per-user privacy spend under sequential
+	// composition.
+	PrivacyAccountant = privacy.Accountant
+)
+
+// NewRandomizedResponse builds an ε-LDP mechanism over the item universe
+// [0, numItems). Use it as
+//
+//	rr, _ := hyrec.NewRandomizedResponse(1.0, numItems, seed)
+//	cfg.CandidateFilter = rr.Filter()
+func NewRandomizedResponse(epsilon float64, numItems uint32, seed int64, opts ...PrivacyOption) (*RandomizedResponse, error) {
+	return privacy.NewRandomizedResponse(epsilon, numItems, seed, opts...)
+}
+
+// WithPermanentNoise switches the mechanism to RAPPOR-style permanent
+// randomized response: one noise draw per profile version, replayed on
+// every release, so repeat observations cannot average the noise away.
+func WithPermanentNoise() PrivacyOption { return privacy.WithMemo() }
+
+// NewPrivacyAccountant tracks cumulative ε spend per user at the given
+// per-release epsilon.
+func NewPrivacyAccountant(epsilonPerRelease float64) *PrivacyAccountant {
+	return privacy.NewAccountant(epsilonPerRelease)
+}

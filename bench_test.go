@@ -6,12 +6,15 @@ package hyrec_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"hyrec"
 	"hyrec/internal/core"
 	"hyrec/internal/experiments"
+	"hyrec/internal/loadgen"
 	"hyrec/internal/privacy"
 	"hyrec/internal/wire"
 )
@@ -443,4 +446,56 @@ func BenchmarkAblationFeistelVsMap(b *testing.B) {
 			mu.RUnlock()
 		}
 	})
+}
+
+// BenchmarkClusterHTTPOnline drives the fan-out front-end with the
+// ab-style load generator, spreading /online requests over a population
+// that spans every partition — the HTTP view of the cluster throughput
+// comparison (in-process view: BenchmarkClusterScaling).
+func BenchmarkClusterHTTPOnline(b *testing.B) {
+	for _, parts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			cfg := hyrec.DefaultConfig()
+			c := hyrec.NewCluster(cfg, parts)
+			uids := make([]uint32, 200)
+			for i := range uids {
+				u := core.UserID(i + 1)
+				uids[i] = uint32(u)
+				for j := 0; j < 10; j++ {
+					c.Rate(u, core.ItemID(i%7+j), true)
+				}
+			}
+			ts := httptest.NewServer(hyrec.ClusterHandler(c, 0))
+			defer ts.Close()
+			b.ResetTimer()
+			res := loadgen.Run(loadgen.UserTarget(ts.URL+"/online?uid=%d", uids), b.N, 8)
+			if res.Failures > 0 {
+				b.Fatalf("%d/%d requests failed", res.Failures, res.Requests)
+			}
+		})
+	}
+}
+
+// BenchmarkClusterScaling runs the in-process Rate+Job throughput
+// comparison (1 vs 4 vs 16 partitions) at reduced scale with a short
+// measurement window.
+func BenchmarkClusterScaling(b *testing.B) {
+	opt := benchOpts()
+	opt.Window = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		if pts := experiments.ClusterScaling(opt); len(pts) != 3 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkClusterRecall runs the cluster-vs-single-engine quality
+// replay at reduced scale.
+func BenchmarkClusterRecall(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.ClusterRecall(opt); len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
 }

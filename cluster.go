@@ -1,0 +1,42 @@
+package hyrec
+
+import (
+	"net/http"
+	"time"
+
+	"hyrec/internal/cluster"
+)
+
+// Cluster is a user-partitioned cluster of HyRec engines behind a single
+// front-end: each partition is a full Engine (own tables, anonymiser and
+// sampler RNG), users are routed to partitions by a stable hash of their
+// ID, and every partition's candidate sets are topped up with random
+// users from sibling partitions so the KNN graph converges toward the
+// single-engine baseline instead of fragmenting into per-partition
+// neighbourhoods. See internal/cluster for the full model.
+type Cluster = cluster.Cluster
+
+// ClusterHTTPServer exposes a Cluster over the paper's web API, fanning
+// requests out to the owning partition.
+type ClusterHTTPServer = cluster.HTTPServer
+
+// NewCluster builds a cluster of nParts engines sharing cfg; partition i
+// runs with a seed derived from cfg.Seed. A 1-partition cluster behaves
+// identically to a plain Engine with the same configuration.
+func NewCluster(cfg Config, nParts int) *Cluster { return cluster.New(cfg, nParts) }
+
+// NewClusterHTTPServer wraps a cluster with the fan-out web API;
+// rotateEvery > 0 rotates every partition's anonymous mapping
+// periodically in the background (call Start).
+func NewClusterHTTPServer(c *Cluster, rotateEvery time.Duration) *ClusterHTTPServer {
+	return cluster.NewHTTPServer(c, rotateEvery)
+}
+
+// ClusterHandler returns a ready-to-serve http.Handler fanning out over
+// c's partitions, with anonymiser rotation every rotateEvery (0
+// disables): the cluster analogue of Handler.
+func ClusterHandler(c *Cluster, rotateEvery time.Duration) http.Handler {
+	s := cluster.NewHTTPServer(c, rotateEvery)
+	s.Start()
+	return s.Handler()
+}

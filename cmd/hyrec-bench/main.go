@@ -13,8 +13,10 @@
 // fig11 fig12 fig13 bandwidth — plus the extension studies privacy
 // (ε-randomized-response quality trade-off), staleness (TiVo-style
 // item-based CF vs HyRec), churn (availability vs KNN quality), sampler
-// (the §3.1 candidate rule dissected), and metrics (similarity metrics
-// compared end-to-end).
+// (the §3.1 candidate rule dissected), metrics (similarity metrics
+// compared end-to-end), cluster (recall of the partitioned cluster vs the
+// single engine), and clusterscale (Rate+Job throughput, 1 vs 4 vs 16
+// partitions).
 package main
 
 import (
@@ -41,6 +43,7 @@ func run(args []string) error {
 		exp      = fs.String("exp", "all", "comma-separated experiments (or 'all')")
 		scale    = fs.Float64("scale", 0, "workload scale override (0 = per-experiment default)")
 		requests = fs.Int("requests", 0, "request-count override for load experiments")
+		window   = fs.Duration("window", 0, "measurement-window override for throughput experiments (clusterscale)")
 		seed     = fs.Int64("seed", 0, "seed override")
 		outPath  = fs.String("out", "", "also write results to this file")
 		verbose  = fs.Bool("v", false, "log progress while experiments run")
@@ -59,14 +62,15 @@ func run(args []string) error {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	opt := experiments.Options{Scale: *scale, Requests: *requests, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Requests: *requests, Window: *window, Seed: *seed}
 	if *verbose {
 		opt.Out = os.Stderr
 	}
 
 	all := []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "bandwidth",
-		"privacy", "staleness", "churn", "sampler", "metrics"}
+		"privacy", "staleness", "churn", "sampler", "metrics",
+		"cluster", "clusterscale"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = all
@@ -117,6 +121,10 @@ func run(args []string) error {
 			experiments.FprintSampler(out, experiments.SamplerAblation(opt))
 		case "metrics":
 			experiments.FprintMetrics(out, experiments.MetricCompare(opt))
+		case "cluster":
+			experiments.FprintClusterRecall(out, experiments.ClusterRecall(opt))
+		case "clusterscale":
+			experiments.FprintClusterScaling(out, experiments.ClusterScaling(opt))
 		default:
 			return fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(all, " "))
 		}

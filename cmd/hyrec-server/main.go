@@ -6,9 +6,17 @@
 //
 //	hyrec-server -addr :8080 -k 10 -r 10 -rotate 1h \
 //	    -snapshot state.snap -snapshot-interval 5m
+//	hyrec-server -addr :8080 -partitions 8
 //
 // Endpoints (Table 1): /online, /neighbors, /rate, /recommendations,
 // /stats, /healthz.
+//
+// With -partitions N (N > 1), the server runs a user-partitioned cluster
+// of N engines behind the same web API (see internal/cluster): requests
+// are routed to the partition owning the user, and candidate sets are
+// exchanged across partitions so recommendation quality matches the
+// single-engine deployment. Snapshots are not yet cluster-aware; -snapshot
+// requires -partitions 1.
 //
 // With -snapshot set, the server restores the profile and KNN tables from
 // the snapshot file at startup (if it exists), saves them periodically,
@@ -42,6 +50,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hyrec-server", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
+		parts    = fs.Int("partitions", 1, "number of user partitions (engines); >1 serves a cluster")
 		k        = fs.Int("k", 10, "neighborhood size")
 		r        = fs.Int("r", 10, "recommendations per job")
 		rotate   = fs.Duration("rotate", time.Hour, "anonymous-mapping rotation period (0 disables)")
@@ -66,6 +75,25 @@ func run(args []string) error {
 	cfg.MaxProfileItems = *maxItems
 	if *gzipBest {
 		cfg.GzipLevel = wire.GzipBestCompact
+	}
+
+	if *parts < 1 {
+		return fmt.Errorf("-partitions must be >= 1, got %d", *parts)
+	}
+	if *parts > 1 {
+		// Multi-partition mode: a user-partitioned cluster behind the same
+		// web API. Snapshots are single-engine for now; refuse the
+		// combination rather than silently persisting one partition.
+		if *snapPath != "" {
+			return fmt.Errorf("-snapshot is not supported with -partitions > 1")
+		}
+		c := hyrec.NewCluster(cfg, *parts)
+		srv := hyrec.NewClusterHTTPServer(c, *rotate)
+		srv.Start()
+		defer srv.Close()
+		fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s)\n",
+			*addr, *parts, *k, *r, *rotate)
+		return serve(*addr, srv.Handler(), nil)
 	}
 
 	engine := hyrec.NewEngine(cfg)
@@ -93,15 +121,20 @@ func run(args []string) error {
 	srv.Start()
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	fmt.Printf("hyrec-server listening on %s (k=%d r=%d rotate=%s)\n", *addr, *k, *r, *rotate)
+	return serve(*addr, srv.Handler(), saver)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully and takes the final snapshot (when a saver is configured).
+func serve(addr string, handler http.Handler, saver *persist.Saver) error {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	// Graceful shutdown: stop accepting, then take the final snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-
-	fmt.Printf("hyrec-server listening on %s (k=%d r=%d rotate=%s)\n", *addr, *k, *r, *rotate)
 
 	select {
 	case <-ctx.Done():
@@ -124,7 +157,7 @@ func run(args []string) error {
 		if err := saver.Close(); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
-		fmt.Printf("state saved to %s\n", *snapPath)
+		fmt.Println("state saved")
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module hyrec
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package cluster implements a user-partitioned cluster of HyRec server
+// engines behind a single front-end — the horizontal-scaling layer the
+// paper's "millions of users" ambition calls for once one machine's
+// memory and lock domains become the bottleneck.
+//
+// A Cluster owns N partitions, each a full server.Engine with its own
+// profile table, KNN table, anonymiser and sampler RNG. Users are mapped
+// to partitions by a fixed multiplicative hash of their ID (the same
+// idiom the server's lock-sharding uses), so routing is stateless,
+// deterministic, and stable under churn: a user keeps her partition for
+// the lifetime of the deployment, and adding users never moves existing
+// ones.
+//
+// Partitioning alone would fragment the KNN graph into N disjoint
+// neighbourhoods — a user could only ever discover neighbours inside her
+// own partition, capping recall well below the single-engine baseline.
+// The cluster therefore implements cross-partition candidate exchange:
+// every partition's sampler tops up the §3.1 candidate set with random
+// users drawn from sibling partitions (through the PeerSampler
+// interface), and the engines resolve those foreign users' profiles at
+// job-assembly time through the profile-resolver hook. Foreign users
+// flow through the widget protocol and the KNN tables exactly like local
+// ones — only their profile bytes live elsewhere — so the exchanged
+// candidates let every user's neighbourhood converge toward the global
+// KNN graph instead of a per-partition local optimum. The
+// ClusterRecall experiment (internal/experiments) verifies recall@10
+// stays within a few percent of the single-engine baseline.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+	"hyrec/internal/wire"
+)
+
+// ErrUnroutable is returned when no partition can claim a widget result:
+// its (UID, epoch) pseudonym does not resolve to a user owned and known
+// by any partition — either the epoch is stale on the minting partition
+// or the result is garbage.
+var ErrUnroutable = errors.New("cluster: result not routable to any partition")
+
+// seedStride separates the per-partition RNG seed lanes so sibling
+// engines (and their anonymisers, which use seed+1) never share a stream.
+// Partition 0 keeps the configured seed unchanged, which makes a
+// 1-partition cluster bit-for-bit equivalent to a plain engine.
+const seedStride = 1_000_003
+
+// PartitionSeed derives the engine seed for partition i from the
+// cluster-level seed.
+func PartitionSeed(seed int64, i int) int64 { return seed + int64(i)*seedStride }
+
+// Cluster is a user-partitioned set of server engines behind one
+// front-end. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg   server.Config
+	parts []*server.Engine
+	peers PeerSampler
+	// exchange is the cross-partition top-up budget per job (see
+	// SetExchange).
+	exchange int
+}
+
+// New builds a cluster of nParts engines from cfg. Partition i runs with
+// seed PartitionSeed(cfg.Seed, i); all other configuration is shared.
+// It panics on nParts < 1 or an invalid cfg (programmer error),
+// mirroring server.NewEngine.
+func New(cfg server.Config, nParts int) *Cluster {
+	if nParts < 1 {
+		panic(fmt.Sprintf("cluster: nParts must be >= 1, got %d", nParts))
+	}
+	c := &Cluster{cfg: cfg, parts: make([]*server.Engine, nParts), exchange: cfg.K}
+	for i := range c.parts {
+		pcfg := cfg
+		pcfg.Seed = PartitionSeed(cfg.Seed, i)
+		c.parts[i] = server.NewEngine(pcfg)
+	}
+	c.peers = EnginePeers{Cluster: c}
+	for i, e := range c.parts {
+		e.SetSampler(&exchangeSampler{base: server.NewDefaultSampler(e), cluster: c, home: i})
+		e.SetProfileResolver(c.foreignProfile(i))
+	}
+	return c
+}
+
+// Config returns the cluster-level configuration (partition 0's seed).
+func (c *Cluster) Config() server.Config { return c.cfg }
+
+// NumPartitions returns the number of partitions.
+func (c *Cluster) NumPartitions() int { return len(c.parts) }
+
+// Engine returns partition i's engine (metrics, tables, meters).
+func (c *Cluster) Engine(i int) *server.Engine { return c.parts[i] }
+
+// Partition returns the index of the partition that owns u. The mapping
+// is a pure function of (u, NumPartitions) — the same multiplicative-hash
+// idiom as the server tables' lock sharding — so it is stable under user
+// churn and identical across restarts.
+func (c *Cluster) Partition(u core.UserID) int {
+	if len(c.parts) == 1 {
+		return 0
+	}
+	return int(uint32(u)*0x9E3779B1>>8) % len(c.parts)
+}
+
+// owner returns the engine that owns u.
+func (c *Cluster) owner(u core.UserID) *server.Engine { return c.parts[c.Partition(u)] }
+
+// SetExchange overrides the number of cross-partition exchange candidates
+// added to every candidate set (default: the configured K). Zero disables
+// the exchange, which fragments the KNN graph into per-partition
+// neighbourhoods — useful only as an ablation. Must be called before
+// serving traffic.
+func (c *Cluster) SetExchange(n int) {
+	if n < 0 {
+		panic("cluster: negative exchange budget")
+	}
+	c.exchange = n
+}
+
+// SetPeerSampler replaces the source of cross-partition exchange
+// candidates (default: EnginePeers, which draws directly from sibling
+// rosters). Must be called before serving traffic.
+func (c *Cluster) SetPeerSampler(p PeerSampler) {
+	if p == nil {
+		panic("cluster: nil peer sampler")
+	}
+	c.peers = p
+}
+
+// foreignProfile builds the profile resolver for partition home: profiles
+// of users owned by sibling partitions are read straight from the owning
+// table (a single sharded-lock lookup; Get returns an empty profile for
+// users the owner has not registered either, which is exactly the
+// single-engine fallback). Local users report ok=false so the engine's
+// own authoritative lookup stays in charge.
+func (c *Cluster) foreignProfile(home int) server.ProfileResolver {
+	return func(u core.UserID) (core.Profile, bool) {
+		p := c.Partition(u)
+		if p == home {
+			return core.Profile{}, false
+		}
+		return c.parts[p].Profiles().Get(u), true
+	}
+}
+
+// Rate records a rating on the partition that owns u (Arrow 1 of
+// Figure 1, routed).
+func (c *Cluster) Rate(u core.UserID, item core.ItemID, liked bool) {
+	c.owner(u).Rate(u, item, liked)
+}
+
+// Job assembles u's personalization job on the owning partition. The
+// candidate set mixes the partition-local §3.1 rule with cross-partition
+// exchange candidates; every pseudonym in the job belongs to the owning
+// partition's anonymiser.
+func (c *Cluster) Job(u core.UserID) (*wire.Job, error) { return c.owner(u).Job(u) }
+
+// JobPayload assembles and serializes u's personalization job (JSON +
+// gzip) on the owning partition, exactly as Engine.JobPayload.
+func (c *Cluster) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) {
+	return c.owner(u).JobPayload(u)
+}
+
+// ApplyResult routes a widget result to the partition whose anonymiser
+// minted its pseudonyms and folds it into that partition's KNN table. A
+// partition claims a result when the (UID, epoch) pair resolves to a user
+// it both owns (by routing) and knows (has a profile for) — true for the
+// minting partition, and vanishingly unlikely for any other since a wrong
+// Feistel inversion yields an effectively random 32-bit ID. Results no
+// partition claims fall back to ownership-only routing so the owning
+// engine can report its own error (unknown user, matching the
+// single-engine contract); ErrUnroutable is returned only when the epoch
+// is unresolvable everywhere.
+func (c *Cluster) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
+	e, _, ok := c.route(res)
+	if !ok {
+		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrUnroutable, res.UID, res.Epoch)
+	}
+	return e.ApplyResult(res)
+}
+
+// route finds the partition that minted res's pseudonyms, returning its
+// engine, the resolved real user, and whether any partition claimed it.
+// Known-user claims win (accurate routing for genuine results); when no
+// partition knows the resolved user, the first ownership-only match is
+// used so the engine's ErrUnknownUser surfaces instead of a routing
+// error.
+func (c *Cluster) route(res *wire.Result) (*server.Engine, core.UserID, bool) {
+	var fbEngine *server.Engine
+	var fbUser core.UserID
+	for i, e := range c.parts {
+		u, ok := e.ResolveUser(core.UserID(res.UID), res.Epoch)
+		if !ok || c.Partition(u) != i {
+			continue
+		}
+		if e.Profiles().Known(u) {
+			return e, u, true
+		}
+		if fbEngine == nil {
+			fbEngine, fbUser = e, u
+		}
+	}
+	if fbEngine != nil {
+		return fbEngine, fbUser, true
+	}
+	return nil, 0, false
+}
+
+// Neighbors returns u's current KNN approximation from the owning
+// partition. The list may contain users owned by sibling partitions —
+// that is the cross-partition exchange working.
+func (c *Cluster) Neighbors(u core.UserID) []core.UserID { return c.owner(u).Neighbors(u) }
+
+// Profile returns u's profile snapshot from the owning partition.
+func (c *Cluster) Profile(u core.UserID) core.Profile {
+	return c.owner(u).Profiles().Get(u)
+}
+
+// KnownUser reports whether any partition has registered u (only the
+// owning one ever does).
+func (c *Cluster) KnownUser(u core.UserID) bool {
+	return c.owner(u).Profiles().Known(u)
+}
+
+// RotateAnonymizers advances every partition's anonymous mapping to a
+// fresh epoch. A deployment calls this on the same timer a single engine
+// would use.
+func (c *Cluster) RotateAnonymizers() {
+	for _, e := range c.parts {
+		e.RotateAnonymizer()
+	}
+}
+
+// Len returns the total number of registered users across partitions.
+// Profile tables are disjoint by construction (foreign profiles are read
+// through, never copied), so the sum is exact.
+func (c *Cluster) Len() int {
+	n := 0
+	for _, e := range c.parts {
+		n += e.Profiles().Len()
+	}
+	return n
+}
+
+// Users returns the union of all partitions' rosters (owner-partition
+// order, then roster order; no duplicates by construction).
+func (c *Cluster) Users() []core.UserID {
+	out := make([]core.UserID, 0, c.Len())
+	for _, e := range c.parts {
+		out = append(out, e.Profiles().Users()...)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/metrics"
+	"hyrec/internal/replay"
+	"hyrec/internal/widget"
+)
+
+// System runs the complete HyRec loop over a Cluster — routed server
+// orchestration plus a simulated browser widget per request — behind the
+// replay.System interface, so the same traces that drive the
+// single-engine System (and the baselines) drive the cluster, and
+// recall/similarity comparisons are apples-to-apples.
+type System struct {
+	cluster *Cluster
+	widget  *widget.Widget
+	// rotateEvery > 0 rotates every partition's anonymiser on virtual-time
+	// boundaries during a replay.
+	rotateEvery time.Duration
+	rotateNext  time.Duration
+}
+
+var _ replay.System = (*System)(nil)
+
+// NewSystem wraps a cluster and a widget for trace replay. A nil widget
+// gets the default (cosine similarity, laptop device).
+func NewSystem(c *Cluster, w *widget.Widget) *System {
+	if w == nil {
+		w = widget.New()
+	}
+	return &System{cluster: c, widget: w}
+}
+
+// SetRotation makes Tick advance every partition's anonymous mapping each
+// period of virtual time (0 disables).
+func (s *System) SetRotation(period time.Duration) {
+	s.rotateEvery = period
+	s.rotateNext = period
+}
+
+// Cluster exposes the underlying cluster (partitions, meters, tables).
+func (s *System) Cluster() *Cluster { return s.cluster }
+
+// Name implements replay.System.
+func (s *System) Name() string { return "hyrec-cluster" }
+
+// Rate implements replay.System: a rating is a client request — the
+// profile updates on the owning partition and a full personalization job
+// round-trips through the widget.
+func (s *System) Rate(_ time.Duration, r core.Rating) {
+	s.cluster.Rate(r.User, r.Item, r.Liked)
+	s.cycle(r.User)
+}
+
+// Recommend implements replay.System: a recommendation request also runs
+// one KNN iteration (HyRec is an online protocol).
+func (s *System) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID {
+	recs := s.cycle(u)
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
+}
+
+// Neighbors implements replay.System.
+func (s *System) Neighbors(u core.UserID) []core.UserID { return s.cluster.Neighbors(u) }
+
+// Tick implements replay.System.
+func (s *System) Tick(t time.Duration) {
+	if s.rotateEvery <= 0 {
+		return
+	}
+	for s.rotateNext <= t {
+		s.cluster.RotateAnonymizers()
+		s.rotateNext += s.rotateEvery
+	}
+}
+
+// cycle performs one full client-cluster interaction for u and returns
+// the recommendations the widget computed.
+func (s *System) cycle(u core.UserID) []core.ItemID {
+	job, err := s.cluster.Job(u)
+	if err != nil {
+		return nil
+	}
+	res, _ := s.widget.Execute(job)
+	recs, err := s.cluster.ApplyResult(res)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// ProfileSource adapts the cluster's (disjoint) profile tables for the
+// metrics package, so ideal-KNN and view-similarity computations see the
+// global population.
+func (s *System) ProfileSource() metrics.ProfileSource {
+	return clusterSource{cluster: s.cluster}
+}
+
+type clusterSource struct {
+	cluster *Cluster
+}
+
+var _ metrics.ProfileSource = clusterSource{}
+
+// Profile implements metrics.ProfileSource.
+func (c clusterSource) Profile(u core.UserID) core.Profile { return c.cluster.Profile(u) }
+
+// Users implements metrics.ProfileSource.
+func (c clusterSource) Users() []core.UserID { return c.cluster.Users() }

@@ -25,6 +25,9 @@ type Options struct {
 	Scale float64
 	// Requests overrides request counts in load experiments (0 = default).
 	Requests int
+	// Window overrides the wall-clock measurement window in throughput
+	// experiments (0 = per-experiment default).
+	Window time.Duration
 	// Out receives human-readable progress; nil silences it.
 	Out io.Writer
 	// Seed drives workload generation and system randomness.
@@ -41,6 +44,13 @@ func (o Options) scaleOr(def float64) float64 {
 func (o Options) requestsOr(def int) int {
 	if o.Requests > 0 {
 		return o.Requests
+	}
+	return def
+}
+
+func (o Options) windowOr(def time.Duration) time.Duration {
+	if o.Window > 0 {
+		return o.Window
 	}
 	return def
 }

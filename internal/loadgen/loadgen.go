@@ -42,6 +42,17 @@ type Target func(i int) string
 // FixedTarget always returns url.
 func FixedTarget(url string) Target { return func(int) string { return url } }
 
+// UserTarget spreads requests over a user population: the i-th request
+// formats pattern (one %d verb, e.g. "http://host/online?uid=%d") with
+// uids[i mod len(uids)]. The cluster throughput experiments use it so
+// load fans out across partitions the way real traffic would.
+func UserTarget(pattern string, uids []uint32) Target {
+	if len(uids) == 0 {
+		return FixedTarget(pattern)
+	}
+	return func(i int) string { return fmt.Sprintf(pattern, uids[i%len(uids)]) }
+}
+
 // Run issues `requests` GETs against target with `concurrency` in-flight
 // workers, draining response bodies (like ab -n -c). The client disables
 // transparent decompression so gzip payloads are measured as transferred.

@@ -102,3 +102,18 @@ func TestConcurrencyActuallyOverlaps(t *testing.T) {
 		t.Fatalf("peak concurrency = %d, want ≥4", peak.Load())
 	}
 }
+
+func TestUserTarget(t *testing.T) {
+	tgt := UserTarget("http://h/online?uid=%d", []uint32{5, 9})
+	want := []string{"http://h/online?uid=5", "http://h/online?uid=9", "http://h/online?uid=5"}
+	for i, w := range want {
+		if got := tgt(i); got != w {
+			t.Errorf("tgt(%d) = %q, want %q", i, got, w)
+		}
+	}
+	// An empty population degenerates to a fixed target.
+	fixed := UserTarget("http://h/online", nil)
+	if got := fixed(7); got != "http://h/online" {
+		t.Errorf("empty-population target = %q", got)
+	}
+}

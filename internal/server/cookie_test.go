@@ -32,12 +32,12 @@ func TestCookieIdentificationFlow(t *testing.T) {
 	cookies := rec.Result().Cookies()
 	var uidCk *http.Cookie
 	for _, c := range cookies {
-		if c.Name == uidCookie {
+		if c.Name == UIDCookieName {
 			uidCk = c
 		}
 	}
 	if uidCk == nil {
-		t.Fatalf("no %s cookie set; got %v", uidCookie, cookies)
+		t.Fatalf("no %s cookie set; got %v", UIDCookieName, cookies)
 	}
 	minted64, err := strconv.ParseUint(uidCk.Value, 10, 32)
 	if err != nil {
@@ -65,7 +65,7 @@ func TestCookieIdentificationFlow(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/online", nil))
 	var second *http.Cookie
 	for _, c := range rec.Result().Cookies() {
-		if c.Name == uidCookie {
+		if c.Name == UIDCookieName {
 			second = c
 		}
 	}
@@ -83,7 +83,7 @@ func TestCookieRepeatVisitDoesNotRemint(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/online", nil))
 	var ck *http.Cookie
 	for _, c := range rec.Result().Cookies() {
-		if c.Name == uidCookie {
+		if c.Name == UIDCookieName {
 			ck = c
 		}
 	}
@@ -99,7 +99,7 @@ func TestCookieRepeatVisitDoesNotRemint(t *testing.T) {
 		t.Fatalf("repeat visit: %d", rec.Code)
 	}
 	for _, c := range rec.Result().Cookies() {
-		if c.Name == uidCookie {
+		if c.Name == UIDCookieName {
 			t.Fatalf("repeat visit re-minted the cookie: %v", c)
 		}
 	}
@@ -113,7 +113,7 @@ func TestExplicitUIDBeatsCookie(t *testing.T) {
 	h := s.Handler()
 
 	req := httptest.NewRequest(http.MethodPost, "/rate?uid=77&item=9", nil)
-	req.AddCookie(&http.Cookie{Name: uidCookie, Value: "88"})
+	req.AddCookie(&http.Cookie{Name: UIDCookieName, Value: "88"})
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusNoContent {
@@ -133,7 +133,7 @@ func TestMalformedCookieRejected(t *testing.T) {
 	h := s.Handler()
 
 	req := httptest.NewRequest(http.MethodPost, "/rate?item=1", nil)
-	req.AddCookie(&http.Cookie{Name: uidCookie, Value: "not-a-number"})
+	req.AddCookie(&http.Cookie{Name: UIDCookieName, Value: "not-a-number"})
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {

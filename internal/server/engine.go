@@ -78,6 +78,9 @@ type Engine struct {
 	cache    *wire.ProfileCache
 	meter    *wire.Meter
 	sampler  Sampler
+	// resolveProfile, when non-nil, supplies profiles for users the local
+	// table has never seen (see SetProfileResolver).
+	resolveProfile ProfileResolver
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -139,6 +142,21 @@ func (e *Engine) SetSampler(s Sampler) {
 	}
 	e.sampler = s
 }
+
+// ProfileResolver supplies a profile for a user the engine's own table
+// does not know. It reports ok=false when it cannot help either, in which
+// case the engine falls back to an empty profile (the single-engine
+// behaviour).
+type ProfileResolver func(core.UserID) (core.Profile, bool)
+
+// SetProfileResolver installs a fallback source for candidate profiles of
+// users that are not in the local profile table. This is the hook a
+// multi-partition deployment (internal/cluster) uses to let candidate
+// sets reference users owned by sibling partitions: the IDs flow through
+// the sampler and the KNN table as usual, and their profile bytes are
+// fetched from the owning partition at job-assembly time. Must be called
+// before serving traffic.
+func (e *Engine) SetProfileResolver(fn ProfileResolver) { e.resolveProfile = fn }
 
 // RotateAnonymizer advances the anonymous mapping to a fresh epoch
 // (Section 3.1: identifiers are periodically shuffled). The HTTP server
@@ -202,10 +220,19 @@ func (e *Engine) anonView() core.Aliaser {
 	return e.anon.View()
 }
 
-// candidateProfile loads c's profile and applies the outbound transforms
-// (truncation, then the privacy filter) in the order a deployment would.
+// candidateProfile loads c's profile — from the local table, or through
+// the profile resolver for users owned elsewhere — and applies the
+// outbound transforms (truncation, then the privacy filter) in the order a
+// deployment would.
 func (e *Engine) candidateProfile(c core.UserID) core.Profile {
-	cp := e.profiles.Get(c)
+	var cp core.Profile
+	if e.resolveProfile == nil || e.profiles.Known(c) {
+		cp = e.profiles.Get(c)
+	} else if fp, ok := e.resolveProfile(c); ok {
+		cp = fp
+	} else {
+		cp = core.NewProfile(c)
+	}
 	if e.cfg.MaxProfileItems > 0 && cp.Size() > e.cfg.MaxProfileItems {
 		cp = cp.Truncate(e.cfg.MaxProfileItems)
 	}
@@ -316,7 +343,7 @@ func appendUint(dst []byte, x uint64) []byte {
 // epoch. Recommendations are translated and returned so the caller (HTTP
 // layer or replay harness) can expose them.
 func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
-	u, ok := e.resolveUser(core.UserID(res.UID), res.Epoch)
+	u, ok := e.ResolveUser(core.UserID(res.UID), res.Epoch)
 	if !ok {
 		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrStaleEpoch, res.UID, res.Epoch)
 	}
@@ -334,7 +361,7 @@ func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
 		if len(neighbors) >= e.cfg.K {
 			break
 		}
-		v, ok := e.resolveUser(core.UserID(alias), res.Epoch)
+		v, ok := e.ResolveUser(core.UserID(alias), res.Epoch)
 		if !ok {
 			return nil, fmt.Errorf("%w: neighbor alias %d epoch %d", ErrStaleEpoch, alias, res.Epoch)
 		}
@@ -365,7 +392,12 @@ func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
 	return recs, nil
 }
 
-func (e *Engine) resolveUser(alias core.UserID, epoch uint64) (core.UserID, bool) {
+// ResolveUser inverts a user pseudonym minted by this engine's anonymiser
+// in the given epoch (identity when anonymisation is disabled). It reports
+// ok=false when the epoch is too stale to translate. A cluster front-end
+// uses this to route a widget result back to the partition whose
+// anonymiser minted its aliases.
+func (e *Engine) ResolveUser(alias core.UserID, epoch uint64) (core.UserID, bool) {
 	if e.anon == nil {
 		return alias, true
 	}
@@ -401,12 +433,21 @@ func (e *Engine) ResetCandidateStats() {
 	e.candCount.Store(0)
 }
 
-// randomUsers draws from the roster under the engine's seeded RNG.
-func (e *Engine) randomUsers(n int, exclude core.UserID) []core.UserID {
+// RandomUsers draws up to n distinct users uniformly from the engine's
+// roster under its seeded RNG, excluding `exclude`. Samplers use it for
+// the k-random-users component of the §3.1 rule; a cluster peer sampler
+// uses it to draw exchange candidates from sibling partitions.
+func (e *Engine) RandomUsers(n int, exclude core.UserID) []core.UserID {
 	e.rngMu.Lock()
 	defer e.rngMu.Unlock()
 	return e.profiles.RandomUsers(e.rng, n, exclude)
 }
+
+// NewDefaultSampler returns the §3.1 candidate rule (one-hop ∪ two-hop ∪
+// k random users) bound to e — the sampler an engine starts with. Exposed
+// so wrappers (e.g. the cluster's cross-partition exchange sampler) can
+// decorate the default behaviour instead of reimplementing it.
+func NewDefaultSampler(e *Engine) Sampler { return &defaultSampler{engine: e} }
 
 // defaultSampler implements Section 3.1's rule via core.BuildCandidateSet.
 type defaultSampler struct {
@@ -419,7 +460,7 @@ func (s *defaultSampler) Sample(u core.UserID, k int) []core.UserID {
 	e := s.engine
 	lookup := func(v core.UserID) []core.UserID { return e.knn.Get(v) }
 	random := func(_ *rand.Rand, n int, exclude core.UserID) []core.UserID {
-		return e.randomUsers(n, exclude)
+		return e.RandomUsers(n, exclude)
 	}
 	// The rng passed through is unused by `random` (the engine's own
 	// locked rng is); pass a throwaway source to satisfy the contract.

@@ -15,11 +15,12 @@ import (
 	"hyrec/internal/wire"
 )
 
-// uidCookie is the cookie the widget identifies users through (Section
-// 4.2: "It identifies users through a cookie"). /online mints a fresh user
-// ID and sets the cookie when a request carries neither ?uid nor the
-// cookie.
-const uidCookie = "hyrec_uid"
+// UIDCookieName is the cookie the widget identifies users through
+// (Section 4.2: "It identifies users through a cookie"). /online mints a
+// fresh user ID and sets the cookie when a request carries neither ?uid
+// nor the cookie. Exported so the cluster front-end speaks the identical
+// identification protocol.
+const UIDCookieName = "hyrec_uid"
 
 // HTTPServer exposes an Engine over the paper's web API (Table 1):
 //
@@ -111,7 +112,7 @@ func (s *HTTPServer) Handler() http.Handler {
 }
 
 func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
-	uid, known, err := s.uidFromRequest(r)
+	uid, known, err := UIDFromRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -120,13 +121,7 @@ func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 		// First visit without identification: mint an ID and hand it to
 		// the browser as a cookie (Section 4.2).
 		uid = s.mintUser()
-		http.SetCookie(w, &http.Cookie{
-			Name:     uidCookie,
-			Value:    strconv.FormatUint(uint64(uid), 10),
-			Path:     "/",
-			HttpOnly: true,
-			SameSite: http.SameSiteLaxMode,
-		})
+		SetUIDCookie(w, uid)
 	}
 	s.seen.Touch(uid)
 	// The widget may piggyback the rating that triggered the request.
@@ -206,7 +201,7 @@ func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if u, ok := s.engine.resolveUser(core.UserID(res.UID), res.Epoch); ok {
+	if u, ok := s.engine.ResolveUser(core.UserID(res.UID), res.Epoch); ok {
 		s.seen.Touch(u)
 		s.recMu.Lock()
 		s.lastRec[u] = recs
@@ -216,7 +211,7 @@ func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
-	uid, known, err := s.uidFromRequest(r)
+	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		http.Error(w, errOrMissing(err), http.StatusBadRequest)
 		return
@@ -232,7 +227,7 @@ func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleRecommendations(w http.ResponseWriter, r *http.Request) {
-	uid, known, err := s.uidFromRequest(r)
+	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		http.Error(w, errOrMissing(err), http.StatusBadRequest)
 		return
@@ -263,10 +258,11 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// uidFromRequest resolves the requesting user: an explicit ?uid parameter
+// UIDFromRequest resolves the requesting user: an explicit ?uid parameter
 // wins; otherwise the identification cookie is consulted. known is false
-// when the request carries neither.
-func (s *HTTPServer) uidFromRequest(r *http.Request) (uid core.UserID, known bool, err error) {
+// when the request carries neither. Shared by the single-engine and
+// cluster front-ends so the two stay protocol-identical.
+func UIDFromRequest(r *http.Request) (uid core.UserID, known bool, err error) {
 	if raw := r.URL.Query().Get("uid"); raw != "" {
 		uid64, err := strconv.ParseUint(raw, 10, 32)
 		if err != nil {
@@ -274,14 +270,26 @@ func (s *HTTPServer) uidFromRequest(r *http.Request) (uid core.UserID, known boo
 		}
 		return core.UserID(uid64), true, nil
 	}
-	if c, err := r.Cookie(uidCookie); err == nil {
+	if c, err := r.Cookie(UIDCookieName); err == nil {
 		uid64, err := strconv.ParseUint(c.Value, 10, 32)
 		if err != nil {
-			return 0, false, fmt.Errorf("bad %s cookie %q", uidCookie, c.Value)
+			return 0, false, fmt.Errorf("bad %s cookie %q", UIDCookieName, c.Value)
 		}
 		return core.UserID(uid64), true, nil
 	}
 	return 0, false, nil
+}
+
+// SetUIDCookie hands uid to the browser as the identification cookie —
+// the attributes both front-ends must agree on.
+func SetUIDCookie(w http.ResponseWriter, uid core.UserID) {
+	http.SetCookie(w, &http.Cookie{
+		Name:     UIDCookieName,
+		Value:    strconv.FormatUint(uint64(uid), 10),
+		Path:     "/",
+		HttpOnly: true,
+		SameSite: http.SameSiteLaxMode,
+	})
 }
 
 // mintUser allocates an unused user ID and registers it so concurrent
@@ -304,7 +312,7 @@ func errOrMissing(err error) string {
 	if err != nil {
 		return err.Error()
 	}
-	return "missing uid (no ?uid parameter or " + uidCookie + " cookie)"
+	return "missing uid (no ?uid parameter or " + UIDCookieName + " cookie)"
 }
 
 func rateParams(r *http.Request) (core.ItemID, bool, error) {

@@ -62,12 +62,12 @@ func TestOnlineWithoutUIDMintsCookie(t *testing.T) {
 	}
 	found := false
 	for _, c := range resp.Cookies() {
-		if c.Name == uidCookie && c.Value != "" {
+		if c.Name == UIDCookieName && c.Value != "" {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("no %s cookie on first visit", uidCookie)
+		t.Fatalf("no %s cookie on first visit", UIDCookieName)
 	}
 }
 
@@ -350,7 +350,6 @@ func TestConcurrentHTTPClients(t *testing.T) {
 }
 
 func TestUIDParamParsing(t *testing.T) {
-	s := NewHTTPServer(NewEngine(DefaultConfig()), 0)
 	for _, tc := range []struct {
 		raw  string
 		ok   bool
@@ -360,7 +359,7 @@ func TestUIDParamParsing(t *testing.T) {
 		{"-1", false, 0}, {"abc", false, 0}, {strconv.FormatUint(1<<33, 10), false, 0},
 	} {
 		r := httptest.NewRequest(http.MethodGet, "/online?uid="+tc.raw, nil)
-		got, known, err := s.uidFromRequest(r)
+		got, known, err := UIDFromRequest(r)
 		if tc.ok && (err != nil || !known || got != tc.want) {
 			t.Errorf("uid %q: got %v known=%v, %v", tc.raw, got, known, err)
 		}
@@ -370,7 +369,7 @@ func TestUIDParamParsing(t *testing.T) {
 	}
 	// No uid and no cookie: not an error, just unidentified.
 	r := httptest.NewRequest(http.MethodGet, "/online", nil)
-	if _, known, err := s.uidFromRequest(r); known || err != nil {
+	if _, known, err := UIDFromRequest(r); known || err != nil {
 		t.Errorf("empty request: known=%v err=%v", known, err)
 	}
 }

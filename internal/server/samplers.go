@@ -29,7 +29,7 @@ var _ Sampler = RandomOnlySampler{}
 
 // Sample implements Sampler.
 func (s RandomOnlySampler) Sample(u core.UserID, k int) []core.UserID {
-	return s.Engine.randomUsers(core.MaxCandidateSetSize(k), u)
+	return s.Engine.RandomUsers(core.MaxCandidateSetSize(k), u)
 }
 
 // NoRandomSampler keeps the one-hop ∪ two-hop aggregation but drops the
@@ -54,7 +54,7 @@ func (s NoRandomSampler) Sample(u core.UserID, k int) []core.UserID {
 	e.rngMu.Unlock()
 	out := core.BuildCandidateSet(u, k, lookup, noRandom, rand.New(rand.NewSource(seed)))
 	if len(out) == 0 {
-		return e.randomUsers(1, u)
+		return e.RandomUsers(1, u)
 	}
 	return out
 }

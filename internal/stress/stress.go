@@ -87,3 +87,33 @@ func MeasureUnderLoad(levels []float64, window time.Duration, fn func()) []int64
 	}
 	return out
 }
+
+// Throughput is the multi-worker analogue of Monitor: `workers`
+// goroutines call fn in a closed loop for the given window and the total
+// number of completed calls is returned. fn receives its worker index and
+// the worker-local iteration counter so callers can derive per-worker
+// deterministic workloads without shared state. It is the in-process
+// harness behind the cluster scaling experiment (server-side Rate+Job
+// throughput, 1 vs N partitions).
+func Throughput(workers int, window time.Duration, fn func(worker, i int)) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := 0; time.Now().Before(deadline); i++ {
+				fn(w, i)
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	return total.Load()
+}

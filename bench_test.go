@@ -5,6 +5,7 @@
 package hyrec_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -18,6 +19,9 @@ import (
 	"hyrec/internal/privacy"
 	"hyrec/internal/wire"
 )
+
+// tctx drives the context-aware Service methods in benchmarks.
+var tctx = context.Background()
 
 // benchOpts returns quiet, small-scale options so `go test -bench` stays
 // minutes, not hours.
@@ -171,7 +175,7 @@ func BenchmarkAblationProfileCache(b *testing.B) {
 		engine := hyrec.NewEngine(cfg)
 		for u := core.UserID(0); u < 200; u++ {
 			for j := 0; j < 100; j++ {
-				engine.Rate(u, core.ItemID((int(u)*13+j*7)%1000), true)
+				engine.Rate(tctx, u, core.ItemID((int(u)*13+j*7)%1000), true)
 			}
 		}
 		// Warm the KNN table for dense candidate sets.
@@ -210,7 +214,7 @@ func BenchmarkAblationGzipLevel(b *testing.B) {
 	engine := hyrec.NewEngine(hyrec.DefaultConfig())
 	for u := core.UserID(0); u < 121; u++ {
 		for j := 0; j < 100; j++ {
-			engine.Rate(u, core.ItemID((int(u)*17+j*3)%1000), true)
+			engine.Rate(tctx, u, core.ItemID((int(u)*17+j*3)%1000), true)
 		}
 	}
 	jsonBody, _, err := engine.JobPayload(0)
@@ -359,7 +363,7 @@ func BenchmarkAblationWebWorkers(b *testing.B) {
 	engine := hyrec.NewEngine(hyrec.DefaultConfig())
 	for u := core.UserID(0); u < 121; u++ {
 		for j := 0; j < 200; j++ {
-			engine.Rate(u, core.ItemID((int(u)*17+j*3)%2000), true)
+			engine.Rate(tctx, u, core.ItemID((int(u)*17+j*3)%2000), true)
 		}
 	}
 	for u := core.UserID(0); u < 121; u++ {
@@ -369,7 +373,7 @@ func BenchmarkAblationWebWorkers(b *testing.B) {
 		}
 		engine.KNN().Put(u, hood)
 	}
-	job, err := engine.Job(0)
+	job, err := engine.Job(tctx, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -462,7 +466,7 @@ func BenchmarkClusterHTTPOnline(b *testing.B) {
 				u := core.UserID(i + 1)
 				uids[i] = uint32(u)
 				for j := 0; j < 10; j++ {
-					c.Rate(u, core.ItemID(i%7+j), true)
+					c.Rate(tctx, u, core.ItemID(i%7+j), true)
 				}
 			}
 			ts := httptest.NewServer(hyrec.ClusterHandler(c, 0))

@@ -1,0 +1,226 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/widget"
+)
+
+var tctx = context.Background()
+
+func newTestServer(t *testing.T) (*hyrec.Engine, *httptest.Server) {
+	t.Helper()
+	cfg := hyrec.DefaultConfig()
+	cfg.K = 3
+	eng := hyrec.NewEngine(cfg)
+	srv := hyrec.NewServiceServer(eng, 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return eng, ts
+}
+
+// TestClientIsService pins the drop-in property: a remote client
+// satisfies the same interface the in-process engines do.
+func TestClientIsService(t *testing.T) {
+	var _ hyrec.Service = (*Client)(nil)
+}
+
+// TestClientFullLoop runs the complete widget protocol through the typed
+// client: batch rate, job (gzip-negotiated), widget execution, result,
+// recommendations, neighbors.
+func TestClientFullLoop(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := New(ts.URL)
+	defer c.Close()
+
+	var ratings []hyrec.Rating
+	for u := hyrec.UserID(1); u <= 10; u++ {
+		ratings = append(ratings,
+			hyrec.Rating{User: u, Item: hyrec.ItemID(u % 3), Liked: true},
+			hyrec.Rating{User: u, Item: 100, Liked: true})
+	}
+	if err := c.RateBatch(tctx, ratings); err != nil {
+		t.Fatal(err)
+	}
+
+	w := widget.New()
+	gotRecs := false
+	for round := 0; round < 3; round++ {
+		for u := hyrec.UserID(1); u <= 10; u++ {
+			job, err := c.Job(tctx, u)
+			if err != nil {
+				t.Fatalf("job(%d): %v", u, err)
+			}
+			res, _ := w.Execute(job)
+			recs, err := c.ApplyResult(tctx, res)
+			if err != nil {
+				t.Fatalf("apply(%d): %v", u, err)
+			}
+			if len(recs) > 0 {
+				gotRecs = true
+			}
+		}
+	}
+	if !gotRecs {
+		t.Fatal("no recommendations after three client rounds")
+	}
+
+	sawHood := false
+	for u := hyrec.UserID(1); u <= 10; u++ {
+		hood, err := c.Neighbors(tctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hood) > 0 {
+			sawHood = true
+		}
+		if _, err := c.Recommendations(tctx, u, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawHood {
+		t.Fatal("no neighborhoods visible through the client")
+	}
+}
+
+// TestClientBatching verifies buffered Rate calls reach the server as
+// batches: a size-triggered flush, then a Flush-forced tail.
+func TestClientBatching(t *testing.T) {
+	eng, ts := newTestServer(t)
+	c := New(ts.URL, WithBatch(4, time.Hour)) // timer never fires in-test
+	defer c.Close()
+
+	for i := 0; i < 6; i++ {
+		if err := c.Rate(tctx, hyrec.UserID(i+1), 7, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 flushed by size; 2 still buffered.
+	if got := eng.Profiles().Len(); got != 4 {
+		t.Fatalf("after size flush: %d users on server, want 4", got)
+	}
+	if err := c.Flush(tctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Profiles().Len(); got != 6 {
+		t.Fatalf("after Flush: %d users on server, want 6", got)
+	}
+}
+
+// TestClientCloseFlushes verifies Close drains the buffer.
+func TestClientCloseFlushes(t *testing.T) {
+	eng, ts := newTestServer(t)
+	c := New(ts.URL, WithBatch(100, time.Hour))
+	for i := 0; i < 5; i++ {
+		if err := c.Rate(tctx, hyrec.UserID(i+1), 7, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Profiles().Len(); got != 5 {
+		t.Fatalf("after Close: %d users on server, want 5", got)
+	}
+	// Close is idempotent; Rate after Close fails.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rate(tctx, 9, 9, true); err == nil {
+		t.Fatal("Rate after Close succeeded")
+	}
+}
+
+// TestClientRetries verifies transient 5xx responses are retried with
+// backoff until the server recovers.
+func TestClientRetries(t *testing.T) {
+	var calls atomic.Int32
+	eng := hyrec.NewEngine(hyrec.DefaultConfig())
+	srv := hyrec.NewServiceServer(eng, 0)
+	inner := srv.Handler()
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	defer srv.Close()
+
+	c := New(flaky.URL, WithRetries(3, time.Millisecond))
+	defer c.Close()
+	if err := c.Rate(tctx, 1, 2, true); err != nil {
+		t.Fatalf("retried rate failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if !eng.KnownUser(1) {
+		t.Fatal("rating did not land after retries")
+	}
+
+	// With retries exhausted the typed error surfaces.
+	calls.Store(-100)
+	err := c.Rate(tctx, 2, 2, true)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError 502", err)
+	}
+}
+
+// TestClientErrorMapping verifies envelope codes map onto the Service
+// sentinels via errors.Is.
+func TestClientErrorMapping(t *testing.T) {
+	eng, ts := newTestServer(t)
+	c := New(ts.URL)
+	defer c.Close()
+
+	if err := c.Rate(tctx, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Job(tctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := widget.New().Execute(job)
+	eng.RotateAnonymizer()
+	eng.RotateAnonymizer()
+	_, err = c.ApplyResult(tctx, res)
+	if !errors.Is(err, hyrec.ErrStaleEpoch) {
+		t.Fatalf("stale result error = %v, want errors.Is(_, ErrStaleEpoch)", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGone {
+		t.Fatalf("stale result error = %v, want APIError 410", err)
+	}
+}
+
+// TestClientContextDeadline verifies an expired context fails fast
+// without hitting the server.
+func TestClientContextDeadline(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5, time.Second))
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(tctx)
+	cancel()
+	if err := c.RateBatch(ctx, []hyrec.Rating{{User: 1, Item: 1, Liked: true}}); err == nil {
+		t.Fatal("cancelled context succeeded")
+	}
+	if calls.Load() > 1 {
+		t.Fatalf("cancelled context still retried %d times", calls.Load())
+	}
+}

@@ -1,6 +1,6 @@
 // Command hyrec-server runs a standalone HyRec server exposing the
-// paper's web API — the Go analogue of the bundled Jetty deployment of
-// Section 4.1.
+// paper's web API plus the versioned /v1 batch protocol — the Go
+// analogue of the bundled Jetty deployment of Section 4.1.
 //
 // Usage:
 //
@@ -8,19 +8,22 @@
 //	    -snapshot state.snap -snapshot-interval 5m
 //	hyrec-server -addr :8080 -partitions 8
 //
-// Endpoints (Table 1): /online, /neighbors, /rate, /recommendations,
-// /stats, /healthz.
+// Endpoints: the legacy Table-1 set (/online, /neighbors, /rate,
+// /recommendations, /stats, /healthz) and /v1/{rate,job,result,recs,
+// neighbors} for the typed client (hyrec/client).
 //
 // With -partitions N (N > 1), the server runs a user-partitioned cluster
-// of N engines behind the same web API (see internal/cluster): requests
-// are routed to the partition owning the user, and candidate sets are
-// exchanged across partitions so recommendation quality matches the
-// single-engine deployment. Snapshots are not yet cluster-aware; -snapshot
-// requires -partitions 1.
+// of N engines behind the same web API (see internal/cluster). Both
+// deployment shapes implement hyrec.Service, so one code path serves
+// either. Snapshots are not yet cluster-aware; -snapshot requires
+// -partitions 1.
 //
 // With -snapshot set, the server restores the profile and KNN tables from
 // the snapshot file at startup (if it exists), saves them periodically,
-// and saves once more on SIGINT/SIGTERM before exiting.
+// and saves once more on SIGINT/SIGTERM before exiting. Shutdown is
+// graceful: in-flight requests drain (bounded by -shutdown-grace), the
+// anonymiser-rotation goroutine is stopped via Close, and only then does
+// the process exit.
 package main
 
 import (
@@ -59,8 +62,10 @@ func run(args []string) error {
 		noAnon   = fs.Bool("no-anonymizer", false, "send real identifiers (debugging only)")
 		gzipBest = fs.Bool("gzip-best", false, "use best-compression gzip instead of best-speed")
 		maxItems = fs.Int("max-profile-items", 0, "truncate candidate profiles to this many items (0 = unlimited)")
+		recLRU   = fs.Int("rec-cache-users", 0, "users whose last recommendations are retained (0 = default 4096)")
 		snapPath = fs.String("snapshot", "", "snapshot file for durable state (empty = stateless)")
 		snapIvl  = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (with -snapshot)")
+		grace    = fs.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +78,7 @@ func run(args []string) error {
 	cfg.DisableProfileCache = *noCache
 	cfg.DisableAnonymizer = *noAnon
 	cfg.MaxProfileItems = *maxItems
+	cfg.RecCacheUsers = *recLRU
 	if *gzipBest {
 		cfg.GzipLevel = wire.GzipBestCompact
 	}
@@ -80,57 +86,66 @@ func run(args []string) error {
 	if *parts < 1 {
 		return fmt.Errorf("-partitions must be >= 1, got %d", *parts)
 	}
-	if *parts > 1 {
-		// Multi-partition mode: a user-partitioned cluster behind the same
-		// web API. Snapshots are single-engine for now; refuse the
-		// combination rather than silently persisting one partition.
+
+	// Both deployment shapes are a hyrec.Service; everything below this
+	// switch is shape-agnostic.
+	var svc hyrec.Service
+	var saver *persist.Saver
+	switch {
+	case *parts > 1:
+		// Snapshots are single-engine for now; refuse the combination
+		// rather than silently persisting one partition.
 		if *snapPath != "" {
 			return fmt.Errorf("-snapshot is not supported with -partitions > 1")
 		}
-		c := hyrec.NewCluster(cfg, *parts)
-		srv := hyrec.NewClusterHTTPServer(c, *rotate)
-		srv.Start()
-		defer srv.Close()
-		fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s)\n",
-			*addr, *parts, *k, *r, *rotate)
-		return serve(*addr, srv.Handler(), nil)
-	}
-
-	engine := hyrec.NewEngine(cfg)
-
-	var saver *persist.Saver
-	if *snapPath != "" {
-		switch snap, err := persist.Load(*snapPath); {
-		case err == nil:
-			if err := persist.Restore(engine, snap); err != nil {
-				return fmt.Errorf("restore snapshot: %w", err)
+		svc = hyrec.NewCluster(cfg, *parts)
+	default:
+		engine := hyrec.NewEngine(cfg)
+		if *snapPath != "" {
+			switch snap, err := persist.Load(*snapPath); {
+			case err == nil:
+				if err := persist.Restore(engine, snap); err != nil {
+					return fmt.Errorf("restore snapshot: %w", err)
+				}
+				fmt.Printf("restored %d users from %s\n", engine.Profiles().Len(), *snapPath)
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Printf("no snapshot at %s; starting fresh\n", *snapPath)
+			default:
+				return fmt.Errorf("load snapshot: %w", err)
 			}
-			fmt.Printf("restored %d users from %s\n", engine.Profiles().Len(), *snapPath)
-		case errors.Is(err, os.ErrNotExist):
-			fmt.Printf("no snapshot at %s; starting fresh\n", *snapPath)
-		default:
-			return fmt.Errorf("load snapshot: %w", err)
+			saver = persist.NewSaver(engine, *snapPath, *snapIvl, func(err error) {
+				log.Printf("snapshot save failed: %v", err)
+			})
+			saver.Start()
 		}
-		saver = persist.NewSaver(engine, *snapPath, *snapIvl, func(err error) {
-			log.Printf("snapshot save failed: %v", err)
-		})
-		saver.Start()
+		svc = engine
 	}
 
-	srv := hyrec.NewHTTPServer(engine, *rotate)
+	srv := hyrec.NewServiceServer(svc, *rotate)
 	srv.Start()
-	defer srv.Close()
 
-	fmt.Printf("hyrec-server listening on %s (k=%d r=%d rotate=%s)\n", *addr, *k, *r, *rotate)
-	return serve(*addr, srv.Handler(), saver)
+	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s)\n",
+		*addr, *parts, *k, *r, *rotate)
+	return serve(*addr, srv, saver, *grace)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
-// gracefully and takes the final snapshot (when a saver is configured).
-func serve(addr string, handler http.Handler, saver *persist.Saver) error {
-	httpSrv := &http.Server{Addr: addr, Handler: handler}
+// gracefully: stop accepting, drain in-flight requests (bounded by
+// grace), drain the rotation goroutine via Close, and take the final
+// snapshot when a saver is configured.
+func serve(addr string, hsrv *hyrec.HTTPServer, saver *persist.Saver, grace time.Duration) error {
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: hsrv.Handler(),
+		// Bound slow or stuck clients so one bad peer cannot pin a
+		// connection: headers must arrive promptly, whole requests and
+		// responses are capped, and idle keep-alives are reaped.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
-	// Graceful shutdown: stop accepting, then take the final snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -138,13 +153,14 @@ func serve(addr string, handler http.Handler, saver *persist.Saver) error {
 
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			hsrv.Close()
 			if saver != nil {
 				if serr := saver.Close(); serr != nil {
 					log.Printf("final snapshot: %v", serr)
@@ -153,6 +169,9 @@ func serve(addr string, handler http.Handler, saver *persist.Saver) error {
 			return err
 		}
 	}
+	// Drain the anonymiser-rotation goroutine before the final snapshot,
+	// so no rotation races the state capture.
+	hsrv.Close()
 	if saver != nil {
 		if err := saver.Close(); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)

@@ -1,8 +1,9 @@
 // Command hyrec-widget simulates one or more browser widgets against a
-// running hyrec-server: each simulated user rates random items, requests a
-// personalization job from /online, executes KNN selection and item
-// recommendation locally, and posts the result to /neighbors — the full
-// client loop of Section 3.2.
+// running hyrec-server through the typed client: each simulated user
+// rates random items (batched over the /v1 wire protocol), requests a
+// personalization job, executes KNN selection and item recommendation
+// locally, and posts the result back — the full client loop of
+// Section 3.2 over the real network path.
 //
 // Usage:
 //
@@ -10,19 +11,16 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
-	"net/http"
 	"os"
 	"time"
 
 	"hyrec"
-	"hyrec/internal/core"
+	"hyrec/client"
 )
 
 func main() {
@@ -42,6 +40,8 @@ func run(args []string) error {
 		phone    = fs.Bool("smartphone", false, "simulate a smartphone device")
 		workers  = fs.Int("workers", 1, "parallel web-worker count inside each widget")
 		jaccard  = fs.Bool("jaccard", false, "use Jaccard similarity instead of cosine")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline")
+		retries  = fs.Int("retries", 2, "retry attempts on transient failures")
 		verbose  = fs.Bool("v", false, "log every interaction")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,51 +60,45 @@ func run(args []string) error {
 	}
 	w := hyrec.NewWidget(opts...)
 	rng := rand.New(rand.NewSource(*seed))
-	client := &http.Client{
-		Transport: &http.Transport{DisableCompression: true},
-		Timeout:   30 * time.Second,
-	}
+
+	c := client.New(*server,
+		client.WithTimeout(*timeout),
+		client.WithRetries(*retries, 50*time.Millisecond))
+	defer c.Close()
+	ctx := context.Background()
 
 	var totalJobs, totalRecs int
 	start := time.Now()
 	for round := 0; round < *requests; round++ {
+		// Each round's ratings go out as one batch — the wire path real
+		// deployments amortize per-request overhead with.
+		ratings := make([]hyrec.Rating, *users)
 		for u := 0; u < *users; u++ {
-			item := rng.Intn(*items)
-			liked := rng.Float64() < 0.7
-			url := fmt.Sprintf("%s/online?uid=%d&item=%d&liked=%t", *server, u, item, liked)
-			resp, err := client.Get(url)
+			ratings[u] = hyrec.Rating{
+				User:  hyrec.UserID(u),
+				Item:  hyrec.ItemID(rng.Intn(*items)),
+				Liked: rng.Float64() < 0.7,
+			}
+		}
+		if err := c.RateBatch(ctx, ratings); err != nil {
+			return fmt.Errorf("rate batch: %w", err)
+		}
+		for u := 0; u < *users; u++ {
+			job, err := c.Job(ctx, hyrec.UserID(u))
 			if err != nil {
 				return fmt.Errorf("request job: %w", err)
 			}
-			gz, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				return fmt.Errorf("read job: %w", err)
-			}
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("server returned %d: %s", resp.StatusCode, gz)
-			}
-			res, timing, err := w.ExecutePayload(gz)
-			if err != nil {
-				return fmt.Errorf("execute job: %w", err)
-			}
-			body, err := json.Marshal(res)
-			if err != nil {
-				return fmt.Errorf("marshal result: %w", err)
-			}
-			post, err := client.Post(*server+"/neighbors", "application/json", bytes.NewReader(body))
+			res, timing := w.Execute(job)
+			recs, err := c.ApplyResult(ctx, res)
 			if err != nil {
 				return fmt.Errorf("post result: %w", err)
 			}
-			io.Copy(io.Discard, post.Body)
-			post.Body.Close()
 			totalJobs++
-			totalRecs += len(res.Recommendations)
+			totalRecs += len(recs)
 			if *verbose {
-				fmt.Printf("u%d: job %dB → %d neighbors, %d recs in %v\n",
-					u, len(gz), len(res.Neighbors), len(res.Recommendations), timing.Total)
+				fmt.Printf("u%d: %d candidates → %d neighbors, %d recs in %v\n",
+					u, len(job.Candidates), len(res.Neighbors), len(recs), timing.Total)
 			}
-			_ = core.UserID(u) // document the uid domain
 		}
 	}
 	fmt.Printf("executed %d jobs (%d recommendations) in %v\n", totalJobs, totalRecs, time.Since(start))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,12 +17,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Build a worst-case personalization job: full candidate set for
 	// k=10 (120 profiles), 100 items per profile.
 	engine := hyrec.NewEngine(hyrec.DefaultConfig())
 	for u := hyrec.UserID(0); u < 121; u++ {
 		for j := 0; j < 100; j++ {
-			engine.Rate(u, hyrec.ItemID((int(u)*37+j*11)%1000), true)
+			engine.Rate(ctx, u, hyrec.ItemID((int(u)*37+j*11)%1000), true)
 		}
 	}
 	// Pre-fill the KNN table so the sampler produces a dense set.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,28 +26,29 @@ func main() {
 	path := filepath.Join(dir, "state.snap")
 
 	// --- Process 1: serve traffic, converge, snapshot, "crash". ---
+	ctx := context.Background()
 	engine := hyrec.NewEngine(hyrec.DefaultConfig())
 	widget := hyrec.NewWidget()
 	for u := hyrec.UserID(1); u <= 30; u++ {
 		for i := 0; i < 8; i++ {
 			// Three taste communities of ten users each.
 			base := int(u-1) / 10 * 100
-			engine.Rate(u, hyrec.ItemID(base+(int(u)+i)%12), true)
+			engine.Rate(ctx, u, hyrec.ItemID(base+(int(u)+i)%12), true)
 		}
 	}
 	for round := 0; round < 6; round++ {
 		for u := hyrec.UserID(1); u <= 30; u++ {
-			job, err := engine.Job(u)
+			job, err := engine.Job(ctx, u)
 			if err != nil {
 				log.Fatal(err)
 			}
 			res, _ := widget.Execute(job)
-			if _, err := engine.ApplyResult(res); err != nil {
+			if _, err := engine.ApplyResult(ctx, res); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	before := engine.Neighbors(7)
+	before, _ := engine.Neighbors(ctx, 7)
 	if err := hyrec.SaveSnapshot(path, hyrec.CaptureSnapshot(engine)); err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 	if err := hyrec.RestoreSnapshot(engine2, snap); err != nil {
 		log.Fatal(err)
 	}
-	after := engine2.Neighbors(7)
+	after, _ := engine2.Neighbors(ctx, 7)
 	fmt.Printf("process 2: restored %d users; neighbors of user 7: %v\n",
 		engine2.Profiles().Len(), after)
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,6 +34,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	// Two mechanisms: the filter the engine applies, and the accountant
 	// that charges each release.
 	rr, err := hyrec.NewRandomizedResponse(epsilon, numItems, 42)
@@ -56,7 +58,7 @@ func main() {
 			base = 50
 		}
 		for i := 0; i < 6; i++ {
-			engine.Rate(u, hyrec.ItemID(base+(int(u)+i)%10), true)
+			engine.Rate(ctx, u, hyrec.ItemID(base+(int(u)+i)%10), true)
 		}
 	}
 
@@ -64,30 +66,31 @@ func main() {
 	// the randomized-response noise.
 	for round := 0; round < 8; round++ {
 		for u := hyrec.UserID(1); u <= last; u++ {
-			job, err := engine.Job(u)
+			job, err := engine.Job(ctx, u)
 			if err != nil {
 				log.Fatal(err)
 			}
 			res, _ := widget.Execute(job)
-			if _, err := engine.ApplyResult(res); err != nil {
+			if _, err := engine.ApplyResult(ctx, res); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 
 	// User 1's final request.
-	job, err := engine.Job(1)
+	job, err := engine.Job(ctx, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	res, _ := widget.Execute(job)
-	recs, err := engine.ApplyResult(res)
+	recs, err := engine.ApplyResult(ctx, res)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("ε per release: %.2f (flip probability %.3f)\n", rr.Epsilon(), rr.FlipProb())
-	fmt.Printf("user 1 neighbors: %v\n", engine.Neighbors(1))
+	hood, _ := engine.Neighbors(ctx, 1)
+	fmt.Printf("user 1 neighbors: %v\n", hood)
 	fmt.Printf("user 1 recommendations: %v\n", recs)
 
 	inCardio := 0

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	engine := hyrec.NewEngine(hyrec.DefaultConfig())
 	widget := hyrec.NewWidget()
 
@@ -27,11 +29,11 @@ func main() {
 		{3, 900}, {3, 901}, // carol: documentaries
 	}
 	for _, l := range likes {
-		engine.Rate(l.user, l.item, true)
+		engine.Rate(ctx, l.user, l.item, true)
 	}
 
 	// Alice visits the site: the server builds her a personalization job…
-	job, err := engine.Job(1)
+	job, err := engine.Job(ctx, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,11 +45,12 @@ func main() {
 	fmt.Printf("widget ran KNN+recommend in %v\n", timing.Total)
 
 	// …and the server folds the result back into its KNN table.
-	recs, err := engine.ApplyResult(result)
+	recs, err := engine.ApplyResult(ctx, result)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("alice's neighbors: %v\n", engine.Neighbors(1))
+	hood, _ := engine.Neighbors(ctx, 1)
+	fmt.Printf("alice's neighbors: %v\n", hood)
 	fmt.Printf("recommended to alice: %v\n", recs)
 	// Bob liked item 103 and shares alice's taste, so 103 must appear.
 	for _, item := range recs {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"reflect"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A worst-case job: large candidate set (k=20 → up to 2k+k² = 440
 	// candidates before dedup), profiles of 200 items.
 	cfg := hyrec.DefaultConfig()
@@ -25,7 +27,7 @@ func main() {
 	const users = 300
 	for u := hyrec.UserID(0); u < users; u++ {
 		for j := 0; j < 200; j++ {
-			engine.Rate(u, hyrec.ItemID((int(u)*17+j*3)%3000), true)
+			engine.Rate(ctx, u, hyrec.ItemID((int(u)*17+j*3)%3000), true)
 		}
 	}
 	for u := hyrec.UserID(0); u < users; u++ {
@@ -35,7 +37,7 @@ func main() {
 		}
 		engine.KNN().Put(u, hood)
 	}
-	job, err := engine.Job(0)
+	job, err := engine.Job(ctx, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,13 +12,20 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	eng := hyrec.NewEngine(hyrec.DefaultConfig())
 //	w := hyrec.NewWidget()
 //
-//	eng.Rate(42, 7, true)                  // user 42 likes item 7
-//	job, _ := eng.Job(42)                  // server builds a personalization job
+//	eng.Rate(ctx, 42, 7, true)             // user 42 likes item 7
+//	job, _ := eng.Job(ctx, 42)             // server builds a personalization job
 //	res, _ := w.Execute(job)               // "browser" runs KNN + recommendation
-//	recs, _ := eng.ApplyResult(res)        // server folds the result back
+//	recs, _ := eng.ApplyResult(ctx, res)   // server folds the result back
+//
+// Every front-end — the single-machine *Engine, the partitioned
+// *Cluster, and the typed HTTP client in package hyrec/client —
+// implements the same Service interface, so replay harnesses, load
+// generators and applications are written once against Service and run
+// unchanged in-process or over the wire.
 //
 // For a network deployment, see NewHTTPServer and cmd/hyrec-server; for
 // trace-driven evaluation against the paper's baselines, see NewSystem and
@@ -61,6 +68,10 @@ type (
 
 // Server-side types.
 type (
+	// Service is the single front-end API every deployment shape
+	// implements: *Engine, *Cluster, and the typed HTTP client. See
+	// internal/server for the capability interfaces transports probe.
+	Service = server.Service
 	// Config parametrises an Engine.
 	Config = server.Config
 	// Engine is the HyRec server (tables + sampler + orchestrator).
@@ -90,6 +101,23 @@ type (
 	Job = wire.Job
 	// Result is a widget's reply.
 	Result = wire.Result
+)
+
+// Sentinel errors surfaced by Service implementations (and mapped onto
+// v1 error-envelope codes by the HTTP layer and the typed client).
+var (
+	// ErrStaleEpoch: a result references an anonymiser epoch that is no
+	// longer resolvable.
+	ErrStaleEpoch = server.ErrStaleEpoch
+	// ErrUnknownUser: the user was never seen by Rate or Job.
+	ErrUnknownUser = server.ErrUnknownUser
+)
+
+// Compile-time guarantees of the one-API contract: both deployment
+// shapes satisfy Service. (hyrec/client asserts the same for *Client.)
+var (
+	_ Service = (*Engine)(nil)
+	_ Service = (*Cluster)(nil)
 )
 
 // DefaultConfig returns the paper's default parameters (k=10, r=10).
@@ -127,10 +155,22 @@ func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
 	return server.NewHTTPServer(engine, rotateEvery)
 }
 
+// NewServiceServer wraps any Service — engine, cluster, or a custom
+// implementation — with the shared web API (legacy Table-1 endpoints
+// plus the /v1 batch protocol).
+func NewServiceServer(svc Service, rotateEvery time.Duration) *HTTPServer {
+	return server.NewServer(svc, rotateEvery)
+}
+
 // Handler returns a ready-to-serve http.Handler for engine with anonymiser
 // rotation every rotateEvery (0 disables): the one-liner deployment path.
 func Handler(engine *Engine, rotateEvery time.Duration) http.Handler {
-	s := server.NewHTTPServer(engine, rotateEvery)
+	return ServiceHandler(engine, rotateEvery)
+}
+
+// ServiceHandler is Handler generalized to any Service.
+func ServiceHandler(svc Service, rotateEvery time.Duration) http.Handler {
+	s := server.NewServer(svc, rotateEvery)
 	s.Start()
 	return s.Handler()
 }

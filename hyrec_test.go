@@ -1,6 +1,7 @@
 package hyrec
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,20 +11,24 @@ import (
 	"hyrec/internal/replay"
 )
 
+// tctx is the context used by tests exercising the context-aware
+// Service methods.
+var tctx = context.Background()
+
 func TestPublicAPIQuickstart(t *testing.T) {
 	eng := NewEngine(DefaultConfig())
 	w := NewWidget()
 
-	eng.Rate(42, 7, true)
-	eng.Rate(43, 7, true)
-	eng.Rate(43, 8, true)
+	eng.Rate(tctx, 42, 7, true)
+	eng.Rate(tctx, 43, 7, true)
+	eng.Rate(tctx, 43, 8, true)
 
-	job, err := eng.Job(42)
+	job, err := eng.Job(tctx, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := w.Execute(job)
-	recs, err := eng.ApplyResult(res)
+	recs, err := eng.ApplyResult(tctx, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +42,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if !found {
 		t.Fatalf("recs = %v, want to contain 8", recs)
 	}
-	if hood := eng.Neighbors(42); len(hood) == 0 || hood[0] != 43 {
+	if hood, _ := eng.Neighbors(tctx, 42); len(hood) == 0 || hood[0] != 43 {
 		t.Fatalf("neighbors = %v", hood)
 	}
 }

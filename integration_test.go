@@ -15,8 +15,8 @@ func seedCommunities(e *Engine, per int) {
 		a := core.UserID(1 + i)
 		b := core.UserID(100 + i)
 		for j := 0; j < 6; j++ {
-			e.Rate(a, core.ItemID((i+j)%10), true)
-			e.Rate(b, core.ItemID(500+(i+j)%10), true)
+			e.Rate(tctx, a, core.ItemID((i+j)%10), true)
+			e.Rate(tctx, b, core.ItemID(500+(i+j)%10), true)
 		}
 	}
 }
@@ -26,12 +26,12 @@ func converge(t *testing.T, e *Engine, w *Widget, users []core.UserID, rounds in
 	t.Helper()
 	for r := 0; r < rounds; r++ {
 		for _, u := range users {
-			job, err := e.Job(u)
+			job, err := e.Job(tctx, u)
 			if err != nil {
 				t.Fatalf("job(%v): %v", u, err)
 			}
 			res, _ := w.Execute(job)
-			if _, err := e.ApplyResult(res); err != nil {
+			if _, err := e.ApplyResult(tctx, res); err != nil {
 				t.Fatalf("apply(%v): %v", u, err)
 			}
 		}
@@ -72,7 +72,7 @@ func TestIntegrationPrivacyWorkersRotationPersistence(t *testing.T) {
 
 	// Neighbourhoods must largely respect the community split despite the
 	// ε=4 noise: count cross-community neighbours of user 1.
-	hood := engine.Neighbors(1)
+	hood, _ := engine.Neighbors(tctx, 1)
 	if len(hood) == 0 {
 		t.Fatal("user 1 has no neighbors")
 	}
@@ -104,7 +104,9 @@ func TestIntegrationPrivacyWorkersRotationPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, u := range users {
-		if !reflect.DeepEqual(engine.Neighbors(u), restored.Neighbors(u)) {
+		origHood, _ := engine.Neighbors(tctx, u)
+		restHood, _ := restored.Neighbors(tctx, u)
+		if !reflect.DeepEqual(origHood, restHood) {
 			t.Fatalf("user %v: neighbors diverged after restore", u)
 		}
 		if !engine.Profiles().Get(u).Equal(restored.Profiles().Get(u)) {
@@ -113,12 +115,12 @@ func TestIntegrationPrivacyWorkersRotationPersistence(t *testing.T) {
 	}
 
 	// The restored engine keeps serving (fresh anonymiser, old state).
-	job, err := restored.Job(1)
+	job, err := restored.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := widget.Execute(job)
-	if _, err := restored.ApplyResult(res); err != nil {
+	if _, err := restored.ApplyResult(tctx, res); err != nil {
 		t.Fatalf("restored engine cannot serve: %v", err)
 	}
 }
@@ -138,12 +140,12 @@ func TestIntegrationPermanentNoiseStableThroughEngine(t *testing.T) {
 
 	// Two users; user 2's profile will appear in user 1's candidate sets.
 	for j := 0; j < 10; j++ {
-		engine.Rate(1, core.ItemID(j), true)
-		engine.Rate(2, core.ItemID(j), true)
+		engine.Rate(tctx, 1, core.ItemID(j), true)
+		engine.Rate(tctx, 2, core.ItemID(j), true)
 	}
 
 	release := func() []uint32 {
-		job, err := engine.Job(1)
+		job, err := engine.Job(tctx, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

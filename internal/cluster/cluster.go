@@ -28,7 +28,7 @@
 package cluster
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"hyrec/internal/core"
@@ -39,8 +39,10 @@ import (
 // ErrUnroutable is returned when no partition can claim a widget result:
 // its (UID, epoch) pseudonym does not resolve to a user owned and known
 // by any partition — either the epoch is stale on the minting partition
-// or the result is garbage.
-var ErrUnroutable = errors.New("cluster: result not routable to any partition")
+// or the result is garbage. It wraps server.ErrStaleEpoch so transport
+// layers map it to the same status an unresolvable single-engine epoch
+// gets (410 Gone).
+var ErrUnroutable = fmt.Errorf("cluster: result not routable to any partition: %w", server.ErrStaleEpoch)
 
 // seedStride separates the per-partition RNG seed lanes so sibling
 // engines (and their anonymisers, which use seed+1) never share a stream.
@@ -148,15 +150,27 @@ func (c *Cluster) foreignProfile(home int) server.ProfileResolver {
 
 // Rate records a rating on the partition that owns u (Arrow 1 of
 // Figure 1, routed).
-func (c *Cluster) Rate(u core.UserID, item core.ItemID, liked bool) {
-	c.owner(u).Rate(u, item, liked)
+func (c *Cluster) Rate(ctx context.Context, u core.UserID, item core.ItemID, liked bool) error {
+	return c.owner(u).Rate(ctx, u, item, liked)
+}
+
+// RateBatch records many opinions, routing each to its owning partition.
+func (c *Cluster) RateBatch(ctx context.Context, ratings []core.Rating) error {
+	for _, r := range ratings {
+		if err := c.owner(r.User).Rate(ctx, r.User, r.Item, r.Liked); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Job assembles u's personalization job on the owning partition. The
 // candidate set mixes the partition-local §3.1 rule with cross-partition
 // exchange candidates; every pseudonym in the job belongs to the owning
 // partition's anonymiser.
-func (c *Cluster) Job(u core.UserID) (*wire.Job, error) { return c.owner(u).Job(u) }
+func (c *Cluster) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
+	return c.owner(u).Job(ctx, u)
+}
 
 // JobPayload assembles and serializes u's personalization job (JSON +
 // gzip) on the owning partition, exactly as Engine.JobPayload.
@@ -174,12 +188,35 @@ func (c *Cluster) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error)
 // engine can report its own error (unknown user, matching the
 // single-engine contract); ErrUnroutable is returned only when the epoch
 // is unresolvable everywhere.
-func (c *Cluster) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
+func (c *Cluster) ApplyResult(ctx context.Context, res *wire.Result) ([]core.ItemID, error) {
 	e, _, ok := c.route(res)
 	if !ok {
 		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrUnroutable, res.UID, res.Epoch)
 	}
-	return e.ApplyResult(res)
+	return e.ApplyResult(ctx, res)
+}
+
+// ResolveUser inverts a user pseudonym against the partition that minted
+// it. Like route, a known-user claim wins over ownership-only matches —
+// a wrong partition's Feistel inversion yields a random ID that passes
+// the ownership check 1/N of the time, but is almost never registered.
+// Transport layers use this for presence bookkeeping.
+func (c *Cluster) ResolveUser(alias core.UserID, epoch uint64) (core.UserID, bool) {
+	var fb core.UserID
+	var hasFB bool
+	for i, e := range c.parts {
+		u, ok := e.ResolveUser(alias, epoch)
+		if !ok || c.Partition(u) != i {
+			continue
+		}
+		if e.Profiles().Known(u) {
+			return u, true
+		}
+		if !hasFB {
+			fb, hasFB = u, true
+		}
+	}
+	return fb, hasFB
 }
 
 // route finds the partition that minted res's pseudonyms, returning its
@@ -212,7 +249,18 @@ func (c *Cluster) route(res *wire.Result) (*server.Engine, core.UserID, bool) {
 // Neighbors returns u's current KNN approximation from the owning
 // partition. The list may contain users owned by sibling partitions —
 // that is the cross-partition exchange working.
-func (c *Cluster) Neighbors(u core.UserID) []core.UserID { return c.owner(u).Neighbors(u) }
+func (c *Cluster) Neighbors(ctx context.Context, u core.UserID) ([]core.UserID, error) {
+	return c.owner(u).Neighbors(ctx, u)
+}
+
+// Recommendations returns u's most recent recommendations from the
+// owning partition's bounded store.
+func (c *Cluster) Recommendations(ctx context.Context, u core.UserID, n int) ([]core.ItemID, error) {
+	return c.owner(u).Recommendations(ctx, u, n)
+}
+
+// Close implements server.Service; partitions own no background work.
+func (c *Cluster) Close() error { return nil }
 
 // Profile returns u's profile snapshot from the owning partition.
 func (c *Cluster) Profile(u core.UserID) core.Profile {
@@ -225,6 +273,10 @@ func (c *Cluster) KnownUser(u core.UserID) bool {
 	return c.owner(u).Profiles().Known(u)
 }
 
+// RegisterUser registers u on its owning partition (idempotent) — the
+// hook the HTTP layer's cookie minting uses.
+func (c *Cluster) RegisterUser(u core.UserID) { c.owner(u).RegisterUser(u) }
+
 // RotateAnonymizers advances every partition's anonymous mapping to a
 // fresh epoch. A deployment calls this on the same timer a single engine
 // would use.
@@ -233,6 +285,52 @@ func (c *Cluster) RotateAnonymizers() {
 		e.RotateAnonymizer()
 	}
 }
+
+// RotateAnonymizer implements server.Rotator (the single-engine spelling)
+// by rotating every partition.
+func (c *Cluster) RotateAnonymizer() { c.RotateAnonymizers() }
+
+// Stats aggregates bandwidth and table counters over all partitions and
+// reports the per-partition user split so an operator can see routing
+// balance at a glance.
+func (c *Cluster) Stats() map[string]any {
+	var jsonBytes, gzipBytes, resultBytes, messages, users, knn int64
+	perPart := make([]int64, len(c.parts))
+	for i, e := range c.parts {
+		m := e.Meter()
+		jsonBytes += m.JSONBytes()
+		gzipBytes += m.GzipBytes()
+		resultBytes += m.ResultBytes()
+		messages += m.Messages()
+		n := int64(e.Profiles().Len())
+		perPart[i] = n
+		users += n
+		knn += int64(e.KNN().Len())
+	}
+	return map[string]any{
+		"partitions":     len(c.parts),
+		"json_bytes":     jsonBytes,
+		"gzip_bytes":     gzipBytes,
+		"result_bytes":   resultBytes,
+		"messages":       messages,
+		"users":          users,
+		"users_per_part": perPart,
+		"knn_entries":    knn,
+	}
+}
+
+// Compile-time check: a cluster is a full-capability server.Service, so
+// the shared HTTP mux (and every harness written against the interface)
+// serves it identically to a single engine.
+var (
+	_ server.Service       = (*Cluster)(nil)
+	_ server.Payloader     = (*Cluster)(nil)
+	_ server.UserDirectory = (*Cluster)(nil)
+	_ server.Rotator       = (*Cluster)(nil)
+	_ server.UserResolver  = (*Cluster)(nil)
+	_ server.Configured    = (*Cluster)(nil)
+	_ server.StatsProvider = (*Cluster)(nil)
+)
 
 // Len returns the total number of registered users across partitions.
 // Profile tables are disjoint by construction (foreign profiles are read

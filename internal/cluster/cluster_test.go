@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,10 @@ import (
 	"hyrec/internal/wire"
 )
 
+// tctx is the context used by tests exercising the context-aware
+// Service methods.
+var tctx = context.Background()
+
 func testConfig() server.Config {
 	cfg := server.DefaultConfig()
 	cfg.Seed = 42
@@ -23,12 +28,12 @@ func testConfig() server.Config {
 // cluster and returns the recommendations.
 func cycle(t *testing.T, c *Cluster, w *widget.Widget, u core.UserID) []core.ItemID {
 	t.Helper()
-	job, err := c.Job(u)
+	job, err := c.Job(tctx, u)
 	if err != nil {
 		t.Fatalf("Job(%d): %v", u, err)
 	}
 	res, _ := w.Execute(job)
-	recs, err := c.ApplyResult(res)
+	recs, err := c.ApplyResult(tctx, res)
 	if err != nil {
 		t.Fatalf("ApplyResult(%d): %v", u, err)
 	}
@@ -49,15 +54,15 @@ func TestSinglePartitionEquivalence(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		for u := core.UserID(1); u <= users; u++ {
 			item := core.ItemID(uint32(u)*7 + uint32(round))
-			engine.Rate(u, item, true)
-			clus.Rate(u, item, true)
+			engine.Rate(tctx, u, item, true)
+			clus.Rate(tctx, u, item, true)
 
-			ejob, err := engine.Job(u)
+			ejob, err := engine.Job(tctx, u)
 			if err != nil {
 				t.Fatalf("engine Job(%d): %v", u, err)
 			}
 			eres, _ := w.Execute(ejob)
-			erecs, err := engine.ApplyResult(eres)
+			erecs, err := engine.ApplyResult(tctx, eres)
 			if err != nil {
 				t.Fatalf("engine ApplyResult(%d): %v", u, err)
 			}
@@ -67,9 +72,11 @@ func TestSinglePartitionEquivalence(t *testing.T) {
 				t.Fatalf("round %d user %d: recommendations diverged: engine=%v cluster=%v",
 					round, u, erecs, crecs)
 			}
-			if fmt.Sprint(engine.Neighbors(u)) != fmt.Sprint(clus.Neighbors(u)) {
+			ehood, _ := engine.Neighbors(tctx, u)
+			chood, _ := clus.Neighbors(tctx, u)
+			if fmt.Sprint(ehood) != fmt.Sprint(chood) {
 				t.Fatalf("round %d user %d: neighborhoods diverged: engine=%v cluster=%v",
-					round, u, engine.Neighbors(u), clus.Neighbors(u))
+					round, u, ehood, chood)
 			}
 		}
 	}
@@ -89,12 +96,12 @@ func TestPartitionRoutingStableUnderChurn(t *testing.T) {
 			t.Fatalf("Partition(%d) = %d out of range", u, p)
 		}
 		before[u] = p
-		c.Rate(u, core.ItemID(u), true)
+		c.Rate(tctx, u, core.ItemID(u), true)
 	}
 
 	// Churn: thousands of new users join (and rate, so they register).
 	for u := core.UserID(10_000); u < 12_000; u++ {
-		c.Rate(u, core.ItemID(u), true)
+		c.Rate(tctx, u, core.ItemID(u), true)
 	}
 
 	counts := make([]int, 4)
@@ -120,7 +127,7 @@ func TestProfilesStayDisjoint(t *testing.T) {
 	w := widget.New()
 	const users = 200
 	for u := core.UserID(1); u <= users; u++ {
-		c.Rate(u, core.ItemID(u%17), true)
+		c.Rate(tctx, u, core.ItemID(u%17), true)
 		cycle(t, c, w, u)
 	}
 	for u := core.UserID(1); u <= users; u++ {
@@ -152,13 +159,13 @@ func TestCrossPartitionExchange(t *testing.T) {
 	const users = 100
 	for u := core.UserID(1); u <= users; u++ {
 		for j := 0; j < 5; j++ {
-			c.Rate(u, core.ItemID(uint32(u)%20+uint32(j)), true)
+			c.Rate(tctx, u, core.ItemID(uint32(u)%20+uint32(j)), true)
 		}
 	}
 
 	foreign, foreignWithProfile := 0, 0
 	for u := core.UserID(1); u <= users; u++ {
-		job, err := c.Job(u)
+		job, err := c.Job(tctx, u)
 		if err != nil {
 			t.Fatalf("Job(%d): %v", u, err)
 		}
@@ -192,7 +199,7 @@ func TestExchangeReachesKNN(t *testing.T) {
 	// Similar users land in different partitions: overlapping profiles.
 	for u := core.UserID(1); u <= users; u++ {
 		for j := 0; j < 6; j++ {
-			c.Rate(u, core.ItemID(uint32(u)%5+uint32(j)), true)
+			c.Rate(tctx, u, core.ItemID(uint32(u)%5+uint32(j)), true)
 		}
 	}
 	for round := 0; round < 3; round++ {
@@ -202,7 +209,8 @@ func TestExchangeReachesKNN(t *testing.T) {
 	}
 	crossEdges := 0
 	for u := core.UserID(1); u <= users; u++ {
-		for _, v := range c.Neighbors(u) {
+		hood, _ := c.Neighbors(tctx, u)
+		for _, v := range hood {
 			if c.Partition(v) != c.Partition(u) {
 				crossEdges++
 			}
@@ -222,10 +230,10 @@ func TestExchangeAblation(t *testing.T) {
 	c.SetExchange(0)
 	const users = 80
 	for u := core.UserID(1); u <= users; u++ {
-		c.Rate(u, core.ItemID(u%13), true)
+		c.Rate(tctx, u, core.ItemID(u%13), true)
 	}
 	for u := core.UserID(1); u <= users; u++ {
-		job, err := c.Job(u)
+		job, err := c.Job(tctx, u)
 		if err != nil {
 			t.Fatalf("Job(%d): %v", u, err)
 		}
@@ -245,15 +253,16 @@ func TestApplyResultRouting(t *testing.T) {
 	w := widget.New()
 	const users = 60
 	for u := core.UserID(1); u <= users; u++ {
-		c.Rate(u, core.ItemID(u%9), true)
+		c.Rate(tctx, u, core.ItemID(u%9), true)
 		cycle(t, c, w, u)
 	}
 	for u := core.UserID(1); u <= users; u++ {
-		if len(c.Neighbors(u)) == 0 && c.Len() > 1 {
+		hood, _ := c.Neighbors(tctx, u)
+		if len(hood) == 0 && c.Len() > 1 {
 			// At least the second round should find neighbors for everyone.
-			job, _ := c.Job(u)
+			job, _ := c.Job(tctx, u)
 			res, _ := w.Execute(job)
-			if _, err := c.ApplyResult(res); err != nil {
+			if _, err := c.ApplyResult(tctx, res); err != nil {
 				t.Fatalf("second-round ApplyResult(%d): %v", u, err)
 			}
 		}
@@ -262,14 +271,14 @@ func TestApplyResultRouting(t *testing.T) {
 	// A result minted now must become unroutable once its epoch is evicted
 	// (each anonymiser keeps only the current and previous epoch).
 	u := core.UserID(1)
-	job, err := c.Job(u)
+	job, err := c.Job(tctx, u)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := w.Execute(job)
 	c.RotateAnonymizers()
 	c.RotateAnonymizers()
-	if _, err := c.ApplyResult(res); err == nil {
+	if _, err := c.ApplyResult(tctx, res); err == nil {
 		t.Fatal("ApplyResult accepted a result from an evicted epoch")
 	}
 }
@@ -296,14 +305,14 @@ func TestConcurrentRateJob(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
 				u := core.UserID(uint32(g*ops+i)%97 + 1)
-				c.Rate(u, core.ItemID(uint32(i)%31), i%5 != 0)
-				job, err := c.Job(u)
+				c.Rate(tctx, u, core.ItemID(uint32(i)%31), i%5 != 0)
+				job, err := c.Job(tctx, u)
 				if err != nil {
 					errs <- fmt.Errorf("Job(%d): %w", u, err)
 					return
 				}
 				res, _ := w.Execute(job)
-				switch _, err := c.ApplyResult(res); {
+				switch _, err := c.ApplyResult(tctx, res); {
 				case err == nil:
 					applied.Add(1)
 				case errors.Is(err, ErrUnroutable), errors.Is(err, server.ErrStaleEpoch):
@@ -352,9 +361,9 @@ func TestPartitionSeedsDiffer(t *testing.T) {
 // applied to an arbitrary partition.
 func TestUnroutableResult(t *testing.T) {
 	c := New(testConfig(), 4)
-	c.Rate(1, 1, true)
+	c.Rate(tctx, 1, 1, true)
 	res := &wire.Result{UID: 12345, Epoch: 99}
-	if _, err := c.ApplyResult(res); err == nil {
+	if _, err := c.ApplyResult(tctx, res); err == nil {
 		t.Fatal("ApplyResult accepted a result with an unknown epoch")
 	}
 }

@@ -1,211 +1,23 @@
 package cluster
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
-	"math/rand"
-	"net/http"
-	"strconv"
-	"sync"
 	"time"
 
-	"hyrec/internal/core"
 	"hyrec/internal/server"
-	"hyrec/internal/wire"
 )
 
-// HTTPServer exposes a Cluster over the paper's web API (Table 1) by
-// fanning requests out to one server.HTTPServer per partition:
-//
-//	GET  /online?uid=U           → routed to U's partition
-//	GET/POST /neighbors          → routed to the partition that minted the
-//	                               result's pseudonyms
-//	POST /rate?uid=U&item=I      → routed to U's partition
-//	GET  /recommendations?uid=U  → routed to U's partition
-//	GET  /stats                  → aggregated over all partitions
-//	GET  /healthz                → liveness
-//
-// Requests without identification get a cluster-minted user ID and the
-// identification cookie, exactly like the single-engine front-end — the
-// cluster mints centrally so the fresh ID is registered on its owning
-// partition before the request is forwarded.
-type HTTPServer struct {
-	cluster *Cluster
-	subs    []*server.HTTPServer
-	routes  []http.Handler
+// HTTPServer is the cluster front-end. Because *Cluster implements
+// server.Service (and every capability interface the mux probes for),
+// the cluster is served by the same shared mux as a single engine — the
+// per-endpoint fan-out handlers this package used to carry are gone:
+// routing to the owning partition happens inside the Cluster's Service
+// methods, and cookie minting, presence, stats aggregation and the /v1
+// batch protocol all come from internal/server.
+type HTTPServer = server.HTTPServer
 
-	mintMu sync.Mutex
-	mint   *rand.Rand
-}
-
-// NewHTTPServer wraps cluster. If rotateEvery > 0, each partition rotates
-// its anonymous mapping on that period once Start is called.
+// NewHTTPServer wraps cluster with the shared web API. If rotateEvery >
+// 0, every partition rotates its anonymous mapping on that period once
+// Start is called.
 func NewHTTPServer(cluster *Cluster, rotateEvery time.Duration) *HTTPServer {
-	s := &HTTPServer{
-		cluster: cluster,
-		subs:    make([]*server.HTTPServer, cluster.NumPartitions()),
-		routes:  make([]http.Handler, cluster.NumPartitions()),
-		mint:    rand.New(rand.NewSource(cluster.Config().Seed + 7919)),
-	}
-	for i := range s.subs {
-		s.subs[i] = server.NewHTTPServer(cluster.Engine(i), rotateEvery)
-		s.routes[i] = s.subs[i].Handler()
-	}
-	return s
-}
-
-// Start launches every partition's anonymiser-rotation loop.
-func (s *HTTPServer) Start() {
-	for _, sub := range s.subs {
-		sub.Start()
-	}
-}
-
-// Close stops background work on every partition. Safe to call multiple
-// times.
-func (s *HTTPServer) Close() {
-	for _, sub := range s.subs {
-		sub.Close()
-	}
-}
-
-// Handler returns the cluster route table.
-func (s *HTTPServer) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/online", s.handleByUser)
-	mux.HandleFunc("/online/", s.handleByUser)
-	mux.HandleFunc("/rate", s.handleByUser)
-	mux.HandleFunc("/recommendations", s.handleByUser)
-	mux.HandleFunc("/neighbors", s.handleNeighbors)
-	mux.HandleFunc("/neighbors/", s.handleNeighbors)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-// handleByUser routes a user-addressed endpoint (/online, /rate,
-// /recommendations) to the owning partition. /online without
-// identification mints a fresh cluster-wide user ID and sets the cookie.
-func (s *HTTPServer) handleByUser(w http.ResponseWriter, r *http.Request) {
-	uid, known, err := server.UIDFromRequest(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if !known {
-		if r.URL.Path != "/online" && r.URL.Path != "/online/" {
-			http.Error(w, "missing uid (no ?uid parameter or "+server.UIDCookieName+" cookie)", http.StatusBadRequest)
-			return
-		}
-		uid = s.mintUser()
-		server.SetUIDCookie(w, uid)
-	}
-	s.forward(s.cluster.Partition(uid), uid, w, r)
-}
-
-// forward hands the request to partition part's front-end with uid pinned
-// into the query string, so the partition never re-mints or re-resolves.
-func (s *HTTPServer) forward(part int, uid core.UserID, w http.ResponseWriter, r *http.Request) {
-	r2 := r.Clone(r.Context())
-	q := r2.URL.Query()
-	q.Set("uid", strconv.FormatUint(uint64(uid), 10))
-	r2.URL.RawQuery = q.Encode()
-	s.routes[part].ServeHTTP(w, r2)
-}
-
-// handleNeighbors routes a widget result to the partition whose
-// anonymiser minted its pseudonyms, then replays it against that
-// partition's front-end so per-partition bookkeeping (last
-// recommendations, presence) stays consistent.
-func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
-	var res wire.Result
-	var body []byte
-	if r.Method == http.MethodPost {
-		var err error
-		body, err = io.ReadAll(r.Body)
-		if err != nil {
-			http.Error(w, "read result body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := json.Unmarshal(body, &res); err != nil {
-			http.Error(w, fmt.Sprintf("bad result body: %v", err), http.StatusBadRequest)
-			return
-		}
-	} else {
-		q := r.URL.Query()
-		uid64, err := strconv.ParseUint(q.Get("uid"), 10, 32)
-		if err != nil {
-			http.Error(w, "bad uid", http.StatusBadRequest)
-			return
-		}
-		epoch, _ := strconv.ParseUint(q.Get("epoch"), 10, 64)
-		res = wire.Result{UID: uint32(uid64), Epoch: epoch}
-	}
-
-	_, u, ok := s.cluster.route(&res)
-	if !ok {
-		http.Error(w, ErrUnroutable.Error(), http.StatusGone)
-		return
-	}
-	r2 := r.Clone(r.Context())
-	if body != nil {
-		r2.Body = io.NopCloser(bytes.NewReader(body))
-		r2.ContentLength = int64(len(body))
-	}
-	s.routes[s.cluster.Partition(u)].ServeHTTP(w, r2)
-}
-
-// handleStats aggregates bandwidth and table counters over all
-// partitions, and reports the per-partition user split so an operator can
-// see routing balance at a glance.
-func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	var jsonBytes, gzipBytes, resultBytes, messages, users, knn int64
-	perPart := make([]int64, s.cluster.NumPartitions())
-	for i := 0; i < s.cluster.NumPartitions(); i++ {
-		e := s.cluster.Engine(i)
-		m := e.Meter()
-		jsonBytes += m.JSONBytes()
-		gzipBytes += m.GzipBytes()
-		resultBytes += m.ResultBytes()
-		messages += m.Messages()
-		n := int64(e.Profiles().Len())
-		perPart[i] = n
-		users += n
-		knn += int64(e.KNN().Len())
-	}
-	w.Header().Set("Content-Type", "application/json")
-	stats := map[string]any{
-		"partitions":     s.cluster.NumPartitions(),
-		"json_bytes":     jsonBytes,
-		"gzip_bytes":     gzipBytes,
-		"result_bytes":   resultBytes,
-		"messages":       messages,
-		"users":          users,
-		"users_per_part": perPart,
-		"knn_entries":    knn,
-	}
-	if err := json.NewEncoder(w).Encode(stats); err != nil {
-		return
-	}
-}
-
-// mintUser allocates a user ID unknown to every partition and registers
-// it on its owning partition, so concurrent mints cannot collide and the
-// forwarded request finds the user already present.
-func (s *HTTPServer) mintUser() core.UserID {
-	s.mintMu.Lock()
-	defer s.mintMu.Unlock()
-	for {
-		id := core.UserID(s.mint.Uint32())
-		if id == 0 || s.cluster.KnownUser(id) {
-			continue
-		}
-		s.cluster.Engine(s.cluster.Partition(id)).Profiles().Put(core.NewProfile(id))
-		return id
-	}
+	return server.NewServer(cluster, rotateEvery)
 }

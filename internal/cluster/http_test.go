@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,7 +119,8 @@ func TestHTTPFullLoop(t *testing.T) {
 	// Neighborhoods exist on the owning partitions.
 	withHood := 0
 	for u := core.UserID(1); u <= 60; u++ {
-		if len(c.Neighbors(u)) > 0 {
+		hood, _ := c.Neighbors(context.Background(), u)
+		if len(hood) > 0 {
 			withHood++
 		}
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"time"
 
 	"hyrec/internal/core"
@@ -51,7 +52,7 @@ func (s *System) Name() string { return "hyrec-cluster" }
 // profile updates on the owning partition and a full personalization job
 // round-trips through the widget.
 func (s *System) Rate(_ time.Duration, r core.Rating) {
-	s.cluster.Rate(r.User, r.Item, r.Liked)
+	s.cluster.Rate(context.Background(), r.User, r.Item, r.Liked)
 	s.cycle(r.User)
 }
 
@@ -66,7 +67,10 @@ func (s *System) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID 
 }
 
 // Neighbors implements replay.System.
-func (s *System) Neighbors(u core.UserID) []core.UserID { return s.cluster.Neighbors(u) }
+func (s *System) Neighbors(u core.UserID) []core.UserID {
+	hood, _ := s.cluster.Neighbors(context.Background(), u)
+	return hood
+}
 
 // Tick implements replay.System.
 func (s *System) Tick(t time.Duration) {
@@ -82,12 +86,13 @@ func (s *System) Tick(t time.Duration) {
 // cycle performs one full client-cluster interaction for u and returns
 // the recommendations the widget computed.
 func (s *System) cycle(u core.UserID) []core.ItemID {
-	job, err := s.cluster.Job(u)
+	ctx := context.Background()
+	job, err := s.cluster.Job(ctx, u)
 	if err != nil {
 		return nil
 	}
 	res, _ := s.widget.Execute(job)
-	recs, err := s.cluster.ApplyResult(res)
+	recs, err := s.cluster.ApplyResult(ctx, res)
 	if err != nil {
 		return nil
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -109,12 +110,13 @@ func hyrecUnderChurn(
 	cfg.K = k
 	cfg.Seed = seed
 	sys := hyrec.NewSystem(cfg)
+	ctx := context.Background()
 	for u, p := range profiles {
 		for _, item := range p.Liked() {
-			sys.Engine().Rate(u, item, true)
+			sys.Engine().Rate(ctx, u, item, true)
 		}
 		for _, item := range p.Disliked() {
-			sys.Engine().Rate(u, item, false)
+			sys.Engine().Rate(ctx, u, item, false)
 		}
 	}
 	users := src.Users()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -56,9 +57,10 @@ func ClusterScaling(opt Options) []ClusterScalePoint {
 		cfg := server.DefaultConfig()
 		cfg.Seed = opt.seedOr(1)
 		c := cluster.New(cfg, parts)
+		ctx := context.Background()
 		for _, p := range profiles {
 			for _, item := range p.Liked() {
-				c.Rate(p.User(), item, true)
+				c.Rate(ctx, p.User(), item, true)
 			}
 		}
 		// Prime the KNN tables with one widget round so measured jobs carry
@@ -70,8 +72,8 @@ func ClusterScaling(opt Options) []ClusterScalePoint {
 
 		ops := stress.Throughput(workers, window, func(worker, i int) {
 			u := uids[(uint32(worker)*2654435761+uint32(i))%uint32(len(uids))]
-			c.Rate(u, core.ItemID(uint32(i)%997), true)
-			if _, err := c.Job(u); err != nil {
+			c.Rate(ctx, u, core.ItemID(uint32(i)%997), true)
+			if _, err := c.Job(ctx, u); err != nil {
 				panic(err) // deterministic workload; a failure is a bug
 			}
 		})

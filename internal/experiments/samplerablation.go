@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -74,12 +75,13 @@ func SamplerAblation(opt Options) []SamplerRow {
 		cfg.Seed = opt.seedOr(1)
 		eng := hyrec.NewEngine(cfg)
 		widget := hyrec.NewWidget()
+		ctx := context.Background()
 		for u, p := range profiles {
 			for _, item := range p.Liked() {
-				eng.Rate(u, item, true)
+				eng.Rate(ctx, u, item, true)
 			}
 			for _, item := range p.Disliked() {
-				eng.Rate(u, item, false)
+				eng.Rate(ctx, u, item, false)
 			}
 		}
 		if v.sampler != nil {
@@ -89,16 +91,19 @@ func SamplerAblation(opt Options) []SamplerRow {
 		curves[vi] = make([]float64, rounds)
 		for r := 0; r < rounds; r++ {
 			for _, u := range users {
-				job, err := eng.Job(u)
+				job, err := eng.Job(ctx, u)
 				if err != nil {
 					continue
 				}
 				res, _ := widget.Execute(job)
-				if _, err := eng.ApplyResult(res); err != nil {
+				if _, err := eng.ApplyResult(ctx, res); err != nil {
 					continue
 				}
 			}
-			curves[vi][r] = metrics.ViewSimilarity(src, eng.Neighbors, metric) / ideal
+			curves[vi][r] = metrics.ViewSimilarity(src, func(u core.UserID) []core.UserID {
+				hood, _ := eng.Neighbors(ctx, u)
+				return hood
+			}, metric) / ideal
 		}
 		opt.logf("sampler: %s final ratio %.3f\n", v.name, curves[vi][rounds-1])
 	}

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"hyrec/client"
+	"hyrec/internal/core"
+	"hyrec/internal/stats"
+)
+
+// Op is one logical operation issued through the typed client — the
+// client-mode analogue of Target. i is the global request index, letting
+// ops spread load deterministically over a user population.
+type Op func(ctx context.Context, c *client.Client, i int) error
+
+// RateOp issues single ratings for uids[i mod len(uids)] — the
+// per-request baseline the batch path is measured against.
+func RateOp(uids []uint32, items int) Op {
+	return func(ctx context.Context, c *client.Client, i int) error {
+		u := uids[i%len(uids)]
+		return c.Rate(ctx, core.UserID(u), item(i, items), i%3 != 0)
+	}
+}
+
+// RateBatchOp issues `size`-rating batches per request, spreading users
+// and items the same way RateOp does — so a single- vs batch-path
+// comparison moves the same rating volume per logical request… times
+// size. Throughput is reported in requests; multiply by size for
+// ratings/second.
+func RateBatchOp(uids []uint32, items, size int) Op {
+	return func(ctx context.Context, c *client.Client, i int) error {
+		batch := make([]core.Rating, 0, size)
+		for j := 0; j < size; j++ {
+			n := i*size + j
+			batch = append(batch, core.Rating{User: core.UserID(uids[n%len(uids)]), Item: item(n, items), Liked: n%3 != 0})
+		}
+		return c.RateBatch(ctx, batch)
+	}
+}
+
+// JobOp requests a personalization job for uids[i mod len(uids)] — the
+// /v1 equivalent of the Figure 8/9 /online load.
+func JobOp(uids []uint32) Op {
+	return func(ctx context.Context, c *client.Client, i int) error {
+		_, err := c.Job(ctx, core.UserID(uids[i%len(uids)]))
+		return err
+	}
+}
+
+// RunOps issues `requests` operations through the typed client with
+// `concurrency` in-flight workers — the client-path analogue of Run,
+// measuring the real network stack (connection reuse, JSON, gzip)
+// instead of raw URL fetches.
+func RunOps(ctx context.Context, c *client.Client, op Op, requests, concurrency int) Result {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	latencies := make([]float64, requests)
+	var failures int
+	var mu sync.Mutex
+
+	var next int
+	var nextMu sync.Mutex
+	takeTicket := func() (int, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= requests {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := takeTicket()
+				if !ok {
+					return
+				}
+				reqStart := time.Now()
+				err := op(ctx, c, i)
+				elapsed := time.Since(reqStart)
+				mu.Lock()
+				latencies[i] = float64(elapsed) / float64(time.Millisecond)
+				if err != nil {
+					failures++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Failures:    failures,
+		Elapsed:     elapsed,
+		Latency:     stats.Summarize(latencies),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(requests) / elapsed.Seconds()
+	}
+	return res
+}
+
+// UIDRange returns the uid slice [1, n] — a convenience for spreading
+// ops over a synthetic population.
+func UIDRange(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i + 1)
+	}
+	return out
+}
+
+func item(i, items int) core.ItemID {
+	if items < 1 {
+		items = 1
+	}
+	return core.ItemID(uint32(i*2654435761) % uint32(items))
+}

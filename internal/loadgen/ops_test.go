@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"hyrec"
+	"hyrec/client"
+)
+
+func newBenchServer(tb testing.TB) (*hyrec.Engine, *httptest.Server) {
+	tb.Helper()
+	eng := hyrec.NewEngine(hyrec.DefaultConfig())
+	srv := hyrec.NewServiceServer(eng, 0)
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(func() { ts.Close(); srv.Close() })
+	return eng, ts
+}
+
+// TestRunOps drives the client-path load generator end to end: every
+// request succeeds and the ratings land on the server.
+func TestRunOps(t *testing.T) {
+	eng, ts := newBenchServer(t)
+	c := client.New(ts.URL)
+	defer c.Close()
+
+	uids := UIDRange(16)
+	res := RunOps(context.Background(), c, RateOp(uids, 50), 64, 4)
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d (result %s)", res.Failures, res)
+	}
+	if res.Requests != 64 || res.Throughput <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := eng.Profiles().Len(); got != 16 {
+		t.Fatalf("server saw %d users, want 16", got)
+	}
+}
+
+// TestBatchBeatsSingleRate is the protocol's reason to exist: moving the
+// same rating volume as one batch per request instead of one rating per
+// request must be at least 2× faster end to end. Skipped with -short to
+// keep CI timing-insensitive; the benchmarks below track the same ratio.
+func TestBatchBeatsSingleRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; run without -short")
+	}
+	_, ts := newBenchServer(t)
+	c := client.New(ts.URL)
+	defer c.Close()
+
+	uids := UIDRange(64)
+	const (
+		batch   = 64
+		ratings = 64 * 48 // total rating volume moved by each path
+	)
+	ctx := context.Background()
+
+	// Warm the connection pool so neither path pays dial costs.
+	RunOps(ctx, c, RateOp(uids, 100), 32, 4)
+
+	single := RunOps(ctx, c, RateOp(uids, 100), ratings, 4)
+	batched := RunOps(ctx, c, RateBatchOp(uids, 100, batch), ratings/batch, 4)
+	if single.Failures != 0 || batched.Failures != 0 {
+		t.Fatalf("failures: single=%d batch=%d", single.Failures, batched.Failures)
+	}
+
+	// Compare ratings-per-second: the batch path moves `batch` ratings
+	// per request.
+	singleRPS := single.Throughput
+	batchRPS := batched.Throughput * batch
+	t.Logf("single: %.0f ratings/s, batched(×%d): %.0f ratings/s (%.1fx)",
+		singleRPS, batch, batchRPS, batchRPS/singleRPS)
+	if batchRPS < 2*singleRPS {
+		t.Fatalf("batch path %.0f ratings/s < 2× single path %.0f ratings/s", batchRPS, singleRPS)
+	}
+}
+
+// BenchmarkClientRateSingle measures the per-request /v1/rate path: one
+// rating per round trip.
+func BenchmarkClientRateSingle(b *testing.B) {
+	_, ts := newBenchServer(b)
+	c := client.New(ts.URL)
+	defer c.Close()
+	uids := UIDRange(64)
+	op := RateOp(uids, 100)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(ctx, c, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ratings/s")
+}
+
+// BenchmarkClientRateBatch measures the amortized path: 64 ratings per
+// round trip. Compare ratings/s against BenchmarkClientRateSingle.
+func BenchmarkClientRateBatch(b *testing.B) {
+	_, ts := newBenchServer(b)
+	c := client.New(ts.URL)
+	defer c.Close()
+	uids := UIDRange(64)
+	const batch = 64
+	op := RateBatchOp(uids, 100, batch)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(ctx, c, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ratings/s")
+}
+
+// BenchmarkClientJob measures the personalization-job fetch through the
+// typed client (gzip negotiation + decode).
+func BenchmarkClientJob(b *testing.B) {
+	eng, ts := newBenchServer(b)
+	ctx := context.Background()
+	for u := hyrec.UserID(1); u <= 64; u++ {
+		eng.Rate(ctx, u, hyrec.ItemID(u%7), true)
+	}
+	c := client.New(ts.URL)
+	defer c.Close()
+	op := JobOp(UIDRange(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(ctx, c, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -15,6 +16,10 @@ import (
 	"hyrec/internal/server"
 )
 
+// tctx is the context used by tests exercising the context-aware
+// Service methods.
+var tctx = context.Background()
+
 func seededEngine(t *testing.T) *server.Engine {
 	t.Helper()
 	cfg := server.DefaultConfig()
@@ -22,12 +27,12 @@ func seededEngine(t *testing.T) *server.Engine {
 	e := server.NewEngine(cfg)
 	for u := core.UserID(1); u <= 20; u++ {
 		for i := 0; i < int(u%7)+1; i++ {
-			e.Rate(u, core.ItemID(i*3), i%2 == 0)
+			e.Rate(tctx, u, core.ItemID(i*3), i%2 == 0)
 		}
 	}
 	// Converge a few KNN iterations so the KNN table is non-empty.
 	for u := core.UserID(1); u <= 20; u++ {
-		job, err := e.Job(u)
+		job, err := e.Job(tctx, u)
 		if err != nil {
 			t.Fatalf("job(%v): %v", u, err)
 		}

@@ -18,7 +18,7 @@ func TestCookieIdentificationFlow(t *testing.T) {
 	e := NewEngine(cfg)
 	// Pre-register a small community so jobs have candidates.
 	for u := core.UserID(1); u <= 5; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 	s := NewHTTPServer(e, 0)
 	h := s.Handler()
@@ -158,7 +158,10 @@ func TestMintUserUnique(t *testing.T) {
 	s := NewHTTPServer(e, 0)
 	seen := make(map[core.UserID]bool)
 	for i := 0; i < 1000; i++ {
-		id := s.mintUser()
+		id, err := s.mintUser()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if id == 0 {
 			t.Fatal("minted reserved ID 0")
 		}

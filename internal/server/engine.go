@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -48,6 +49,10 @@ type Config struct {
 	// Setting a filter bypasses the serialized-profile cache for
 	// candidates, since filtered output may differ between jobs.
 	CandidateFilter func(core.Profile) core.Profile
+	// RecCacheUsers bounds the last-recommendations store: only the most
+	// recently active users' recommendations are retained (LRU). Zero
+	// selects the default (4096).
+	RecCacheUsers int
 }
 
 // DefaultConfig returns the paper's default parameters: k=10, r=10,
@@ -78,6 +83,9 @@ type Engine struct {
 	cache    *wire.ProfileCache
 	meter    *wire.Meter
 	sampler  Sampler
+	// recs retains each recently-active user's last recommendations
+	// (bounded LRU) so Recommendations can answer without recomputing.
+	recs *recStore
 	// resolveProfile, when non-nil, supplies profiles for users the local
 	// table has never seen (see SetProfileResolver).
 	resolveProfile ProfileResolver
@@ -110,6 +118,7 @@ func NewEngine(cfg Config) *Engine {
 		profiles: NewProfileTable(),
 		knn:      NewKNNTable(),
 		meter:    &wire.Meter{},
+		recs:     newRecStore(cfg.RecCacheUsers),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if !cfg.DisableAnonymizer {
@@ -170,19 +179,85 @@ func (e *Engine) RotateAnonymizer() {
 // Rate records that user u rated an item. This is the profile-update step
 // the orchestrator performs when a user accesses the site (Arrow 1 of
 // Figure 1).
-func (e *Engine) Rate(u core.UserID, item core.ItemID, liked bool) {
+func (e *Engine) Rate(ctx context.Context, u core.UserID, item core.ItemID, liked bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.profiles.Update(u, func(p core.Profile) core.Profile {
 		return p.WithRating(item, liked)
 	})
+	return nil
+}
+
+// RateBatch records many opinions in one call, checking the context
+// between updates so a cancelled ingestion stops promptly.
+func (e *Engine) RateBatch(ctx context.Context, ratings []core.Rating) error {
+	for _, r := range ratings {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.profiles.Update(r.User, func(p core.Profile) core.Profile {
+			return p.WithRating(r.Item, r.Liked)
+		})
+	}
+	return nil
 }
 
 // Neighbors returns u's current KNN approximation.
-func (e *Engine) Neighbors(u core.UserID) []core.UserID { return e.knn.Get(u) }
+func (e *Engine) Neighbors(ctx context.Context, u core.UserID) ([]core.UserID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.knn.Get(u), nil
+}
+
+// Recommendations returns the most recent recommendations applied for u
+// (nil when none are retained). n <= 0 returns all retained items.
+func (e *Engine) Recommendations(ctx context.Context, u core.UserID, n int) ([]core.ItemID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	recs := e.recs.Get(u)
+	if n > 0 && len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs, nil
+}
+
+// Close implements Service. The engine owns no background goroutines;
+// rotation timers live in the HTTP layer.
+func (e *Engine) Close() error { return nil }
+
+// KnownUser reports whether u has been registered.
+func (e *Engine) KnownUser(u core.UserID) bool { return e.profiles.Known(u) }
+
+// RegisterUser registers u with an empty profile (idempotent), the hook
+// the HTTP layer uses when minting cookie identities.
+func (e *Engine) RegisterUser(u core.UserID) {
+	if !e.profiles.Known(u) {
+		e.profiles.Put(core.NewProfile(u))
+	}
+}
+
+// Stats reports the operational counters served by /stats.
+func (e *Engine) Stats() map[string]any {
+	return map[string]any{
+		"json_bytes":   e.meter.JSONBytes(),
+		"gzip_bytes":   e.meter.GzipBytes(),
+		"result_bytes": e.meter.ResultBytes(),
+		"messages":     e.meter.Messages(),
+		"users":        int64(e.profiles.Len()),
+		"knn_entries":  int64(e.knn.Len()),
+	}
+}
 
 // Job assembles the personalization job for u: profile update has already
 // happened via Rate; this runs the Sampler and packages the candidate
 // profiles (Arrow 2 of Figure 1).
-func (e *Engine) Job(u core.UserID) (*wire.Job, error) {
+func (e *Engine) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !e.profiles.Known(u) {
 		// First contact: register the user with an empty profile so she
 		// can appear in other users' random samples.
@@ -340,9 +415,13 @@ func appendUint(dst []byte, x uint64) []byte {
 
 // ApplyResult folds a widget's KNN selection back into the KNN table
 // (Arrow 3 of Figure 1), translating pseudonyms minted under the result's
-// epoch. Recommendations are translated and returned so the caller (HTTP
-// layer or replay harness) can expose them.
-func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
+// epoch. Recommendations are translated, retained for Recommendations,
+// and returned so the caller (HTTP layer or replay harness) can expose
+// them.
+func (e *Engine) ApplyResult(ctx context.Context, res *wire.Result) ([]core.ItemID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	u, ok := e.ResolveUser(core.UserID(res.UID), res.Epoch)
 	if !ok {
 		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrStaleEpoch, res.UID, res.Epoch)
@@ -387,6 +466,9 @@ func (e *Engine) ApplyResult(res *wire.Result) ([]core.ItemID, error) {
 			return nil, fmt.Errorf("%w: item alias %d epoch %d", ErrStaleEpoch, alias, res.Epoch)
 		}
 		recs = append(recs, item)
+	}
+	if len(recs) > 0 {
+		e.recs.Put(u, recs)
 	}
 	e.meter.CountResult(len(res.Neighbors)*10 + len(res.Recommendations)*10 + 32)
 	return recs, nil

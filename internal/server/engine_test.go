@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -10,6 +11,10 @@ import (
 	"hyrec/internal/widget"
 	"hyrec/internal/wire"
 )
+
+// tctx is the context used by tests exercising the context-aware
+// Service methods.
+var tctx = context.Background()
 
 func testConfig() Config {
 	cfg := DefaultConfig()
@@ -29,7 +34,7 @@ func TestNewEnginePanicsOnBadConfig(t *testing.T) {
 
 func TestRateCreatesProfile(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 10, true)
+	e.Rate(tctx, 1, 10, true)
 	p := e.Profiles().Get(1)
 	if !p.LikedContains(10) {
 		t.Fatal("rating not recorded")
@@ -39,9 +44,9 @@ func TestRateCreatesProfile(t *testing.T) {
 func TestJobContainsProfileAndCandidates(t *testing.T) {
 	e := NewEngine(testConfig())
 	for u := core.UserID(1); u <= 10; u++ {
-		e.Rate(u, core.ItemID(u%3), true)
+		e.Rate(tctx, u, core.ItemID(u%3), true)
 	}
-	job, err := e.Job(1)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +64,8 @@ func TestJobContainsProfileAndCandidates(t *testing.T) {
 
 func TestJobForBrandNewUserRegistersHer(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(2, 1, true)
-	if _, err := e.Job(99); err != nil {
+	e.Rate(tctx, 2, 1, true)
+	if _, err := e.Job(tctx, 99); err != nil {
 		t.Fatal(err)
 	}
 	if !e.Profiles().Known(99) {
@@ -71,22 +76,22 @@ func TestJobForBrandNewUserRegistersHer(t *testing.T) {
 func TestFullCycleUpdatesKNNTable(t *testing.T) {
 	e := NewEngine(testConfig())
 	// Three users with overlapping tastes.
-	e.Rate(1, 1, true)
-	e.Rate(1, 2, true)
-	e.Rate(2, 1, true)
-	e.Rate(2, 2, true)
-	e.Rate(3, 99, true)
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 1, 2, true)
+	e.Rate(tctx, 2, 1, true)
+	e.Rate(tctx, 2, 2, true)
+	e.Rate(tctx, 3, 99, true)
 
 	w := widget.New()
-	job, err := e.Job(1)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := w.Execute(job)
-	if _, err := e.ApplyResult(res); err != nil {
+	if _, err := e.ApplyResult(tctx, res); err != nil {
 		t.Fatal(err)
 	}
-	hood := e.Neighbors(1)
+	hood, _ := e.Neighbors(tctx, 1)
 	if len(hood) == 0 {
 		t.Fatal("KNN table not updated")
 	}
@@ -103,8 +108,8 @@ func TestFullCycleUpdatesKNNTable(t *testing.T) {
 
 func TestApplyResultStaleEpoch(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
-	job, err := e.Job(1)
+	e.Rate(tctx, 1, 1, true)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,37 +117,37 @@ func TestApplyResultStaleEpoch(t *testing.T) {
 	// Rotate twice: the job's epoch is now unresolvable.
 	e.RotateAnonymizer()
 	e.RotateAnonymizer()
-	if _, err := e.ApplyResult(res); !errors.Is(err, ErrStaleEpoch) {
+	if _, err := e.ApplyResult(tctx, res); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("err = %v, want ErrStaleEpoch", err)
 	}
 }
 
 func TestApplyResultOneRotationOK(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
-	e.Rate(2, 1, true)
-	job, err := e.Job(1)
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 2, 1, true)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := widget.New().Execute(job)
 	e.RotateAnonymizer() // one rotation: previous epoch must still apply
-	if _, err := e.ApplyResult(res); err != nil {
+	if _, err := e.ApplyResult(tctx, res); err != nil {
 		t.Fatalf("one-epoch-old result rejected: %v", err)
 	}
 }
 
 func TestApplyResultTranslatesRecommendations(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
-	e.Rate(2, 1, true)
-	e.Rate(2, 7, true) // item 7 unseen by user 1 → should be recommended
-	job, err := e.Job(1)
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 2, 1, true)
+	e.Rate(tctx, 2, 7, true) // item 7 unseen by user 1 → should be recommended
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res, _ := widget.New().Execute(job)
-	recs, err := e.ApplyResult(res)
+	recs, err := e.ApplyResult(tctx, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,9 +167,9 @@ func TestApplyResultTranslatesRecommendations(t *testing.T) {
 
 func TestAnonymizationHidesIDsOnWire(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
-	e.Rate(2, 1, true)
-	job, err := e.Job(1)
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 2, 1, true)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,8 +187,8 @@ func TestDisableAnonymizer(t *testing.T) {
 	cfg := testConfig()
 	cfg.DisableAnonymizer = true
 	e := NewEngine(cfg)
-	e.Rate(1, 1, true)
-	job, err := e.Job(1)
+	e.Rate(tctx, 1, 1, true)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestJobPayloadCachedMatchesUncached(t *testing.T) {
 		e := NewEngine(cfg)
 		for u := core.UserID(1); u <= 20; u++ {
 			for i := core.ItemID(0); i < 5; i++ {
-				e.Rate(u, i+core.ItemID(u), i%2 == 0)
+				e.Rate(tctx, u, i+core.ItemID(u), i%2 == 0)
 			}
 		}
 		jsonBody, gz, err := e.JobPayload(1)
@@ -225,7 +230,7 @@ func TestJobPayloadCachedMatchesUncached(t *testing.T) {
 func TestJobPayloadParseable(t *testing.T) {
 	e := NewEngine(testConfig())
 	for u := core.UserID(1); u <= 10; u++ {
-		e.Rate(u, core.ItemID(u), true)
+		e.Rate(tctx, u, core.ItemID(u), true)
 	}
 	jsonBody, _, err := e.JobPayload(3)
 	if err != nil {
@@ -242,7 +247,7 @@ func TestJobPayloadParseable(t *testing.T) {
 
 func TestJobPayloadMeters(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
+	e.Rate(tctx, 1, 1, true)
 	if _, _, err := e.JobPayload(1); err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +261,10 @@ func TestMaxProfileItemsBoundsCandidates(t *testing.T) {
 	cfg.MaxProfileItems = 4
 	e := NewEngine(cfg)
 	for i := core.ItemID(0); i < 50; i++ {
-		e.Rate(1, i, true)
-		e.Rate(2, i, true)
+		e.Rate(tctx, 1, i, true)
+		e.Rate(tctx, 2, i, true)
 	}
-	job, err := e.Job(1)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,12 +281,12 @@ func TestMaxProfileItemsBoundsCandidates(t *testing.T) {
 
 func TestSetSamplerCustom(t *testing.T) {
 	e := NewEngine(testConfig())
-	e.Rate(1, 1, true)
-	e.Rate(2, 2, true)
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 2, 2, true)
 	e.SetSampler(samplerFunc(func(u core.UserID, k int) []core.UserID {
 		return []core.UserID{2}
 	}))
-	job, err := e.Job(1)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +302,7 @@ func (f samplerFunc) Sample(u core.UserID, k int) []core.UserID { return f(u, k)
 func TestSamplerUsesTwoHopNeighbors(t *testing.T) {
 	e := NewEngine(testConfig())
 	for u := core.UserID(1); u <= 6; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 	e.KNN().Put(1, []core.UserID{2})
 	e.KNN().Put(2, []core.UserID{3})
@@ -314,7 +319,7 @@ func TestSamplerUsesTwoHopNeighbors(t *testing.T) {
 func TestEngineConcurrentTraffic(t *testing.T) {
 	e := NewEngine(testConfig())
 	for u := core.UserID(0); u < 32; u++ {
-		e.Rate(u, core.ItemID(u%7), true)
+		e.Rate(tctx, u, core.ItemID(u%7), true)
 	}
 	w := widget.New()
 	var wg sync.WaitGroup
@@ -324,7 +329,7 @@ func TestEngineConcurrentTraffic(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				u := core.UserID((g*31 + i) % 32)
-				e.Rate(u, core.ItemID(i%50), i%3 != 0)
+				e.Rate(tctx, u, core.ItemID(i%50), i%3 != 0)
 				_, gz, err := e.JobPayload(u)
 				if err != nil {
 					t.Error(err)
@@ -335,7 +340,7 @@ func TestEngineConcurrentTraffic(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := e.ApplyResult(res); err != nil && !errors.Is(err, ErrStaleEpoch) {
+				if _, err := e.ApplyResult(tctx, res); err != nil && !errors.Is(err, ErrStaleEpoch) {
 					t.Error(err)
 					return
 				}

@@ -11,7 +11,7 @@ import (
 func seedCommunity(e *Engine, n, itemsEach int) {
 	for u := 1; u <= n; u++ {
 		for i := 0; i < itemsEach; i++ {
-			e.Rate(core.UserID(u), core.ItemID(i), true)
+			e.Rate(tctx, core.UserID(u), core.ItemID(i), true)
 		}
 	}
 }
@@ -28,7 +28,7 @@ func TestCandidateFilterAppliedToCandidatesOnly(t *testing.T) {
 	e := NewEngine(cfg)
 	seedCommunity(e, 8, 5)
 
-	job, err := e.Job(1)
+	job, err := e.Job(tctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

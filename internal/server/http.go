@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,11 +19,15 @@ import (
 // UIDCookieName is the cookie the widget identifies users through
 // (Section 4.2: "It identifies users through a cookie"). /online mints a
 // fresh user ID and sets the cookie when a request carries neither ?uid
-// nor the cookie. Exported so the cluster front-end speaks the identical
+// nor the cookie. Exported so external front-ends speak the identical
 // identification protocol.
 const UIDCookieName = "hyrec_uid"
 
-// HTTPServer exposes an Engine over the paper's web API (Table 1):
+// HTTPServer exposes any Service over HyRec's web API. One mux serves
+// both a single Engine and a partitioned Cluster — the Service interface
+// routes internally, so there is no per-front-end handler duplication.
+//
+// Legacy endpoints (Table 1 of the paper):
 //
 //	GET  /online?uid=U                         → gzip JSON personalization job
 //	GET  /neighbors?uid=U&epoch=E&id0=..&idN=..→ apply a KNN update (query form)
@@ -32,13 +37,19 @@ const UIDCookieName = "hyrec_uid"
 //	GET  /stats                                → bandwidth/throughput counters
 //	GET  /healthz                              → liveness
 //
-// The /online response is gzip-compressed JSON with Content-Encoding: gzip,
-// exactly as the paper's Jetty deployment serves it.
+// Versioned batch protocol (see internal/wire/v1.go):
+//
+//	POST /v1/rate       → batch of ratings (JSON body)
+//	GET  /v1/job?uid=U  → personalization job (gzip-negotiated)
+//	POST /v1/result     → apply a wire.Result, returns recommendations
+//	GET  /v1/recs?uid=U&n=N → last recommendations
+//	GET  /v1/neighbors?uid=U → current KNN approximation
+//
+// The /online response is gzip-compressed JSON with Content-Encoding:
+// gzip, exactly as the paper's Jetty deployment serves it; /v1/job
+// honours Accept-Encoding instead.
 type HTTPServer struct {
-	engine *Engine
-
-	recMu   sync.RWMutex
-	lastRec map[core.UserID][]core.ItemID
+	svc Service
 
 	seen *presence
 
@@ -52,23 +63,38 @@ type HTTPServer struct {
 	stopOnce    sync.Once
 }
 
-// NewHTTPServer wraps engine. If rotateEvery > 0, a background goroutine
-// rotates the anonymous mapping on that period until Close is called.
-func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
+// NewServer wraps any Service with the web API. If rotateEvery > 0 and
+// the service supports rotation, a background goroutine rotates the
+// anonymous mapping on that period until Close is called.
+func NewServer(svc Service, rotateEvery time.Duration) *HTTPServer {
+	seed := int64(1)
+	if c, ok := svc.(Configured); ok {
+		seed = c.Config().Seed
+	}
 	return &HTTPServer{
-		engine:      engine,
-		lastRec:     make(map[core.UserID][]core.ItemID),
+		svc:         svc,
 		seen:        newPresence(),
-		mint:        rand.New(rand.NewSource(engine.Config().Seed + 7919)),
+		mint:        rand.New(rand.NewSource(seed + 7919)),
 		rotateEvery: rotateEvery,
 		stopRotate:  make(chan struct{}),
 	}
 }
 
-// Start launches the anonymiser-rotation loop (no-op when rotateEvery ≤ 0).
+// NewHTTPServer wraps an Engine — the historical single-machine
+// constructor, now a thin alias for NewServer.
+func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
+	return NewServer(engine, rotateEvery)
+}
+
+// Service returns the service this server fronts.
+func (s *HTTPServer) Service() Service { return s.svc }
+
+// Start launches the anonymiser-rotation loop (no-op when rotateEvery ≤ 0
+// or the service cannot rotate).
 func (s *HTTPServer) Start() {
 	s.startOnce.Do(func() {
-		if s.rotateEvery <= 0 {
+		rot, ok := s.svc.(Rotator)
+		if s.rotateEvery <= 0 || !ok {
 			return
 		}
 		s.rotateWG.Add(1)
@@ -79,7 +105,7 @@ func (s *HTTPServer) Start() {
 			for {
 				select {
 				case <-ticker.C:
-					s.engine.RotateAnonymizer()
+					rot.RotateAnonymizer()
 				case <-s.stopRotate:
 					return
 				}
@@ -88,13 +114,16 @@ func (s *HTTPServer) Start() {
 	})
 }
 
-// Close stops background work. Safe to call multiple times.
+// Close stops and drains the rotation goroutine. It does not close the
+// underlying Service — ownership stays with whoever constructed it. Safe
+// to call multiple times.
 func (s *HTTPServer) Close() {
 	s.stopOnce.Do(func() { close(s.stopRotate) })
 	s.rotateWG.Wait()
 }
 
-// Handler returns the route table.
+// Handler returns the route table: the legacy Table-1 endpoints plus the
+// versioned /v1 batch protocol.
 func (s *HTTPServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/online", s.handleOnline)
@@ -108,8 +137,15 @@ func (s *HTTPServer) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc(wire.V1Prefix+"/rate", s.handleV1Rate)
+	mux.HandleFunc(wire.V1Prefix+"/job", s.handleV1Job)
+	mux.HandleFunc(wire.V1Prefix+"/result", s.handleV1Result)
+	mux.HandleFunc(wire.V1Prefix+"/recs", s.handleV1Recs)
+	mux.HandleFunc(wire.V1Prefix+"/neighbors", s.handleV1Neighbors)
 	return mux
 }
+
+// ---- legacy Table-1 endpoints ----
 
 func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 	uid, known, err := UIDFromRequest(r)
@@ -120,7 +156,11 @@ func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 	if !known {
 		// First visit without identification: mint an ID and hand it to
 		// the browser as a cookie (Section 4.2).
-		uid = s.mintUser()
+		uid, err = s.mintUser()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		SetUIDCookie(w, uid)
 	}
 	s.seen.Touch(uid)
@@ -131,9 +171,12 @@ func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.engine.Rate(uid, item, liked)
+		if err := s.svc.Rate(r.Context(), uid, item, liked); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
-	_, gz, err := s.engine.JobPayload(uid)
+	gz, err := s.jobGzip(r.Context(), uid)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -150,7 +193,7 @@ func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	var res wire.Result
 	switch r.Method {
 	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&res); err != nil {
 			http.Error(w, fmt.Sprintf("bad result body: %v", err), http.StatusBadRequest)
 			return
 		}
@@ -189,24 +232,12 @@ func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	recs, err := s.engine.ApplyResult(&res)
-	switch {
-	case errors.Is(err, ErrStaleEpoch):
-		http.Error(w, err.Error(), http.StatusGone)
-		return
-	case errors.Is(err, ErrUnknownUser):
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if _, err := s.svc.ApplyResult(r.Context(), &res); err != nil {
+		status, _ := statusForErr(err)
+		http.Error(w, err.Error(), status)
 		return
 	}
-	if u, ok := s.engine.ResolveUser(core.UserID(res.UID), res.Epoch); ok {
-		s.seen.Touch(u)
-		s.recMu.Lock()
-		s.lastRec[u] = recs
-		s.recMu.Unlock()
-	}
+	s.touchResult(&res)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -222,7 +253,10 @@ func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seen.Touch(uid)
-	s.engine.Rate(uid, item, liked)
+	if err := s.svc.Rate(r.Context(), uid, item, liked); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -232,9 +266,12 @@ func (s *HTTPServer) handleRecommendations(w http.ResponseWriter, r *http.Reques
 		http.Error(w, errOrMissing(err), http.StatusBadRequest)
 		return
 	}
-	s.recMu.RLock()
-	recs := s.lastRec[uid]
-	s.recMu.RUnlock()
+	recs, err := s.svc.Recommendations(r.Context(), uid, 0)
+	if err != nil {
+		status, _ := statusForErr(err)
+		http.Error(w, err.Error(), status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(recs); err != nil {
 		return
@@ -242,26 +279,266 @@ func (s *HTTPServer) handleRecommendations(w http.ResponseWriter, r *http.Reques
 }
 
 func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	m := s.engine.Meter()
-	w.Header().Set("Content-Type", "application/json")
-	stats := map[string]int64{
-		"json_bytes":   m.JSONBytes(),
-		"gzip_bytes":   m.GzipBytes(),
-		"result_bytes": m.ResultBytes(),
-		"messages":     m.Messages(),
-		"users":        int64(s.engine.Profiles().Len()),
-		"online_users": int64(s.seen.Online(presenceWindow)),
-		"knn_entries":  int64(s.engine.KNN().Len()),
+	stats := map[string]any{}
+	if sp, ok := s.svc.(StatsProvider); ok {
+		stats = sp.Stats()
 	}
+	stats["online_users"] = int64(s.seen.Online(presenceWindow))
+	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(stats); err != nil {
 		return
 	}
 }
 
+// ---- /v1 batch protocol ----
+
+func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	var req wire.RateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", wire.MaxBodyBytes))
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad rate body: "+err.Error())
+		return
+	}
+	if len(req.Ratings) > wire.MaxBatchRatings {
+		writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+			fmt.Sprintf("batch of %d exceeds %d ratings", len(req.Ratings), wire.MaxBatchRatings))
+		return
+	}
+	ratings := make([]core.Rating, len(req.Ratings))
+	for i, m := range req.Ratings {
+		ratings[i] = core.Rating{User: core.UserID(m.UID), Item: core.ItemID(m.Item), Liked: m.Liked}
+		s.seen.Touch(ratings[i].User)
+	}
+	if err := s.svc.RateBatch(r.Context(), ratings); err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.RateResponse{Accepted: len(ratings)})
+}
+
+func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
+		return
+	}
+	uid, known, err := UIDFromRequest(r)
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	if !known {
+		uid, err = s.mintUser()
+		if err != nil {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+			return
+		}
+		SetUIDCookie(w, uid)
+	}
+	s.seen.Touch(uid)
+	w.Header().Set("Content-Type", "application/json")
+	if acceptsGzip(r) {
+		gz, err := s.jobGzip(r.Context(), uid)
+		if err != nil {
+			writeV1ServiceError(w, err)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
+		w.Write(gz)
+		return
+	}
+	raw, err := s.jobJSON(r.Context(), uid)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.Write(raw)
+}
+
+func (s *HTTPServer) handleV1Result(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	var res wire.Result
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&res); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", wire.MaxBodyBytes))
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad result body: "+err.Error())
+		return
+	}
+	recs, err := s.svc.ApplyResult(r.Context(), &res)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	s.touchResult(&res)
+	out := wire.RecsResponse{Recs: make([]uint32, len(recs))}
+	for i, it := range recs {
+		out.Recs[i] = uint32(it)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *HTTPServer) handleV1Recs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
+		return
+	}
+	uid, known, err := UIDFromRequest(r)
+	if err != nil || !known {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, errOrMissing(err))
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, fmt.Sprintf("bad n %q", raw))
+			return
+		}
+	}
+	recs, err := s.svc.Recommendations(r.Context(), uid, n)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	out := wire.RecsResponse{Recs: make([]uint32, len(recs))}
+	for i, it := range recs {
+		out.Recs[i] = uint32(it)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *HTTPServer) handleV1Neighbors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
+		return
+	}
+	uid, known, err := UIDFromRequest(r)
+	if err != nil || !known {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, errOrMissing(err))
+		return
+	}
+	hood, err := s.svc.Neighbors(r.Context(), uid)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	out := wire.NeighborsResponse{Neighbors: make([]uint32, len(hood))}
+	for i, v := range hood {
+		out.Neighbors[i] = uint32(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- shared plumbing ----
+
+// jobGzip returns the gzip job payload for u, preferring the service's
+// metered fast path.
+func (s *HTTPServer) jobGzip(ctx context.Context, u core.UserID) ([]byte, error) {
+	if p, ok := s.svc.(Payloader); ok {
+		_, gz, err := p.JobPayload(u)
+		return gz, err
+	}
+	raw, err := s.jobJSON(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Compress(raw, s.gzipLevel())
+}
+
+// jobJSON returns the raw JSON job payload for u.
+func (s *HTTPServer) jobJSON(ctx context.Context, u core.UserID) ([]byte, error) {
+	if p, ok := s.svc.(Payloader); ok {
+		raw, _, err := p.JobPayload(u)
+		return raw, err
+	}
+	job, err := s.svc.Job(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return wire.EncodeJob(job)
+}
+
+func (s *HTTPServer) gzipLevel() wire.GzipLevel {
+	if c, ok := s.svc.(Configured); ok {
+		return c.Config().GzipLevel
+	}
+	return wire.GzipBestSpeed
+}
+
+// touchResult records presence for the real user behind an applied
+// result, when the service can resolve pseudonyms.
+func (s *HTTPServer) touchResult(res *wire.Result) {
+	if ur, ok := s.svc.(UserResolver); ok {
+		if u, ok := ur.ResolveUser(core.UserID(res.UID), res.Epoch); ok {
+			s.seen.Touch(u)
+		}
+	}
+}
+
+// statusForErr maps a Service error to an HTTP status and v1 error code.
+func statusForErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrStaleEpoch):
+		return http.StatusGone, wire.CodeStaleEpoch
+	case errors.Is(err, ErrUnknownUser):
+		return http.StatusNotFound, wire.CodeUnknownUser
+	default:
+		return http.StatusInternalServerError, wire.CodeInternal
+	}
+}
+
+func writeV1ServiceError(w http.ResponseWriter, err error) {
+	status, code := statusForErr(err)
+	writeV1Error(w, status, code, err.Error())
+}
+
+func writeV1Error(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, wire.ErrorEnvelope{Error: wire.ErrorBody{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}
+
+// acceptsGzip reports whether the request negotiates gzip encoding.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = strings.TrimSpace(enc[:i])
+		}
+		if enc == "gzip" || enc == "*" {
+			return true
+		}
+	}
+	return false
+}
+
 // UIDFromRequest resolves the requesting user: an explicit ?uid parameter
 // wins; otherwise the identification cookie is consulted. known is false
-// when the request carries neither. Shared by the single-engine and
-// cluster front-ends so the two stay protocol-identical.
+// when the request carries neither. Shared by every endpoint so legacy
+// and /v1 identification stay protocol-identical.
 func UIDFromRequest(r *http.Request) (uid core.UserID, known bool, err error) {
 	if raw := r.URL.Query().Get("uid"); raw != "" {
 		uid64, err := strconv.ParseUint(raw, 10, 32)
@@ -281,7 +558,7 @@ func UIDFromRequest(r *http.Request) (uid core.UserID, known bool, err error) {
 }
 
 // SetUIDCookie hands uid to the browser as the identification cookie —
-// the attributes both front-ends must agree on.
+// the attributes every front-end must agree on.
 func SetUIDCookie(w http.ResponseWriter, uid core.UserID) {
 	http.SetCookie(w, &http.Cookie{
 		Name:     UIDCookieName,
@@ -293,17 +570,22 @@ func SetUIDCookie(w http.ResponseWriter, uid core.UserID) {
 }
 
 // mintUser allocates an unused user ID and registers it so concurrent
-// mints cannot collide.
-func (s *HTTPServer) mintUser() core.UserID {
+// mints cannot collide. It fails when the service exposes no user
+// directory (e.g. a bare remote proxy).
+func (s *HTTPServer) mintUser() (core.UserID, error) {
+	dir, ok := s.svc.(UserDirectory)
+	if !ok {
+		return 0, errors.New("service cannot mint users; supply ?uid or the " + UIDCookieName + " cookie")
+	}
 	s.mintMu.Lock()
 	defer s.mintMu.Unlock()
 	for {
 		id := core.UserID(s.mint.Uint32())
-		if id == 0 || s.engine.Profiles().Known(id) {
+		if id == 0 || dir.KnownUser(id) {
 			continue
 		}
-		s.engine.Profiles().Put(core.NewProfile(id))
-		return id
+		dir.RegisterUser(id)
+		return id, nil
 	}
 }
 

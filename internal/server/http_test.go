@@ -17,16 +17,16 @@ import (
 	"hyrec/internal/wire"
 )
 
-func newTestHTTP(t *testing.T) (*HTTPServer, *httptest.Server) {
+func newTestHTTP(t *testing.T) (*Engine, *httptest.Server) {
 	t.Helper()
 	e := NewEngine(testConfig())
-	s := NewHTTPServer(e, 0)
+	s := NewServer(e, 0)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
 	})
-	return s, ts
+	return e, ts
 }
 
 // rawClient disables Go's transparent response decompression so tests can
@@ -72,9 +72,9 @@ func TestOnlineWithoutUIDMintsCookie(t *testing.T) {
 }
 
 func TestOnlineReturnsGzipJob(t *testing.T) {
-	s, ts := newTestHTTP(t)
-	s.engine.Rate(1, 5, true)
-	s.engine.Rate(2, 5, true)
+	e, ts := newTestHTTP(t)
+	e.Rate(tctx, 1, 5, true)
+	e.Rate(tctx, 2, 5, true)
 
 	resp, err := rawClient().Get(ts.URL + "/online?uid=1")
 	if err != nil {
@@ -105,19 +105,19 @@ func TestOnlineReturnsGzipJob(t *testing.T) {
 }
 
 func TestOnlineWithPiggybackedRating(t *testing.T) {
-	s, ts := newTestHTTP(t)
+	e, ts := newTestHTTP(t)
 	resp, err := http.Get(ts.URL + "/online?uid=4&item=9&liked=true")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if !s.engine.Profiles().Get(4).LikedContains(9) {
+	if !e.Profiles().Get(4).LikedContains(9) {
 		t.Fatal("piggybacked rating not recorded")
 	}
 }
 
 func TestRateEndpoint(t *testing.T) {
-	s, ts := newTestHTTP(t)
+	e, ts := newTestHTTP(t)
 	resp, err := http.Post(ts.URL+"/rate?uid=3&item=7&liked=false", "", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestRateEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	p := s.engine.Profiles().Get(3)
+	p := e.Profiles().Get(3)
 	if !p.Contains(7) || p.LikedContains(7) {
 		t.Fatal("dislike not recorded")
 	}
@@ -149,11 +149,11 @@ func TestRateBadParams(t *testing.T) {
 // TestFullWidgetRoundTripOverHTTP is the paper's interaction diagram
 // (Figure 1, arrows 1–3) over a real HTTP stack.
 func TestFullWidgetRoundTripOverHTTP(t *testing.T) {
-	s, ts := newTestHTTP(t)
+	e, ts := newTestHTTP(t)
 	// Seed the population.
 	for u := core.UserID(1); u <= 8; u++ {
-		s.engine.Rate(u, core.ItemID(u%3), true)
-		s.engine.Rate(u, 100, true) // shared item
+		e.Rate(tctx, u, core.ItemID(u%3), true)
+		e.Rate(tctx, u, 100, true) // shared item
 	}
 
 	// Arrow 1: client request.
@@ -188,7 +188,7 @@ func TestFullWidgetRoundTripOverHTTP(t *testing.T) {
 		t.Fatalf("neighbors status = %d", resp2.StatusCode)
 	}
 
-	if len(s.engine.Neighbors(1)) == 0 {
+	if hood, _ := e.Neighbors(tctx, 1); len(hood) == 0 {
 		t.Fatal("KNN table empty after round trip")
 	}
 
@@ -205,13 +205,17 @@ func TestFullWidgetRoundTripOverHTTP(t *testing.T) {
 }
 
 func TestNeighborsQueryForm(t *testing.T) {
-	s, ts := newTestHTTP(t)
 	cfg := testConfig()
 	cfg.DisableAnonymizer = true
-	e := NewEngine(cfg)
-	s.engine = e // swap in a plain-ID engine for the query-form test
-	e.Rate(1, 1, true)
-	e.Rate(2, 1, true)
+	e := NewEngine(cfg) // plain-ID engine for the query-form test
+	s := NewServer(e, 0)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	e.Rate(tctx, 1, 1, true)
+	e.Rate(tctx, 2, 1, true)
 
 	q := url.Values{}
 	q.Set("uid", "1")
@@ -226,16 +230,16 @@ func TestNeighborsQueryForm(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	hood := e.Neighbors(1)
+	hood, _ := e.Neighbors(tctx, 1)
 	if len(hood) != 1 || hood[0] != 2 {
 		t.Fatalf("neighbors = %v", hood)
 	}
 }
 
 func TestNeighborsStaleEpochGives410(t *testing.T) {
-	s, ts := newTestHTTP(t)
-	s.engine.Rate(1, 1, true)
-	jsonBody, _, err := s.engine.JobPayload(1)
+	e, ts := newTestHTTP(t)
+	e.Rate(tctx, 1, 1, true)
+	jsonBody, _, err := e.JobPayload(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,8 +248,8 @@ func TestNeighborsStaleEpochGives410(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ := widget.New().Execute(job)
-	s.engine.RotateAnonymizer()
-	s.engine.RotateAnonymizer()
+	e.RotateAnonymizer()
+	e.RotateAnonymizer()
 
 	body, _ := json.Marshal(res)
 	resp, err := http.Post(ts.URL+"/neighbors", "application/json", bytes.NewReader(body))
@@ -259,9 +263,9 @@ func TestNeighborsStaleEpochGives410(t *testing.T) {
 }
 
 func TestStatsEndpoint(t *testing.T) {
-	s, ts := newTestHTTP(t)
-	s.engine.Rate(1, 1, true)
-	if _, _, err := s.engine.JobPayload(1); err != nil {
+	e, ts := newTestHTTP(t)
+	e.Rate(tctx, 1, 1, true)
+	if _, _, err := e.JobPayload(1); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(ts.URL + "/stats")
@@ -296,9 +300,9 @@ func TestRotationLoopStartsAndStops(t *testing.T) {
 }
 
 func TestConcurrentHTTPClients(t *testing.T) {
-	s, ts := newTestHTTP(t)
+	e, ts := newTestHTTP(t)
 	for u := core.UserID(0); u < 16; u++ {
-		s.engine.Rate(u, core.ItemID(u%5), true)
+		e.Rate(tctx, u, core.ItemID(u%5), true)
 	}
 	errc := make(chan error, 8)
 	client := rawClient()
@@ -344,7 +348,7 @@ func TestConcurrentHTTPClients(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s.engine.KNN().Len() == 0 {
+	if e.KNN().Len() == 0 {
 		t.Fatal("no KNN entries after concurrent traffic")
 	}
 }

@@ -21,14 +21,14 @@ func TestApplyResultCapsMaliciousNeighborList(t *testing.T) {
 	cfg.K = 5
 	e := NewEngine(cfg)
 	for u := core.UserID(1); u <= 100; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 
 	res := &wire.Result{UID: 1}
 	for v := uint32(2); v <= 90; v++ {
 		res.Neighbors = append(res.Neighbors, v)
 	}
-	if _, err := e.ApplyResult(res); err != nil {
+	if _, err := e.ApplyResult(tctx, res); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(e.KNN().Get(1)); got != cfg.K {
@@ -42,11 +42,11 @@ func TestApplyResultDedupsAndDropsSelf(t *testing.T) {
 	cfg.K = 10
 	e := NewEngine(cfg)
 	for u := core.UserID(1); u <= 5; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 
 	res := &wire.Result{UID: 1, Neighbors: []uint32{2, 2, 1, 3, 3, 3, 1, 4}}
-	if _, err := e.ApplyResult(res); err != nil {
+	if _, err := e.ApplyResult(tctx, res); err != nil {
 		t.Fatal(err)
 	}
 	got := e.KNN().Get(1)
@@ -66,10 +66,10 @@ func TestApplyResultCapsRecommendations(t *testing.T) {
 	cfg.DisableAnonymizer = true
 	cfg.R = 3
 	e := NewEngine(cfg)
-	e.Rate(1, 1, true)
+	e.Rate(tctx, 1, 1, true)
 
 	res := &wire.Result{UID: 1, Recommendations: []uint32{10, 11, 12, 13, 14, 15}}
-	recs, err := e.ApplyResult(res)
+	recs, err := e.ApplyResult(tctx, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestHTTPNeighborsFloodCapped(t *testing.T) {
 	cfg.K = 10
 	e := NewEngine(cfg)
 	for u := core.UserID(1); u <= 200; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 	s := NewHTTPServer(e, 0)
 	h := s.Handler()
@@ -129,7 +129,7 @@ func TestJobPayloadCorruptionHandling(t *testing.T) {
 	cfg := DefaultConfig()
 	e := NewEngine(cfg)
 	for u := core.UserID(1); u <= 10; u++ {
-		e.Rate(u, core.ItemID(u%3), true)
+		e.Rate(tctx, u, core.ItemID(u%3), true)
 	}
 	_, gz, err := e.JobPayload(1)
 	if err != nil {

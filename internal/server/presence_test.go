@@ -64,7 +64,7 @@ func TestStatsReportsOnlineUsers(t *testing.T) {
 	cfg.DisableAnonymizer = true
 	e := NewEngine(cfg)
 	for u := core.UserID(1); u <= 5; u++ {
-		e.Rate(u, 1, true)
+		e.Rate(tctx, u, 1, true)
 	}
 	s := NewHTTPServer(e, 0)
 	h := s.Handler()

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+func TestRecStoreLRUEviction(t *testing.T) {
+	s := newRecStore(3)
+	for u := core.UserID(1); u <= 3; u++ {
+		s.Put(u, []core.ItemID{core.ItemID(u)})
+	}
+	// Touch 1 so 2 becomes the eviction victim.
+	if got := s.Get(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Get(1) = %v", got)
+	}
+	s.Put(4, []core.ItemID{4})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Get(2) != nil {
+		t.Fatal("LRU victim 2 not evicted")
+	}
+	for _, u := range []core.UserID{1, 3, 4} {
+		if s.Get(u) == nil {
+			t.Fatalf("user %d evicted unexpectedly", u)
+		}
+	}
+	// Updating an existing user must not evict anyone.
+	s.Put(3, []core.ItemID{30})
+	if s.Len() != 3 {
+		t.Fatalf("Len after update = %d, want 3", s.Len())
+	}
+	if got := s.Get(3); len(got) != 1 || got[0] != 30 {
+		t.Fatalf("Get(3) after update = %v", got)
+	}
+}
+
+func TestRecStoreDefaultCapacity(t *testing.T) {
+	s := newRecStore(0)
+	if s.cap != defaultRecCapacity {
+		t.Fatalf("default capacity = %d, want %d", s.cap, defaultRecCapacity)
+	}
+}
+
+func TestRecStoreConcurrent(t *testing.T) {
+	s := newRecStore(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				u := core.UserID(i % 100)
+				s.Put(u, []core.ItemID{core.ItemID(g), core.ItemID(i)})
+				s.Get(u)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", s.Len())
+	}
+}
+
+// TestEngineRecommendationsBounded pins the memory-leak fix end to end: a
+// server living through user churn retains recommendations only for the
+// configured number of recent users.
+func TestEngineRecommendationsBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisableAnonymizer = true
+	cfg.RecCacheUsers = 8
+	e := NewEngine(cfg)
+	for u := core.UserID(1); u <= 40; u++ {
+		e.Rate(tctx, u, 1, true)
+		if _, err := e.ApplyResult(tctx, &wire.Result{
+			UID: uint32(u), Recommendations: []uint32{uint32(u) + 100},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.recs.Len(); got != 8 {
+		t.Fatalf("retained rec entries = %d, want 8", got)
+	}
+	// The most recent user still answers; the oldest is gone.
+	recs, err := e.Recommendations(tctx, 40, 0)
+	if err != nil || len(recs) != 1 || recs[0] != 140 {
+		t.Fatalf("Recommendations(40) = %v, %v", recs, err)
+	}
+	if recs, _ := e.Recommendations(tctx, 1, 0); recs != nil {
+		t.Fatalf("Recommendations(1) = %v, want nil after eviction", recs)
+	}
+}

@@ -21,7 +21,7 @@ func TestJobEpochConsistentUnderRotation(t *testing.T) {
 	e := NewEngine(cfg)
 	const users = 20
 	for u := core.UserID(1); u <= users; u++ {
-		e.Rate(u, core.ItemID(u%5), true)
+		e.Rate(tctx, u, core.ItemID(u%5), true)
 	}
 
 	stop := make(chan struct{})
@@ -47,12 +47,12 @@ func TestJobEpochConsistentUnderRotation(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				u := core.UserID(i%users + 1)
-				job, err := e.Job(u)
+				job, err := e.Job(tctx, u)
 				if err != nil {
 					errCh <- err
 					return
 				}
-				_, err = e.ApplyResult(&wire.Result{UID: job.UID, Epoch: job.Epoch})
+				_, err = e.ApplyResult(tctx, &wire.Result{UID: job.UID, Epoch: job.Epoch})
 				// Stale is legitimate under a fast rotator (≥2 epochs
 				// passed in flight); unknown-user means the epoch stamp
 				// and the aliases diverged.

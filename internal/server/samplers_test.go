@@ -12,7 +12,7 @@ func populatedEngine(t *testing.T, users int) *Engine {
 	cfg.DisableAnonymizer = true
 	e := NewEngine(cfg)
 	for u := 1; u <= users; u++ {
-		e.Rate(core.UserID(u), core.ItemID(u%7), true)
+		e.Rate(tctx, core.UserID(u), core.ItemID(u%7), true)
 	}
 	return e
 }
@@ -81,11 +81,11 @@ func TestRandomComponentEscapesLocalOptimum(t *testing.T) {
 		// overlap at all; user 10-12: community A too but unknown to 1.
 		for _, u := range []core.UserID{1, 2, 3, 10, 11, 12} {
 			for j := 0; j < 4; j++ {
-				e.Rate(u, core.ItemID((int(u)+j)%6), true)
+				e.Rate(tctx, u, core.ItemID((int(u)+j)%6), true)
 			}
 		}
 		for u := core.UserID(4); u <= 9; u++ {
-			e.Rate(u, core.ItemID(100+u), true)
+			e.Rate(tctx, u, core.ItemID(100+u), true)
 		}
 		// Adversarial start: 1's clique is the disjoint decoys, closed
 		// under two-hop.

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// Service is the single transport-agnostic front-end API of a HyRec
+// deployment. Both the single-machine *Engine and the user-partitioned
+// *cluster.Cluster implement it, as does the typed HTTP client
+// (hyrec/client), so every downstream layer — the HTTP mux, trace
+// replay, load generation, stress harnesses, examples — is written once
+// against this interface instead of once per concrete front-end.
+//
+// All methods are safe for concurrent use. Contexts bound the work: an
+// already-cancelled context fails fast, and network-backed
+// implementations honour deadlines on every request.
+type Service interface {
+	// Rate records one binary opinion (Arrow 1 of Figure 1).
+	Rate(ctx context.Context, u core.UserID, item core.ItemID, liked bool) error
+	// RateBatch records many opinions in one call — the amortization
+	// path for high-throughput ingestion (POST /v1/rate on the wire).
+	RateBatch(ctx context.Context, ratings []core.Rating) error
+	// Job assembles u's personalization job (Arrow 2 of Figure 1).
+	Job(ctx context.Context, u core.UserID) (*wire.Job, error)
+	// ApplyResult folds a widget's KNN selection back into the tables
+	// (Arrow 3 of Figure 1) and returns the de-anonymised
+	// recommendations it carried.
+	ApplyResult(ctx context.Context, res *wire.Result) ([]core.ItemID, error)
+	// Recommendations returns the most recent recommendations computed
+	// for u (up to n; n <= 0 means all retained).
+	Recommendations(ctx context.Context, u core.UserID, n int) ([]core.ItemID, error)
+	// Neighbors returns u's current KNN approximation.
+	Neighbors(ctx context.Context, u core.UserID) ([]core.UserID, error)
+	// Close releases resources (flushes client batches, stops background
+	// work). Safe to call multiple times.
+	Close() error
+}
+
+// The capability interfaces below are optional fast paths and hooks the
+// HTTP front-end probes for with type assertions. In-process services
+// (Engine, Cluster) implement all of them; a remote client need not.
+
+// Payloader serves pre-serialized job payloads (JSON + gzip, metered),
+// skipping the generic encode path.
+type Payloader interface {
+	JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error)
+}
+
+// UserDirectory registers and looks up users, letting the HTTP layer
+// mint cookie identities on first contact.
+type UserDirectory interface {
+	KnownUser(u core.UserID) bool
+	RegisterUser(u core.UserID)
+}
+
+// Rotator advances the anonymous mapping; the HTTP layer drives it on a
+// timer (Section 3.1: identifiers are periodically shuffled).
+type Rotator interface {
+	RotateAnonymizer()
+}
+
+// UserResolver inverts a pseudonym minted in a given epoch, used by the
+// HTTP layer for presence bookkeeping on widget results.
+type UserResolver interface {
+	ResolveUser(alias core.UserID, epoch uint64) (core.UserID, bool)
+}
+
+// Configured exposes the engine-level configuration.
+type Configured interface {
+	Config() Config
+}
+
+// StatsProvider reports operational counters for the /stats endpoint.
+type StatsProvider interface {
+	Stats() map[string]any
+}
+
+// Compile-time check: the single-machine engine is a full-capability
+// Service. (internal/cluster asserts the same for *Cluster, and
+// hyrec/client for *Client.)
+var (
+	_ Service       = (*Engine)(nil)
+	_ Payloader     = (*Engine)(nil)
+	_ UserDirectory = (*Engine)(nil)
+	_ Rotator       = (*Engine)(nil)
+	_ UserResolver  = (*Engine)(nil)
+	_ Configured    = (*Engine)(nil)
+	_ StatsProvider = (*Engine)(nil)
+)

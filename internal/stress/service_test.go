@@ -1,0 +1,55 @@
+package stress_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hyrec"
+	"hyrec/client"
+	"hyrec/internal/server"
+	"hyrec/internal/stress"
+)
+
+// TestServiceThroughputOverClient drives a live server through the typed
+// HTTP client with the closed-loop harness — the real network path the
+// paper's server-side experiments measure.
+func TestServiceThroughputOverClient(t *testing.T) {
+	eng := hyrec.NewEngine(hyrec.DefaultConfig())
+	srv := hyrec.NewServiceServer(eng, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	c := client.New(ts.URL)
+	defer c.Close()
+
+	calls, failures := stress.ServiceThroughput(c, 4, 150*time.Millisecond,
+		func(ctx context.Context, svc server.Service, worker, i int) error {
+			u := hyrec.UserID(worker*1000 + i%50 + 1)
+			return svc.Rate(ctx, u, hyrec.ItemID(i%20), i%2 == 0)
+		})
+	if calls == 0 {
+		t.Fatal("no calls completed in the window")
+	}
+	if failures != 0 {
+		t.Fatalf("%d/%d calls failed", failures, calls)
+	}
+	if eng.Profiles().Len() == 0 {
+		t.Fatal("no ratings reached the server")
+	}
+}
+
+// TestServiceThroughputInProcess pins interface symmetry: the same
+// harness drives an in-process engine with no HTTP in between.
+func TestServiceThroughputInProcess(t *testing.T) {
+	eng := hyrec.NewEngine(hyrec.DefaultConfig())
+	calls, failures := stress.ServiceThroughput(eng, 2, 50*time.Millisecond,
+		func(ctx context.Context, svc server.Service, worker, i int) error {
+			return svc.Rate(ctx, hyrec.UserID(worker+1), hyrec.ItemID(i%10), true)
+		})
+	if calls == 0 || failures != 0 {
+		t.Fatalf("calls=%d failures=%d", calls, failures)
+	}
+}

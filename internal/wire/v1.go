@@ -1,0 +1,86 @@
+// Wire protocol v1: the versioned batch API a HyRec deployment speaks
+// between the typed Go client (hyrec/client) and the shared HTTP mux
+// (internal/server). The legacy Table-1 endpoints (/online, /neighbors,
+// /rate, /recommendations) remain served as thin aliases; everything new
+// goes through /v1.
+//
+//	POST /v1/rate       RateRequest            → RateResponse
+//	GET  /v1/job?uid=U  —                      → Job (gzip-negotiated JSON)
+//	POST /v1/result     Result                 → RecsResponse
+//	GET  /v1/recs?uid=U&n=N                    → RecsResponse
+//	GET  /v1/neighbors?uid=U                   → NeighborsResponse
+//
+// Every non-2xx response carries an ErrorEnvelope with a stable machine
+// code, so clients dispatch on Code instead of parsing message text.
+package wire
+
+// V1Prefix is the path prefix of the versioned protocol.
+const V1Prefix = "/v1"
+
+// Protocol limits enforced by the server. Oversized requests are
+// rejected with CodeTooLarge and HTTP 413 rather than truncated.
+const (
+	// MaxBatchRatings bounds the ratings accepted in one RateRequest.
+	MaxBatchRatings = 4096
+	// MaxBodyBytes bounds any /v1 request body.
+	MaxBodyBytes = 1 << 20
+)
+
+// RatingMsg is one opinion in a batch rate request. Unlike job/result
+// messages, ratings travel with real identifiers: they flow client →
+// server only and never expose another user's data.
+type RatingMsg struct {
+	UID   uint32 `json:"uid"`
+	Item  uint32 `json:"item"`
+	Liked bool   `json:"liked"`
+}
+
+// RateRequest is the body of POST /v1/rate.
+type RateRequest struct {
+	Ratings []RatingMsg `json:"ratings"`
+}
+
+// RateResponse acknowledges a batch: how many ratings were applied.
+type RateResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// RecsResponse carries recommendations — the response of POST /v1/result
+// and GET /v1/recs. Items are real (de-anonymised) identifiers.
+type RecsResponse struct {
+	Recs []uint32 `json:"recs"`
+}
+
+// NeighborsResponse is the response of GET /v1/neighbors: the user's
+// current KNN approximation as real user identifiers.
+type NeighborsResponse struct {
+	Neighbors []uint32 `json:"neighbors"`
+}
+
+// Machine-readable error codes of the v1 protocol.
+const (
+	// CodeBadRequest: malformed parameters or body.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownUser: the user was never seen by Rate or Job.
+	CodeUnknownUser = "unknown_user"
+	// CodeStaleEpoch: the result references an anonymiser epoch that is
+	// no longer resolvable (or, on a cluster, resolvable nowhere).
+	CodeStaleEpoch = "stale_epoch"
+	// CodeTooLarge: the request exceeds MaxBatchRatings or MaxBodyBytes.
+	CodeTooLarge = "too_large"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the typed payload inside an ErrorEnvelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every v1 error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke test: build every binary, boot a real hyrec-server, drive it for
+# ~2 seconds through the typed client (hyrec-widget) and the raw /v1
+# endpoints, and fail fast on any protocol regression.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="$(mktemp -d)"
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+echo "--- building all cmd/ and examples/ binaries"
+go build -o "$BIN/" ./cmd/...
+for ex in examples/*/; do
+  go build -o "$BIN/example-$(basename "$ex")" "./$ex"
+done
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+
+echo "--- starting hyrec-server on $ADDR"
+"$BIN/hyrec-server" -addr "$ADDR" -partitions 2 -rotate 0 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SERVER_PID 2>/dev/null; then
+    echo "server died during startup" >&2; exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "--- driving the full widget loop through the typed client"
+"$BIN/hyrec-widget" -server "$BASE" -users 20 -requests 3
+
+echo "--- checking the /v1 protocol surface"
+# Batch rate.
+ACCEPTED=$(curl -fsS -X POST "$BASE/v1/rate" -H 'Content-Type: application/json' \
+  -d '{"ratings":[{"uid":1,"item":5,"liked":true},{"uid":2,"item":5,"liked":true}]}')
+echo "$ACCEPTED" | grep -q '"accepted":2' || { echo "bad /v1/rate response: $ACCEPTED" >&2; exit 1; }
+# Job (gzip-negotiated) decodes.
+curl -fsS -H 'Accept-Encoding: gzip' "$BASE/v1/job?uid=1" | gunzip | grep -q '"uid"'
+# Recs and neighbors answer.
+curl -fsS "$BASE/v1/recs?uid=1" | grep -q '"recs"'
+curl -fsS "$BASE/v1/neighbors?uid=1" | grep -q '"neighbors"'
+# Error envelope shape.
+ENV=$(curl -sS "$BASE/v1/recs")
+echo "$ENV" | grep -q '"code":"bad_request"' || { echo "bad error envelope: $ENV" >&2; exit 1; }
+# Legacy endpoints still alive.
+curl -fsS "$BASE/stats" | grep -q '"users"'
+
+echo "--- graceful shutdown"
+kill -TERM $SERVER_PID
+wait $SERVER_PID
+
+echo "smoke test passed"

@@ -1,6 +1,7 @@
 package hyrec
 
 import (
+	"context"
 	"time"
 
 	"hyrec/internal/core"
@@ -74,7 +75,7 @@ func (s *System) Name() string { return "hyrec" }
 // profile updates and a full personalization job round-trips through the
 // widget, exactly as §5.2 replays the traces.
 func (s *System) Rate(_ time.Duration, r core.Rating) {
-	s.engine.Rate(r.User, r.Item, r.Liked)
+	s.engine.Rate(context.Background(), r.User, r.Item, r.Liked)
 	s.cycle(r.User)
 }
 
@@ -89,7 +90,10 @@ func (s *System) Recommend(_ time.Duration, u core.UserID, n int) []core.ItemID 
 }
 
 // Neighbors implements replay.System.
-func (s *System) Neighbors(u core.UserID) []core.UserID { return s.engine.Neighbors(u) }
+func (s *System) Neighbors(u core.UserID) []core.UserID {
+	hood, _ := s.engine.Neighbors(context.Background(), u)
+	return hood
+}
 
 // Tick implements replay.System.
 func (s *System) Tick(t time.Duration) {
@@ -105,6 +109,7 @@ func (s *System) Tick(t time.Duration) {
 // cycle performs one full client-server interaction for u and returns the
 // recommendations the widget computed.
 func (s *System) cycle(u core.UserID) []core.ItemID {
+	ctx := context.Background()
 	if s.wireFidelity {
 		_, gz, err := s.engine.JobPayload(u)
 		if err != nil {
@@ -114,18 +119,18 @@ func (s *System) cycle(u core.UserID) []core.ItemID {
 		if err != nil {
 			return nil
 		}
-		recs, err := s.engine.ApplyResult(res)
+		recs, err := s.engine.ApplyResult(ctx, res)
 		if err != nil {
 			return nil
 		}
 		return recs
 	}
-	job, err := s.engine.Job(u)
+	job, err := s.engine.Job(ctx, u)
 	if err != nil {
 		return nil
 	}
 	res, _ := s.widget.Execute(job)
-	recs, err := s.engine.ApplyResult(res)
+	recs, err := s.engine.ApplyResult(ctx, res)
 	if err != nil {
 		return nil
 	}

@@ -139,8 +139,13 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// Compile-time guarantee: a remote client is a drop-in Service.
-var _ hyrec.Service = (*Client)(nil)
+// Compile-time guarantee: a remote client is a drop-in Service, and a
+// lease-aware one — Worker drives the scheduler through these.
+var (
+	_ hyrec.Service    = (*Client)(nil)
+	_ hyrec.JobSource  = (*Client)(nil)
+	_ hyrec.LeaseAcker = (*Client)(nil)
+)
 
 // APIError is a non-2xx response carrying the server's typed error
 // envelope. errors.Is maps the protocol codes onto the package-level
@@ -162,6 +167,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeStaleEpoch
 	case hyrec.ErrUnknownUser:
 		return e.Code == wire.CodeUnknownUser
+	case hyrec.ErrUnknownLease:
+		return e.Code == wire.CodeUnknownLease
 	}
 	return false
 }
@@ -275,6 +282,79 @@ func (c *Client) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 		return nil, err
 	}
 	return wire.DecodeJob(raw)
+}
+
+// NextJob implements hyrec.JobSource remotely: GET /v1/job?worker=1,
+// long-polling the server's staleness queue until ctx is done (the
+// server caps each poll; the loop re-issues requests until then). It
+// returns (nil, nil) when ctx expires with no work — matching the
+// in-process contract.
+func (c *Client) NextJob(ctx context.Context) (*wire.Job, error) {
+	// rttMargin is shaved off the server-side wait so a job dispatched at
+	// the very end of the window still gets its response back inside the
+	// client deadline (a lost response would burn the lease until expiry).
+	// Budgets shorter than twice the margin long-poll for half their
+	// remainder instead, so short-poll callers still park server-side.
+	const rttMargin = 300 * time.Millisecond
+	for {
+		wait := 15 * time.Second
+		// A deadline-less ctx still gets the client-level timeout inside
+		// roundTrip; cap the server-side wait under it too, or the
+		// request would be cancelled mid-poll and a job dispatched in
+		// the gap would burn its lease.
+		if c.timeout > 0 && c.timeout-rttMargin < wait {
+			wait = c.timeout - rttMargin
+			if wait < c.timeout/2 {
+				wait = c.timeout / 2
+			}
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			remain := time.Until(dl)
+			if remain <= 0 {
+				return nil, nil
+			}
+			w := remain - rttMargin
+			if w < remain/2 {
+				w = remain / 2
+			}
+			if w < wait {
+				wait = w
+			}
+		}
+		raw, err := c.getRaw(ctx, "/v1/job?worker=1&wait="+wait.Truncate(time.Millisecond).String())
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil
+			}
+			return nil, err
+		}
+		if len(raw) == 0 {
+			// 204: the queue stayed empty for this poll.
+			if ctx.Err() != nil || !c.hasDeadline(ctx) {
+				return nil, nil
+			}
+			continue
+		}
+		return wire.DecodeJob(raw)
+	}
+}
+
+// hasDeadline reports whether ctx bounds the long-poll loop; without one
+// NextJob returns after a single server-side poll rather than spinning
+// forever.
+func (c *Client) hasDeadline(ctx context.Context) bool {
+	_, ok := ctx.Deadline()
+	return ok
+}
+
+// Ack implements hyrec.LeaseAcker remotely: POST /v1/ack.
+func (c *Client) Ack(ctx context.Context, lease uint64, done bool) error {
+	body, err := json.Marshal(&wire.AckRequest{Lease: lease, Done: done})
+	if err != nil {
+		return fmt.Errorf("hyrec client: marshal ack: %w", err)
+	}
+	var out wire.AckResponse
+	return c.do(ctx, http.MethodPost, "/v1/ack", body, &out)
 }
 
 // ApplyResult implements hyrec.Service: POST /v1/result, returning the

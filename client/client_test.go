@@ -205,6 +205,61 @@ func TestClientErrorMapping(t *testing.T) {
 
 // TestClientContextDeadline verifies an expired context fails fast
 // without hitting the server.
+// TestClientStaleEpochEndToEnd drives the ErrStaleEpoch path through
+// the full /v1 envelope: a widget result minted two anonymiser epochs
+// ago is rejected with the typed error (the client maps the wire code
+// onto the sentinel), and a fresh job for the same user then succeeds.
+func TestClientStaleEpochEndToEnd(t *testing.T) {
+	eng, ts := newTestServer(t)
+	c := New(ts.URL)
+	defer c.Close()
+
+	for u := hyrec.UserID(1); u <= 5; u++ {
+		if err := c.Rate(tctx, u, hyrec.ItemID(u%3), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := widget.New()
+	staleJob, err := c.Job(tctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRes, _ := w.Execute(staleJob)
+
+	// Two rotations: the job's epoch is now neither current nor previous,
+	// so its pseudonyms no longer resolve.
+	eng.RotateAnonymizer()
+	eng.RotateAnonymizer()
+
+	_, err = c.ApplyResult(tctx, staleRes)
+	if err == nil {
+		t.Fatal("stale-epoch result accepted")
+	}
+	if !errors.Is(err, hyrec.ErrStaleEpoch) {
+		t.Fatalf("errors.Is(err, ErrStaleEpoch) = false for %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 410 {
+		t.Fatalf("want APIError with 410 Gone, got %v", err)
+	}
+
+	// Recovery: a fresh job carries the new epoch and folds in cleanly.
+	freshJob, err := c.Job(tctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshJob.Epoch == staleJob.Epoch {
+		t.Fatal("rotation did not advance the job epoch")
+	}
+	freshRes, _ := w.Execute(freshJob)
+	if _, err := c.ApplyResult(tctx, freshRes); err != nil {
+		t.Fatalf("fresh-lease result rejected: %v", err)
+	}
+	if hood, err := c.Neighbors(tctx, 1); err != nil || len(hood) == 0 {
+		t.Fatalf("no neighborhood after recovery: %v %v", hood, err)
+	}
+}
+
 func TestClientContextDeadline(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrec"
+	"hyrec/internal/widget"
+)
+
+// Worker is a pull-based remote compute node: it long-polls the server's
+// staleness queue (GET /v1/job?worker=1), executes each leased job with
+// the widget kernel — the same KNN selection and item recommendation a
+// browser runs — and posts the result back, completing the lease. A
+// fleet of Workers is how a deployment drains personalization backlog
+// with machines it controls, alongside (or instead of) end-user
+// browsers.
+//
+//	c := client.New("http://localhost:8080")
+//	w := client.NewWorker(c)
+//	ctx, cancel := context.WithCancel(context.Background())
+//	go w.Run(ctx) // until cancel()
+//
+// A Worker is NOT safe for concurrent use (it owns an RNG for the churn
+// model); run one Worker per goroutine, sharing the Client.
+type Worker struct {
+	c  *Client
+	w  *widget.Widget
+	rw sync.Mutex // guards rng
+
+	pollBudget  time.Duration
+	abandonProb float64
+	silent      bool
+	rng         *rand.Rand
+
+	done      atomic.Int64
+	abandoned atomic.Int64
+}
+
+// WorkerOption customises a Worker.
+type WorkerOption func(*Worker)
+
+// WithWorkerWidget replaces the compute kernel (e.g. a parallel or
+// Jaccard-metric widget).
+func WithWorkerWidget(w *widget.Widget) WorkerOption {
+	return func(wk *Worker) { wk.w = w }
+}
+
+// WithPollBudget bounds each RunOnce long-poll (default 2s). Run loops
+// regardless; the budget only shapes how often control returns.
+func WithPollBudget(d time.Duration) WorkerOption {
+	return func(wk *Worker) { wk.pollBudget = d }
+}
+
+// WithAbandonProb makes the worker abandon each leased job with
+// probability p — the churn model of the paper's Section 2.3 discussion:
+// a browser that navigates away mid-computation. By default the abandon
+// is polite (POST /v1/ack with done=false, immediate re-issue); combine
+// with WithSilentAbandon for crash-style churn where the server only
+// finds out when the lease expires.
+func WithAbandonProb(p float64, seed int64) WorkerOption {
+	return func(wk *Worker) {
+		wk.abandonProb = p
+		wk.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithSilentAbandon drops abandoned jobs without notifying the server
+// (the lease must expire), modelling a crashed or vanished browser.
+func WithSilentAbandon() WorkerOption {
+	return func(wk *Worker) { wk.silent = true }
+}
+
+// NewWorker builds a worker on c with the default (cosine, laptop)
+// widget kernel.
+func NewWorker(c *Client, opts ...WorkerOption) *Worker {
+	wk := &Worker{c: c, w: widget.New(), pollBudget: 2 * time.Second, rng: rand.New(rand.NewSource(1))}
+	for _, opt := range opts {
+		opt(wk)
+	}
+	return wk
+}
+
+// Stats returns how many jobs this worker completed and abandoned.
+func (wk *Worker) Stats() (done, abandoned int64) {
+	return wk.done.Load(), wk.abandoned.Load()
+}
+
+// RunOnce leases at most one job, executes it and posts the result.
+// worked=false means the queue stayed empty for the poll budget.
+func (wk *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
+	pollCtx, cancel := context.WithTimeout(ctx, wk.pollBudget)
+	defer cancel()
+	job, err := wk.c.NextJob(pollCtx)
+	if err != nil {
+		return false, err
+	}
+	if job == nil {
+		return false, nil
+	}
+	if wk.abandonProb > 0 && wk.draw() < wk.abandonProb {
+		wk.abandoned.Add(1)
+		if wk.silent {
+			return true, nil // churn out: the lease expires server-side
+		}
+		return true, wk.c.Ack(ctx, job.Lease, false)
+	}
+	res, _ := wk.w.Execute(job)
+	if _, err := wk.c.ApplyResult(ctx, res); err != nil {
+		// A stale epoch or superseded lease is the scheduler working, not
+		// a worker failure: drop the result and move on.
+		if errors.Is(err, hyrec.ErrStaleEpoch) || errors.Is(err, hyrec.ErrUnknownLease) {
+			return true, nil
+		}
+		return true, err
+	}
+	wk.done.Add(1)
+	return true, nil
+}
+
+func (wk *Worker) draw() float64 {
+	wk.rw.Lock()
+	defer wk.rw.Unlock()
+	return wk.rng.Float64()
+}
+
+// Run loops RunOnce until ctx is done, backing off briefly on transport
+// errors so a flapping server is not hammered. It returns nil on a clean
+// context cancellation.
+func (wk *Worker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if _, err := wk.RunOnce(ctx); err != nil && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+}

@@ -18,6 +18,14 @@
 // either. Snapshots are not yet cluster-aware; -snapshot requires
 // -partitions 1.
 //
+// With -lease-ttl or -fallback-workers set, the asynchronous job
+// scheduler runs (see internal/sched): every issued job carries a lease,
+// ratings enqueue staleness-priority refresh work that pull-based
+// workers (client.Worker, GET /v1/job?worker=1) drain, expired leases
+// are re-issued, and -fallback-workers bounds a server-side pool that
+// executes jobs locally when browsers churn out or nobody computes for a
+// user. On a cluster the fallback budget is shared across partitions.
+//
 // With -snapshot set, the server restores the profile and KNN tables from
 // the snapshot file at startup (if it exists), saves them periodically,
 // and saves once more on SIGINT/SIGTERM before exiting. Shutdown is
@@ -66,6 +74,9 @@ func run(args []string) error {
 		snapPath = fs.String("snapshot", "", "snapshot file for durable state (empty = stateless)")
 		snapIvl  = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (with -snapshot)")
 		grace    = fs.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on shutdown")
+		leaseTTL = fs.Duration("lease-ttl", 0, "job lease duration; > 0 enables the async scheduler (leases, straggler re-issue)")
+		leaseTry = fs.Int("lease-retries", 0, "lease re-issues before server-side fallback (0 = default, negative = none)")
+		fallback = fs.Int("fallback-workers", 0, "server-side fallback worker pool size; > 0 also enables the scheduler")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +90,9 @@ func run(args []string) error {
 	cfg.DisableAnonymizer = *noAnon
 	cfg.MaxProfileItems = *maxItems
 	cfg.RecCacheUsers = *recLRU
+	cfg.LeaseTTL = *leaseTTL
+	cfg.LeaseRetries = *leaseTry
+	cfg.FallbackWorkers = *fallback
 	if *gzipBest {
 		cfg.GzipLevel = wire.GzipBestCompact
 	}
@@ -124,8 +138,9 @@ func run(args []string) error {
 	srv := hyrec.NewServiceServer(svc, *rotate)
 	srv.Start()
 
-	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s)\n",
-		*addr, *parts, *k, *r, *rotate)
+	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s sched=%v fallback=%d)\n",
+		*addr, *parts, *k, *r, *rotate, cfg.SchedulerEnabled(), *fallback)
+	defer svc.Close()
 	return serve(*addr, srv, saver, *grace)
 }
 
@@ -153,6 +168,11 @@ func serve(addr string, hsrv *hyrec.HTTPServer, saver *persist.Saver, grace time
 
 	select {
 	case <-ctx.Done():
+		// Release parked worker long-polls (and stop rotation) first:
+		// http.Server.Shutdown does not cancel in-flight request
+		// contexts, so a parked /v1/job?worker=1 would otherwise pin its
+		// connection for the whole grace period.
+		hsrv.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -8,6 +8,17 @@
 // Usage:
 //
 //	hyrec-widget -server http://localhost:8080 -users 50 -requests 20
+//
+// With -worker N the command instead runs N pull-based client.Worker
+// loops against the server's scheduler (GET /v1/job?worker=1): each
+// worker leases the stalest pending job, computes it with the widget
+// kernel, and posts the result. -abandon P makes each worker abandon a
+// leased job with probability P (politely, via /v1/ack done=false; add
+// -silent-abandon for crash-style churn where the lease must expire) —
+// the churny-worker scenario the scheduler's straggler re-issue and
+// fallback pool exist for.
+//
+//	hyrec-widget -server http://localhost:8080 -worker 4 -abandon 0.5 -work-duration 5s
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"hyrec"
@@ -43,6 +55,10 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline")
 		retries  = fs.Int("retries", 2, "retry attempts on transient failures")
 		verbose  = fs.Bool("v", false, "log every interaction")
+		nWorkers = fs.Int("worker", 0, "run this many pull-based scheduler workers instead of simulated users")
+		abandon  = fs.Float64("abandon", 0, "worker-mode: probability of abandoning each leased job")
+		silent   = fs.Bool("silent-abandon", false, "worker-mode: abandon by vanishing (lease must expire) instead of acking")
+		workFor  = fs.Duration("work-duration", 2*time.Second, "worker-mode: how long the workers run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +82,10 @@ func run(args []string) error {
 		client.WithRetries(*retries, 50*time.Millisecond))
 	defer c.Close()
 	ctx := context.Background()
+
+	if *nWorkers > 0 {
+		return runWorkers(ctx, c, *nWorkers, *abandon, *silent, *seed, *workFor, *verbose)
+	}
 
 	var totalJobs, totalRecs int
 	start := time.Now()
@@ -102,5 +122,42 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("executed %d jobs (%d recommendations) in %v\n", totalJobs, totalRecs, time.Since(start))
+	return nil
+}
+
+// runWorkers drains the server's staleness queue with n client.Worker
+// loops for the given duration and reports what they completed and
+// abandoned.
+func runWorkers(ctx context.Context, c *client.Client, n int, abandon float64,
+	silent bool, seed int64, d time.Duration, verbose bool) error {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	workers := make([]*client.Worker, n)
+	var wg sync.WaitGroup
+	for i := range workers {
+		opts := []client.WorkerOption{client.WithPollBudget(500 * time.Millisecond)}
+		if abandon > 0 {
+			opts = append(opts, client.WithAbandonProb(abandon, seed+int64(i)))
+		}
+		if silent {
+			opts = append(opts, client.WithSilentAbandon())
+		}
+		workers[i] = client.NewWorker(c, opts...)
+		wg.Add(1)
+		go func(w *client.Worker) {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && verbose {
+				log.Printf("worker: %v", err)
+			}
+		}(workers[i])
+	}
+	wg.Wait()
+	var done, abandoned int64
+	for _, w := range workers {
+		dn, ab := w.Stats()
+		done += dn
+		abandoned += ab
+	}
+	fmt.Printf("workers=%d completed=%d abandoned=%d in %v\n", n, done, abandoned, d)
 	return nil
 }

@@ -111,6 +111,23 @@ var (
 	ErrStaleEpoch = server.ErrStaleEpoch
 	// ErrUnknownUser: the user was never seen by Rate or Job.
 	ErrUnknownUser = server.ErrUnknownUser
+	// ErrUnknownLease: an acked lease is not outstanding — already
+	// completed, superseded, expired past its retry budget, or never
+	// issued.
+	ErrUnknownLease = server.ErrUnknownLease
+)
+
+// Scheduler-facing capability interfaces (see internal/sched for the
+// lifecycle). Front-ends that run the asynchronous scheduler — an Engine
+// or Cluster with Config.LeaseTTL or Config.FallbackWorkers set, and the
+// typed client speaking to such a server — implement both; transports
+// and harnesses probe for them with type assertions, so the Service
+// interface itself is unchanged.
+type (
+	// JobSource dispatches leased jobs to pull-based workers.
+	JobSource = server.JobSource
+	// LeaseAcker completes or abandons a lease without a result.
+	LeaseAcker = server.LeaseAcker
 )
 
 // Compile-time guarantees of the one-API contract: both deployment

@@ -30,8 +30,11 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"hyrec/internal/core"
+	"hyrec/internal/sched"
 	"hyrec/internal/server"
 	"hyrec/internal/wire"
 )
@@ -63,6 +66,13 @@ type Cluster struct {
 	// exchange is the cross-partition top-up budget per job (see
 	// SetExchange).
 	exchange int
+	// dispatchCursor rotates NextJob's scan start across calls so a
+	// busy partition cannot starve its siblings' staleness queues.
+	dispatchCursor atomic.Uint64
+	// dispatchReady receives one token whenever any partition's
+	// scheduler gains pending work, so NextJob sleeps instead of
+	// polling (buffered: a notify with no waiter is kept for the next).
+	dispatchReady chan struct{}
 }
 
 // New builds a cluster of nParts engines from cfg. Partition i runs with
@@ -73,11 +83,33 @@ func New(cfg server.Config, nParts int) *Cluster {
 	if nParts < 1 {
 		panic(fmt.Sprintf("cluster: nParts must be >= 1, got %d", nParts))
 	}
+	// Each partition runs its own scheduler, but the fallback compute
+	// budget is shared: cfg.FallbackWorkers bounds concurrent server-side
+	// executions for the whole cluster, not per partition, so a churn
+	// storm on every partition at once cannot multiply the residual
+	// server compute by N (the Section 5.4 cost constraint). Assigned
+	// before c.cfg is snapshotted so Config() reports the shared budget.
+	if cfg.SchedulerEnabled() && cfg.FallbackWorkers > 0 && cfg.FallbackBudget == nil && nParts > 1 {
+		cfg.FallbackBudget = sched.NewBudget(cfg.FallbackWorkers)
+	}
 	c := &Cluster{cfg: cfg, parts: make([]*server.Engine, nParts), exchange: cfg.K}
+	c.dispatchReady = make(chan struct{}, 1)
+	notify := func() {
+		select {
+		case c.dispatchReady <- struct{}{}:
+		default:
+		}
+	}
 	for i := range c.parts {
 		pcfg := cfg
 		pcfg.Seed = PartitionSeed(cfg.Seed, i)
 		c.parts[i] = server.NewEngine(pcfg)
+		if s := c.parts[i].Scheduler(); s != nil {
+			// Disjoint lease-ID lanes: partition i mints i+1, i+1+N, …,
+			// so Ack routes by (id-1) mod N without a lookup.
+			s.SetIDSpace(uint64(i)+1, uint64(nParts))
+			s.OnReady(notify)
+		}
 	}
 	c.peers = EnginePeers{Cluster: c}
 	for i, e := range c.parts {
@@ -259,8 +291,79 @@ func (c *Cluster) Recommendations(ctx context.Context, u core.UserID, n int) ([]
 	return c.owner(u).Recommendations(ctx, u, n)
 }
 
-// Close implements server.Service; partitions own no background work.
-func (c *Cluster) Close() error { return nil }
+// Close implements server.Service: it stops every partition's scheduler
+// (sweeper + fallback pool). Safe to call multiple times.
+func (c *Cluster) Close() error {
+	for _, e := range c.parts {
+		e.Close()
+	}
+	return nil
+}
+
+// dispatchResweep bounds how long NextJob sleeps without re-scanning —
+// a safety net for a wakeup token consumed by a sibling waiter (the
+// notification channel carries one token for any number of parked
+// dispatchers).
+const dispatchResweep = 250 * time.Millisecond
+
+// NextJob implements server.JobSource over all partitions: it returns
+// the next leased job from whichever partition has stale work, scanning
+// round-robin so one busy partition cannot starve the others — the
+// cursor advances across calls, so successive worker polls start at
+// successive partitions. With nothing pending it sleeps on the
+// partitions' shared readiness signal until ctx is done. (nil, nil)
+// means no work arrived in time.
+func (c *Cluster) NextJob(ctx context.Context) (*wire.Job, error) {
+	if !c.cfg.SchedulerEnabled() {
+		return nil, nil
+	}
+	timer := time.NewTimer(dispatchResweep)
+	defer timer.Stop()
+	for {
+		start := int(c.dispatchCursor.Add(1) % uint64(len(c.parts)))
+		for off := range c.parts {
+			e := c.parts[(start+off)%len(c.parts)]
+			job, err := e.TryNextJob()
+			if err != nil {
+				return nil, err
+			}
+			if job != nil {
+				return job, nil
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(dispatchResweep)
+		select {
+		case <-ctx.Done():
+			return nil, nil
+		case <-c.dispatchReady:
+		case <-timer.C:
+		}
+	}
+}
+
+// Ack implements server.LeaseAcker, routing the lease to the partition
+// that minted it: partition i's scheduler mints IDs ≡ i+1 (mod N).
+func (c *Cluster) Ack(ctx context.Context, lease uint64, done bool) error {
+	if lease == 0 {
+		return fmt.Errorf("%w: 0", server.ErrUnknownLease)
+	}
+	return c.parts[int((lease-1)%uint64(len(c.parts)))].Ack(ctx, lease, done)
+}
+
+// CountWorkerJob implements server.WorkerJobMeter, crediting the bytes
+// to the partition whose scheduler minted the job's lease.
+func (c *Cluster) CountWorkerJob(job *wire.Job, jsonBytes, gzBytes int) {
+	if job.Lease == 0 {
+		return
+	}
+	c.parts[int((job.Lease-1)%uint64(len(c.parts)))].CountWorkerJob(job, jsonBytes, gzBytes)
+}
 
 // Profile returns u's profile snapshot from the owning partition.
 func (c *Cluster) Profile(u core.UserID) core.Profile {
@@ -307,7 +410,7 @@ func (c *Cluster) Stats() map[string]any {
 		users += n
 		knn += int64(e.KNN().Len())
 	}
-	return map[string]any{
+	m := map[string]any{
 		"partitions":     len(c.parts),
 		"json_bytes":     jsonBytes,
 		"gzip_bytes":     gzipBytes,
@@ -317,19 +420,32 @@ func (c *Cluster) Stats() map[string]any {
 		"users_per_part": perPart,
 		"knn_entries":    knn,
 	}
+	if c.cfg.SchedulerEnabled() {
+		var agg sched.Stats
+		for _, e := range c.parts {
+			if s := e.Scheduler(); s != nil {
+				agg.Add(s.Stats())
+			}
+		}
+		server.AddSchedStats(m, agg)
+	}
+	return m
 }
 
 // Compile-time check: a cluster is a full-capability server.Service, so
 // the shared HTTP mux (and every harness written against the interface)
 // serves it identically to a single engine.
 var (
-	_ server.Service       = (*Cluster)(nil)
-	_ server.Payloader     = (*Cluster)(nil)
-	_ server.UserDirectory = (*Cluster)(nil)
-	_ server.Rotator       = (*Cluster)(nil)
-	_ server.UserResolver  = (*Cluster)(nil)
-	_ server.Configured    = (*Cluster)(nil)
-	_ server.StatsProvider = (*Cluster)(nil)
+	_ server.Service        = (*Cluster)(nil)
+	_ server.Payloader      = (*Cluster)(nil)
+	_ server.UserDirectory  = (*Cluster)(nil)
+	_ server.Rotator        = (*Cluster)(nil)
+	_ server.UserResolver   = (*Cluster)(nil)
+	_ server.Configured     = (*Cluster)(nil)
+	_ server.StatsProvider  = (*Cluster)(nil)
+	_ server.JobSource      = (*Cluster)(nil)
+	_ server.LeaseAcker     = (*Cluster)(nil)
+	_ server.WorkerJobMeter = (*Cluster)(nil)
 )
 
 // Len returns the total number of registered users across partitions.

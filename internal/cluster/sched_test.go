@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+	"hyrec/internal/widget"
+)
+
+func schedClusterConfig() server.Config {
+	cfg := testConfig()
+	cfg.K = 3
+	cfg.R = 3
+	// Long enough that no lease expires mid-test under a loaded -race
+	// CPU; expiry-path tests override it explicitly.
+	cfg.LeaseTTL = 2 * time.Second
+	return cfg
+}
+
+// rateAcross spreads ratings over users 1..n (hitting every partition of
+// a small cluster with overwhelming probability).
+func rateAcross(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	for u := core.UserID(1); u <= core.UserID(n); u++ {
+		for j := 0; j < 3; j++ {
+			if err := c.Rate(tctx, u, core.ItemID((int(u)+j)%9), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestClusterDispatchDrainsAllPartitions: NextJob serves every
+// partition's staleness queue and Ack routes by lease-ID lane, so one
+// worker fleet drains the whole cluster.
+func TestClusterDispatchDrainsAllPartitions(t *testing.T) {
+	c := New(schedClusterConfig(), 4)
+	defer c.Close()
+	rateAcross(t, c, 40)
+
+	w := widget.New()
+	served := 0
+	for {
+		ctx, cancel := context.WithTimeout(tctx, 500*time.Millisecond)
+		job, err := c.NextJob(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil {
+			break
+		}
+		if job.Lease == 0 {
+			t.Fatalf("cluster dispatched unleased job: %+v", job)
+		}
+		res, _ := w.Execute(job)
+		if _, err := c.ApplyResult(tctx, res); err != nil {
+			t.Fatal(err)
+		}
+		served++
+	}
+	if served != 40 {
+		t.Fatalf("served %d jobs, want 40", served)
+	}
+	for i := 0; i < c.NumPartitions(); i++ {
+		s := c.Engine(i).Scheduler()
+		if s == nil {
+			t.Fatalf("partition %d has no scheduler", i)
+		}
+		if !s.Quiet() {
+			t.Fatalf("partition %d not quiet: %+v", i, s.Stats())
+		}
+		if s.Stats().Dispatched == 0 {
+			t.Fatalf("partition %d never dispatched — fan-in starved it", i)
+		}
+	}
+}
+
+// TestClusterAckRoutesByLeaseLane: lease IDs are partition-disjoint and
+// Ack lands on the minting partition.
+func TestClusterAckRoutesByLeaseLane(t *testing.T) {
+	c := New(schedClusterConfig(), 3)
+	defer c.Close()
+	rateAcross(t, c, 12)
+
+	for {
+		ctx, cancel := context.WithTimeout(tctx, 500*time.Millisecond)
+		job, err := c.NextJob(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil {
+			break
+		}
+		wantPart := int((job.Lease - 1) % 3)
+		u, ok := c.Engine(wantPart).ResolveUser(core.UserID(job.UID), job.Epoch)
+		if !ok || c.Partition(u) != wantPart {
+			t.Fatalf("lease %d lane does not match minting partition", job.Lease)
+		}
+		if err := c.Ack(tctx, job.Lease, true); err != nil {
+			t.Fatalf("ack lease %d: %v", job.Lease, err)
+		}
+	}
+	if err := c.Ack(tctx, 9999, true); !errors.Is(err, server.ErrUnknownLease) {
+		t.Fatalf("unknown lease ack = %v, want ErrUnknownLease", err)
+	}
+	if err := c.Ack(tctx, 0, true); !errors.Is(err, server.ErrUnknownLease) {
+		t.Fatalf("zero lease ack = %v, want ErrUnknownLease", err)
+	}
+}
+
+// TestClusterSharedFallbackBudget: the per-partition schedulers share
+// one fallback budget capped at cfg.FallbackWorkers for the whole
+// cluster.
+func TestClusterSharedFallbackBudget(t *testing.T) {
+	cfg := schedClusterConfig()
+	cfg.FallbackWorkers = 2
+	c := New(cfg, 4)
+	defer c.Close()
+
+	var budget interface{ Cap() int }
+	for i := 0; i < 4; i++ {
+		e := c.Engine(i)
+		if e.Config().FallbackBudget == nil {
+			t.Fatalf("partition %d has no shared budget", i)
+		}
+		if budget == nil {
+			budget = e.Config().FallbackBudget
+		} else if budget != e.Config().FallbackBudget {
+			t.Fatalf("partition %d holds a different budget instance", i)
+		}
+	}
+	if got := c.Engine(0).Config().FallbackBudget.Cap(); got != 2 {
+		t.Fatalf("shared budget cap = %d, want 2", got)
+	}
+}
+
+// TestClusterChurnConvergesViaFallback: leases are taken cluster-wide
+// and never answered; every partition's fallback pool (under the shared
+// budget) refreshes the rows anyway.
+func TestClusterChurnConvergesViaFallback(t *testing.T) {
+	cfg := schedClusterConfig()
+	cfg.LeaseTTL = 25 * time.Millisecond
+	cfg.LeaseRetries = -1
+	cfg.FallbackWorkers = 2
+	c := New(cfg, 2)
+	defer c.Close()
+	rateAcross(t, c, 16)
+
+	// Lease everything and vanish.
+	for {
+		ctx, cancel := context.WithTimeout(tctx, 500*time.Millisecond)
+		job, err := c.NextJob(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil {
+			break
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		quiet := true
+		for i := 0; i < c.NumPartitions(); i++ {
+			s := c.Engine(i).Scheduler()
+			if !s.Quiet() || len(s.Unrefreshed()) > 0 {
+				quiet = false
+			}
+		}
+		if quiet {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var fallbackRuns int64
+	for i := 0; i < c.NumPartitions(); i++ {
+		s := c.Engine(i).Scheduler()
+		if un := s.Unrefreshed(); len(un) != 0 {
+			t.Fatalf("partition %d users %v never refreshed: %+v", i, un, s.Stats())
+		}
+		fallbackRuns += s.Stats().FallbackRuns
+	}
+	if fallbackRuns == 0 {
+		t.Fatal("no partition used the fallback pool")
+	}
+	stats := c.Stats()
+	if stats["sched_fallback_runs"].(int64) != fallbackRuns {
+		t.Fatalf("aggregated stats %v disagree with per-partition sum %d", stats["sched_fallback_runs"], fallbackRuns)
+	}
+}

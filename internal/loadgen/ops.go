@@ -2,12 +2,16 @@ package loadgen
 
 import (
 	"context"
+	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
+	"hyrec"
 	"hyrec/client"
 	"hyrec/internal/core"
 	"hyrec/internal/stats"
+	"hyrec/internal/widget"
 )
 
 // Op is one logical operation issued through the typed client — the
@@ -46,6 +50,42 @@ func JobOp(uids []uint32) Op {
 	return func(ctx context.Context, c *client.Client, i int) error {
 		_, err := c.Job(ctx, core.UserID(uids[i%len(uids)]))
 		return err
+	}
+}
+
+// WorkerOp drives the scheduler's pull path: lease the next stale job
+// (GET /v1/job?worker=1), execute it with kernel, and post the result.
+// With probability abandonProb the leased job is abandoned instead —
+// politely (POST /v1/ack done=false), so the server re-issues it
+// immediately; this is the churny-worker load shape for measuring the
+// scheduler under the wire protocol. An empty queue counts as a
+// completed (no-op) request.
+func WorkerOp(kernel *widget.Widget, abandonProb float64, seed int64) Op {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(ctx context.Context, c *client.Client, i int) error {
+		pollCtx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		defer cancel()
+		job, err := c.NextJob(pollCtx)
+		if err != nil || job == nil {
+			return err
+		}
+		mu.Lock()
+		drop := rng.Float64() < abandonProb
+		mu.Unlock()
+		if drop {
+			return c.Ack(ctx, job.Lease, false)
+		}
+		res, _ := kernel.Execute(job)
+		if _, err := c.ApplyResult(ctx, res); err != nil {
+			// Mirror client.Worker.RunOnce: a stale epoch or superseded
+			// lease is the scheduler working, not a workload failure.
+			if errors.Is(err, hyrec.ErrStaleEpoch) || errors.Is(err, hyrec.ErrUnknownLease) {
+				return nil
+			}
+			return err
+		}
+		return nil
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"context"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"hyrec"
 	"hyrec/client"
+	"hyrec/internal/widget"
 )
 
 func newBenchServer(tb testing.TB) (*hyrec.Engine, *httptest.Server) {
@@ -133,5 +135,33 @@ func BenchmarkClientJob(b *testing.B) {
 		if err := op(ctx, c, i); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestWorkerOp drives the scheduler's pull path through the load
+// generator: ratings create staleness, WorkerOp leases and completes
+// the jobs over the wire, and the scheduler drains.
+func TestWorkerOp(t *testing.T) {
+	cfg := hyrec.DefaultConfig()
+	cfg.K = 3
+	cfg.LeaseTTL = time.Minute
+	eng := hyrec.NewEngine(cfg)
+	srv := hyrec.NewServiceServer(eng, 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); eng.Close() })
+
+	c := client.New(ts.URL)
+	defer c.Close()
+
+	uids := UIDRange(12)
+	if res := RunOps(context.Background(), c, RateOp(uids, 20), 24, 4); res.Failures != 0 {
+		t.Fatalf("rating failures: %s", res)
+	}
+	res := RunOps(context.Background(), c, WorkerOp(widget.New(), 0, 1), 40, 4)
+	if res.Failures != 0 {
+		t.Fatalf("worker-op failures: %s", res)
+	}
+	if !eng.Scheduler().Quiet() {
+		t.Fatalf("scheduler not drained by WorkerOp: %+v", eng.Scheduler().Stats())
 	}
 }

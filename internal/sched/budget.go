@@ -1,0 +1,61 @@
+package sched
+
+import "context"
+
+// Budget is a counting semaphore bounding how many fallback jobs execute
+// concurrently. A cluster shares one Budget across its per-partition
+// schedulers so the server-side residual compute stays capped globally
+// (the Section 5.4 cost argument: offloading only pays off if the
+// server's own compute stays small), no matter how many partitions see
+// churn at once. A nil *Budget never blocks.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget admitting n concurrent fallback executions.
+// n < 1 is clamped to 1.
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	return &Budget{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the budget's concurrency bound (0 for a nil budget,
+// meaning unlimited).
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.sem)
+}
+
+// Acquire blocks until a slot is free or ctx is done, reporting whether
+// the slot was obtained.
+func (b *Budget) Acquire(ctx context.Context) bool {
+	if b == nil {
+		return true
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Release returns a slot acquired with Acquire.
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	<-b.sem
+}
+
+// InUse returns the number of slots currently held.
+func (b *Budget) InUse() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.sem)
+}

@@ -1,0 +1,406 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+)
+
+// fakeClock is a manually advanced, monotonic clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestSched(t *testing.T, cfg Config, exec Executor) *Scheduler {
+	t.Helper()
+	s := New(cfg, exec)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestStalestUserDispatchedFirst(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+
+	s.MarkStale(7)
+	clk.Advance(time.Second)
+	s.MarkStale(3)
+	clk.Advance(time.Second)
+	s.MarkStale(9)
+
+	for _, want := range []core.UserID{7, 3, 9} {
+		l, ok := s.TryNext()
+		if !ok || l.User != want {
+			t.Fatalf("TryNext = %+v, %v; want user %d", l, ok, want)
+		}
+		if l.Attempt != 1 {
+			t.Fatalf("first issue attempt = %d, want 1", l.Attempt)
+		}
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestMarkStaleIsIdempotentWhilePending(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+	s.MarkStale(1)
+	s.MarkStale(1)
+	s.MarkStale(1)
+	if _, ok := s.TryNext(); !ok {
+		t.Fatal("want one pending entry")
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("duplicate pending entry for one user")
+	}
+}
+
+func TestAckDoneCompletesAndRedirtyRequeues(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+	s.MarkStale(1)
+	l, _ := s.TryNext()
+
+	// A rating lands while the job is out: remembered, not re-queued yet.
+	s.MarkStale(1)
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("user re-queued while leased")
+	}
+
+	if !s.Ack(l.ID, true) {
+		t.Fatal("ack of live lease failed")
+	}
+	if !s.RefreshedUser(1) {
+		t.Fatal("user not marked refreshed after done-ack")
+	}
+	// The remembered re-dirty puts the user straight back in the queue.
+	if l2, ok := s.TryNext(); !ok || l2.User != 1 {
+		t.Fatal("re-dirtied user not re-queued after ack")
+	}
+	if s.Ack(l.ID, true) {
+		t.Fatal("double ack should report unknown lease")
+	}
+}
+
+func TestAbandonReissuesImmediately(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+	s.MarkStale(1)
+	l, _ := s.TryNext()
+	if !s.Ack(l.ID, false) {
+		t.Fatal("abandon of live lease failed")
+	}
+	l2, ok := s.TryNext()
+	if !ok || l2.User != 1 {
+		t.Fatal("abandoned job not re-issued")
+	}
+	if l2.Attempt != 2 {
+		t.Fatalf("re-issue attempt = %d, want 2", l2.Attempt)
+	}
+	st := s.Stats()
+	if st.Abandoned != 1 || st.Reissued != 1 {
+		t.Fatalf("stats = %+v, want 1 abandon / 1 reissue", st)
+	}
+}
+
+func TestExpiredLeaseReissuedThenFallsBack(t *testing.T) {
+	clk := newFakeClock()
+	var ran atomic.Int64
+	exec := func(_ context.Context, u core.UserID) error {
+		ran.Add(1)
+		return nil
+	}
+	s := newTestSched(t, Config{
+		LeaseTTL:        time.Second,
+		MaxRetries:      1,
+		FallbackWorkers: 1,
+		FallbackAfter:   -1, // isolate the expiry path
+		Clock:           clk.Now,
+	}, exec)
+
+	s.MarkStale(1)
+	l1, _ := s.TryNext()
+	clk.Advance(2 * time.Second)
+	s.SweepNow() // straggler: lease expired → re-issue (retry 1 of 1)
+	if s.Ack(l1.ID, true) {
+		t.Fatal("expired lease should be unknown")
+	}
+	l2, ok := s.TryNext()
+	if !ok || l2.Attempt != 2 {
+		t.Fatalf("re-issue = %+v, %v; want attempt 2", l2, ok)
+	}
+	clk.Advance(2 * time.Second)
+	s.SweepNow() // budget exhausted → fallback pool absorbs the job
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("fallback ran %d times, want 1", ran.Load())
+	}
+	waitQuiet(t, s)
+	st := s.Stats()
+	if st.Expired != 2 || st.Reissued != 1 || st.FallbackRuns != 1 {
+		t.Fatalf("stats = %+v, want 2 expired / 1 reissued / 1 fallback", st)
+	}
+	if !s.RefreshedUser(1) {
+		t.Fatal("fallback completion did not refresh the user")
+	}
+}
+
+func TestInactiveUserAbsorbedByFallback(t *testing.T) {
+	clk := newFakeClock()
+	var ran atomic.Int64
+	s := newTestSched(t, Config{
+		LeaseTTL:        time.Second,
+		FallbackWorkers: 1,
+		FallbackAfter:   3 * time.Second,
+		Clock:           clk.Now,
+	}, func(_ context.Context, _ core.UserID) error { ran.Add(1); return nil })
+
+	s.MarkStale(42) // nobody ever pulls this job
+	clk.Advance(4 * time.Second)
+	s.SweepNow()
+	waitQuiet(t, s)
+	if ran.Load() != 1 {
+		t.Fatalf("inactive user executed %d times by fallback, want 1", ran.Load())
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("user should have left the pending queue")
+	}
+}
+
+func TestFallbackErrorRequeues(t *testing.T) {
+	clk := newFakeClock()
+	var calls atomic.Int64
+	s := newTestSched(t, Config{
+		LeaseTTL:        time.Second,
+		MaxRetries:      -1, // no lease re-issues: first expiry → fallback
+		FallbackWorkers: 1,
+		FallbackAfter:   -1,
+		Clock:           clk.Now,
+	}, func(_ context.Context, _ core.UserID) error {
+		calls.Add(1)
+		return errors.New("boom")
+	})
+	s.MarkStale(1)
+	if _, ok := s.TryNext(); !ok {
+		t.Fatal("no lease")
+	}
+	clk.Advance(2 * time.Second)
+	s.SweepNow()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Stats(); st.FallbackErrors >= 1 && st.Pending >= 1 {
+			return // failed execution put the user back in the queue
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("fallback error did not requeue (stats %+v)", s.Stats())
+}
+
+func TestNextBlocksUntilWork(t *testing.T) {
+	s := newTestSched(t, Config{LeaseTTL: time.Minute}, nil)
+	got := make(chan Lease, 1)
+	go func() {
+		l, ok := s.Next(context.Background())
+		if ok {
+			got <- l
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("Next returned before work existed")
+	default:
+	}
+	s.MarkStale(5)
+	select {
+	case l := <-got:
+		if l.User != 5 {
+			t.Fatalf("dispatched user %d, want 5", l.User)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never woke up")
+	}
+}
+
+func TestNextHonoursContext(t *testing.T) {
+	s := newTestSched(t, Config{LeaseTTL: time.Minute}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, ok := s.Next(ctx); ok {
+		t.Fatal("Next returned work from an empty queue")
+	}
+}
+
+func TestSupersededLeaseUnknown(t *testing.T) {
+	s := newTestSched(t, Config{LeaseTTL: time.Minute}, nil)
+	s.MarkStale(1)
+	l1 := s.Acquire(1)
+	l2 := s.Acquire(1) // user refreshes the page: new lease supersedes
+	if s.Ack(l1.ID, true) {
+		t.Fatal("superseded lease should be unknown")
+	}
+	if !s.Ack(l2.ID, true) {
+		t.Fatal("current lease must ack")
+	}
+}
+
+func TestIDSpacePartitioning(t *testing.T) {
+	s := newTestSched(t, Config{LeaseTTL: time.Minute}, nil)
+	s.SetIDSpace(3, 8)
+	var ids []uint64
+	for i := 0; i < 3; i++ {
+		ids = append(ids, s.Acquire(core.UserID(i)).ID)
+	}
+	for i, want := range []uint64{3, 11, 19} {
+		if ids[i] != want {
+			t.Fatalf("ids = %v, want 3,11,19", ids)
+		}
+	}
+}
+
+func TestBudgetBoundsConcurrency(t *testing.T) {
+	b := NewBudget(2)
+	var inFlight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b.Acquire(context.Background()) {
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				m := maxSeen.Load()
+				if n <= m || maxSeen.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			b.Release()
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > 2 {
+		t.Fatalf("budget of 2 admitted %d concurrent holders", got)
+	}
+}
+
+func TestRefreshedClearsOutstandingWork(t *testing.T) {
+	s := newTestSched(t, Config{LeaseTTL: time.Minute}, nil)
+	s.MarkStale(1)
+	l := s.Acquire(1)
+	s.Refreshed(1) // legacy no-lease fold-in completes the cycle
+	if s.Ack(l.ID, true) {
+		t.Fatal("lease should have been retired by Refreshed")
+	}
+	if !s.Quiet() {
+		t.Fatalf("scheduler not quiet after refresh: %+v", s.Stats())
+	}
+}
+
+func waitQuiet(t *testing.T, s *Scheduler) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Quiet() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("scheduler never drained: %+v", s.Stats())
+}
+
+// TestAckUserRejectsForeignLease: the user-bound ack form refuses a
+// lease ID that belongs to a different user (sequential IDs are
+// guessable; a forged result must not retire someone else's cycle).
+func TestAckUserRejectsForeignLease(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+	s.MarkStale(1)
+	clk.Advance(time.Second)
+	s.MarkStale(2)
+	l1, _ := s.TryNext()
+	l2, _ := s.TryNext()
+	if s.AckUser(l1.ID, l2.User, true) {
+		t.Fatal("ack with foreign user binding accepted")
+	}
+	if !s.AckUser(l1.ID, l1.User, true) {
+		t.Fatal("correctly bound ack rejected")
+	}
+	if !s.AckUser(l2.ID, l2.User, true) {
+		t.Fatal("l2 should still be outstanding after the forged attempt")
+	}
+}
+
+// TestFallbackSkipsUsersRefreshedWhileQueued: a user who leaves the
+// fallback state while waiting in the queue (late result, user-driven
+// re-lease) is skipped at pop time instead of executed twice.
+func TestFallbackSkipsUsersRefreshedWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	var ran sync.Map
+	exec := func(_ context.Context, u core.UserID) error {
+		if u == 1 {
+			<-block
+		}
+		ran.Store(u, true)
+		return nil
+	}
+	clk := newFakeClock()
+	s := newTestSched(t, Config{
+		LeaseTTL:        time.Second,
+		MaxRetries:      -1,
+		FallbackWorkers: 1,
+		FallbackAfter:   -1,
+		Clock:           clk.Now,
+	}, exec)
+
+	// User 1 reaches the (single-worker) pool and blocks it.
+	s.MarkStale(1)
+	s.TryNext()
+	clk.Advance(2 * time.Second)
+	s.SweepNow()
+	// User 2 queues behind it…
+	s.MarkStale(2)
+	s.TryNext()
+	clk.Advance(2 * time.Second)
+	s.SweepNow()
+	// …and is refreshed by a late legacy result before the pool gets to
+	// it. The FIFO guarantees the worker pops 1 (blocked) before 2, and 2
+	// is only popped after exec(1) returns — i.e. after this Refreshed.
+	s.Refreshed(2)
+	close(block)
+	waitQuiet(t, s)
+	if _, ok := ran.Load(core.UserID(2)); ok {
+		t.Fatal("fallback executed a user already refreshed while queued")
+	}
+	if _, ok := ran.Load(core.UserID(1)); !ok {
+		t.Fatal("blocked user never executed")
+	}
+}

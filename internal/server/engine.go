@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hyrec/internal/core"
+	"hyrec/internal/sched"
 	"hyrec/internal/wire"
 )
 
@@ -53,6 +55,39 @@ type Config struct {
 	// recently active users' recommendations are retained (LRU). Zero
 	// selects the default (4096).
 	RecCacheUsers int
+
+	// The fields below enable the asynchronous job scheduler
+	// (internal/sched). With all of them zero the engine runs the paper's
+	// original synchronous pull flow, byte-for-byte: jobs carry no lease
+	// metadata and nothing happens between Job and ApplyResult.
+
+	// LeaseTTL, when positive, turns on the scheduler: every issued job
+	// carries a lease that expires after this duration, after which the
+	// job is re-issued (straggler handling).
+	LeaseTTL time.Duration
+	// LeaseRetries bounds lease re-issues before a job falls back to
+	// server-side execution (0 = scheduler default, negative = none).
+	LeaseRetries int
+	// FallbackWorkers, when positive, runs a pool of server-side workers
+	// that execute jobs locally — for leases that exhaust their retries
+	// and for inactive users nobody computes for. Setting it also turns
+	// on the scheduler (with the default lease TTL if LeaseTTL is zero).
+	FallbackWorkers int
+	// FallbackBudget, when non-nil, caps concurrent fallback executions
+	// across engines — a cluster shares one so the server's residual
+	// compute stays bounded globally.
+	FallbackBudget *sched.Budget
+	// FallbackMetric is the similarity metric the fallback executor
+	// ranks neighbors with. Set it to whatever the deployment's widgets
+	// use so server-refreshed rows and browser-refreshed rows agree on
+	// the ordering. Nil selects the paper's default (cosine).
+	FallbackMetric core.Similarity
+}
+
+// SchedulerEnabled reports whether this configuration runs the
+// asynchronous job scheduler.
+func (c Config) SchedulerEnabled() bool {
+	return c.LeaseTTL > 0 || c.FallbackWorkers > 0
 }
 
 // DefaultConfig returns the paper's default parameters: k=10, r=10,
@@ -90,8 +125,17 @@ type Engine struct {
 	// table has never seen (see SetProfileResolver).
 	resolveProfile ProfileResolver
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rngs shards the sampling RNG by user so concurrent job assemblies
+	// draw randomness without serializing on one mutex (the former
+	// global rngMu; see BenchmarkJobParallel). Each shard is seeded
+	// deterministically from cfg.Seed, so single-threaded runs remain
+	// reproducible.
+	rngs [numShards]rngShard
+
+	// sched, when non-nil, runs the asynchronous job lifecycle: leases,
+	// staleness-priority dispatch, straggler re-issue and the fallback
+	// worker pool.
+	sched *sched.Scheduler
 
 	// Candidate-set size accounting (Figure 5): sum and count of candidate
 	// sets issued since the last ResetCandidateStats call.
@@ -99,9 +143,28 @@ type Engine struct {
 	candCount atomic.Int64
 }
 
+// rngShard is one lock-sharded sampling RNG, padded to a full 64-byte
+// cache line (8-byte mutex + 8-byte pointer + 48 pad) so neighbouring
+// shards do not false-share under concurrent assembly.
+type rngShard struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	_   [48]byte
+}
+
+// rngSeedStride separates the per-shard RNG seed lanes (a large odd
+// constant so sibling shards — and sibling partitions, which stride by
+// cluster.seedStride — never share a stream).
+const rngSeedStride = 0x9E3779B97F4A7C15 >> 3
+
 // ErrStaleEpoch is returned when a widget result refers to an anonymiser
 // epoch that is no longer resolvable.
 var ErrStaleEpoch = errors.New("server: result from stale anonymiser epoch")
+
+// ErrUnknownLease is returned when an acked lease is not outstanding:
+// already completed, superseded, expired past its retry budget, or never
+// issued.
+var ErrUnknownLease = errors.New("server: unknown or expired lease")
 
 // ErrUnknownUser is returned for operations on users never seen by Rate or
 // Job.
@@ -119,7 +182,9 @@ func NewEngine(cfg Config) *Engine {
 		knn:      NewKNNTable(),
 		meter:    &wire.Meter{},
 		recs:     newRecStore(cfg.RecCacheUsers),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range e.rngs {
+		e.rngs[i].rng = rand.New(rand.NewSource(cfg.Seed + int64(i)*rngSeedStride))
 	}
 	if !cfg.DisableAnonymizer {
 		e.anon = core.NewAnonymizer(cfg.Seed + 1)
@@ -128,8 +193,21 @@ func NewEngine(cfg Config) *Engine {
 		e.cache = wire.NewProfileCache()
 	}
 	e.sampler = &defaultSampler{engine: e}
+	if cfg.SchedulerEnabled() {
+		e.sched = sched.New(sched.Config{
+			LeaseTTL:        cfg.LeaseTTL,
+			MaxRetries:      cfg.LeaseRetries,
+			FallbackWorkers: cfg.FallbackWorkers,
+			Budget:          cfg.FallbackBudget,
+		}, e.refreshLocally)
+	}
 	return e
 }
+
+// Scheduler exposes the engine's job scheduler (nil when the
+// configuration runs the synchronous flow). A cluster uses it to
+// partition the lease-ID space; tests and stats read its counters.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -186,6 +264,12 @@ func (e *Engine) Rate(ctx context.Context, u core.UserID, item core.ItemID, like
 	e.profiles.Update(u, func(p core.Profile) core.Profile {
 		return p.WithRating(item, liked)
 	})
+	if e.sched != nil {
+		// The rating invalidates u's KNN row: enter the staleness queue
+		// so a worker (or the fallback pool) refreshes it even if u's
+		// browser never asks.
+		e.sched.MarkStale(u)
+	}
 	return nil
 }
 
@@ -199,6 +283,9 @@ func (e *Engine) RateBatch(ctx context.Context, ratings []core.Rating) error {
 		e.profiles.Update(r.User, func(p core.Profile) core.Profile {
 			return p.WithRating(r.Item, r.Liked)
 		})
+		if e.sched != nil {
+			e.sched.MarkStale(r.User)
+		}
 	}
 	return nil
 }
@@ -224,9 +311,15 @@ func (e *Engine) Recommendations(ctx context.Context, u core.UserID, n int) ([]c
 	return recs, nil
 }
 
-// Close implements Service. The engine owns no background goroutines;
-// rotation timers live in the HTTP layer.
-func (e *Engine) Close() error { return nil }
+// Close implements Service: it stops the scheduler's sweeper and
+// fallback pool (rotation timers live in the HTTP layer). Safe to call
+// multiple times.
+func (e *Engine) Close() error {
+	if e.sched != nil {
+		e.sched.Close()
+	}
+	return nil
+}
 
 // KnownUser reports whether u has been registered.
 func (e *Engine) KnownUser(u core.UserID) bool { return e.profiles.Known(u) }
@@ -239,9 +332,10 @@ func (e *Engine) RegisterUser(u core.UserID) {
 	}
 }
 
-// Stats reports the operational counters served by /stats.
+// Stats reports the operational counters served by /stats. With the
+// scheduler enabled, its lifecycle counters ride along under sched_*.
 func (e *Engine) Stats() map[string]any {
-	return map[string]any{
+	m := map[string]any{
 		"json_bytes":   e.meter.JSONBytes(),
 		"gzip_bytes":   e.meter.GzipBytes(),
 		"result_bytes": e.meter.ResultBytes(),
@@ -249,15 +343,55 @@ func (e *Engine) Stats() map[string]any {
 		"users":        int64(e.profiles.Len()),
 		"knn_entries":  int64(e.knn.Len()),
 	}
+	if e.sched != nil {
+		AddSchedStats(m, e.sched.Stats())
+	}
+	return m
+}
+
+// AddSchedStats merges scheduler counters into a stats map (shared with
+// the cluster front-end, which aggregates over partitions first).
+func AddSchedStats(m map[string]any, s sched.Stats) {
+	m["sched_issued"] = s.Issued
+	m["sched_dispatched"] = s.Dispatched
+	m["sched_acked"] = s.Acked
+	m["sched_abandoned"] = s.Abandoned
+	m["sched_expired"] = s.Expired
+	m["sched_reissued"] = s.Reissued
+	m["sched_fallback_runs"] = s.FallbackRuns
+	m["sched_fallback_errors"] = s.FallbackErrors
+	m["sched_pending"] = int64(s.Pending)
+	m["sched_leased"] = int64(s.Leased)
+	m["sched_fallback_queued"] = int64(s.FallbackQueued)
 }
 
 // Job assembles the personalization job for u: profile update has already
 // happened via Rate; this runs the Sampler and packages the candidate
-// profiles (Arrow 2 of Figure 1).
+// profiles (Arrow 2 of Figure 1). With the scheduler enabled the job is
+// stamped with a fresh lease (superseding any outstanding one for u).
 func (e *Engine) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Lease BEFORE snapshotting the profile: a rating that lands after
+	// the snapshot then finds u leased and sets dirty-again, so its
+	// refresh is re-queued when this job completes instead of being
+	// silently absorbed. (NextJob gets this ordering from sched.Next.)
+	var l sched.Lease
+	if e.sched != nil {
+		l = e.sched.Acquire(u)
+	}
+	job := e.assembleJob(u)
+	if e.sched != nil {
+		stampLease(job, l)
+	}
+	return job, nil
+}
+
+// assembleJob builds the unleased job message for u — the synchronous
+// core shared by the user-driven pull (Job), the worker dispatch
+// (NextJob) and their payload variants.
+func (e *Engine) assembleJob(u core.UserID) *wire.Job {
 	if !e.profiles.Known(u) {
 		// First contact: register the user with an empty profile so she
 		// can appear in other users' random samples.
@@ -283,7 +417,105 @@ func (e *Engine) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 		cp := e.candidateProfile(c)
 		job.Candidates = append(job.Candidates, wire.ProfileToMsg(cp, view))
 	}
+	return job
+}
+
+// stampLease writes the scheduler's lease metadata onto an assembled job.
+func stampLease(job *wire.Job, l sched.Lease) {
+	job.Lease = l.ID
+	job.LeaseDeadlineMS = l.Deadline.UnixMilli()
+	job.Attempt = l.Attempt
+}
+
+// NextJob implements the pull-based worker dispatch: it blocks until a
+// stale user is available (stalest first) or ctx is done, then assembles
+// and leases that user's job. It returns (nil, nil) when the scheduler
+// is disabled or no work arrived before ctx expired — the transport
+// layer answers 204 No Content.
+func (e *Engine) NextJob(ctx context.Context) (*wire.Job, error) {
+	if e.sched == nil {
+		return nil, nil
+	}
+	l, ok := e.sched.Next(ctx)
+	if !ok {
+		return nil, nil
+	}
+	job := e.assembleJob(l.User)
+	stampLease(job, l)
 	return job, nil
+}
+
+// TryNextJob is the non-blocking form of NextJob (the cluster front-end
+// polls partitions through it).
+func (e *Engine) TryNextJob() (*wire.Job, error) {
+	if e.sched == nil {
+		return nil, nil
+	}
+	l, ok := e.sched.TryNext()
+	if !ok {
+		return nil, nil
+	}
+	job := e.assembleJob(l.User)
+	stampLease(job, l)
+	return job, nil
+}
+
+// Ack resolves a lease without a result: done=true completes it,
+// done=false abandons it for immediate re-issue. ErrUnknownLease is
+// returned when the lease is not outstanding (or the scheduler is
+// disabled). Like the rest of the paper's protocol the endpoint is
+// unauthenticated, so a forged done-ack can at worst delay one user's
+// refresh until their next rating; results (the path that writes KNN
+// rows) verify the lease-user binding in ApplyResult.
+func (e *Engine) Ack(ctx context.Context, lease uint64, done bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.sched == nil || !e.sched.Ack(lease, done) {
+		return fmt.Errorf("%w: %d", ErrUnknownLease, lease)
+	}
+	return nil
+}
+
+// CountWorkerJob implements WorkerJobMeter: worker-dispatched jobs are
+// serialized by the transport layer, which reports the byte counts here
+// so the bandwidth meters cover both dispatch paths.
+func (e *Engine) CountWorkerJob(_ *wire.Job, jsonBytes, gzBytes int) {
+	e.meter.CountJob(jsonBytes, gzBytes)
+}
+
+// refreshLocally is the fallback executor: one full personalization job
+// run entirely server-side — sample candidates, select the K nearest
+// with the same core KNN + top-k kernels the widget uses, fold the row
+// in, retain recommendations. No anonymisation round-trip is needed
+// because nothing leaves the server.
+func (e *Engine) refreshLocally(ctx context.Context, u core.UserID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := e.profiles.Get(u)
+	candidates := e.sampler.Sample(u, e.cfg.K)
+	e.recordCandidates(len(candidates))
+	profs := make([]core.Profile, 0, len(candidates))
+	for _, c := range candidates {
+		profs = append(profs, e.candidateProfile(c))
+	}
+	metric := e.cfg.FallbackMetric
+	if metric == nil {
+		metric = core.Cosine{}
+	}
+	hood := core.SelectKNN(p, profs, e.cfg.K, metric)
+	ids := make([]core.UserID, 0, len(hood))
+	for _, n := range hood {
+		if n.User != u {
+			ids = append(ids, n.User)
+		}
+	}
+	e.knn.Put(u, ids)
+	if recs := core.Recommend(p, profs, e.cfg.R); len(recs) > 0 {
+		e.recs.Put(u, recs)
+	}
+	return nil
 }
 
 // anonView pins the anonymiser's current epoch for the duration of one job
@@ -324,6 +556,12 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 	if !e.profiles.Known(u) {
 		e.profiles.Put(core.NewProfile(u))
 	}
+	// As in Job: lease before the profile snapshot so a concurrent
+	// rating is re-queued via dirty-again rather than absorbed.
+	var lease sched.Lease
+	if e.sched != nil {
+		lease = e.sched.Acquire(u)
+	}
 	p := e.profiles.Get(u)
 	candidates := e.sampler.Sample(u, e.cfg.K)
 	e.recordCandidates(len(candidates))
@@ -338,6 +576,9 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 		R:       e.cfg.R,
 		Profile: wire.ProfileToMsg(p, view),
 		// Candidates are injected during encoding below.
+	}
+	if e.sched != nil {
+		stampLease(job, lease)
 	}
 
 	// With the cache enabled, candidate fragments come from the cache and
@@ -387,6 +628,7 @@ func (e *Engine) assembleWithCache(job *wire.Job, frags [][]byte) []byte {
 	dst = appendUint(dst, uint64(job.K))
 	dst = append(dst, `,"r":`...)
 	dst = appendUint(dst, uint64(job.R))
+	dst = wire.AppendLeaseMeta(dst, job)
 	dst = append(dst, `,"profile":`...)
 	dst = wire.AppendProfileMsg(dst, job.Profile)
 	dst = append(dst, `,"candidates":[`...)
@@ -471,6 +713,16 @@ func (e *Engine) ApplyResult(ctx context.Context, res *wire.Result) ([]core.Item
 		e.recs.Put(u, recs)
 	}
 	e.meter.CountResult(len(res.Neighbors)*10 + len(res.Recommendations)*10 + 32)
+	if e.sched != nil {
+		// The fold-in is the implicit ack — with the lease's user binding
+		// verified, so a result quoting some other user's lease ID cannot
+		// retire that user's cycle. A result whose own lease has been
+		// superseded or already expired is still a valid refresh of u's
+		// row, so the cycle completes either way.
+		if res.Lease == 0 || !e.sched.AckUser(res.Lease, u, true) {
+			e.sched.Refreshed(u)
+		}
+	}
 	return recs, nil
 }
 
@@ -518,11 +770,14 @@ func (e *Engine) ResetCandidateStats() {
 // RandomUsers draws up to n distinct users uniformly from the engine's
 // roster under its seeded RNG, excluding `exclude`. Samplers use it for
 // the k-random-users component of the §3.1 rule; a cluster peer sampler
-// uses it to draw exchange candidates from sibling partitions.
+// uses it to draw exchange candidates from sibling partitions. The RNG
+// is sharded by `exclude` (the requesting user), so concurrent job
+// assemblies for different users draw without contending on one lock.
 func (e *Engine) RandomUsers(n int, exclude core.UserID) []core.UserID {
-	e.rngMu.Lock()
-	defer e.rngMu.Unlock()
-	return e.profiles.RandomUsers(e.rng, n, exclude)
+	s := &e.rngs[shardOf(exclude)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.profiles.RandomUsers(s.rng, n, exclude)
 }
 
 // NewDefaultSampler returns the §3.1 candidate rule (one-hop ∪ two-hop ∪
@@ -545,9 +800,12 @@ func (s *defaultSampler) Sample(u core.UserID, k int) []core.UserID {
 		return e.RandomUsers(n, exclude)
 	}
 	// The rng passed through is unused by `random` (the engine's own
-	// locked rng is); pass a throwaway source to satisfy the contract.
-	e.rngMu.Lock()
-	seed := e.rng.Int63()
-	e.rngMu.Unlock()
+	// sharded rng is); pass a throwaway source — seeded from u's shard so
+	// concurrent samples for different users don't serialize — to satisfy
+	// the contract.
+	sh := &e.rngs[shardOf(u)]
+	sh.mu.Lock()
+	seed := sh.rng.Int63()
+	sh.mu.Unlock()
 	return core.BuildCandidateSet(u, k, lookup, random, rand.New(rand.NewSource(seed)))
 }

@@ -61,6 +61,14 @@ type HTTPServer struct {
 	rotateWG    sync.WaitGroup
 	startOnce   sync.Once
 	stopOnce    sync.Once
+
+	// dispatchCtx is cancelled by Close so parked worker long-polls
+	// (/v1/job?worker=1&wait=…) release immediately on shutdown instead
+	// of pinning connections for the full wait. http.Server.Shutdown
+	// does not cancel in-flight request contexts, so call Close before
+	// (or alongside) Shutdown to drain dispatchers promptly.
+	dispatchCtx  context.Context
+	stopDispatch context.CancelFunc
 }
 
 // NewServer wraps any Service with the web API. If rotateEvery > 0 and
@@ -71,12 +79,15 @@ func NewServer(svc Service, rotateEvery time.Duration) *HTTPServer {
 	if c, ok := svc.(Configured); ok {
 		seed = c.Config().Seed
 	}
+	dispatchCtx, stopDispatch := context.WithCancel(context.Background())
 	return &HTTPServer{
-		svc:         svc,
-		seen:        newPresence(),
-		mint:        rand.New(rand.NewSource(seed + 7919)),
-		rotateEvery: rotateEvery,
-		stopRotate:  make(chan struct{}),
+		svc:          svc,
+		seen:         newPresence(),
+		mint:         rand.New(rand.NewSource(seed + 7919)),
+		rotateEvery:  rotateEvery,
+		stopRotate:   make(chan struct{}),
+		dispatchCtx:  dispatchCtx,
+		stopDispatch: stopDispatch,
 	}
 }
 
@@ -114,11 +125,15 @@ func (s *HTTPServer) Start() {
 	})
 }
 
-// Close stops and drains the rotation goroutine. It does not close the
-// underlying Service — ownership stays with whoever constructed it. Safe
-// to call multiple times.
+// Close stops and drains the rotation goroutine and releases any parked
+// worker long-polls. It does not close the underlying Service —
+// ownership stays with whoever constructed it. Safe to call multiple
+// times.
 func (s *HTTPServer) Close() {
-	s.stopOnce.Do(func() { close(s.stopRotate) })
+	s.stopOnce.Do(func() {
+		close(s.stopRotate)
+		s.stopDispatch()
+	})
 	s.rotateWG.Wait()
 }
 
@@ -139,6 +154,7 @@ func (s *HTTPServer) Handler() http.Handler {
 	})
 	mux.HandleFunc(wire.V1Prefix+"/rate", s.handleV1Rate)
 	mux.HandleFunc(wire.V1Prefix+"/job", s.handleV1Job)
+	mux.HandleFunc(wire.V1Prefix+"/ack", s.handleV1Ack)
 	mux.HandleFunc(wire.V1Prefix+"/result", s.handleV1Result)
 	mux.HandleFunc(wire.V1Prefix+"/recs", s.handleV1Recs)
 	mux.HandleFunc(wire.V1Prefix+"/neighbors", s.handleV1Neighbors)
@@ -325,9 +341,17 @@ func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.RateResponse{Accepted: len(ratings)})
 }
 
+// maxWorkerWait caps the /v1/job?worker=1 long-poll so a parked worker
+// never outlives the HTTP server's write timeout.
+const maxWorkerWait = 25 * time.Second
+
 func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if isWorker(r) {
+		s.handleV1WorkerJob(w, r)
 		return
 	}
 	uid, known, err := UIDFromRequest(r)
@@ -363,6 +387,114 @@ func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
 	w.Write(raw)
+}
+
+// isWorker reports whether a /v1/job request is a pull-based worker
+// dispatch rather than a user-driven job request.
+func isWorker(r *http.Request) bool {
+	v := r.URL.Query().Get("worker")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
+}
+
+// handleV1WorkerJob serves GET /v1/job?worker=1[&wait=D]: the next
+// leased job from the staleness queue, long-polling up to `wait`
+// (capped) and answering 204 No Content when the queue stays empty.
+func (s *HTTPServer) handleV1WorkerJob(w http.ResponseWriter, r *http.Request) {
+	js, ok := s.svc.(JobSource)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+			"service does not dispatch jobs to workers")
+		return
+	}
+	wait := time.Duration(0)
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, fmt.Sprintf("bad wait %q", raw))
+			return
+		}
+		wait = d
+	}
+	if wait > maxWorkerWait {
+		wait = maxWorkerWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	// Server shutdown (Close) releases the poll immediately.
+	stop := context.AfterFunc(s.dispatchCtx, cancel)
+	defer stop()
+	job, err := js.NextJob(ctx)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	if job == nil {
+		// Honour the requested poll window even when the service returned
+		// early (e.g. no scheduler configured: NextJob answers nil
+		// immediately) — otherwise parked workers degrade into a tight
+		// request loop.
+		<-ctx.Done()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	raw, err := wire.EncodeJob(job)
+	if err != nil {
+		writeV1Error(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+		return
+	}
+	meter, metered := s.svc.(WorkerJobMeter)
+	w.Header().Set("Content-Type", "application/json")
+	if acceptsGzip(r) {
+		gz, err := wire.Compress(raw, s.gzipLevel())
+		if err != nil {
+			writeV1Error(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+			return
+		}
+		if metered {
+			meter.CountWorkerJob(job, len(raw), len(gz))
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
+		w.Write(gz)
+		return
+	}
+	if metered {
+		meter.CountWorkerJob(job, len(raw), 0)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.Write(raw)
+}
+
+// handleV1Ack serves POST /v1/ack: complete (done=true) or abandon
+// (done=false) a lease without posting a result.
+func (s *HTTPServer) handleV1Ack(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	la, ok := s.svc.(LeaseAcker)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service does not manage leases")
+		return
+	}
+	var req wire.AckRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&req); err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad ack body: "+err.Error())
+		return
+	}
+	if req.Lease == 0 {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "missing lease")
+		return
+	}
+	if err := la.Ack(r.Context(), req.Lease, req.Done); err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.AckResponse{Status: "ok"})
 }
 
 func (s *HTTPServer) handleV1Result(w http.ResponseWriter, r *http.Request) {
@@ -499,6 +631,8 @@ func statusForErr(err error) (int, string) {
 		return http.StatusGone, wire.CodeStaleEpoch
 	case errors.Is(err, ErrUnknownUser):
 		return http.StatusNotFound, wire.CodeUnknownUser
+	case errors.Is(err, ErrUnknownLease):
+		return http.StatusNotFound, wire.CodeUnknownLease
 	default:
 		return http.StatusInternalServerError, wire.CodeInternal
 	}

@@ -49,6 +49,32 @@ type Payloader interface {
 	JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error)
 }
 
+// JobSource dispatches leased jobs to pull-based workers: NextJob blocks
+// until a stale user is available (stalest first) or ctx is done, and
+// returns (nil, nil) when no work arrived in time — the transport layer
+// answers 204 No Content. Services running without the scheduler return
+// (nil, nil) immediately.
+type JobSource interface {
+	NextJob(ctx context.Context) (*wire.Job, error)
+}
+
+// LeaseAcker resolves leases without a result: done=true completes the
+// job, done=false abandons it for immediate re-issue. Implementations
+// return ErrUnknownLease (possibly wrapped) for leases that are not
+// outstanding.
+type LeaseAcker interface {
+	Ack(ctx context.Context, lease uint64, done bool) error
+}
+
+// WorkerJobMeter accounts the serialized size of a worker-dispatched
+// job. The user-driven payload path meters inside JobPayload; the
+// worker path serializes in the transport layer, which reports the
+// bytes back through this hook so /stats bandwidth counters cover both
+// (gzBytes is 0 when the response was not compressed).
+type WorkerJobMeter interface {
+	CountWorkerJob(job *wire.Job, jsonBytes, gzBytes int)
+}
+
 // UserDirectory registers and looks up users, letting the HTTP layer
 // mint cookie identities on first contact.
 type UserDirectory interface {
@@ -82,11 +108,14 @@ type StatsProvider interface {
 // Service. (internal/cluster asserts the same for *Cluster, and
 // hyrec/client for *Client.)
 var (
-	_ Service       = (*Engine)(nil)
-	_ Payloader     = (*Engine)(nil)
-	_ UserDirectory = (*Engine)(nil)
-	_ Rotator       = (*Engine)(nil)
-	_ UserResolver  = (*Engine)(nil)
-	_ Configured    = (*Engine)(nil)
-	_ StatsProvider = (*Engine)(nil)
+	_ Service        = (*Engine)(nil)
+	_ Payloader      = (*Engine)(nil)
+	_ UserDirectory  = (*Engine)(nil)
+	_ Rotator        = (*Engine)(nil)
+	_ UserResolver   = (*Engine)(nil)
+	_ Configured     = (*Engine)(nil)
+	_ StatsProvider  = (*Engine)(nil)
+	_ JobSource      = (*Engine)(nil)
+	_ LeaseAcker     = (*Engine)(nil)
+	_ WorkerJobMeter = (*Engine)(nil)
 )

@@ -20,12 +20,16 @@ func shardOf(u core.UserID) int { return int(uint32(u)*0x9E3779B1>>26) & (numSha
 
 // ProfileTable is the server's global user → profile map. It additionally
 // maintains a dense roster of known users so the Sampler can draw uniform
-// random users in O(1) per pick. Safe for concurrent use.
+// random users in O(1) per pick. The roster is strictly duplicate-free —
+// rosterIdx verifies every insert, so re-storing a user can never grow it
+// and skew the uniform sampling toward old users. Safe for concurrent
+// use.
 type ProfileTable struct {
 	shards [numShards]profileShard
 
-	rosterMu sync.RWMutex
-	roster   []core.UserID
+	rosterMu  sync.RWMutex
+	roster    []core.UserID
+	rosterIdx map[core.UserID]struct{}
 }
 
 type profileShard struct {
@@ -35,11 +39,24 @@ type profileShard struct {
 
 // NewProfileTable returns an empty table.
 func NewProfileTable() *ProfileTable {
-	t := &ProfileTable{}
+	t := &ProfileTable{rosterIdx: make(map[core.UserID]struct{})}
 	for i := range t.shards {
 		t.shards[i].m = make(map[core.UserID]core.Profile)
 	}
 	return t
+}
+
+// register appends u to the dense roster exactly once. The shard lock
+// gates callers on first-store, but the roster is updated outside that
+// lock, so the index re-verifies membership: dedup-on-insert rather than
+// trust-the-caller.
+func (t *ProfileTable) register(u core.UserID) {
+	t.rosterMu.Lock()
+	if _, dup := t.rosterIdx[u]; !dup {
+		t.rosterIdx[u] = struct{}{}
+		t.roster = append(t.roster, u)
+	}
+	t.rosterMu.Unlock()
 }
 
 // Get returns the current profile snapshot of u. Unknown users get a fresh
@@ -73,9 +90,7 @@ func (t *ProfileTable) Put(p core.Profile) {
 	s.m[u] = p
 	s.mu.Unlock()
 	if !existed {
-		t.rosterMu.Lock()
-		t.roster = append(t.roster, u)
-		t.rosterMu.Unlock()
+		t.register(u)
 	}
 }
 
@@ -92,9 +107,7 @@ func (t *ProfileTable) Update(u core.UserID, fn func(core.Profile) core.Profile)
 	s.m[u] = p
 	s.mu.Unlock()
 	if !existed {
-		t.rosterMu.Lock()
-		t.roster = append(t.roster, u)
-		t.rosterMu.Unlock()
+		t.register(u)
 	}
 	return p
 }

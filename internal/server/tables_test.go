@@ -196,3 +196,56 @@ func TestKNNTableConcurrent(t *testing.T) {
 		t.Fatalf("Len = %d", kt.Len())
 	}
 }
+
+// TestRosterDoesNotGrowOnRestore pins the dedup-on-insert invariant:
+// re-storing an existing user — any interleaving of Put and Update —
+// never grows the dense roster, so uniform sampling stays uniform.
+func TestRosterDoesNotGrowOnRestore(t *testing.T) {
+	t.Run("sequential", func(t *testing.T) {
+		tab := NewProfileTable()
+		for i := 0; i < 5; i++ {
+			tab.Put(core.NewProfile(7).WithRating(core.ItemID(i), true))
+			tab.Update(7, func(p core.Profile) core.Profile {
+				return p.WithRating(core.ItemID(100+i), true)
+			})
+		}
+		if got := tab.Len(); got != 1 {
+			t.Fatalf("roster length = %d after re-storing one user, want 1", got)
+		}
+		if users := tab.Users(); len(users) != 1 || users[0] != 7 {
+			t.Fatalf("roster = %v, want [7]", users)
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		tab := NewProfileTable()
+		const users, writersPerUser = 32, 8
+		var wg sync.WaitGroup
+		for u := core.UserID(1); u <= users; u++ {
+			for w := 0; w < writersPerUser; w++ {
+				wg.Add(1)
+				go func(u core.UserID, w int) {
+					defer wg.Done()
+					if w%2 == 0 {
+						tab.Put(core.NewProfile(u))
+					} else {
+						tab.Update(u, func(p core.Profile) core.Profile {
+							return p.WithRating(core.ItemID(w), true)
+						})
+					}
+				}(u, w)
+			}
+		}
+		wg.Wait()
+		if got := tab.Len(); got != users {
+			t.Fatalf("roster length = %d, want %d (duplicates slipped in)", got, users)
+		}
+		seen := make(map[core.UserID]bool)
+		for _, u := range tab.Users() {
+			if seen[u] {
+				t.Fatalf("duplicate roster entry for user %d", u)
+			}
+			seen[u] = true
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package stress
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrec/internal/server"
+	"hyrec/internal/widget"
+)
+
+// ChurnReport summarises one churny-worker run: how the dispatched work
+// split between completions, abandons and (server-side) everything the
+// scheduler had to absorb. FallbackFraction is read off the service's
+// scheduler stats by the caller; this report covers the client side.
+type ChurnReport struct {
+	// Dispatched counts jobs the workers leased.
+	Dispatched int64
+	// Completed counts results posted back.
+	Completed int64
+	// Abandoned counts leased jobs dropped mid-computation (silent churn:
+	// the server only finds out when the lease expires).
+	Abandoned int64
+}
+
+// ChurnyWorkers drives svc's scheduler with `workers` pull-based worker
+// goroutines for the given window. Each leased job is abandoned
+// silently with probability abandonProb — the paper's churn scenario: a
+// browser navigates away mid-computation and the server must re-issue
+// the job or absorb it in the fallback pool. Jobs that survive the draw
+// are computed with the widget kernel and posted back.
+//
+// svc must implement server.JobSource (an engine or cluster with the
+// scheduler enabled, or a typed client pointed at one).
+func ChurnyWorkers(svc server.Service, workers int, abandonProb float64,
+	seed int64, window time.Duration) ChurnReport {
+	js, ok := svc.(server.JobSource)
+	if !ok {
+		return ChurnReport{}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var dispatched, completed, abandoned atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kernel := widget.New()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for ctx.Err() == nil {
+				pollCtx, pollCancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				job, err := js.NextJob(pollCtx)
+				pollCancel()
+				if err != nil || job == nil {
+					continue
+				}
+				dispatched.Add(1)
+				if rng.Float64() < abandonProb {
+					abandoned.Add(1)
+					continue // churn out: drop the job, let the lease expire
+				}
+				res, _ := kernel.Execute(job)
+				if _, err := svc.ApplyResult(ctx, res); err == nil {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ChurnReport{
+		Dispatched: dispatched.Load(),
+		Completed:  completed.Load(),
+		Abandoned:  abandoned.Load(),
+	}
+}

@@ -1,0 +1,92 @@
+package stress
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+)
+
+// TestChurnyWorkersConverge is the acceptance scenario of the
+// asynchronous scheduler: a worker fleet that abandons ≥ 50% of its
+// leased jobs mid-computation (silent churn — the server only learns
+// from lease expiry) must still leave every active user's KNN row
+// refreshed within the lease-retry budget, with the fallback pool
+// absorbing the leases that burn out. Run under -race in CI.
+func TestChurnyWorkersConverge(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.K = 4
+	cfg.R = 4
+	cfg.LeaseTTL = 30 * time.Millisecond
+	cfg.LeaseRetries = 1
+	cfg.FallbackWorkers = 4
+	e := server.NewEngine(cfg)
+	defer e.Close()
+
+	const users = 50
+	ctx := context.Background()
+	for u := core.UserID(1); u <= users; u++ {
+		for j := 0; j < 4; j++ {
+			if err := e.Rate(ctx, u, core.ItemID((int(u)+j)%12), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	const abandonProb = 0.6 // ≥ 0.5 per the acceptance criterion
+	report := ChurnyWorkers(e, 8, abandonProb, 7, 2*time.Second)
+	if report.Dispatched == 0 {
+		t.Fatal("workers never leased a job")
+	}
+	if report.Abandoned == 0 {
+		t.Fatal("churn model never abandoned — the scenario is vacuous")
+	}
+
+	// Convergence: wait for the scheduler to drain (expiries sweep in,
+	// fallback absorbs, re-issues complete) and assert every user's row
+	// was refreshed at least once.
+	s := e.Scheduler()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Quiet() && len(s.Unrefreshed()) == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if un := s.Unrefreshed(); len(un) != 0 {
+		t.Fatalf("%d users never refreshed under churn: %v (stats %+v)", len(un), un, s.Stats())
+	}
+	for u := core.UserID(1); u <= users; u++ {
+		hood, err := e.Neighbors(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hood) == 0 {
+			t.Fatalf("user %d has an empty KNN row after convergence", u)
+		}
+	}
+
+	st := s.Stats()
+	if st.Expired == 0 {
+		t.Fatalf("no lease ever expired under %.0f%% silent abandon: %+v", abandonProb*100, st)
+	}
+	if st.FallbackRuns == 0 {
+		t.Fatalf("fallback pool absorbed nothing: %+v", st)
+	}
+	total := st.FallbackRuns + st.Acked
+	frac := float64(st.FallbackRuns) / float64(total)
+	t.Logf("churny run: dispatched=%d completed=%d abandoned=%d expired=%d reissued=%d fallback=%d (%.0f%% of refreshes)",
+		report.Dispatched, report.Completed, report.Abandoned, st.Expired, st.Reissued, st.FallbackRuns, frac*100)
+}
+
+// TestChurnyWorkersOnSyncService: the harness degrades gracefully when
+// the service has no scheduler.
+func TestChurnyWorkersOnSyncService(t *testing.T) {
+	e := server.NewEngine(server.DefaultConfig())
+	report := ChurnyWorkers(e, 2, 0.5, 1, 50*time.Millisecond)
+	if report.Dispatched != 0 {
+		t.Fatalf("sync service dispatched %d jobs", report.Dispatched)
+	}
+}

@@ -154,8 +154,10 @@ func (w *Widget) Execute(job *wire.Job) (*wire.Result, Timing) {
 	timing.Recommend = time.Since(start)
 
 	res := &wire.Result{
-		UID:             job.UID,
-		Epoch:           job.Epoch,
+		UID:   job.UID,
+		Epoch: job.Epoch,
+		// Echo the lease so the scheduler retires it on fold-in.
+		Lease:           job.Lease,
 		Neighbors:       make([]uint32, len(neighbors)),
 		Recommendations: make([]uint32, len(recs)),
 	}

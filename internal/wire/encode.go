@@ -39,6 +39,7 @@ func AppendJob(dst []byte, j *Job, enc func(dst []byte, m ProfileMsg) []byte) []
 	dst = strconv.AppendInt(dst, int64(j.K), 10)
 	dst = append(dst, `,"r":`...)
 	dst = strconv.AppendInt(dst, int64(j.R), 10)
+	dst = AppendLeaseMeta(dst, j)
 	dst = append(dst, `,"profile":`...)
 	dst = enc(dst, j.Profile)
 	dst = append(dst, `,"candidates":`...)
@@ -55,6 +56,27 @@ func AppendJob(dst []byte, j *Job, enc func(dst []byte, m ProfileMsg) []byte) []
 		dst = append(dst, ']')
 	}
 	return append(dst, '}')
+}
+
+// AppendLeaseMeta appends the job's lease metadata fields (between "r"
+// and "profile"), matching encoding/json's omitempty behaviour so the
+// scheduler-free format stays byte-identical to the legacy one. It is
+// the single source of truth for this fragment: both AppendJob and the
+// engine's cached assembly call it, so the two encoders cannot drift.
+func AppendLeaseMeta(dst []byte, j *Job) []byte {
+	if j.Lease != 0 {
+		dst = append(dst, `,"lease":`...)
+		dst = strconv.AppendUint(dst, j.Lease, 10)
+	}
+	if j.LeaseDeadlineMS != 0 {
+		dst = append(dst, `,"deadline_ms":`...)
+		dst = strconv.AppendInt(dst, j.LeaseDeadlineMS, 10)
+	}
+	if j.Attempt != 0 {
+		dst = append(dst, `,"attempt":`...)
+		dst = strconv.AppendInt(dst, int64(j.Attempt), 10)
+	}
+	return dst
 }
 
 func appendUintArray(dst []byte, xs []uint32) []byte {

@@ -6,9 +6,18 @@
 //
 //	POST /v1/rate       RateRequest            → RateResponse
 //	GET  /v1/job?uid=U  —                      → Job (gzip-negotiated JSON)
+//	GET  /v1/job?worker=1&wait=D               → next leased job (204 when idle)
 //	POST /v1/result     Result                 → RecsResponse
+//	POST /v1/ack        AckRequest             → AckResponse
 //	GET  /v1/recs?uid=U&n=N                    → RecsResponse
 //	GET  /v1/neighbors?uid=U                   → NeighborsResponse
+//
+// The worker form of /v1/job is the pull loop of client.Worker: the
+// scheduler (internal/sched) dispatches the stalest pending user's job,
+// stamped with lease metadata; an idle queue long-polls up to `wait`
+// and answers 204 No Content. Widgets complete a lease implicitly by
+// posting the result (Result.Lease) or explicitly via /v1/ack; an ack
+// with done=false abandons the lease for immediate re-issue.
 //
 // Every non-2xx response carries an ErrorEnvelope with a stable machine
 // code, so clients dispatch on Code instead of parsing message text.
@@ -57,6 +66,21 @@ type NeighborsResponse struct {
 	Neighbors []uint32 `json:"neighbors"`
 }
 
+// AckRequest is the body of POST /v1/ack: done=true marks the leased
+// job complete without posting a result (a worker that computed but has
+// nothing new to report), done=false abandons the lease so the job is
+// re-issued immediately instead of waiting for lease expiry — the
+// polite form of churning out.
+type AckRequest struct {
+	Lease uint64 `json:"lease"`
+	Done  bool   `json:"done"`
+}
+
+// AckResponse acknowledges an ack.
+type AckResponse struct {
+	Status string `json:"status"`
+}
+
 // Machine-readable error codes of the v1 protocol.
 const (
 	// CodeBadRequest: malformed parameters or body.
@@ -66,6 +90,10 @@ const (
 	// CodeStaleEpoch: the result references an anonymiser epoch that is
 	// no longer resolvable (or, on a cluster, resolvable nowhere).
 	CodeStaleEpoch = "stale_epoch"
+	// CodeUnknownLease: the acked lease is not outstanding — already
+	// completed, superseded, expired past its retry budget, or never
+	// issued.
+	CodeUnknownLease = "unknown_lease"
 	// CodeTooLarge: the request exceeds MaxBatchRatings or MaxBodyBytes.
 	CodeTooLarge = "too_large"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.

@@ -27,20 +27,32 @@ type ProfileMsg struct {
 // (Algorithm 2). It carries the requesting user's own profile plus the
 // candidate set assembled by the Sampler.
 type Job struct {
-	UID        uint32       `json:"uid"`
-	Epoch      uint64       `json:"epoch"`
-	K          int          `json:"k"`
-	R          int          `json:"r"`
-	Profile    ProfileMsg   `json:"profile"`
-	Candidates []ProfileMsg `json:"candidates"`
+	UID   uint32 `json:"uid"`
+	Epoch uint64 `json:"epoch"`
+	K     int    `json:"k"`
+	R     int    `json:"r"`
+	// Lease, LeaseDeadlineMS and Attempt are the scheduler's job
+	// lifecycle metadata (internal/sched). A server running without the
+	// scheduler omits them entirely — the pre-scheduler synchronous wire
+	// format — so legacy widgets are unaffected. LeaseDeadlineMS is Unix
+	// milliseconds; Attempt is 1 for a first issue, >1 for a straggler
+	// re-issue.
+	Lease           uint64       `json:"lease,omitempty"`
+	LeaseDeadlineMS int64        `json:"deadline_ms,omitempty"`
+	Attempt         int          `json:"attempt,omitempty"`
+	Profile         ProfileMsg   `json:"profile"`
+	Candidates      []ProfileMsg `json:"candidates"`
 }
 
 // Result is the widget's reply: the user's new k nearest neighbours (best
 // first) and the recommendations it computed, all still pseudonymised under
 // the job's epoch.
 type Result struct {
-	UID             uint32   `json:"uid"`
-	Epoch           uint64   `json:"epoch"`
+	UID   uint32 `json:"uid"`
+	Epoch uint64 `json:"epoch"`
+	// Lease echoes the job's lease ID so the scheduler retires it on
+	// fold-in (implicit ack). Zero for legacy results.
+	Lease           uint64   `json:"lease,omitempty"`
 	Neighbors       []uint32 `json:"neighbors"`
 	Recommendations []uint32 `json:"recs"`
 }

@@ -52,6 +52,59 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLeaseFieldsOmittedWhenZero pins the compatibility contract: a job
+// or result without scheduler metadata serializes exactly as the
+// pre-scheduler protocol did — no lease keys at all.
+func TestLeaseFieldsOmittedWhenZero(t *testing.T) {
+	j := sampleJob(rand.New(rand.NewSource(3)), 2, 4)
+	data, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"lease", "deadline_ms", "attempt"} {
+		if bytes.Contains(data, []byte(key)) {
+			t.Fatalf("zero-lease job leaks %q: %s", key, data)
+		}
+	}
+	rdata, err := EncodeResult(&Result{UID: 1, Epoch: 0, Neighbors: []uint32{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rdata, []byte("lease")) {
+		t.Fatalf("zero-lease result leaks lease field: %s", rdata)
+	}
+}
+
+// TestLeaseRoundTrip checks the stamped form survives encode/decode on
+// both message types.
+func TestLeaseRoundTrip(t *testing.T) {
+	j := sampleJob(rand.New(rand.NewSource(4)), 1, 2)
+	j.Lease, j.LeaseDeadlineMS, j.Attempt = 77, 123456, 2
+	data, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lease != 77 || got.LeaseDeadlineMS != 123456 || got.Attempt != 2 {
+		t.Fatalf("lease metadata lost: %+v", got)
+	}
+	res := &Result{UID: 1, Epoch: 1, Lease: 77, Neighbors: []uint32{2}}
+	rdata, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeResult(rdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Lease != 77 {
+		t.Fatalf("result lease lost: %+v", rt)
+	}
+}
+
 func TestResultRoundTrip(t *testing.T) {
 	r := &Result{UID: 7, Epoch: 2, Neighbors: []uint32{1, 2}, Recommendations: []uint32{9}}
 	data, err := EncodeResult(r)
@@ -88,6 +141,12 @@ func TestEncoderEquivalence(t *testing.T) {
 		}
 		if trial%7 == 0 {
 			j.Candidates = nil
+		}
+		if trial%2 == 0 {
+			// Lease metadata present: the scheduler-stamped form.
+			j.Lease = 1 + uint64(rng.Int63())
+			j.LeaseDeadlineMS = 1 + rng.Int63n(1<<40)
+			j.Attempt = 1 + rng.Intn(4)
 		}
 		want, err := json.Marshal(j)
 		if err != nil {

@@ -6,7 +6,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
-trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "--- building all cmd/ and examples/ binaries"
 go build -o "$BIN/" ./cmd/...
@@ -52,5 +52,44 @@ curl -fsS "$BASE/stats" | grep -q '"users"'
 echo "--- graceful shutdown"
 kill -TERM $SERVER_PID
 wait $SERVER_PID
+
+echo "--- async scheduler: churny worker abandons a lease, server re-issues or falls back"
+SCHED_ADDR="127.0.0.1:18081"
+SCHED_BASE="http://$SCHED_ADDR"
+"$BIN/hyrec-server" -addr "$SCHED_ADDR" -rotate 0 \
+  -lease-ttl 2s -lease-retries 1 -fallback-workers 2 &
+SCHED_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$SCHED_BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SCHED_PID 2>/dev/null; then
+    echo "scheduler server died during startup" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+# Seed staleness: ratings enqueue KNN refreshes for three users.
+curl -fsS -X POST "$SCHED_BASE/v1/rate" -H 'Content-Type: application/json' \
+  -d '{"ratings":[{"uid":1,"item":3,"liked":true},{"uid":2,"item":3,"liked":true},{"uid":3,"item":4,"liked":true}]}' >/dev/null
+
+# A fully churny worker leases jobs and abandons every one of them
+# (politely, via /v1/ack done=false).
+"$BIN/hyrec-widget" -server "$SCHED_BASE" -worker 1 -abandon 1 -work-duration 1s
+
+STATS=$(curl -fsS "$SCHED_BASE/stats")
+echo "$STATS" | grep -Eq '"sched_(reissued|fallback_runs)":[1-9]' \
+  || { echo "abandoned lease neither re-issued nor absorbed by fallback: $STATS" >&2; exit 1; }
+
+# A steady worker fleet (plus the fallback pool) drains the backlog.
+"$BIN/hyrec-widget" -server "$SCHED_BASE" -worker 2 -work-duration 2s
+STATS=$(curl -fsS "$SCHED_BASE/stats")
+echo "$STATS" | grep -Eq '"sched_acked":[1-9]|"sched_fallback_runs":[1-9]' \
+  || { echo "no job ever completed under the scheduler: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -Eq '"sched_pending":0' \
+  || { echo "staleness queue not drained: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -Eq '"sched_fallback_queued":0' \
+  || { echo "fallback backlog not drained: $STATS" >&2; exit 1; }
+
+kill -TERM $SCHED_PID
+wait $SCHED_PID
 
 echo "smoke test passed"

@@ -15,6 +15,13 @@ import (
 // simulated browser widget per request — behind the replay.System
 // interface, so traces drive HyRec and the baselines identically
 // (Sections 5.2–5.3 methodology).
+//
+// The loop is lease-aware with no API change: when cfg enables the
+// asynchronous scheduler (Config.LeaseTTL / Config.FallbackWorkers),
+// every job the cycle pulls carries a lease, the widget echoes it, and
+// the fold-in retires it — the same contract remote deployments get.
+// With the default configuration the cycle is the paper's synchronous
+// flow, byte-for-byte.
 type System struct {
 	engine *server.Engine
 	widget *widget.Widget
@@ -67,6 +74,11 @@ func NewSystem(cfg Config, opts ...SystemOption) *System {
 
 // Engine exposes the underlying server engine (meters, tables).
 func (s *System) Engine() *Engine { return s.engine }
+
+// Close stops the engine's background work (the scheduler's sweeper and
+// fallback pool; a no-op for synchronous configurations). Safe to call
+// multiple times.
+func (s *System) Close() error { return s.engine.Close() }
 
 // Name implements replay.System.
 func (s *System) Name() string { return "hyrec" }

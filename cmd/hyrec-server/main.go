@@ -15,8 +15,10 @@
 // With -partitions N (N > 1), the server runs a user-partitioned cluster
 // of N engines behind the same web API (see internal/cluster). Both
 // deployment shapes implement hyrec.Service, so one code path serves
-// either. Snapshots are not yet cluster-aware; -snapshot requires
-// -partitions 1.
+// either. Snapshots are cluster-aware: with -snapshot and -partitions N,
+// the state lives in one frame per partition (state.snap.p0 … .pN-1),
+// each saved with an atomic rename, and a restart with a mismatched
+// -partitions value refuses the frames instead of misrouting users.
 //
 // With -lease-ttl or -fallback-workers set, the asynchronous job
 // scheduler runs (see internal/sched): every issued job carries a lease,
@@ -107,22 +109,56 @@ func run(args []string) error {
 	var saver *persist.Saver
 	switch {
 	case *parts > 1:
-		// Snapshots are single-engine for now; refuse the combination
-		// rather than silently persisting one partition.
+		cl := hyrec.NewCluster(cfg, *parts)
 		if *snapPath != "" {
-			return fmt.Errorf("-snapshot is not supported with -partitions > 1")
+			// One persist frame per partition (state.snap.p0 … .pN-1),
+			// each renamed into place atomically; the frames are stamped
+			// with the topology, so a restart with a different
+			// -partitions value refuses to scatter users across the
+			// wrong engines.
+			switch snaps, err := persist.LoadCluster(*snapPath, *parts); {
+			case err == nil:
+				if err := persist.RestoreCluster(cl, snaps); err != nil {
+					return fmt.Errorf("restore cluster snapshot: %w", err)
+				}
+				fmt.Printf("restored %d users across %d partitions from %s.p*\n", cl.Len(), *parts, *snapPath)
+			case errors.Is(err, os.ErrNotExist):
+				// No partition frames — but a legacy single-engine frame
+				// at the bare path means this deployment used to run
+				// -partitions 1: refuse rather than silently serving an
+				// empty dataset next to its own saved state.
+				if _, statErr := os.Stat(*snapPath); statErr == nil {
+					return fmt.Errorf("snapshot %s was saved by a single-engine deployment; restart with -partitions 1 (or move the file aside to start fresh)", *snapPath)
+				}
+				fmt.Printf("no cluster snapshot at %s.p*; starting fresh\n", *snapPath)
+			default:
+				return fmt.Errorf("load cluster snapshot: %w", err)
+			}
+			saver = persist.NewClusterSaver(cl, *snapPath, *snapIvl, func(err error) {
+				log.Printf("cluster snapshot save failed: %v", err)
+			})
+			saver.Start()
 		}
-		svc = hyrec.NewCluster(cfg, *parts)
+		svc = cl
 	default:
 		engine := hyrec.NewEngine(cfg)
 		if *snapPath != "" {
 			switch snap, err := persist.Load(*snapPath); {
 			case err == nil:
+				if snap.Partitions > 1 {
+					return fmt.Errorf("snapshot %s holds partition %d of a %d-partition deployment; restart with -partitions %d", *snapPath, snap.Partition, snap.Partitions, snap.Partitions)
+				}
 				if err := persist.Restore(engine, snap); err != nil {
 					return fmt.Errorf("restore snapshot: %w", err)
 				}
 				fmt.Printf("restored %d users from %s\n", engine.Profiles().Len(), *snapPath)
 			case errors.Is(err, os.ErrNotExist):
+				// Partition frames next to the bare path mean this
+				// deployment used to run partitioned: refuse rather than
+				// silently ignoring all saved state.
+				if _, statErr := os.Stat(persist.PartitionPath(*snapPath, 0)); statErr == nil {
+					return fmt.Errorf("found cluster snapshot frames at %s.p*; restart with the matching -partitions value (or move them aside to start fresh)", *snapPath)
+				}
 				fmt.Printf("no snapshot at %s; starting fresh\n", *snapPath)
 			default:
 				return fmt.Errorf("load snapshot: %w", err)

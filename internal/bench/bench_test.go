@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hyrec/internal/cluster"
+	"hyrec/internal/server"
+)
+
+func shortOpts() Options {
+	return Options{Window: 80 * time.Millisecond, Workers: 2, Users: 48, Seed: 1}
+}
+
+// TestRunMeasuresScenario: the runner completes operations, records
+// latency percentiles in order, and accounts allocations.
+func TestRunMeasuresScenario(t *testing.T) {
+	eng := server.NewEngine(server.DefaultConfig())
+	defer eng.Close()
+	sc := scenarioSet(48)["job-worker-heavy"]
+	res, err := Run(context.Background(), eng, sc, shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d workload failures", res.Failures)
+	}
+	if res.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("throughput %f", res.ThroughputOpsPerSec)
+	}
+	if res.P50Ms < 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("latency percentiles out of order: p50=%f p99=%f", res.P50Ms, res.P99Ms)
+	}
+	if res.AllocsPerOp < 0 {
+		t.Fatalf("allocs/op %f", res.AllocsPerOp)
+	}
+}
+
+// TestScenariosRunCleanOnEngineAndCluster: every named scenario completes
+// without workload failures on both deployment shapes.
+func TestScenariosRunCleanOnEngineAndCluster(t *testing.T) {
+	for name, sc := range scenarioSet(48) {
+		for _, shape := range []string{"engine", "cluster"} {
+			svc := newShape(shape)
+			res, err := Run(context.Background(), svc, sc, shortOpts())
+			svc.Close()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, shape, err)
+			}
+			if res.Failures != 0 {
+				t.Fatalf("%s on %s: %d failures over %d ops", name, shape, res.Failures, res.Ops)
+			}
+		}
+	}
+}
+
+func newShape(shape string) server.Service {
+	cfg := server.DefaultConfig()
+	if shape == "cluster" {
+		return cluster.New(cfg, 4)
+	}
+	return server.NewEngine(cfg)
+}
+
+// TestReportRoundTripAndCompare: reports survive the file format, and the
+// regression guard flags collapses, alloc explosions, and dropped
+// scenarios — but not healthy runs.
+func TestReportRoundTripAndCompare(t *testing.T) {
+	base := NewReport(shortOpts())
+	base.Scenarios = []Result{
+		{Scenario: "rate-heavy", Service: "engine", Mode: "inproc", ThroughputOpsPerSec: 1000, AllocsPerOp: 10, P50Ms: 0.1, P99Ms: 0.5, Ops: 100},
+		{Scenario: "job-wire", Service: "engine-wire", Mode: "wire", ThroughputOpsPerSec: 500, AllocsPerOp: 40, Ops: 50},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 2 || back.Scenarios[0] != base.Scenarios[0] {
+		t.Fatalf("round trip changed report: %+v", back.Scenarios)
+	}
+
+	healthy := *base
+	healthy.Scenarios = []Result{
+		{Scenario: "rate-heavy", Service: "engine", Mode: "inproc", ThroughputOpsPerSec: 900, AllocsPerOp: 11},
+		{Scenario: "job-wire", Service: "engine-wire", Mode: "wire", ThroughputOpsPerSec: 480, AllocsPerOp: 39},
+	}
+	if issues := Compare(base, &healthy, DefaultTolerance()); len(issues) != 0 {
+		t.Fatalf("healthy run flagged: %v", issues)
+	}
+
+	collapsed := *base
+	collapsed.Scenarios = []Result{
+		{Scenario: "rate-heavy", Service: "engine", Mode: "inproc", ThroughputOpsPerSec: 100, AllocsPerOp: 10},
+		{Scenario: "job-wire", Service: "engine-wire", Mode: "wire", ThroughputOpsPerSec: 480, AllocsPerOp: 200},
+	}
+	issues := Compare(base, &collapsed, DefaultTolerance())
+	if len(issues) != 2 {
+		t.Fatalf("want 2 issues (throughput collapse + alloc explosion), got %v", issues)
+	}
+	if !strings.Contains(issues[1], "throughput") || !strings.Contains(issues[0], "allocs/op") {
+		t.Fatalf("unexpected issue wording: %v", issues)
+	}
+
+	dropped := *base
+	dropped.Scenarios = base.Scenarios[:1]
+	if issues := Compare(base, &dropped, DefaultTolerance()); len(issues) != 1 ||
+		!strings.Contains(issues[0], "not measured") {
+		t.Fatalf("dropped scenario not flagged: %v", issues)
+	}
+}
+
+// TestSnapshotPathBeatsLockedBaselineOnAllocs is the bench-level form of
+// the acceptance criterion, measured through the runner: pure job
+// payload serving (assembly + encode, the path the snapshot tables and
+// pooled encoders optimize) on a default engine must spend less than
+// half the allocations per op of the retained lock-based configuration.
+// TestHotPathAllocReduction (internal/server) pins the same bound with
+// testing.AllocsPerRun precision.
+func TestSnapshotPathBeatsLockedBaselineOnAllocs(t *testing.T) {
+	if raceEnabled {
+		// The detector's shadow allocations land in the process-wide
+		// counters and wash out the ratio; TestHotPathAllocReduction
+		// (internal/server) pins the same bound race-stably with
+		// testing.AllocsPerRun.
+		t.Skip("process-wide allocation ratios are unreliable under -race")
+	}
+	opts := shortOpts()
+	opts.Window = 150 * time.Millisecond
+	base := scenarioSet(opts.Users)["job-worker-heavy"]
+	sc := Scenario{
+		Name:  "serve-only",
+		Setup: base.Setup,
+		Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+			return servePayload(svc, benchUID(worker, i, opts.Users))
+		},
+	}
+
+	lockedCfg := server.DefaultConfig()
+	lockedCfg.DisableTableSnapshots = true
+	locked := server.NewEngine(lockedCfg)
+	lockedRes, err := Run(context.Background(), locked, sc, opts)
+	locked.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := server.NewEngine(server.DefaultConfig())
+	snapRes, err := Run(context.Background(), snap, sc, opts)
+	snap.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("allocs/op: locked=%.1f snapshot=%.1f", lockedRes.AllocsPerOp, snapRes.AllocsPerOp)
+	if snapRes.AllocsPerOp > lockedRes.AllocsPerOp/2 {
+		t.Fatalf("snapshot path allocs/op %.1f not under half of locked baseline %.1f",
+			snapRes.AllocsPerOp, lockedRes.AllocsPerOp)
+	}
+}
+
+// TestCapacityShortRun drives the full matrix at a tiny window — the
+// exact code path scripts/bench.sh and the capacity experiment run.
+func TestCapacityShortRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity matrix needs a real HTTP server; skipped in -short")
+	}
+	opts := Options{Window: 60 * time.Millisecond, Workers: 2, Users: 32, Seed: 1}
+	rep, err := Capacity(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) < 3 {
+		t.Fatalf("capacity report has %d scenarios, want >= 3", len(rep.Scenarios))
+	}
+	for _, res := range rep.Scenarios {
+		if res.Ops == 0 {
+			t.Fatalf("%s: zero ops", res.key())
+		}
+		if res.ThroughputOpsPerSec <= 0 || res.P99Ms < res.P50Ms {
+			t.Fatalf("%s: implausible stats %+v", res.key(), res)
+		}
+	}
+	// A fresh run of the same build must pass its own regression guard.
+	if issues := Compare(rep, rep, DefaultTolerance()); len(issues) != 0 {
+		t.Fatalf("self-compare flagged: %v", issues)
+	}
+}
+
+// TestWorkloadDeterminism: the op stream is a pure function of
+// (worker, i) — two services fed the same stream end in the same state.
+func TestWorkloadDeterminism(t *testing.T) {
+	mk := func() *server.Engine { return server.NewEngine(server.DefaultConfig()) }
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	ctx := context.Background()
+	sc := scenarioSet(32)
+	if err := sc["rate-heavy"].Setup(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc["rate-heavy"].Setup(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	op := sc["rate-heavy"].Op
+	for i := 0; i < 500; i++ {
+		if err := op(ctx, a, 0, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := op(ctx, b, 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Profiles().Len() != b.Profiles().Len() {
+		t.Fatalf("population diverged: %d vs %d", a.Profiles().Len(), b.Profiles().Len())
+	}
+	ua, ub := a.Profiles().Users(), b.Profiles().Users()
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("roster diverged at %d: %v vs %v", i, ua[i], ub[i])
+		}
+		pa, pb := a.Profiles().Get(ua[i]), b.Profiles().Get(ub[i])
+		if !pa.Equal(pb) {
+			t.Fatalf("profile diverged for %v", ua[i])
+		}
+	}
+}

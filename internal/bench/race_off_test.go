@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Process-wide allocation accounting is distorted by the
+// detector's shadow allocations, so alloc-ratio assertions gate on it.
+const raceEnabled = false

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// ReportSchema versions the BENCH_hotpath.json layout.
+const ReportSchema = 1
+
+// Report is the machine-readable capacity report — the file committed at
+// the repo root as BENCH_hotpath.json and the unit scripts/bench.sh
+// compares against.
+type Report struct {
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Config echoes the options the report was measured under, so a
+	// regression check can refuse to compare apples to oranges.
+	WindowMS int   `json:"window_ms"`
+	Workers  int   `json:"workers"`
+	Users    int   `json:"users"`
+	Seed     int64 `json:"seed"`
+
+	Scenarios []Result `json:"scenarios"`
+}
+
+// NewReport stamps an empty report with the environment and options.
+func NewReport(opt Options) *Report {
+	opt = opt.withDefaults()
+	return &Report{
+		Schema:    ReportSchema,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		WindowMS:  int(opt.Window / time.Millisecond),
+		Workers:   opt.Workers,
+		Users:     opt.Users,
+		Seed:      opt.Seed,
+	}
+}
+
+// WriteFile serializes the report as stable, human-diffable JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: decode report %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: report %s has schema %d, want %d", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// key identifies a scenario row across reports.
+func (res Result) key() string { return res.Scenario + "/" + res.Service + "/" + res.Mode }
+
+// Tolerance bounds how far a current run may drift from the committed
+// baseline before Compare flags it.
+type Tolerance struct {
+	// MinThroughputRatio: current/baseline throughput must be at least
+	// this. Wall-clock throughput is machine- and load-sensitive, so the
+	// CI default is deliberately loose — it catches collapses, not
+	// percents.
+	MinThroughputRatio float64
+	// MaxAllocsRatio: current/baseline allocs-per-op must be at most
+	// this. Allocation counts are deterministic per build, so this bound
+	// is the tight one: it is what fails CI when someone un-pools the
+	// hot path.
+	MaxAllocsRatio float64
+}
+
+// DefaultTolerance is the CI guard configuration.
+func DefaultTolerance() Tolerance {
+	return Tolerance{MinThroughputRatio: 0.25, MaxAllocsRatio: 1.5}
+}
+
+// Compare checks current against baseline scenario-by-scenario and
+// returns one message per violation (empty = no regression). Scenarios
+// present only in one report are reported too: a silently dropped
+// scenario must not pass the guard. Runs over a different workload
+// configuration (population, seed, worker count) are refused outright —
+// their per-op numbers are not commensurate; only the window may differ
+// (throughput is per-second and allocs/op is steady-state).
+func Compare(baseline, current *Report, tol Tolerance) []string {
+	if tol.MinThroughputRatio <= 0 {
+		tol.MinThroughputRatio = DefaultTolerance().MinThroughputRatio
+	}
+	if tol.MaxAllocsRatio <= 0 {
+		tol.MaxAllocsRatio = DefaultTolerance().MaxAllocsRatio
+	}
+	var issues []string
+	if baseline.Users != current.Users || baseline.Seed != current.Seed {
+		issues = append(issues, fmt.Sprintf(
+			"config mismatch: baseline users=%d seed=%d, current users=%d seed=%d — not comparable; rerun with matching -bench-users/-seed or refresh the baseline",
+			baseline.Users, baseline.Seed, current.Users, current.Seed))
+		return issues
+	}
+	if baseline.Workers != current.Workers {
+		issues = append(issues, fmt.Sprintf(
+			"config mismatch: baseline measured with %d workers, current with %d — allocs/op is only deterministic at matching concurrency; pass -bench-workers %d or refresh the baseline",
+			baseline.Workers, current.Workers, baseline.Workers))
+		return issues
+	}
+	cur := make(map[string]Result, len(current.Scenarios))
+	for _, res := range current.Scenarios {
+		cur[res.key()] = res
+	}
+	seen := make(map[string]bool, len(baseline.Scenarios))
+	for _, base := range baseline.Scenarios {
+		seen[base.key()] = true
+		now, ok := cur[base.key()]
+		if !ok {
+			issues = append(issues, fmt.Sprintf("%s: present in baseline but not measured", base.key()))
+			continue
+		}
+		if base.ThroughputOpsPerSec > 0 {
+			ratio := now.ThroughputOpsPerSec / base.ThroughputOpsPerSec
+			if ratio < tol.MinThroughputRatio {
+				issues = append(issues, fmt.Sprintf(
+					"%s: throughput %.0f ops/s is %.0f%% of baseline %.0f ops/s (floor %.0f%%)",
+					base.key(), now.ThroughputOpsPerSec, ratio*100,
+					base.ThroughputOpsPerSec, tol.MinThroughputRatio*100))
+			}
+		}
+		if base.AllocsPerOp > 0 {
+			ratio := now.AllocsPerOp / base.AllocsPerOp
+			if ratio > tol.MaxAllocsRatio {
+				issues = append(issues, fmt.Sprintf(
+					"%s: allocs/op %.1f is %.1fx baseline %.1f (ceiling %.1fx)",
+					base.key(), now.AllocsPerOp, ratio, base.AllocsPerOp, tol.MaxAllocsRatio))
+			}
+		}
+		// Failures are excluded from throughput, so a failing build
+		// cannot hide behind a fast error path — but the failures
+		// themselves must also not pass silently.
+		if total := now.Ops + now.Failures; total > 0 {
+			rate := float64(now.Failures) / float64(total)
+			baseTotal := base.Ops + base.Failures
+			baseRate := 0.0
+			if baseTotal > 0 {
+				baseRate = float64(base.Failures) / float64(baseTotal)
+			}
+			if rate > 0.01 && rate > 2*baseRate {
+				issues = append(issues, fmt.Sprintf(
+					"%s: %.1f%% of operations failed (baseline %.1f%%)",
+					base.key(), rate*100, baseRate*100))
+			}
+		}
+	}
+	for _, res := range current.Scenarios {
+		if !seen[res.key()] {
+			issues = append(issues, fmt.Sprintf("%s: measured but missing from baseline (regenerate BENCH_hotpath.json)", res.key()))
+		}
+	}
+	sort.Strings(issues)
+	return issues
+}
+
+// Fprint renders the report as the plain-text table hyrec-bench prints.
+func Fprint(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "capacity report (%s, %d cpu, window %dms, %d workers, %d users)\n",
+		r.GoVersion, r.NumCPU, r.WindowMS, r.Workers, r.Users)
+	fmt.Fprintf(w, "%-18s %-12s %-7s %12s %9s %9s %10s %10s\n",
+		"scenario", "service", "mode", "ops/s", "p50 ms", "p99 ms", "allocs/op", "fail")
+	for _, res := range r.Scenarios {
+		fmt.Fprintf(w, "%-18s %-12s %-7s %12.0f %9.3f %9.3f %10.1f %10d\n",
+			res.Scenario, res.Service, res.Mode,
+			res.ThroughputOpsPerSec, res.P50Ms, res.P99Ms, res.AllocsPerOp, res.Failures)
+	}
+}

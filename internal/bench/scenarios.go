@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"hyrec/client"
+	"hyrec/internal/cluster"
+	"hyrec/internal/core"
+	"hyrec/internal/loadgen"
+	"hyrec/internal/server"
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+)
+
+// The named workload scenarios. Each is deterministic over a seeded
+// population: operation i of worker w always touches the same user and
+// item, so two runs of the same build measure the same request stream.
+
+// benchUID spreads (worker, i) over the population with the same
+// multiplicative-hash idiom the tables use for shard spreading.
+func benchUID(worker, i, users int) core.UserID {
+	return core.UserID(uint32(worker*1_000_003+i)*2654435761%uint32(users) + 1)
+}
+
+func benchItem(i, items int) core.ItemID {
+	return core.ItemID(uint32(i*40503) % uint32(items))
+}
+
+// widgetPool shares deterministic widget kernels across workers without
+// per-operation construction.
+var widgetPool = sync.Pool{New: func() any { return widget.New() }}
+
+// roundTrip runs one full personalization cycle: assemble u's job, run
+// the browser-side kernel, fold the result back. A stale anonymiser
+// epoch mid-cycle is the protocol working, not a workload failure.
+func roundTrip(ctx context.Context, svc server.Service, u core.UserID) error {
+	job, err := svc.Job(ctx, u)
+	if err != nil {
+		return err
+	}
+	w := widgetPool.Get().(*widget.Widget)
+	res, _ := w.Execute(job)
+	widgetPool.Put(w)
+	if _, err := svc.ApplyResult(ctx, res); err != nil && !errors.Is(err, server.ErrStaleEpoch) {
+		return err
+	}
+	return nil
+}
+
+// servePayload exercises the serving-path hot loop: assemble and
+// serialize u's job exactly as the HTTP layer would — the pooled
+// zero-allocation append path on a default configuration. A service
+// configured with DisableTableSnapshots is measured on the retained
+// baseline (per-call buffers, per-lookup locks), so locked-vs-snapshot
+// comparisons pit the two complete hot paths against each other.
+func servePayload(svc server.Service, u core.UserID) error {
+	baseline := false
+	if c, ok := svc.(server.Configured); ok {
+		baseline = c.Config().DisableTableSnapshots
+	}
+	if pa, ok := svc.(server.PayloadAppender); ok && !baseline {
+		bufs := wire.GetPayloadBufs()
+		jsonBody, gzBody, err := pa.AppendJobPayload(u, bufs.JSON, bufs.Gz)
+		if err == nil {
+			bufs.JSON, bufs.Gz = jsonBody, gzBody
+		}
+		wire.PutPayloadBufs(bufs)
+		return err
+	}
+	if p, ok := svc.(server.Payloader); ok {
+		_, _, err := p.JobPayload(u)
+		return err
+	}
+	return errors.New("bench: service serves no payloads")
+}
+
+// seedPopulation rates every user into existence (batched ingest) and
+// runs one personalization cycle per user so the KNN graph, the
+// serialized-profile cache and the staleness queues are warm — the
+// steady-state condition the capacity claim is about.
+func seedPopulation(ctx context.Context, svc server.Service, users, items, ratingsPer int) error {
+	batch := make([]core.Rating, 0, 1024)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := svc.RateBatch(ctx, batch)
+		batch = batch[:0]
+		return err
+	}
+	for u := 1; u <= users; u++ {
+		for j := 0; j < ratingsPer; j++ {
+			batch = append(batch, core.Rating{
+				User:  core.UserID(u),
+				Item:  benchItem(u*ratingsPer+j, items),
+				Liked: (u+j)%3 != 0,
+			})
+			if len(batch) == cap(batch) {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for u := 1; u <= users; u++ {
+		if err := roundTrip(ctx, svc, core.UserID(u)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scenarioSet builds the three canonical workloads over a population.
+func scenarioSet(users int) map[string]Scenario {
+	const items = 2000
+	const ratingsPer = 6
+	setup := func(ctx context.Context, svc server.Service) error {
+		return seedPopulation(ctx, svc, users, items, ratingsPer)
+	}
+	return map[string]Scenario{
+		// rate-heavy: the ingest path — profile updates and staleness
+		// marking, no personalization serving.
+		"rate-heavy": {
+			Name:        "rate-heavy",
+			Description: "pure rating ingest (Service.Rate)",
+			Setup:       setup,
+			Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+				u := benchUID(worker, i, users)
+				return svc.Rate(ctx, u, benchItem(i, items), i%3 != 0)
+			},
+		},
+		// job-worker-heavy: the serving path the zero-allocation work
+		// targets — every op serializes a personalization job; every 8th
+		// op is a full widget round trip folding a result back, the
+		// worker side of the async scheduler's load shape.
+		"job-worker-heavy": {
+			Name:        "job-worker-heavy",
+			Description: "job payload serving + widget result fold-in (1:8)",
+			Setup:       setup,
+			Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+				u := benchUID(worker, i, users)
+				if i%8 == 7 {
+					return roundTrip(ctx, svc, u)
+				}
+				return servePayload(svc, u)
+			},
+		},
+		// mixed-churn: ingest, serving, fold-ins, reads and a trickle of
+		// brand-new users arriving mid-run — the everything-at-once shape
+		// a real deployment sees, exercising the snapshot read path under
+		// concurrent table churn.
+		"mixed-churn": {
+			Name:        "mixed-churn",
+			Description: "rates + jobs + results + reads + new-user arrivals",
+			Setup:       setup,
+			Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+				u := benchUID(worker, i, users)
+				switch i % 10 {
+				case 0, 1, 2, 3:
+					return svc.Rate(ctx, u, benchItem(i, items), i%2 == 0)
+				case 4, 5, 6:
+					return servePayload(svc, u)
+				case 7:
+					return roundTrip(ctx, svc, u)
+				case 8:
+					_, err := svc.Neighbors(ctx, u)
+					return err
+				default:
+					// A new user arrives: rate once, get a first job.
+					fresh := core.UserID(users + worker*1_000_003%911 + i)
+					if err := svc.Rate(ctx, fresh, benchItem(i, items), true); err != nil {
+						return err
+					}
+					return servePayload(svc, fresh)
+				}
+			},
+		},
+	}
+}
+
+// wireScenarios builds the typed-client workloads (reusing the loadgen
+// op vocabulary): the service under test is a client.Client speaking the
+// /v1 protocol to a real HTTP server over localhost.
+func wireScenarios(users int) map[string]Scenario {
+	const items = 2000
+	uids := loadgen.UIDRange(users)
+	setup := func(ctx context.Context, svc server.Service) error {
+		// Seed through the wire as a deployment would: batched ratings,
+		// then one job fetch per user to warm server caches.
+		c, ok := svc.(*client.Client)
+		if !ok {
+			return fmt.Errorf("bench: wire scenario needs a *client.Client, got %T", svc)
+		}
+		batchOp := loadgen.RateBatchOp(uids, items, 32)
+		for i := 0; i*32 < users*4; i++ {
+			if err := batchOp(ctx, c, i); err != nil {
+				return err
+			}
+		}
+		jobOp := loadgen.JobOp(uids)
+		for i := 0; i < users; i++ {
+			if err := jobOp(ctx, c, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fromLoadgen := func(op loadgen.Op) Op {
+		return func(ctx context.Context, svc server.Service, worker, i int) error {
+			return op(ctx, svc.(*client.Client), worker*1_000_003+i)
+		}
+	}
+	return map[string]Scenario{
+		"rate-batch-wire": {
+			Name:        "rate-batch-wire",
+			Description: "batched rating ingest through the typed client (POST /v1/rate)",
+			Setup:       setup,
+			Op:          fromLoadgen(loadgen.RateBatchOp(uids, items, 32)),
+		},
+		"job-wire": {
+			Name:        "job-wire",
+			Description: "gzip-negotiated job fetches through the typed client (GET /v1/job)",
+			Setup:       setup,
+			Op:          fromLoadgen(loadgen.JobOp(uids)),
+		},
+	}
+}
+
+// Capacity runs the full capacity matrix: the three canonical scenarios
+// against a single engine, the serving scenario against a 4-partition
+// cluster, and the wire scenarios through the typed client against a
+// live HTTP server. The result is the report committed as
+// BENCH_hotpath.json.
+func Capacity(ctx context.Context, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := NewReport(opt)
+	inproc := scenarioSet(opt.Users)
+
+	engineCfg := server.DefaultConfig()
+	engineCfg.Seed = opt.Seed
+	for _, name := range []string{"rate-heavy", "job-worker-heavy", "mixed-churn"} {
+		eng := server.NewEngine(engineCfg)
+		res, err := Run(ctx, eng, inproc[name], opt)
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Service, res.Mode = "engine", "inproc"
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
+	// The serving scenario on a 4-partition cluster: same workload, now
+	// with cross-partition candidate exchange in every candidate set.
+	cl := cluster.New(engineCfg, 4)
+	res, err := Run(ctx, cl, inproc["job-worker-heavy"], opt)
+	cl.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Service, res.Mode = "cluster-4", "inproc"
+	rep.Scenarios = append(rep.Scenarios, res)
+
+	// Wire mode: a real HTTP server on localhost, driven through the
+	// typed client — the full network path of the paper's deployment.
+	for _, name := range []string{"rate-batch-wire", "job-wire"} {
+		eng := server.NewEngine(engineCfg)
+		hs := server.NewServer(eng, 0)
+		ts := httptest.NewServer(hs.Handler())
+		c := client.New(ts.URL, client.WithTimeout(10*time.Second))
+		res, err := Run(ctx, c, wireScenarios(opt.Users)[name], opt)
+		c.Close()
+		ts.Close()
+		hs.Close()
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Service, res.Mode = "engine-wire", "wire"
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep, nil
+}

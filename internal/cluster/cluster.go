@@ -165,18 +165,20 @@ func (c *Cluster) SetPeerSampler(p PeerSampler) {
 }
 
 // foreignProfile builds the profile resolver for partition home: profiles
-// of users owned by sibling partitions are read straight from the owning
-// table (a single sharded-lock lookup; Get returns an empty profile for
-// users the owner has not registered either, which is exactly the
-// single-engine fallback). Local users report ok=false so the engine's
-// own authoritative lookup stays in charge.
+// of users owned by sibling partitions are read through the owning
+// engine's published table view (lock-free for any user the view knows;
+// SnapshotProfile falls back to the authoritative sharded-lock lookup for
+// users newer than the view, and returns an empty profile for users the
+// owner has not registered either — exactly the single-engine fallback).
+// Local users report ok=false so the engine's own authoritative lookup
+// stays in charge.
 func (c *Cluster) foreignProfile(home int) server.ProfileResolver {
 	return func(u core.UserID) (core.Profile, bool) {
 		p := c.Partition(u)
 		if p == home {
 			return core.Profile{}, false
 		}
-		return c.parts[p].Profiles().Get(u), true
+		return c.parts[p].SnapshotProfile(u), true
 	}
 }
 
@@ -208,6 +210,12 @@ func (c *Cluster) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 // gzip) on the owning partition, exactly as Engine.JobPayload.
 func (c *Cluster) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) {
 	return c.owner(u).JobPayload(u)
+}
+
+// AppendJobPayload implements server.PayloadAppender on the owning
+// partition (the pooled zero-allocation serving path).
+func (c *Cluster) AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
+	return c.owner(u).AppendJobPayload(u, jsonDst, gzDst)
 }
 
 // ApplyResult routes a widget result to the partition whose anonymiser
@@ -436,16 +444,17 @@ func (c *Cluster) Stats() map[string]any {
 // the shared HTTP mux (and every harness written against the interface)
 // serves it identically to a single engine.
 var (
-	_ server.Service        = (*Cluster)(nil)
-	_ server.Payloader      = (*Cluster)(nil)
-	_ server.UserDirectory  = (*Cluster)(nil)
-	_ server.Rotator        = (*Cluster)(nil)
-	_ server.UserResolver   = (*Cluster)(nil)
-	_ server.Configured     = (*Cluster)(nil)
-	_ server.StatsProvider  = (*Cluster)(nil)
-	_ server.JobSource      = (*Cluster)(nil)
-	_ server.LeaseAcker     = (*Cluster)(nil)
-	_ server.WorkerJobMeter = (*Cluster)(nil)
+	_ server.Service         = (*Cluster)(nil)
+	_ server.Payloader       = (*Cluster)(nil)
+	_ server.PayloadAppender = (*Cluster)(nil)
+	_ server.UserDirectory   = (*Cluster)(nil)
+	_ server.Rotator         = (*Cluster)(nil)
+	_ server.UserResolver    = (*Cluster)(nil)
+	_ server.Configured      = (*Cluster)(nil)
+	_ server.StatsProvider   = (*Cluster)(nil)
+	_ server.JobSource       = (*Cluster)(nil)
+	_ server.LeaseAcker      = (*Cluster)(nil)
+	_ server.WorkerJobMeter  = (*Cluster)(nil)
 )
 
 // Len returns the total number of registered users across partitions.

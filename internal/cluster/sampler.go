@@ -76,11 +76,35 @@ type exchangeSampler struct {
 	home    int
 }
 
-var _ server.Sampler = (*exchangeSampler)(nil)
+var (
+	_ server.Sampler     = (*exchangeSampler)(nil)
+	_ server.ViewSampler = (*exchangeSampler)(nil)
+)
 
 // Sample implements server.Sampler.
 func (s *exchangeSampler) Sample(u core.UserID, k int) []core.UserID {
-	out := s.base.Sample(u, k)
+	return s.topUp(s.base.Sample(u, k), u)
+}
+
+// SampleView implements server.ViewSampler: the partition-local §3.1
+// candidates come from the pinned view (lock-free), and the exchange
+// top-up reads sibling rosters through their own published views (see
+// Engine.RandomUsers). The home partition's engine probes for this
+// interface, so a cluster partition assembles jobs on the snapshot read
+// path exactly like a standalone engine.
+func (s *exchangeSampler) SampleView(v *server.TableView, u core.UserID, k int) []core.UserID {
+	var out []core.UserID
+	if vs, ok := s.base.(server.ViewSampler); ok {
+		out = vs.SampleView(v, u, k)
+	} else {
+		out = s.base.Sample(u, k)
+	}
+	return s.topUp(out, u)
+}
+
+// topUp appends cross-partition exchange candidates to the local set,
+// deduplicated against the local picks.
+func (s *exchangeSampler) topUp(out []core.UserID, u core.UserID) []core.UserID {
 	n := s.cluster.exchange
 	if n <= 0 || len(s.cluster.parts) < 2 {
 		return out

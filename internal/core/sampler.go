@@ -23,9 +23,22 @@ func BuildCandidateSet(u UserID, k int, knn NeighborLookup, random RandomUsers, 
 	if k <= 0 {
 		return nil
 	}
-	seen := make(map[UserID]struct{}, 2*k+k*k)
+	return BuildCandidateSetInto(make([]UserID, 0, 2*k+k*k), make(map[UserID]struct{}, 2*k+k*k),
+		u, k, knn, random, rng)
+}
+
+// BuildCandidateSetInto is BuildCandidateSet writing into caller-owned
+// scratch: candidates are appended to out and dedup state goes through
+// seen (cleared on entry). The zero-allocation job-assembly path
+// (internal/server) pools both across calls; the output is identical to
+// BuildCandidateSet given the same inputs and rng state.
+func BuildCandidateSetInto(out []UserID, seen map[UserID]struct{}, u UserID, k int,
+	knn NeighborLookup, random RandomUsers, rng *rand.Rand) []UserID {
+	if k <= 0 {
+		return out
+	}
+	clear(seen)
 	seen[u] = struct{}{}
-	out := make([]UserID, 0, 2*k+k*k)
 	add := func(v UserID) {
 		if _, dup := seen[v]; dup {
 			return

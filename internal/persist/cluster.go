@@ -1,0 +1,107 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"hyrec/internal/cluster"
+)
+
+// Cluster snapshots: one persist frame per partition, each written with
+// the same atomic temp-file-and-rename discipline as a single-engine
+// snapshot, so a crash mid-save never corrupts any partition's previous
+// state. Partition i of an N-partition deployment lives at
+// PartitionPath(path, i) and its body is stamped (Partition=i,
+// Partitions=N); the load path refuses frames whose stamps disagree with
+// the running topology, because the user→partition hash is a function of
+// N — restoring an 8-way snapshot into a 4-way cluster would scatter
+// users across the wrong engines.
+
+// PartitionPath returns where partition i of the snapshot at path is
+// stored: "<path>.p<i>".
+func PartitionPath(path string, i int) string { return fmt.Sprintf("%s.p%d", path, i) }
+
+// CaptureCluster copies every partition's tables into per-partition
+// snapshots, stamped with their position in the topology.
+func CaptureCluster(c *cluster.Cluster) []*Snapshot {
+	snaps := make([]*Snapshot, c.NumPartitions())
+	for i := range snaps {
+		s := Capture(c.Engine(i))
+		s.Partition, s.Partitions = i, c.NumPartitions()
+		snaps[i] = s
+	}
+	return snaps
+}
+
+// SaveCluster atomically writes one frame per partition. Frames are
+// written sequentially; a failure part-way leaves already-written
+// partitions at their new state and the rest at their previous state —
+// every file is individually consistent, and the KNN table is an
+// approximation by design, so cross-partition skew of one save period is
+// harmless.
+func SaveCluster(path string, c *cluster.Cluster) error {
+	for i, s := range CaptureCluster(c) {
+		if err := Save(PartitionPath(path, i), s); err != nil {
+			return fmt.Errorf("persist: partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadCluster reads the n partition frames of the snapshot at path.
+// A completely absent snapshot (no partition files at all) reports
+// os.ErrNotExist so callers can start fresh; a partially present or
+// topology-mismatched one is an error — silently restoring half a
+// cluster would leave the other half empty behind one front-end.
+func LoadCluster(path string, n int) ([]*Snapshot, error) {
+	snaps := make([]*Snapshot, n)
+	missing := 0
+	for i := 0; i < n; i++ {
+		s, err := Load(PartitionPath(path, i))
+		switch {
+		case err == nil:
+			if s.Partitions != 0 && s.Partitions != n {
+				return nil, fmt.Errorf("persist: partition %d was saved by a %d-partition deployment, running %d",
+					i, s.Partitions, n)
+			}
+			if s.Partitions != 0 && s.Partition != i {
+				return nil, fmt.Errorf("persist: frame at %s claims partition %d", PartitionPath(path, i), s.Partition)
+			}
+			snaps[i] = s
+		case errors.Is(err, os.ErrNotExist):
+			missing++
+		default:
+			return nil, fmt.Errorf("persist: partition %d: %w", i, err)
+		}
+	}
+	if missing == n {
+		return nil, fmt.Errorf("persist: no cluster snapshot at %s.p*: %w", path, os.ErrNotExist)
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("persist: cluster snapshot at %s is missing %d of %d partition frames", path, missing, n)
+	}
+	return snaps, nil
+}
+
+// RestoreCluster loads per-partition snapshots into the cluster's
+// engines. snaps must have exactly NumPartitions entries (LoadCluster's
+// output).
+func RestoreCluster(c *cluster.Cluster, snaps []*Snapshot) error {
+	if len(snaps) != c.NumPartitions() {
+		return fmt.Errorf("persist: %d snapshot frames for a %d-partition cluster", len(snaps), c.NumPartitions())
+	}
+	for i, s := range snaps {
+		if err := Restore(c.Engine(i), s); err != nil {
+			return fmt.Errorf("persist: restore partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewClusterSaver builds a Saver that periodically writes one frame per
+// partition — the cluster analogue of NewSaver.
+func NewClusterSaver(c *cluster.Cluster, path string, period time.Duration, onError func(error)) *Saver {
+	return NewSaverFunc(func() error { return SaveCluster(path, c) }, period, onError)
+}

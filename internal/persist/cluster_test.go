@@ -1,0 +1,160 @@
+package persist
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyrec/internal/cluster"
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+	"hyrec/internal/widget"
+)
+
+// churnCluster drives a cluster through rates and full personalization
+// cycles so every partition holds profiles and widget-computed KNN rows.
+func churnCluster(t *testing.T, c *cluster.Cluster, users int) {
+	t.Helper()
+	ctx := context.Background()
+	w := widget.New()
+	for u := 1; u <= users; u++ {
+		for j := 0; j < 5; j++ {
+			if err := c.Rate(ctx, core.UserID(u), core.ItemID((u*3+j*7)%50), j%2 == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for u := 1; u <= users; u++ {
+			job, err := c.Job(ctx, core.UserID(u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _ := w.Execute(job)
+			if _, err := c.ApplyResult(ctx, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestClusterSnapshotRestartCycle is the satellite's acceptance test: a
+// churned 4-partition cluster saves one frame per partition, a fresh
+// cluster restores them, and every user's profile and KNN row survives
+// byte-for-byte.
+func TestClusterSnapshotRestartCycle(t *testing.T) {
+	const users, parts = 120, 4
+	cfg := server.DefaultConfig()
+	old := cluster.New(cfg, parts)
+	defer old.Close()
+	churnCluster(t, old, users)
+
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := SaveCluster(path, old); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < parts; i++ {
+		if _, err := os.Stat(PartitionPath(path, i)); err != nil {
+			t.Fatalf("partition frame %d missing: %v", i, err)
+		}
+	}
+
+	snaps, err := LoadCluster(path, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := cluster.New(cfg, parts)
+	defer fresh.Close()
+	if err := RestoreCluster(fresh, snaps); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if got, want := fresh.Len(), old.Len(); got != want {
+		t.Fatalf("restored population %d, want %d", got, want)
+	}
+	for u := 1; u <= users; u++ {
+		uid := core.UserID(u)
+		if !old.Profile(uid).Equal(fresh.Profile(uid)) {
+			t.Fatalf("user %d: profile did not survive the restart", u)
+		}
+		oldN, err := old.Neighbors(ctx, uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newN, err := fresh.Neighbors(ctx, uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(oldN) != len(newN) {
+			t.Fatalf("user %d: KNN row %v became %v", u, oldN, newN)
+		}
+		for i := range oldN {
+			if oldN[i] != newN[i] {
+				t.Fatalf("user %d: KNN row %v became %v", u, oldN, newN)
+			}
+		}
+	}
+
+	// The restored cluster keeps serving: one more full cycle works.
+	churnCluster(t, fresh, users/4)
+}
+
+// TestClusterSnapshotTopologyGuards: absent snapshots report
+// os.ErrNotExist (start fresh), partial ones and topology mismatches
+// refuse to load.
+func TestClusterSnapshotTopologyGuards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if _, err := LoadCluster(path, 4); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("absent snapshot: want ErrNotExist, got %v", err)
+	}
+
+	cfg := server.DefaultConfig()
+	c := cluster.New(cfg, 4)
+	defer c.Close()
+	churnCluster(t, c, 16)
+	if err := SaveCluster(path, c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong topology: an 8-partition deployment must refuse these frames.
+	if _, err := LoadCluster(path, 8); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("topology mismatch not refused: %v", err)
+	}
+
+	// Partial snapshot: delete one frame.
+	if err := os.Remove(PartitionPath(path, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCluster(path, 4); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partial snapshot not refused: %v", err)
+	}
+}
+
+// TestClusterSaverPeriodicAndFinal: the generalized Saver drives the
+// per-partition save loop and performs the final save on Close.
+func TestClusterSaverPeriodicAndFinal(t *testing.T) {
+	cfg := server.DefaultConfig()
+	c := cluster.New(cfg, 2)
+	defer c.Close()
+	churnCluster(t, c, 20)
+
+	path := filepath.Join(t.TempDir(), "state.snap")
+	s := NewClusterSaver(c, path, 0, nil) // period 0: final save only
+	s.Start()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Saves() != 1 {
+		t.Fatalf("saves = %d, want 1", s.Saves())
+	}
+	snaps, err := LoadCluster(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps[0].Partitions != 2 || snaps[1].Partition != 1 {
+		t.Fatalf("frames not stamped: %+v %+v", snaps[0], snaps[1])
+	}
+}

@@ -1,0 +1,65 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// validFrame builds a well-formed snapshot frame around body for seeding.
+func validFrame(body []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	binary.Write(&buf, binary.BigEndian, Version)
+	binary.Write(&buf, binary.BigEndian, uint64(len(body)))
+	binary.Write(&buf, binary.BigEndian, crc32.ChecksumIEEE(body))
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// FuzzSnapshotDecode: arbitrary bytes fed to the snapshot loader must
+// yield a typed error (ErrBadMagic / ErrBadVersion / ErrCorrupt) or a
+// snapshot that survives an encode/decode round trip — never a panic,
+// runaway allocation, or silent garbage. This is the file a crashed or
+// malicious disk hands the server at startup.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(validFrame([]byte(`{"saved_at":1,"users":[{"id":1,"liked":[2]}],"knn":[{"id":1,"neighbors":[3]}]}`)))
+	f.Add(validFrame([]byte(`{}`)))
+	f.Add(validFrame([]byte(`null`)))
+	f.Add(magic[:])
+	// Claimed body length far beyond the data present.
+	huge := validFrame(nil)
+	binary.BigEndian.PutUint64(huge[12:], 1<<29)
+	f.Add(huge)
+	// Truncated mid-header and mid-body.
+	full := validFrame([]byte(`{"saved_at":2}`))
+	f.Add(full[:10])
+	f.Add(full[:len(full)-3])
+	// Flipped body bit (checksum mismatch).
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-1] ^= 1
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil snapshot")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Encode(&out); err != nil {
+			t.Fatalf("re-encode of accepted snapshot: %v", err)
+		}
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot: %v", err)
+		}
+		if len(back.Users) != len(s.Users) || len(back.KNN) != len(s.KNN) || back.SavedAtUnix != s.SavedAtUnix {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", back, s)
+		}
+	})
+}

@@ -36,8 +36,12 @@ var magic = [8]byte{'H', 'Y', 'R', 'S', 'N', 'A', 'P', 1}
 // Version is the current body-schema version.
 const Version uint32 = 1
 
-// maxBodyLen rejects absurd length fields before allocating (a corrupt
-// length would otherwise ask for petabytes).
+// maxBodyLen rejects absurd length fields (a corrupt length would
+// otherwise claim petabytes). Decode grows its buffer with the data
+// actually read rather than trusting the header, so an in-range lie
+// costs only the bytes present in the file — the limit exists purely to
+// bound legitimate snapshot size, and stays at its historical value so
+// every previously valid snapshot still loads.
 const maxBodyLen = 1 << 32
 
 var (
@@ -67,9 +71,15 @@ type KNNRecord struct {
 // are sorted by user ID, so identical state encodes to identical bytes.
 type Snapshot struct {
 	// SavedAtUnix is the wall-clock save time (seconds since epoch).
-	SavedAtUnix int64        `json:"saved_at"`
-	Users       []UserRecord `json:"users"`
-	KNN         []KNNRecord  `json:"knn"`
+	SavedAtUnix int64 `json:"saved_at"`
+	// Partition and Partitions stamp a cluster-member snapshot: this
+	// frame holds partition Partition of a Partitions-wide deployment
+	// (cluster.go). Both zero for a single-engine snapshot — the legacy
+	// format, which decodes unchanged.
+	Partition  int          `json:"partition,omitempty"`
+	Partitions int          `json:"partitions,omitempty"`
+	Users      []UserRecord `json:"users"`
+	KNN        []KNNRecord  `json:"knn"`
 }
 
 // Capture copies the engine's tables into a Snapshot. Each profile is an
@@ -166,10 +176,14 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if err := binary.Read(r, binary.BigEndian, &sum); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: body: %v", ErrCorrupt, err)
+	// Grow with the bytes actually present, not the claimed length: a
+	// corrupt-but-in-range header then fails cheaply instead of
+	// pre-allocating gigabytes (FuzzSnapshotDecode exercises this).
+	var bodyBuf bytes.Buffer
+	if n, err := io.Copy(&bodyBuf, io.LimitReader(r, int64(bodyLen))); err != nil || uint64(n) != bodyLen {
+		return nil, fmt.Errorf("%w: body: read %d of %d bytes (%v)", ErrCorrupt, bodyBuf.Len(), bodyLen, err)
 	}
+	body := bodyBuf.Bytes()
 	if crc32.ChecksumIEEE(body) != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}

@@ -7,13 +7,13 @@ import (
 	"hyrec/internal/server"
 )
 
-// Saver periodically captures and saves engine snapshots in the
-// background — the deployment loop cmd/hyrec-server runs when -snapshot
-// is set. Construct with NewSaver, stop with Close (which performs one
-// final save).
+// Saver periodically captures and saves snapshots in the background —
+// the deployment loop cmd/hyrec-server runs when -snapshot is set.
+// Construct with NewSaver (single engine) or NewSaverFunc (any capture
+// strategy, e.g. the per-partition cluster save), stop with Close (which
+// performs one final save).
 type Saver struct {
-	engine *server.Engine
-	path   string
+	save   func() error
 	period time.Duration
 
 	// onError, when non-nil, receives save failures (the loop keeps
@@ -32,9 +32,14 @@ type Saver struct {
 // NewSaver builds a saver writing engine snapshots to path every period.
 // onError may be nil.
 func NewSaver(engine *server.Engine, path string, period time.Duration, onError func(error)) *Saver {
+	return NewSaverFunc(func() error { return Save(path, Capture(engine)) }, period, onError)
+}
+
+// NewSaverFunc builds a saver around an arbitrary capture-and-save step.
+// onError may be nil.
+func NewSaverFunc(save func() error, period time.Duration, onError func(error)) *Saver {
 	return &Saver{
-		engine:  engine,
-		path:    path,
+		save:    save,
 		period:  period,
 		onError: onError,
 		stop:    make(chan struct{}),
@@ -71,7 +76,7 @@ func (s *Saver) Close() error {
 	s.stopOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
-		final = Save(s.path, Capture(s.engine))
+		final = s.save()
 		if final == nil {
 			s.countSave()
 		}
@@ -87,7 +92,7 @@ func (s *Saver) Saves() int {
 }
 
 func (s *Saver) saveOnce() {
-	if err := Save(s.path, Capture(s.engine)); err != nil {
+	if err := s.save(); err != nil {
 		if s.onError != nil {
 			s.onError(err)
 		}

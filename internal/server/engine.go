@@ -38,6 +38,12 @@ type Config struct {
 	// DisableProfileCache turns off the serialized-profile cache
 	// (ablation: BenchmarkAblationProfileCache).
 	DisableProfileCache bool
+	// DisableTableSnapshots turns off the epoch-pinned copy-on-write
+	// read path (view.go) and retains the original per-lookup shard
+	// locking during job assembly. Kept as an ablation and as the
+	// baseline TestHotPathAllocReduction and the capacity benchmark
+	// measure the snapshot path against.
+	DisableTableSnapshots bool
 	// GzipLevel for outgoing personalization jobs.
 	GzipLevel wire.GzipLevel
 	// MaxProfileItems, when positive, truncates profiles embedded in
@@ -137,6 +143,10 @@ type Engine struct {
 	// worker pool.
 	sched *sched.Scheduler
 
+	// views publishes the epoch-pinned copy-on-write table snapshots job
+	// assembly reads from (nil when cfg.DisableTableSnapshots).
+	views *viewState
+
 	// Candidate-set size accounting (Figure 5): sum and count of candidate
 	// sets issued since the last ResetCandidateStats call.
 	candSum   atomic.Int64
@@ -191,6 +201,9 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if !cfg.DisableProfileCache {
 		e.cache = wire.NewProfileCache()
+	}
+	if !cfg.DisableTableSnapshots {
+		e.views = newViewState()
 	}
 	e.sampler = &defaultSampler{engine: e}
 	if cfg.SchedulerEnabled() {
@@ -388,6 +401,71 @@ func (e *Engine) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 	return job, nil
 }
 
+// assembleScratch is the pooled per-assembly working set: candidate IDs,
+// dedup state, random-draw buffer, fragment list and a re-seedable RNG.
+// Everything is reclaimed in one releaseScratch call at the end of the
+// assembly, so steady-state job assembly allocates none of it.
+type assembleScratch struct {
+	cands   []core.UserID
+	seen    map[core.UserID]struct{}
+	randBuf []core.UserID
+	frags   [][]byte
+	src     rand.Source
+	rng     *rand.Rand
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	src := rand.NewSource(1)
+	return &assembleScratch{
+		seen: make(map[core.UserID]struct{}, 64),
+		src:  src,
+		rng:  rand.New(src),
+	}
+}}
+
+func getScratch() *assembleScratch { return scratchPool.Get().(*assembleScratch) }
+
+func releaseScratch(sc *assembleScratch) {
+	sc.cands = sc.cands[:0]
+	sc.randBuf = sc.randBuf[:0]
+	for i := range sc.frags {
+		sc.frags[i] = nil
+	}
+	sc.frags = sc.frags[:0]
+	scratchPool.Put(sc)
+}
+
+// seededRng re-seeds the scratch RNG and returns it — stream-identical to
+// rand.New(rand.NewSource(seed)) without the per-call source allocation.
+func (sc *assembleScratch) seededRng(seed int64) *rand.Rand {
+	sc.src.Seed(seed)
+	return sc.rng
+}
+
+// ViewSampler is the snapshot-aware extension of Sampler: SampleView
+// assembles the candidate set against a pinned TableView, so every table
+// lookup is lock-free. The engine probes for it with a type assertion and
+// falls back to Sample for samplers that only implement the base
+// interface (which then read the live, locked tables as before).
+type ViewSampler interface {
+	SampleView(v *TableView, u core.UserID, k int) []core.UserID
+}
+
+// sampleCandidates runs the configured sampler, preferring the pinned
+// snapshot path. With the engine's own default sampler the candidate
+// slice comes from sc and must not outlive the scratch release.
+func (e *Engine) sampleCandidates(v *TableView, sc *assembleScratch, u core.UserID) []core.UserID {
+	if v != nil {
+		if ds, ok := e.sampler.(*defaultSampler); ok && sc != nil {
+			return ds.sampleViewInto(v, sc, u, e.cfg.K)
+		}
+		if vs, ok := e.sampler.(ViewSampler); ok {
+			return vs.SampleView(v, u, e.cfg.K)
+		}
+	}
+	return e.sampler.Sample(u, e.cfg.K)
+}
+
 // assembleJob builds the unleased job message for u — the synchronous
 // core shared by the user-driven pull (Job), the worker dispatch
 // (NextJob) and their payload variants.
@@ -398,7 +476,10 @@ func (e *Engine) assembleJob(u core.UserID) *wire.Job {
 		e.profiles.Put(core.NewProfile(u))
 	}
 	p := e.profiles.Get(u)
-	candidates := e.sampler.Sample(u, e.cfg.K)
+	tv := e.pinView()
+	sc := getScratch()
+	defer releaseScratch(sc)
+	candidates := e.sampleCandidates(tv, sc, u)
 	e.recordCandidates(len(candidates))
 
 	// One pinned view per job: every pseudonym in the message belongs to
@@ -414,7 +495,7 @@ func (e *Engine) assembleJob(u core.UserID) *wire.Job {
 		Candidates: make([]wire.ProfileMsg, 0, len(candidates)),
 	}
 	for _, c := range candidates {
-		cp := e.candidateProfile(c)
+		cp := e.candidateProfileView(tv, c)
 		job.Candidates = append(job.Candidates, wire.ProfileToMsg(cp, view))
 	}
 	return job
@@ -494,11 +575,14 @@ func (e *Engine) refreshLocally(ctx context.Context, u core.UserID) error {
 		return err
 	}
 	p := e.profiles.Get(u)
-	candidates := e.sampler.Sample(u, e.cfg.K)
+	tv := e.pinView()
+	sc := getScratch()
+	defer releaseScratch(sc)
+	candidates := e.sampleCandidates(tv, sc, u)
 	e.recordCandidates(len(candidates))
 	profs := make([]core.Profile, 0, len(candidates))
 	for _, c := range candidates {
-		profs = append(profs, e.candidateProfile(c))
+		profs = append(profs, e.candidateProfileView(tv, c))
 	}
 	metric := e.cfg.FallbackMetric
 	if metric == nil {
@@ -532,13 +616,28 @@ func (e *Engine) anonView() core.Aliaser {
 // outbound transforms (truncation, then the privacy filter) in the order a
 // deployment would.
 func (e *Engine) candidateProfile(c core.UserID) core.Profile {
+	return e.candidateProfileView(nil, c)
+}
+
+// candidateProfileView is candidateProfile reading through a pinned view
+// when one is supplied: candidates the view knows resolve without any
+// locking; view misses (users registered since the view was built, or
+// users owned by sibling partitions) take the original locked/resolver
+// path.
+func (e *Engine) candidateProfileView(v *TableView, c core.UserID) core.Profile {
 	var cp core.Profile
-	if e.resolveProfile == nil || e.profiles.Known(c) {
-		cp = e.profiles.Get(c)
-	} else if fp, ok := e.resolveProfile(c); ok {
-		cp = fp
-	} else {
-		cp = core.NewProfile(c)
+	var fromView bool
+	if v != nil {
+		cp, fromView = v.Profile(c)
+	}
+	if !fromView {
+		if e.resolveProfile == nil || e.profiles.Known(c) {
+			cp = e.profiles.Get(c)
+		} else if fp, ok := e.resolveProfile(c); ok {
+			cp = fp
+		} else {
+			cp = core.NewProfile(c)
+		}
 	}
 	if e.cfg.MaxProfileItems > 0 && cp.Size() > e.cfg.MaxProfileItems {
 		cp = cp.Truncate(e.cfg.MaxProfileItems)
@@ -552,7 +651,20 @@ func (e *Engine) candidateProfile(c core.UserID) core.Profile {
 // JobPayload assembles u's personalization job and serializes it:
 // raw JSON (assembled from cached fragments when the cache is enabled)
 // plus the gzip payload that would cross the wire. Both sizes are metered.
+// The returned slices are freshly allocated; the zero-allocation serving
+// path is AppendJobPayload with pooled buffers.
 func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) {
+	return e.AppendJobPayload(u, nil, nil)
+}
+
+// AppendJobPayload is JobPayload appending into caller-owned buffers
+// (which may be nil): jsonBody extends jsonDst, gzBody extends gzDst.
+// With pooled, pre-grown buffers (wire.GetPayloadBufs) and the snapshot
+// read path enabled, a steady-state call allocates approximately nothing:
+// candidate assembly works out of a pooled scratch, candidate and own
+// profile fragments come from the serialized-profile cache, and the gzip
+// writer is pooled.
+func (e *Engine) AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
 	if !e.profiles.Known(u) {
 		e.profiles.Put(core.NewProfile(u))
 	}
@@ -563,48 +675,69 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 		lease = e.sched.Acquire(u)
 	}
 	p := e.profiles.Get(u)
-	candidates := e.sampler.Sample(u, e.cfg.K)
+	tv := e.pinView()
+	sc := getScratch()
+	defer releaseScratch(sc)
+	candidates := e.sampleCandidates(tv, sc, u)
 	e.recordCandidates(len(candidates))
 
 	// As in Job: one pinned view keeps the epoch stamp and every
 	// pseudonym consistent under concurrent rotation.
 	view := e.anonView()
-	job := &wire.Job{
-		UID:     uint32(view.AliasUser(u)),
-		Epoch:   view.Epoch(),
-		K:       e.cfg.K,
-		R:       e.cfg.R,
-		Profile: wire.ProfileToMsg(p, view),
-		// Candidates are injected during encoding below.
+	job := wire.Job{
+		UID:   uint32(view.AliasUser(u)),
+		Epoch: view.Epoch(),
+		K:     e.cfg.K,
+		R:     e.cfg.R,
+		// Profile and Candidates are injected during encoding below.
 	}
 	if e.sched != nil {
-		stampLease(job, lease)
+		stampLease(&job, lease)
 	}
 
 	// With the cache enabled, candidate fragments come from the cache and
 	// encoding is a concatenation of memoised byte slices. A candidate
 	// filter forces the uncached path: filtered profiles may differ
-	// between jobs, so memoising their encodings would be incorrect.
+	// between jobs, so memoising their encodings would be incorrect. The
+	// requesting user's own fragment is cacheable too, but only while no
+	// truncation is configured: Truncate bumps the profile version, so a
+	// truncated candidate fragment and a full own fragment could otherwise
+	// collide under one (user, version) key.
 	useCache := e.cache != nil && e.cfg.CandidateFilter == nil
-	msgs := make([]wire.ProfileMsg, 0, len(candidates))
-	frags := make([][]byte, 0, len(candidates))
+	useOwnCache := useCache && e.cfg.MaxProfileItems <= 0
+	var msgs []wire.ProfileMsg
+	if !useCache {
+		// Non-nil even when empty, so the uncached encoder emits [] and
+		// not null — the same bytes the cached splice produces.
+		msgs = make([]wire.ProfileMsg, 0, len(candidates))
+	}
 	for _, c := range candidates {
-		cp := e.candidateProfile(c)
+		cp := e.candidateProfileView(tv, c)
 		if useCache {
-			frags = append(frags, e.cache.Fragment(cp, view))
+			sc.frags = append(sc.frags, e.cache.Fragment(cp, view))
 		} else {
 			msgs = append(msgs, wire.ProfileToMsg(cp, view))
 		}
 	}
 
 	if useCache {
-		jsonBody = e.assembleWithCache(job, frags)
+		var ownFrag []byte
+		if useOwnCache {
+			ownFrag = e.cache.Fragment(p, view)
+		} else {
+			job.Profile = wire.ProfileToMsg(p, view)
+		}
+		jsonBody = e.assembleWithCache(jsonDst, &job, ownFrag, sc.frags)
 	} else {
+		job.Profile = wire.ProfileToMsg(p, view)
 		job.Candidates = msgs
-		jsonBody = wire.AppendJob(nil, job, nil)
+		if jsonDst == nil {
+			jsonDst = make([]byte, 0, 96+len(job.Profile.Liked)*11)
+		}
+		jsonBody = wire.AppendJob(jsonDst, &job, nil)
 	}
 
-	gzBody, err = wire.Compress(jsonBody, e.cfg.GzipLevel)
+	gzBody, err = wire.AppendGzip(gzDst, jsonBody, e.cfg.GzipLevel)
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
 	}
@@ -612,14 +745,17 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 	return jsonBody, gzBody, nil
 }
 
-// assembleWithCache builds the job JSON splicing pre-encoded candidate
-// fragments. Byte-for-byte identical to wire.AppendJob output.
-func (e *Engine) assembleWithCache(job *wire.Job, frags [][]byte) []byte {
-	size := 96 + len(job.Profile.Liked)*11
-	for _, f := range frags {
-		size += len(f) + 1
+// assembleWithCache builds the job JSON splicing pre-encoded profile
+// fragments (ownFrag may be nil, in which case job.Profile is encoded
+// directly). Byte-for-byte identical to wire.AppendJob output.
+func (e *Engine) assembleWithCache(dst []byte, job *wire.Job, ownFrag []byte, frags [][]byte) []byte {
+	if dst == nil {
+		size := 96 + len(ownFrag) + len(job.Profile.Liked)*11
+		for _, f := range frags {
+			size += len(f) + 1
+		}
+		dst = make([]byte, 0, size)
 	}
-	dst := make([]byte, 0, size)
 	dst = append(dst, `{"uid":`...)
 	dst = appendUint(dst, uint64(job.UID))
 	dst = append(dst, `,"epoch":`...)
@@ -630,7 +766,11 @@ func (e *Engine) assembleWithCache(job *wire.Job, frags [][]byte) []byte {
 	dst = appendUint(dst, uint64(job.R))
 	dst = wire.AppendLeaseMeta(dst, job)
 	dst = append(dst, `,"profile":`...)
-	dst = wire.AppendProfileMsg(dst, job.Profile)
+	if ownFrag != nil {
+		dst = append(dst, ownFrag...)
+	} else {
+		dst = wire.AppendProfileMsg(dst, job.Profile)
+	}
 	dst = append(dst, `,"candidates":[`...)
 	for i, f := range frags {
 		if i > 0 {
@@ -775,6 +915,17 @@ func (e *Engine) ResetCandidateStats() {
 // assemblies for different users draw without contending on one lock.
 func (e *Engine) RandomUsers(n int, exclude core.UserID) []core.UserID {
 	s := &e.rngs[shardOf(exclude)]
+	if v := e.pinView(); v != nil {
+		// Draw from the pinned roster: same stream and dedup semantics
+		// as the locked path, without holding rosterMu per draw.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := v.randomUsers(make([]core.UserID, 0, n), s.rng, n, exclude)
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return e.profiles.RandomUsers(s.rng, n, exclude)
@@ -791,7 +942,10 @@ type defaultSampler struct {
 	engine *Engine
 }
 
-var _ Sampler = (*defaultSampler)(nil)
+var (
+	_ Sampler     = (*defaultSampler)(nil)
+	_ ViewSampler = (*defaultSampler)(nil)
+)
 
 func (s *defaultSampler) Sample(u core.UserID, k int) []core.UserID {
 	e := s.engine
@@ -803,9 +957,47 @@ func (s *defaultSampler) Sample(u core.UserID, k int) []core.UserID {
 	// sharded rng is); pass a throwaway source — seeded from u's shard so
 	// concurrent samples for different users don't serialize — to satisfy
 	// the contract.
+	return core.BuildCandidateSet(u, k, lookup, random, rand.New(rand.NewSource(e.shardSeed(u))))
+}
+
+// SampleView implements ViewSampler with a one-shot scratch; callers that
+// hold an assembly scratch (the engine itself) use sampleViewInto and
+// skip the copy.
+func (s *defaultSampler) SampleView(v *TableView, u core.UserID, k int) []core.UserID {
+	sc := getScratch()
+	defer releaseScratch(sc)
+	got := s.sampleViewInto(v, sc, u, k)
+	out := make([]core.UserID, len(got))
+	copy(out, got)
+	return out
+}
+
+// sampleViewInto runs the §3.1 rule entirely against the pinned view,
+// building into sc (the result aliases sc.cands). The draw sequence is
+// identical to Sample over the same table state: same shard-seeded rng
+// stream, same one-hop/two-hop/random order, same dedup.
+func (s *defaultSampler) sampleViewInto(v *TableView, sc *assembleScratch, u core.UserID, k int) []core.UserID {
+	e := s.engine
+	random := func(rng *rand.Rand, n int, exclude core.UserID) []core.UserID {
+		// The locked path routes through Engine.RandomUsers, which draws
+		// from the engine's exclude-sharded rng; mirror that exactly.
+		sh := &e.rngs[shardOf(exclude)]
+		sh.mu.Lock()
+		sc.randBuf = v.randomUsers(sc.randBuf[:0], sh.rng, n, exclude)
+		sh.mu.Unlock()
+		return sc.randBuf
+	}
+	sc.cands = core.BuildCandidateSetInto(sc.cands[:0], sc.seen, u, k,
+		v.KNN, random, sc.seededRng(e.shardSeed(u)))
+	return sc.cands
+}
+
+// shardSeed draws the throwaway-rng seed for u's assembly from u's rng
+// shard — one draw per job, identical on the locked and snapshot paths.
+func (e *Engine) shardSeed(u core.UserID) int64 {
 	sh := &e.rngs[shardOf(u)]
 	sh.mu.Lock()
 	seed := sh.rng.Int63()
 	sh.mu.Unlock()
-	return core.BuildCandidateSet(u, k, lookup, random, rand.New(rand.NewSource(seed)))
+	return seed
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -192,16 +193,10 @@ func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	gz, err := s.jobGzip(r.Context(), uid)
-	if err != nil {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.writeJob(w, r.Context(), uid, true); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Encoding", "gzip")
-	w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
-	if _, err := w.Write(gz); err != nil {
-		return // client went away; nothing to do
 	}
 }
 
@@ -313,8 +308,8 @@ func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
 		return
 	}
-	var req wire.RateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
@@ -324,9 +319,16 @@ func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad rate body: "+err.Error())
 		return
 	}
-	if len(req.Ratings) > wire.MaxBatchRatings {
-		writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
-			fmt.Sprintf("batch of %d exceeds %d ratings", len(req.Ratings), wire.MaxBatchRatings))
+	// DecodeRateRequest is the fuzzed production decoder
+	// (FuzzDecodeRateBatch): malformed or oversized input yields a typed
+	// error, never a panic or a silently truncated batch.
+	req, err := wire.DecodeRateRequest(body)
+	if err != nil {
+		if errors.Is(err, wire.ErrTooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge, err.Error())
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad rate body: "+err.Error())
 		return
 	}
 	ratings := make([]core.Rating, len(req.Ratings))
@@ -369,24 +371,10 @@ func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seen.Touch(uid)
 	w.Header().Set("Content-Type", "application/json")
-	if acceptsGzip(r) {
-		gz, err := s.jobGzip(r.Context(), uid)
-		if err != nil {
-			writeV1ServiceError(w, err)
-			return
-		}
-		w.Header().Set("Content-Encoding", "gzip")
-		w.Header().Set("Content-Length", strconv.Itoa(len(gz)))
-		w.Write(gz)
-		return
-	}
-	raw, err := s.jobJSON(r.Context(), uid)
-	if err != nil {
+	if err := s.writeJob(w, r.Context(), uid, acceptsGzip(r)); err != nil {
 		writeV1ServiceError(w, err)
 		return
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
-	w.Write(raw)
 }
 
 // isWorker reports whether a /v1/job request is a pull-based worker
@@ -441,19 +429,21 @@ func (s *HTTPServer) handleV1WorkerJob(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	raw, err := wire.EncodeJob(job)
-	if err != nil {
-		writeV1Error(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
-		return
-	}
+	// Worker jobs serialize in the transport layer; borrow the same
+	// pooled buffers the user-driven payload path uses.
+	bufs := wire.GetPayloadBufs()
+	defer wire.PutPayloadBufs(bufs)
+	raw := wire.AppendJob(bufs.JSON, job, nil)
+	bufs.JSON = raw
 	meter, metered := s.svc.(WorkerJobMeter)
 	w.Header().Set("Content-Type", "application/json")
 	if acceptsGzip(r) {
-		gz, err := wire.Compress(raw, s.gzipLevel())
+		gz, err := wire.AppendGzip(bufs.Gz, raw, s.gzipLevel())
 		if err != nil {
 			writeV1Error(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
 			return
 		}
+		bufs.Gz = gz
 		if metered {
 			meter.CountWorkerJob(job, len(raw), len(gz))
 		}
@@ -481,13 +471,15 @@ func (s *HTTPServer) handleV1Ack(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service does not manage leases")
 		return
 	}
-	var req wire.AckRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
+	if err != nil {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad ack body: "+err.Error())
 		return
 	}
-	if req.Lease == 0 {
-		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "missing lease")
+	// DecodeAck is the fuzzed production decoder (FuzzDecodeAck).
+	req, err := wire.DecodeAck(body)
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad ack body: "+err.Error())
 		return
 	}
 	if err := la.Ack(r.Context(), req.Lease, req.Done); err != nil {
@@ -502,8 +494,8 @@ func (s *HTTPServer) handleV1Result(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
 		return
 	}
-	var res wire.Result
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes)).Decode(&res); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
@@ -513,12 +505,18 @@ func (s *HTTPServer) handleV1Result(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad result body: "+err.Error())
 		return
 	}
-	recs, err := s.svc.ApplyResult(r.Context(), &res)
+	// DecodeResult is the fuzzed production decoder (FuzzDecodeResult).
+	res, err := wire.DecodeResult(body)
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad result body: "+err.Error())
+		return
+	}
+	recs, err := s.svc.ApplyResult(r.Context(), res)
 	if err != nil {
 		writeV1ServiceError(w, err)
 		return
 	}
-	s.touchResult(&res)
+	s.touchResult(res)
 	out := wire.RecsResponse{Recs: make([]uint32, len(recs))}
 	for i, it := range recs {
 		out.Recs[i] = uint32(it)
@@ -580,18 +578,50 @@ func (s *HTTPServer) handleV1Neighbors(w http.ResponseWriter, r *http.Request) {
 
 // ---- shared plumbing ----
 
-// jobGzip returns the gzip job payload for u, preferring the service's
-// metered fast path.
-func (s *HTTPServer) jobGzip(ctx context.Context, u core.UserID) ([]byte, error) {
+// writeJob serves u's serialized job body (headers beyond Content-Type
+// are set here): the pooled append path when the service supports it, so
+// a steady-state request borrows every buffer it touches; otherwise the
+// legacy Payloader or generic encode path. Nothing has been written to w
+// when an error is returned.
+func (s *HTTPServer) writeJob(w http.ResponseWriter, ctx context.Context, u core.UserID, gzipOK bool) error {
+	if pa, ok := s.svc.(PayloadAppender); ok {
+		bufs := wire.GetPayloadBufs()
+		defer wire.PutPayloadBufs(bufs)
+		jsonBody, gzBody, err := pa.AppendJobPayload(u, bufs.JSON, bufs.Gz)
+		if err != nil {
+			return err
+		}
+		// Keep the grown capacity pooled for the next request.
+		bufs.JSON, bufs.Gz = jsonBody, gzBody
+		body := jsonBody
+		if gzipOK {
+			w.Header().Set("Content-Encoding", "gzip")
+			body = gzBody
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.Write(body)
+		return nil
+	}
+	var raw, gz []byte
+	var err error
 	if p, ok := s.svc.(Payloader); ok {
-		_, gz, err := p.JobPayload(u)
-		return gz, err
+		raw, gz, err = p.JobPayload(u)
+	} else {
+		if raw, err = s.jobJSON(ctx, u); err == nil && gzipOK {
+			gz, err = wire.Compress(raw, s.gzipLevel())
+		}
 	}
-	raw, err := s.jobJSON(ctx, u)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return wire.Compress(raw, s.gzipLevel())
+	body := raw
+	if gzipOK {
+		w.Header().Set("Content-Encoding", "gzip")
+		body = gz
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+	return nil
 }
 
 // jobJSON returns the raw JSON job payload for u.

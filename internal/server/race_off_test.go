@@ -1,0 +1,9 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. sync.Pool deliberately drops a fraction of Puts under the
+// detector and shadow allocations inflate counters, so strict
+// allocation-ratio bounds gate on it.
+const raceEnabled = false

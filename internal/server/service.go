@@ -49,6 +49,15 @@ type Payloader interface {
 	JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error)
 }
 
+// PayloadAppender is the pooled-buffer form of Payloader: the payloads
+// are appended into caller-owned buffers (wire.GetPayloadBufs), so a
+// steady-state serve allocates nothing. The returned slices alias the
+// (possibly re-grown) inputs and are only valid until the caller recycles
+// them.
+type PayloadAppender interface {
+	AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error)
+}
+
 // JobSource dispatches leased jobs to pull-based workers: NextJob blocks
 // until a stale user is available (stalest first) or ctx is done, and
 // returns (nil, nil) when no work arrived in time — the transport layer
@@ -108,14 +117,15 @@ type StatsProvider interface {
 // Service. (internal/cluster asserts the same for *Cluster, and
 // hyrec/client for *Client.)
 var (
-	_ Service        = (*Engine)(nil)
-	_ Payloader      = (*Engine)(nil)
-	_ UserDirectory  = (*Engine)(nil)
-	_ Rotator        = (*Engine)(nil)
-	_ UserResolver   = (*Engine)(nil)
-	_ Configured     = (*Engine)(nil)
-	_ StatsProvider  = (*Engine)(nil)
-	_ JobSource      = (*Engine)(nil)
-	_ LeaseAcker     = (*Engine)(nil)
-	_ WorkerJobMeter = (*Engine)(nil)
+	_ Service         = (*Engine)(nil)
+	_ Payloader       = (*Engine)(nil)
+	_ PayloadAppender = (*Engine)(nil)
+	_ UserDirectory   = (*Engine)(nil)
+	_ Rotator         = (*Engine)(nil)
+	_ UserResolver    = (*Engine)(nil)
+	_ Configured      = (*Engine)(nil)
+	_ StatsProvider   = (*Engine)(nil)
+	_ JobSource       = (*Engine)(nil)
+	_ LeaseAcker      = (*Engine)(nil)
+	_ WorkerJobMeter  = (*Engine)(nil)
 )

@@ -8,6 +8,7 @@ package server
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"hyrec/internal/core"
 )
@@ -27,14 +28,24 @@ func shardOf(u core.UserID) int { return int(uint32(u)*0x9E3779B1>>26) & (numSha
 type ProfileTable struct {
 	shards [numShards]profileShard
 
+	// gen counts writes table-wide; the copy-on-write view layer
+	// (view.go) compares it against a published snapshot's generation to
+	// decide staleness without touching any shard lock.
+	gen atomic.Uint64
+
 	rosterMu  sync.RWMutex
 	roster    []core.UserID
 	rosterIdx map[core.UserID]struct{}
+	// rosterGen counts roster growth, for the same staleness check.
+	rosterGen atomic.Uint64
 }
 
 type profileShard struct {
 	mu sync.RWMutex
 	m  map[core.UserID]core.Profile
+	// gen counts writes to this shard (guarded by mu), so a view rebuild
+	// copies only the shards that changed since it last looked.
+	gen uint64
 }
 
 // NewProfileTable returns an empty table.
@@ -55,6 +66,7 @@ func (t *ProfileTable) register(u core.UserID) {
 	if _, dup := t.rosterIdx[u]; !dup {
 		t.rosterIdx[u] = struct{}{}
 		t.roster = append(t.roster, u)
+		t.rosterGen.Add(1)
 	}
 	t.rosterMu.Unlock()
 }
@@ -88,7 +100,9 @@ func (t *ProfileTable) Put(p core.Profile) {
 	s.mu.Lock()
 	_, existed := s.m[u]
 	s.m[u] = p
+	s.gen++
 	s.mu.Unlock()
+	t.gen.Add(1)
 	if !existed {
 		t.register(u)
 	}
@@ -105,7 +119,9 @@ func (t *ProfileTable) Update(u core.UserID, fn func(core.Profile) core.Profile)
 	}
 	p = fn(p)
 	s.m[u] = p
+	s.gen++
 	s.mu.Unlock()
+	t.gen.Add(1)
 	if !existed {
 		t.register(u)
 	}
@@ -176,11 +192,16 @@ func (t *ProfileTable) Users() []core.UserID {
 // Safe for concurrent use.
 type KNNTable struct {
 	shards [numShards]knnShard
+
+	// gen counts writes table-wide (see ProfileTable.gen).
+	gen atomic.Uint64
 }
 
 type knnShard struct {
 	mu sync.RWMutex
 	m  map[core.UserID][]core.UserID
+	// gen counts writes to this shard (guarded by mu).
+	gen uint64
 }
 
 // NewKNNTable returns an empty table.
@@ -207,7 +228,9 @@ func (t *KNNTable) Put(u core.UserID, neighbors []core.UserID) {
 	s := &t.shards[shardOf(u)]
 	s.mu.Lock()
 	s.m[u] = neighbors
+	s.gen++
 	s.mu.Unlock()
+	t.gen.Add(1)
 }
 
 // Len returns the number of users with a stored neighborhood.

@@ -58,6 +58,27 @@ func AppendJob(dst []byte, j *Job, enc func(dst []byte, m ProfileMsg) []byte) []
 	return append(dst, '}')
 }
 
+// AppendResult appends the JSON encoding of r to dst, byte-identical to
+// encoding/json's Marshal of Result — including the omitempty behaviour
+// of the lease field — so pooled-buffer result encoding on the widget and
+// client side stays interoperable with any JSON decoder.
+// TestResultEncoderEquivalence pins the equivalence.
+func AppendResult(dst []byte, r *Result) []byte {
+	dst = append(dst, `{"uid":`...)
+	dst = strconv.AppendUint(dst, uint64(r.UID), 10)
+	dst = append(dst, `,"epoch":`...)
+	dst = strconv.AppendUint(dst, r.Epoch, 10)
+	if r.Lease != 0 {
+		dst = append(dst, `,"lease":`...)
+		dst = strconv.AppendUint(dst, r.Lease, 10)
+	}
+	dst = append(dst, `,"neighbors":`...)
+	dst = appendUintArray(dst, r.Neighbors)
+	dst = append(dst, `,"recs":`...)
+	dst = appendUintArray(dst, r.Recommendations)
+	return append(dst, '}')
+}
+
 // AppendLeaseMeta appends the job's lease metadata fields (between "r"
 // and "profile"), matching encoding/json's omitempty behaviour so the
 // scheduler-free format stays byte-identical to the legacy one. It is

@@ -48,24 +48,47 @@ func pool(level GzipLevel) *sync.Pool {
 	return actual.(*sync.Pool)
 }
 
-// Compress gzips data at the given level.
+// Compress gzips data at the given level into a fresh buffer. The hot
+// path uses AppendGzip with a pooled destination instead; both produce
+// identical bytes (the gzip header carries no timestamp).
 func Compress(data []byte, level GzipLevel) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Grow(len(data)/3 + 64)
+	return AppendGzip(make([]byte, 0, len(data)/3+64), data, level)
+}
+
+// sliceWriter adapts an append-grown []byte to io.Writer so the pooled
+// gzip writers can emit straight into caller-owned buffers.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+var sliceWriterPool = sync.Pool{New: func() any { return new(sliceWriter) }}
+
+// AppendGzip appends the gzip encoding of data (at the given level) to
+// dst and returns the extended slice. Writers and adapter state are
+// pooled, so with a pre-grown dst the call allocates nothing.
+func AppendGzip(dst, data []byte, level GzipLevel) ([]byte, error) {
+	sw := sliceWriterPool.Get().(*sliceWriter)
+	sw.b = dst
 	p := pool(level)
 	w, ok := p.Get().(*gzip.Writer)
 	if !ok {
 		return nil, fmt.Errorf("wire: corrupt gzip writer pool")
 	}
-	w.Reset(&buf)
+	w.Reset(sw)
 	if _, err := w.Write(data); err != nil {
 		return nil, fmt.Errorf("wire: gzip write: %w", err)
 	}
 	if err := w.Close(); err != nil {
 		return nil, fmt.Errorf("wire: gzip close: %w", err)
 	}
+	out := sw.b
+	sw.b = nil
+	sliceWriterPool.Put(sw)
 	p.Put(w)
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Decompress inflates a gzip payload.

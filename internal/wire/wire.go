@@ -10,9 +10,24 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"hyrec/internal/core"
+)
+
+// Typed decode failures, so transports map protocol violations to stable
+// error-envelope codes without parsing message text. Every decoder in
+// this package guarantees: arbitrary input yields either a valid message
+// or an error wrapping one of these (or a plain decode error) — never a
+// panic. The Fuzz* targets in fuzz_test.go enforce that contract.
+var (
+	// ErrTooLarge: the request exceeds a protocol limit (MaxBatchRatings
+	// or MaxBodyBytes); mapped to CodeTooLarge / HTTP 413.
+	ErrTooLarge = errors.New("wire: request exceeds protocol limit")
+	// ErrMissingLease: an ack without a lease ID; mapped to
+	// CodeBadRequest.
+	ErrMissingLease = errors.New("wire: ack missing lease")
 )
 
 // ProfileMsg is the JSON form of one (pseudonymised) user profile.
@@ -81,6 +96,39 @@ func DecodeResult(data []byte) (*Result, error) {
 		return nil, fmt.Errorf("wire: decode result: %w", err)
 	}
 	return &r, nil
+}
+
+// DecodeRateRequest parses and validates a POST /v1/rate body: well-formed
+// JSON within the MaxBodyBytes and MaxBatchRatings limits. Oversized
+// input fails with an error wrapping ErrTooLarge.
+func DecodeRateRequest(data []byte) (*RateRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrTooLarge, len(data), MaxBodyBytes)
+	}
+	var req RateRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("wire: decode rate request: %w", err)
+	}
+	if len(req.Ratings) > MaxBatchRatings {
+		return nil, fmt.Errorf("%w: batch of %d exceeds %d ratings", ErrTooLarge, len(req.Ratings), MaxBatchRatings)
+	}
+	return &req, nil
+}
+
+// DecodeAck parses and validates a POST /v1/ack body. A zero lease fails
+// with an error wrapping ErrMissingLease.
+func DecodeAck(data []byte) (*AckRequest, error) {
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("%w: body of %d bytes exceeds %d", ErrTooLarge, len(data), MaxBodyBytes)
+	}
+	var req AckRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("wire: decode ack: %w", err)
+	}
+	if req.Lease == 0 {
+		return nil, ErrMissingLease
+	}
+	return &req, nil
 }
 
 // ProfileToMsg converts a core.Profile into its wire form, pseudonymising

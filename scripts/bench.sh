@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI bench-regression guard: replay the capacity scenario matrix at a
+# short window and fail when throughput collapses or allocations blow up
+# versus the committed BENCH_hotpath.json.
+#
+# Thresholds (overridable via env): throughput may not fall below
+# TPUT_FLOOR of the committed baseline — deliberately loose, CI machines
+# differ wildly from the one that wrote the baseline — while allocs/op,
+# which is deterministic per build, may not exceed ALLOC_CEIL times the
+# baseline. Refresh the baseline after an intentional perf change with:
+#   go run ./cmd/hyrec-bench -exp capacity -window 1s -bench-out BENCH_hotpath.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WINDOW="${WINDOW:-250ms}"
+TPUT_FLOOR="${TPUT_FLOOR:-0.20}"
+ALLOC_CEIL="${ALLOC_CEIL:-1.5}"
+
+# Replay under the baseline's recorded workload configuration — per-op
+# numbers are only commensurate at matching concurrency, population and
+# seed (Compare refuses mismatches). Only the window may differ.
+field() { sed -n "s/^  \"$1\": \([0-9-]*\),*/\1/p" BENCH_hotpath.json | head -1; }
+WORKERS="$(field workers)"
+USERS="$(field users)"
+SEED="$(field seed)"
+
+go run ./cmd/hyrec-bench -exp capacity -window "$WINDOW" \
+  -bench-workers "$WORKERS" -bench-users "$USERS" -seed "$SEED" \
+  -bench-baseline BENCH_hotpath.json \
+  -bench-tolerance "$TPUT_FLOOR" \
+  -bench-allocs-tolerance "$ALLOC_CEIL"

@@ -6,7 +6,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
-trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "--- building all cmd/ and examples/ binaries"
 go build -o "$BIN/" ./cmd/...
@@ -91,5 +91,49 @@ echo "$STATS" | grep -Eq '"sched_fallback_queued":0' \
 
 kill -TERM $SCHED_PID
 wait $SCHED_PID
+
+echo "--- cluster snapshots: a churned 2-partition cluster survives a restart"
+SNAP_ADDR="127.0.0.1:18082"
+SNAP_BASE="http://$SNAP_ADDR"
+SNAP_FILE="$BIN/cluster-state.snap"
+"$BIN/hyrec-server" -addr "$SNAP_ADDR" -partitions 2 -rotate 0 -snapshot "$SNAP_FILE" &
+SNAP_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$SNAP_BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SNAP_PID 2>/dev/null; then
+    echo "snapshot server died during startup" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+# Churn: ratings plus full widget cycles populate both partitions' tables.
+"$BIN/hyrec-widget" -server "$SNAP_BASE" -users 20 -requests 2
+USERS_BEFORE=$(curl -fsS "$SNAP_BASE/stats" | sed -n 's/.*"users":\([0-9]*\).*/\1/p')
+[ "$USERS_BEFORE" -gt 0 ] || { echo "no users before restart" >&2; exit 1; }
+
+# Graceful shutdown writes one frame per partition.
+kill -TERM $SNAP_PID
+wait $SNAP_PID
+for p in 0 1; do
+  [ -f "$SNAP_FILE.p$p" ] || { echo "missing partition frame $SNAP_FILE.p$p" >&2; exit 1; }
+done
+
+# Restart restores both partitions.
+"$BIN/hyrec-server" -addr "$SNAP_ADDR" -partitions 2 -rotate 0 -snapshot "$SNAP_FILE" &
+SNAP_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$SNAP_BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SNAP_PID 2>/dev/null; then
+    echo "snapshot server died on restart" >&2; exit 1
+  fi
+  sleep 0.1
+done
+USERS_AFTER=$(curl -fsS "$SNAP_BASE/stats" | sed -n 's/.*"users":\([0-9]*\).*/\1/p')
+KNN_AFTER=$(curl -fsS "$SNAP_BASE/stats" | sed -n 's/.*"knn_entries":\([0-9]*\).*/\1/p')
+[ "$USERS_AFTER" = "$USERS_BEFORE" ] \
+  || { echo "population changed across restart: $USERS_BEFORE -> $USERS_AFTER" >&2; exit 1; }
+[ "$KNN_AFTER" -gt 0 ] || { echo "KNN tables empty after restart" >&2; exit 1; }
+kill -TERM $SNAP_PID
+wait $SNAP_PID
 
 echo "smoke test passed"

@@ -61,6 +61,11 @@ type Client struct {
 	closed   bool
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+
+	// topo caches the last topology fetched from GET /v1/topology —
+	// refreshed automatically when the server answers CodeMoved.
+	topoMu sync.Mutex
+	topo   *wire.Topology
 }
 
 // Option customises a Client.
@@ -169,6 +174,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeUnknownUser
 	case hyrec.ErrUnknownLease:
 		return e.Code == wire.CodeUnknownLease
+	case hyrec.ErrMoved:
+		return e.Code == wire.CodeMoved
 	}
 	return false
 }
@@ -392,6 +399,47 @@ func (c *Client) Recommendations(ctx context.Context, u core.UserID, n int) ([]c
 	return recs, nil
 }
 
+// Topology fetches the server's current topology (GET /v1/topology):
+// partition count, ring parameter, and whether a live resharding is in
+// progress. The result is also cached for CachedTopology.
+func (c *Client) Topology(ctx context.Context) (*wire.Topology, error) {
+	var out wire.Topology
+	if err := c.do(ctx, http.MethodGet, "/v1/topology", nil, &out); err != nil {
+		return nil, err
+	}
+	c.topoMu.Lock()
+	c.topo = &out
+	c.topoMu.Unlock()
+	return &out, nil
+}
+
+// Scale asks the server to reshape to the given partition count
+// (POST /v1/topology) and returns the resulting topology once the
+// migration has completed — the admin client of a live resharding.
+func (c *Client) Scale(ctx context.Context, partitions int) (*wire.Topology, error) {
+	body, err := json.Marshal(&wire.ScaleRequest{Partitions: partitions})
+	if err != nil {
+		return nil, fmt.Errorf("hyrec client: marshal scale: %w", err)
+	}
+	var out wire.Topology
+	if err := c.do(ctx, http.MethodPost, "/v1/topology", body, &out); err != nil {
+		return nil, err
+	}
+	c.topoMu.Lock()
+	c.topo = &out
+	c.topoMu.Unlock()
+	return &out, nil
+}
+
+// CachedTopology returns the last topology observed (nil before any
+// fetch). The cache refreshes on explicit Topology calls and whenever
+// the server answers CodeMoved.
+func (c *Client) CachedTopology() *wire.Topology {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	return c.topo
+}
+
 // Neighbors implements hyrec.Service: GET /v1/neighbors.
 func (c *Client) Neighbors(ctx context.Context, u core.UserID) ([]core.UserID, error) {
 	var out wire.NeighborsResponse
@@ -472,12 +520,26 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		backoff = 50 * time.Millisecond
 	}
 	var lastErr error
+	movedRetried := false
 	for attempt := 0; ; attempt++ {
 		raw, retryable, err := c.attempt(ctx, method, path, body, negotiateGzip)
 		if err == nil {
 			return raw, nil
 		}
 		lastErr = err
+		// CodeMoved: the user's state migrated to a different partition
+		// mid-flight. Refetch the topology (so routing caches catch up)
+		// and retry exactly once — a second moved answer means the
+		// result is a pre-migration straggler and surfaces as-is.
+		var apiErr *APIError
+		if !movedRetried && ctx.Err() == nil &&
+			errors.As(err, &apiErr) && apiErr.Code == wire.CodeMoved &&
+			!strings.HasSuffix(path, "/v1/topology") {
+			movedRetried = true
+			c.refreshTopology(ctx)
+			attempt-- // the moved retry does not consume the transient budget
+			continue
+		}
 		if !retryable || attempt >= c.retries || ctx.Err() != nil {
 			return nil, lastErr
 		}
@@ -531,6 +593,21 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		data = plain
 	}
 	return data, false, nil
+}
+
+// refreshTopology best-effort-updates the topology cache after a moved
+// answer; failures are swallowed (the retry surfaces the real error).
+func (c *Client) refreshTopology(ctx context.Context) {
+	raw, _, err := c.attempt(ctx, http.MethodGet, "/v1/topology", nil, false)
+	if err != nil {
+		return
+	}
+	var t wire.Topology
+	if json.Unmarshal(raw, &t) == nil {
+		c.topoMu.Lock()
+		c.topo = &t
+		c.topoMu.Unlock()
+	}
 }
 
 func decodeAPIError(status int, body []byte) error {

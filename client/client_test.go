@@ -279,3 +279,114 @@ func TestClientContextDeadline(t *testing.T) {
 		t.Fatalf("cancelled context still retried %d times", calls.Load())
 	}
 }
+
+// TestClientMovedRetriesOnceAfterTopologyRefresh: a CodeMoved answer
+// makes the client refetch GET /v1/topology and retry the request
+// exactly once; a second moved answer surfaces as hyrec.ErrMoved.
+func TestClientMovedRetriesOnceAfterTopologyRefresh(t *testing.T) {
+	var resultCalls, topoCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		if resultCalls.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			w.Write([]byte(`{"error":{"code":"moved","message":"user moved"}}`))
+			return
+		}
+		if topoCalls.Load() == 0 {
+			t.Error("retry issued before the topology refresh")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"recs":[7]}`))
+	})
+	mux.HandleFunc("/v1/topology", func(w http.ResponseWriter, r *http.Request) {
+		topoCalls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"partitions":4,"vnodes":64,"migrating":false,"users_moved_total":12}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	defer c.Close()
+	recs, err := c.ApplyResult(tctx, &hyrec.Result{UID: 1})
+	if err != nil {
+		t.Fatalf("moved answer not retried: %v", err)
+	}
+	if len(recs) != 1 || recs[0] != 7 {
+		t.Fatalf("retried result = %v", recs)
+	}
+	if got := resultCalls.Load(); got != 2 {
+		t.Fatalf("result endpoint hit %d times, want 2 (original + one retry)", got)
+	}
+	if got := topoCalls.Load(); got != 1 {
+		t.Fatalf("topology refetched %d times, want 1", got)
+	}
+	topo := c.CachedTopology()
+	if topo == nil || topo.Partitions != 4 {
+		t.Fatalf("topology cache not refreshed: %+v", topo)
+	}
+}
+
+// TestClientMovedSurfacesAfterOneRetry: persistent moved answers stop
+// after one retry and map onto hyrec.ErrMoved via errors.Is.
+func TestClientMovedSurfacesAfterOneRetry(t *testing.T) {
+	var resultCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		resultCalls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		w.Write([]byte(`{"error":{"code":"moved","message":"still moved"}}`))
+	})
+	mux.HandleFunc("/v1/topology", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"partitions":2,"migrating":false,"users_moved_total":0}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	defer c.Close()
+	_, err := c.ApplyResult(tctx, &hyrec.Result{UID: 1})
+	if !errors.Is(err, hyrec.ErrMoved) {
+		t.Fatalf("persistent moved = %v, want hyrec.ErrMoved", err)
+	}
+	if got := resultCalls.Load(); got != 2 {
+		t.Fatalf("result endpoint hit %d times, want exactly 2", got)
+	}
+}
+
+// TestClientTopologyFetch: the explicit Topology call decodes the
+// endpoint and scaling through Client.Scale reshapes a live cluster.
+func TestClientTopologyFetch(t *testing.T) {
+	cfg := hyrec.DefaultConfig()
+	cl := hyrec.NewCluster(cfg, 2)
+	srv := hyrec.NewServiceServer(cl, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close(); cl.Close() }()
+
+	c := New(ts.URL)
+	defer c.Close()
+	for u := hyrec.UserID(1); u <= 30; u++ {
+		if err := c.Rate(tctx, u, hyrec.ItemID(u), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := c.Topology(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Partitions != 2 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	topo, err = c.Scale(tctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Partitions != 4 || topo.Migrating {
+		t.Fatalf("post-scale topology = %+v", topo)
+	}
+	if cl.NumPartitions() != 4 {
+		t.Fatalf("cluster not scaled: %d", cl.NumPartitions())
+	}
+}

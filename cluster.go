@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hyrec/internal/cluster"
+	"hyrec/internal/wire"
 )
 
 // Cluster is a user-partitioned cluster of HyRec engines behind a single
@@ -22,8 +23,16 @@ type ClusterHTTPServer = cluster.HTTPServer
 
 // NewCluster builds a cluster of nParts engines sharing cfg; partition i
 // runs with a seed derived from cfg.Seed. A 1-partition cluster behaves
-// identically to a plain Engine with the same configuration.
+// identically to a plain Engine with the same configuration. The
+// partition count is elastic: Cluster.Scale reshapes it at runtime,
+// streaming only the moved users' state between engines (see
+// internal/cluster's migration coordinator).
 func NewCluster(cfg Config, nParts int) *Cluster { return cluster.New(cfg, nParts) }
+
+// Topology describes a deployment's current shape (partition count,
+// consistent-hash ring parameter, live-migration status) — served on
+// GET /v1/topology and returned by Cluster.Topology.
+type Topology = wire.Topology
 
 // NewClusterHTTPServer wraps a cluster with the fan-out web API;
 // rotateEvery > 0 rotates every partition's anonymous mapping

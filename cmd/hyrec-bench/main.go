@@ -16,7 +16,9 @@
 // (the §3.1 candidate rule dissected), metrics (similarity metrics
 // compared end-to-end), cluster (recall of the partitioned cluster vs the
 // single engine), clusterscale (Rate+Job throughput, 1 vs 4 vs 16
-// partitions), and capacity (the internal/bench scenario matrix:
+// partitions), rebalance (recall of a live 2→4 scale-out mid-replay vs a
+// statically 4-partitioned cluster), and capacity (the internal/bench
+// scenario matrix — including the rebalance users-moved/sec workload:
 // throughput, p50/p99 latency and allocs/op per named workload, on
 // engine, cluster and typed-client-over-the-wire deployments).
 //
@@ -87,7 +89,7 @@ func run(args []string) error {
 	all := []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "bandwidth",
 		"privacy", "staleness", "churn", "sampler", "metrics",
-		"cluster", "clusterscale", "capacity"}
+		"cluster", "clusterscale", "rebalance", "capacity"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = all
@@ -142,6 +144,8 @@ func run(args []string) error {
 			experiments.FprintClusterRecall(out, experiments.ClusterRecall(opt))
 		case "clusterscale":
 			experiments.FprintClusterScaling(out, experiments.ClusterScaling(opt))
+		case "rebalance":
+			experiments.FprintRebalanceRecall(out, experiments.RebalanceRecall(opt))
 		case "capacity":
 			bopt := bench.Options{Window: *window, Workers: *benchWork, Seed: *seed, Users: *benchUser}
 			rep, err := bench.Capacity(context.Background(), bopt)

@@ -15,10 +15,16 @@
 // With -partitions N (N > 1), the server runs a user-partitioned cluster
 // of N engines behind the same web API (see internal/cluster). Both
 // deployment shapes implement hyrec.Service, so one code path serves
-// either. Snapshots are cluster-aware: with -snapshot and -partitions N,
-// the state lives in one frame per partition (state.snap.p0 … .pN-1),
-// each saved with an atomic rename, and a restart with a mismatched
-// -partitions value refuses the frames instead of misrouting users.
+// either. The cluster's topology is elastic: -scale M arms a SIGHUP
+// handler that reshapes the running cluster to M partitions live —
+// streaming only the moved users' state between engines — and
+// POST /v1/topology {"partitions": M} does the same over the admin API
+// at any time. Snapshots are cluster-aware: with -snapshot and
+// -partitions N, the state lives in one frame per partition
+// (state.snap.p0 … .pN-1), each saved with an atomic rename and stamped
+// with its topology; a restart with a different -partitions value
+// restores by replaying the migration (each user routes through the
+// live consistent-hash ring to her current owner) instead of refusing.
 //
 // With -lease-ttl or -fallback-workers set, the asynchronous job
 // scheduler runs (see internal/sched): every issued job carries a lease,
@@ -79,6 +85,7 @@ func run(args []string) error {
 		leaseTTL = fs.Duration("lease-ttl", 0, "job lease duration; > 0 enables the async scheduler (leases, straggler re-issue)")
 		leaseTry = fs.Int("lease-retries", 0, "lease re-issues before server-side fallback (0 = default, negative = none)")
 		fallback = fs.Int("fallback-workers", 0, "server-side fallback worker pool size; > 0 also enables the scheduler")
+		scale    = fs.Int("scale", 0, "target partition count applied on SIGHUP (live resharding; also available any time via POST /v1/topology); > 0 forces the cluster shape")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,35 +109,56 @@ func run(args []string) error {
 	if *parts < 1 {
 		return fmt.Errorf("-partitions must be >= 1, got %d", *parts)
 	}
+	if *scale < 0 {
+		return fmt.Errorf("-scale must be >= 1 when set, got %d", *scale)
+	}
 
 	// Both deployment shapes are a hyrec.Service; everything below this
 	// switch is shape-agnostic.
 	var svc hyrec.Service
 	var saver *persist.Saver
 	switch {
-	case *parts > 1:
+	case *parts > 1 || *scale > 0:
+		// -scale forces the cluster shape even for one partition: only
+		// a cluster can reshape its topology live.
 		cl := hyrec.NewCluster(cfg, *parts)
 		if *snapPath != "" {
 			// One persist frame per partition (state.snap.p0 … .pN-1),
-			// each renamed into place atomically; the frames are stamped
-			// with the topology, so a restart with a different
-			// -partitions value refuses to scatter users across the
-			// wrong engines.
-			switch snaps, err := persist.LoadCluster(*snapPath, *parts); {
+			// each renamed into place atomically and stamped with the
+			// topology it was saved under. The restore is
+			// topology-elastic: frames from any historical partition
+			// count (including a legacy single-engine frame at the bare
+			// path) load by replaying the migration — every user routes
+			// through the live ring to her current owner.
+			switch snaps, err := persist.LoadClusterAny(*snapPath); {
 			case err == nil:
 				if err := persist.RestoreCluster(cl, snaps); err != nil {
 					return fmt.Errorf("restore cluster snapshot: %w", err)
 				}
-				fmt.Printf("restored %d users across %d partitions from %s.p*\n", cl.Len(), *parts, *snapPath)
-			case errors.Is(err, os.ErrNotExist):
-				// No partition frames — but a legacy single-engine frame
-				// at the bare path means this deployment used to run
-				// -partitions 1: refuse rather than silently serving an
-				// empty dataset next to its own saved state.
-				if _, statErr := os.Stat(*snapPath); statErr == nil {
-					return fmt.Errorf("snapshot %s was saved by a single-engine deployment; restart with -partitions 1 (or move the file aside to start fresh)", *snapPath)
+				if len(snaps) != *parts {
+					fmt.Printf("restored %d users from a %d-partition snapshot into %d partitions (migration replay) from %s.p*\n",
+						cl.Len(), len(snaps), *parts, *snapPath)
+				} else {
+					fmt.Printf("restored %d users across %d partitions from %s.p*\n", cl.Len(), *parts, *snapPath)
 				}
-				fmt.Printf("no cluster snapshot at %s.p*; starting fresh\n", *snapPath)
+			case errors.Is(err, os.ErrNotExist):
+				// No partition frames — a legacy single-engine frame at
+				// the bare path restores via the same migration replay.
+				// A file that exists but fails to load (corrupt,
+				// truncated, wrong version) refuses to boot rather than
+				// silently serving an empty dataset next to saved state.
+				switch snap, serr := persist.Load(*snapPath); {
+				case serr == nil:
+					if err := persist.RestoreCluster(cl, []*persist.Snapshot{snap}); err != nil {
+						return fmt.Errorf("restore single-engine snapshot into cluster: %w", err)
+					}
+					fmt.Printf("restored %d users from single-engine snapshot %s into %d partitions (migration replay)\n",
+						cl.Len(), *snapPath, *parts)
+				case errors.Is(serr, os.ErrNotExist):
+					fmt.Printf("no cluster snapshot at %s.p*; starting fresh\n", *snapPath)
+				default:
+					return fmt.Errorf("load legacy snapshot %s: %w", *snapPath, serr)
+				}
 			default:
 				return fmt.Errorf("load cluster snapshot: %w", err)
 			}
@@ -138,6 +166,23 @@ func run(args []string) error {
 				log.Printf("cluster snapshot save failed: %v", err)
 			})
 			saver.Start()
+		}
+		if *scale > 0 {
+			// SIGHUP performs the live resharding to the -scale target:
+			// kill -HUP is the zero-downtime capacity lever.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					log.Printf("SIGHUP: scaling to %d partitions", *scale)
+					if err := cl.Scale(context.Background(), *scale); err != nil {
+						log.Printf("scale to %d failed: %v", *scale, err)
+						continue
+					}
+					log.Printf("scale complete: %d partitions, %d users moved total",
+						cl.NumPartitions(), cl.Topology().UsersMovedTotal)
+				}
+			}()
 		}
 		svc = cl
 	default:
@@ -174,8 +219,8 @@ func run(args []string) error {
 	srv := hyrec.NewServiceServer(svc, *rotate)
 	srv.Start()
 
-	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s sched=%v fallback=%d)\n",
-		*addr, *parts, *k, *r, *rotate, cfg.SchedulerEnabled(), *fallback)
+	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s sched=%v fallback=%d scale-on-HUP=%d)\n",
+		*addr, *parts, *k, *r, *rotate, cfg.SchedulerEnabled(), *fallback, *scale)
 	defer svc.Close()
 	return serve(*addr, srv, saver, *grace)
 }

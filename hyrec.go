@@ -115,6 +115,9 @@ var (
 	// completed, superseded, expired past its retry budget, or never
 	// issued.
 	ErrUnknownLease = server.ErrUnknownLease
+	// ErrMoved: the user's state migrated to a different partition in a
+	// completed topology change; clients refresh /v1/topology and retry.
+	ErrMoved = server.ErrMoved
 )
 
 // Scheduler-facing capability interfaces (see internal/sched for the

@@ -234,3 +234,21 @@ func TestWorkloadDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestRebalanceScenario: the live-resharding benchmark completes at a
+// short window, moves users, and reports sane per-user numbers.
+func TestRebalanceScenario(t *testing.T) {
+	res, err := Rebalance(context.Background(), Options{Window: 50 * time.Millisecond, Workers: 2, Users: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "rebalance" || res.Service != "cluster-2x4" {
+		t.Fatalf("rebalance result mislabeled: %+v", res)
+	}
+	if res.Ops <= 0 || res.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("rebalance moved nothing: %+v", res)
+	}
+	if res.P99Ms < res.P50Ms || res.AllocsPerOp <= 0 {
+		t.Fatalf("implausible rebalance stats: %+v", res)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"hyrec/internal/core"
 	"hyrec/internal/loadgen"
 	"hyrec/internal/server"
+	"hyrec/internal/stats"
 	"hyrec/internal/widget"
 	"hyrec/internal/wire"
 )
@@ -234,11 +236,101 @@ func wireScenarios(users int) map[string]Scenario {
 	}
 }
 
+// Rebalance measures the elastic-topology coordinator: a 2-partition
+// cluster seeded with the standard population alternates live
+// Scale(4)/Scale(2) cycles for the measurement window while light
+// rate/serve traffic keeps flowing, and the scenario records
+// users-moved per second as its throughput, per-moved-user milliseconds
+// as its latency samples, and allocations per moved user — the
+// rebalance numbers that ride alongside the capacity matrix in
+// BENCH_hotpath.json.
+func Rebalance(ctx context.Context, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	const items = 2000
+	cfg := server.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cl := cluster.New(cfg, 2)
+	defer cl.Close()
+	if err := seedPopulation(ctx, cl, opt.Users, items, 6); err != nil {
+		return Result{}, fmt.Errorf("bench: rebalance setup: %w", err)
+	}
+
+	// Light concurrent traffic: the coordinator must stream state while
+	// the cluster keeps serving (the live-migration claim).
+	trafficCtx, stopTraffic := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; trafficCtx.Err() == nil; i++ {
+				u := benchUID(w, i, opt.Users)
+				if i%2 == 0 {
+					cl.Rate(trafficCtx, u, benchItem(i, items), true)
+				} else {
+					servePayload(cl, u)
+				}
+			}
+		}(w)
+	}
+
+	var lats []float64
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	deadline := start.Add(opt.Window)
+	target := 4
+	movedBase := cl.Topology().UsersMovedTotal
+	for first := true; first || time.Now().Before(deadline); first = false {
+		before := cl.Topology().UsersMovedTotal
+		t0 := time.Now()
+		if err := cl.Scale(ctx, target); err != nil {
+			stopTraffic()
+			wg.Wait()
+			return Result{}, fmt.Errorf("bench: rebalance scale(%d): %w", target, err)
+		}
+		cycle := time.Since(t0)
+		n := cl.Topology().UsersMovedTotal - before
+		if n > 0 {
+			per := float64(cycle) / float64(time.Millisecond) / float64(n)
+			for i := int64(0); i < n; i++ {
+				lats = append(lats, per)
+			}
+		}
+		target = 6 - target // alternate 4 ↔ 2
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	stopTraffic()
+	wg.Wait()
+
+	moved := cl.Topology().UsersMovedTotal - movedBase
+	res := Result{
+		Scenario: "rebalance",
+		Service:  "cluster-2x4",
+		Mode:     "inproc",
+		Workers:  opt.Workers,
+		Ops:      moved,
+		Seconds:  elapsed.Seconds(),
+	}
+	if moved == 0 {
+		return res, fmt.Errorf("bench: rebalance moved zero users")
+	}
+	res.ThroughputOpsPerSec = float64(moved) / elapsed.Seconds()
+	res.P50Ms = stats.Percentile(lats, 50)
+	res.P99Ms = stats.Percentile(lats, 99)
+	// Allocation counters include the concurrent traffic — the honest
+	// cost of a rebalance under load.
+	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(moved)
+	res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(moved)
+	return res, nil
+}
+
 // Capacity runs the full capacity matrix: the three canonical scenarios
 // against a single engine, the serving scenario against a 4-partition
-// cluster, and the wire scenarios through the typed client against a
-// live HTTP server. The result is the report committed as
-// BENCH_hotpath.json.
+// cluster, the rebalance scenario against a live-scaling cluster, and
+// the wire scenarios through the typed client against a live HTTP
+// server. The result is the report committed as BENCH_hotpath.json.
 func Capacity(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := NewReport(opt)
@@ -266,6 +358,14 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 		return nil, err
 	}
 	res.Service, res.Mode = "cluster-4", "inproc"
+	rep.Scenarios = append(rep.Scenarios, res)
+
+	// The rebalance scenario: live 2↔4 scale cycles under traffic,
+	// measured in users-moved/sec.
+	res, err = Rebalance(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
 	rep.Scenarios = append(rep.Scenarios, res)
 
 	// Wire mode: a real HTTP server on localhost, driven through the

@@ -14,6 +14,7 @@ import (
 	"hyrec/internal/core"
 	"hyrec/internal/server"
 	"hyrec/internal/widget"
+	"hyrec/internal/wire"
 )
 
 // rawClient fetches without transparent gzip decompression, so /online
@@ -298,4 +299,124 @@ func TestHTTPServerConfigSharing(t *testing.T) {
 		t.Fatalf("profile size via cluster = %d, want 1", got)
 	}
 	var _ server.Config = c.Config()
+}
+
+// TestHTTPTopologyEndpoint: GET /v1/topology reports the live shape,
+// POST /v1/topology performs a synchronous scale-out and reports the
+// new one, and /stats carries the migrating flag and topology gauges.
+func TestHTTPTopologyEndpoint(t *testing.T) {
+	c, ts := newTestFrontend(t, 2)
+	for u := core.UserID(1); u <= 50; u++ {
+		if err := c.Rate(context.Background(), u, core.ItemID(u), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var topo wire.Topology
+	resp, err := http.Get(ts.URL + "/v1/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/topology = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Partitions != 2 || topo.Migrating {
+		t.Fatalf("topology = %+v, want 2 partitions, not migrating", topo)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/topology", "application/json",
+		bytes.NewReader([]byte(`{"partitions":4}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/topology = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Partitions != 4 || topo.Migrating {
+		t.Fatalf("post-scale topology = %+v, want 4 partitions, migration complete", topo)
+	}
+	if c.NumPartitions() != 4 {
+		t.Fatalf("cluster did not scale: %d partitions", c.NumPartitions())
+	}
+
+	// Bad targets are refused with the typed envelope.
+	resp, err = http.Post(ts.URL+"/v1/topology", "application/json",
+		bytes.NewReader([]byte(`{"partitions":0}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte(wire.CodeBadRequest)) {
+		t.Fatalf("scale to 0 = %d: %s", resp.StatusCode, body)
+	}
+
+	// /stats carries the elastic-topology fields.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if migrating, ok := stats["migrating"].(bool); !ok || migrating {
+		t.Fatalf("/stats migrating = %v (%T)", stats["migrating"], stats["migrating"])
+	}
+	if parts, _ := stats["topology_partitions"].(float64); parts != 4 {
+		t.Fatalf("/stats topology_partitions = %v", stats["topology_partitions"])
+	}
+	if _, ok := stats["migration_users_moved_total"].(float64); !ok {
+		t.Fatalf("/stats migration_users_moved_total missing: %v", stats)
+	}
+}
+
+// TestHTTPMetricsAlias: GET /metrics serves the same counters as
+// /stats in Prometheus text format, including the elastic-topology
+// gauges the satellite names.
+func TestHTTPMetricsAlias(t *testing.T) {
+	c, ts := newTestFrontend(t, 2)
+	for u := core.UserID(1); u <= 20; u++ {
+		if err := c.Rate(context.Background(), u, core.ItemID(u), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Scale(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"hyrec_topology_partitions 3",
+		"hyrec_migration_users_moved_total",
+		"hyrec_migrating 0",
+		"hyrec_users ",
+		"hyrec_knn_entries",
+		`hyrec_users_per_part{partition="2"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
 }

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"hyrec/internal/core"
+)
+
+// TestRingDeterminism pins the ring as a pure function of
+// (partitions, vnodes): two independently built rings agree on every
+// user — the property snapshot replay and cross-process routing rely on.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(5, DefaultVNodes)
+	b := NewRing(5, DefaultVNodes)
+	for u := core.UserID(1); u <= 10_000; u++ {
+		if a.Owner(u) != b.Owner(u) {
+			t.Fatalf("ring not deterministic: user %d owned by %d and %d", u, a.Owner(u), b.Owner(u))
+		}
+	}
+}
+
+// TestRingOwnersInRange: every user maps to a live partition, for a
+// sweep of partition counts.
+func TestRingOwnersInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+		r := NewRing(n, DefaultVNodes)
+		for u := core.UserID(1); u <= 5_000; u++ {
+			if p := r.Owner(u); p < 0 || p >= n {
+				t.Fatalf("ring(%d): user %d maps to dead partition %d", n, u, p)
+			}
+		}
+	}
+}
+
+// TestRingStableUnderScale is the consistent-hashing property: growing
+// the ring N→N+1 moves only the users the new partition stole (roughly
+// 1/(N+1) of the population; never more than a small multiple of it),
+// every moved user lands on the NEW partition, and nobody shuffles
+// between surviving partitions. Shrinking is the mirror image: only the
+// removed partition's users move, and no survivor-owned user changes
+// hands.
+func TestRingStableUnderScale(t *testing.T) {
+	const users = 20_000
+	for _, n := range []int{2, 4, 8} {
+		small := NewRing(n, DefaultVNodes)
+		big := NewRing(n+1, DefaultVNodes)
+		moved := 0
+		for u := core.UserID(1); u <= users; u++ {
+			a, b := small.Owner(u), big.Owner(u)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("grow %d→%d: user %d moved %d→%d, not to the new partition", n, n+1, u, a, b)
+				}
+			}
+		}
+		// Expect ~users/(n+1); allow [⅓×, 3×] of that for hash variance.
+		want := users / (n + 1)
+		if moved < want/3 || moved > 3*want {
+			t.Fatalf("grow %d→%d moved %d users, want ≈%d (consistent hashing broken)", n, n+1, moved, want)
+		}
+
+		// Shrinking: only the removed partition's users move.
+		for u := core.UserID(1); u <= users; u++ {
+			a, b := big.Owner(u), small.Owner(u)
+			if a != b && a != n {
+				t.Fatalf("shrink %d→%d: user %d moved %d→%d but partition %d was not removed",
+					n+1, n, u, a, b, a)
+			}
+		}
+	}
+}
+
+// TestRingBalance: ownership stays within a reasonable band of uniform
+// at the partition counts deployments actually run.
+func TestRingBalance(t *testing.T) {
+	const users = 50_000
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(n, DefaultVNodes)
+		counts := make([]int, n)
+		for u := core.UserID(1); u <= users; u++ {
+			counts[r.Owner(u)]++
+		}
+		want := users / n
+		for p, got := range counts {
+			if got < want/2 || got > 2*want {
+				t.Fatalf("ring(%d): partition %d owns %d of %d users (uniform ≈%d); badly skewed: %v",
+					n, p, got, users, want, counts)
+			}
+		}
+	}
+}
+
+// TestRingRoundTrip: because the ring is a pure function of the
+// partition count, scaling N→M→N restores the original ownership of
+// every user exactly.
+func TestRingRoundTrip(t *testing.T) {
+	n4a := NewRing(4, DefaultVNodes)
+	_ = NewRing(7, DefaultVNodes) // the detour topology
+	n4b := NewRing(4, DefaultVNodes)
+	for u := core.UserID(1); u <= 10_000; u++ {
+		if n4a.Owner(u) != n4b.Owner(u) {
+			t.Fatalf("N→M→N ownership not restored for user %d", u)
+		}
+	}
+}

@@ -34,15 +34,20 @@ var _ PeerSampler = EnginePeers{}
 // shortfall — so a small or empty sibling does not starve the exchange
 // while other rosters still have users to offer.
 func (p EnginePeers) SamplePeers(home, n int, exclude core.UserID) []core.UserID {
-	c := p.Cluster
-	siblings := len(c.parts) - 1
+	// One topology snapshot for the whole draw: a concurrent Scale
+	// cannot change the sibling set mid-pass. home may exceed the
+	// snapshot's partition count transiently when a scale-in removed the
+	// sampling partition; the modulo arithmetic below keeps the draw
+	// well-defined for the engine's remaining in-flight jobs.
+	t := p.Cluster.snap()
+	siblings := len(t.parts) - 1
 	if siblings < 1 || n <= 0 {
 		return nil
 	}
 	out := make([]core.UserID, 0, n)
 	seen := make(map[core.UserID]struct{}, n)
 	take := func(part, want int) {
-		for _, u := range c.parts[part].RandomUsers(want, exclude) {
+		for _, u := range t.parts[part].RandomUsers(want, exclude) {
 			if _, dup := seen[u]; dup {
 				continue
 			}
@@ -59,7 +64,7 @@ func (p EnginePeers) SamplePeers(home, n int, exclude core.UserID) []core.UserID
 					want = (want + left - 1) / left
 				}
 			}
-			take((home+d)%len(c.parts), want)
+			take((home+d)%len(t.parts), want)
 		}
 	}
 	return out
@@ -106,7 +111,7 @@ func (s *exchangeSampler) SampleView(v *server.TableView, u core.UserID, k int) 
 // deduplicated against the local picks.
 func (s *exchangeSampler) topUp(out []core.UserID, u core.UserID) []core.UserID {
 	n := s.cluster.exchange
-	if n <= 0 || len(s.cluster.parts) < 2 {
+	if n <= 0 || s.cluster.NumPartitions() < 2 {
 		return out
 	}
 	peers := s.cluster.peers.SamplePeers(s.home, n, u)

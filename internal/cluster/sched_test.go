@@ -80,8 +80,8 @@ func TestClusterDispatchDrainsAllPartitions(t *testing.T) {
 	}
 }
 
-// TestClusterAckRoutesByLeaseLane: lease IDs are partition-disjoint and
-// Ack lands on the minting partition.
+// TestClusterAckRoutesByLeaseLane: lease IDs are partition-disjoint
+// through the lane registry and Ack lands on the minting partition.
 func TestClusterAckRoutesByLeaseLane(t *testing.T) {
 	c := New(schedClusterConfig(), 3)
 	defer c.Close()
@@ -97,7 +97,10 @@ func TestClusterAckRoutesByLeaseLane(t *testing.T) {
 		if job == nil {
 			break
 		}
-		wantPart := int((job.Lease - 1) % 3)
+		wantPart := c.LanePartition(job.Lease)
+		if wantPart < 0 {
+			t.Fatalf("lease %d routes to no lane", job.Lease)
+		}
 		u, ok := c.Engine(wantPart).ResolveUser(core.UserID(job.UID), job.Epoch)
 		if !ok || c.Partition(u) != wantPart {
 			t.Fatalf("lease %d lane does not match minting partition", job.Lease)

@@ -76,8 +76,14 @@ type Snapshot struct {
 	// frame holds partition Partition of a Partitions-wide deployment
 	// (cluster.go). Both zero for a single-engine snapshot — the legacy
 	// format, which decodes unchanged.
-	Partition  int          `json:"partition,omitempty"`
-	Partitions int          `json:"partitions,omitempty"`
+	Partition  int `json:"partition,omitempty"`
+	Partitions int `json:"partitions,omitempty"`
+	// RingVNodes stamps the consistent-hash ring parameter the saving
+	// cluster routed with. (Partitions, RingVNodes) fully determine the
+	// ring, so the restore path can reconstruct any historical topology
+	// and replay its users into the running one. Zero for legacy frames
+	// (fixed-hash or single-engine deployments).
+	RingVNodes int          `json:"ring_vnodes,omitempty"`
 	Users      []UserRecord `json:"users"`
 	KNN        []KNNRecord  `json:"knn"`
 }
@@ -196,13 +202,29 @@ func Decode(r io.Reader) (*Snapshot, error) {
 
 // Save atomically writes the snapshot to path: encode to a temp file in
 // the same directory, sync, then rename over the destination.
-func Save(path string, s *Snapshot) (err error) {
+func Save(path string, s *Snapshot) error {
+	tmpName, err := saveTemp(path, s)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: rename into place: %w", err)
+	}
+	return nil
+}
+
+// saveTemp encodes and fsyncs the snapshot into a fresh temp file next
+// to path, returning its name. The caller renames it into place (or
+// removes it on failure) — split out so a multi-frame cluster save can
+// stage every frame before renaming any.
+func saveTemp(path string, s *Snapshot) (tmpName string, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("persist: create temp: %w", err)
+		return "", fmt.Errorf("persist: create temp: %w", err)
 	}
-	tmpName := tmp.Name()
+	tmpName = tmp.Name()
 	defer func() {
 		if err != nil {
 			tmp.Close()
@@ -210,18 +232,15 @@ func Save(path string, s *Snapshot) (err error) {
 		}
 	}()
 	if err = s.Encode(tmp); err != nil {
-		return err
+		return "", err
 	}
 	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("persist: sync: %w", err)
+		return "", fmt.Errorf("persist: sync: %w", err)
 	}
 	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("persist: close temp: %w", err)
+		return "", fmt.Errorf("persist: close temp: %w", err)
 	}
-	if err = os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("persist: rename into place: %w", err)
-	}
-	return nil
+	return tmpName, nil
 }
 
 // Load reads and verifies the snapshot at path.

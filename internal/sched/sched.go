@@ -407,6 +407,42 @@ func (s *Scheduler) Refreshed(u core.UserID) {
 	s.completeLocked(st)
 }
 
+// Evict withdraws u from the scheduler's lifecycle: any outstanding
+// lease is dropped (a later ack for it reports unknown), the pending
+// and fallback queues forget the user, and the refresh cycle is
+// cancelled. It reports whether u still owed a refresh — pending,
+// leased, queued for fallback, or re-dirtied mid-flight — so a
+// migration coordinator can re-mark the user stale on the partition
+// that owns her now. The user's record is retained (an in-flight
+// fallback execution may still consult it); a fresh record costs a few
+// dozen bytes and is rebuilt on the next MarkStale anyway.
+func (s *Scheduler) Evict(u core.UserID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.users[u]
+	if !ok {
+		return false
+	}
+	owed := st.st != stateFresh || st.dirtyAgain
+	if st.leaseID != 0 {
+		delete(s.leases, st.leaseID)
+		st.leaseID = 0
+	}
+	if st.heapIdx >= 0 {
+		heap.Remove(&s.pending, st.heapIdx)
+	}
+	for i, q := range s.fallbackQ {
+		if q == u {
+			s.fallbackQ = append(s.fallbackQ[:i], s.fallbackQ[i+1:]...)
+			break
+		}
+	}
+	st.st = stateFresh
+	st.dirtyAgain = false
+	st.retries = 0
+	return owed
+}
+
 // SweepNow expires overdue leases and promotes over-age pending users to
 // the fallback pool immediately (the sweeper goroutine does the same on
 // a timer; tests call this directly).

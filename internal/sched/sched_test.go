@@ -404,3 +404,51 @@ func TestFallbackSkipsUsersRefreshedWhileQueued(t *testing.T) {
 		t.Fatal("blocked user never executed")
 	}
 }
+
+// TestEvictWithdrawsUser: Evict drops the outstanding lease (a later
+// ack reports unknown), removes the user from the pending and fallback
+// queues, and reports whether a refresh was still owed — the migration
+// coordinator's contract when a user's ownership moves away.
+func TestEvictWithdrawsUser(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSched(t, Config{LeaseTTL: time.Minute, Clock: clk.Now}, nil)
+
+	if s.Evict(99) {
+		t.Fatal("evicting an untracked user reported owed work")
+	}
+
+	// Pending user: owed, and gone from the queue afterwards.
+	s.MarkStale(1)
+	if !s.Evict(1) {
+		t.Fatal("pending user eviction reported no owed work")
+	}
+	if _, ok := s.TryNext(); ok {
+		t.Fatal("evicted pending user still dispatched")
+	}
+
+	// Leased user: owed, and the lease dies with the eviction.
+	l := s.Acquire(2)
+	if !s.Evict(2) {
+		t.Fatal("leased user eviction reported no owed work")
+	}
+	if s.Ack(l.ID, true) {
+		t.Fatal("ack of an evicted lease succeeded")
+	}
+	if !s.Quiet() {
+		t.Fatal("scheduler not quiet after evictions")
+	}
+
+	// Fresh (refreshed) user: nothing owed.
+	l3 := s.Acquire(3)
+	s.Ack(l3.ID, true)
+	if s.Evict(3) {
+		t.Fatal("fresh user eviction reported owed work")
+	}
+
+	// Re-dirtied mid-lease: owed.
+	s.Acquire(4)
+	s.MarkStale(4)
+	if !s.Evict(4) {
+		t.Fatal("dirty-again user eviction reported no owed work")
+	}
+}

@@ -180,6 +180,14 @@ var ErrUnknownLease = errors.New("server: unknown or expired lease")
 // Job.
 var ErrUnknownUser = errors.New("server: unknown user")
 
+// ErrMoved is returned when a request's user state has moved to a
+// different partition in a completed topology change — the pseudonyms
+// still resolve on the partition that minted them, but ownership has
+// migrated, so applying the result there would write into a drained
+// table. Mapped to HTTP 421 / CodeMoved; the typed client reacts by
+// refreshing its topology and retrying once.
+var ErrMoved = errors.New("server: user state moved to a different partition")
+
 // NewEngine builds an engine from cfg. It panics on invalid configuration
 // (programmer error), mirroring stdlib constructors like topk.New.
 func NewEngine(cfg Config) *Engine {
@@ -221,6 +229,10 @@ func NewEngine(cfg Config) *Engine {
 // configuration runs the synchronous flow). A cluster uses it to
 // partition the lease-ID space; tests and stats read its counters.
 func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
+
+// Topology implements TopologyProvider: a single engine is a fixed
+// 1-partition topology that never migrates.
+func (e *Engine) Topology() wire.Topology { return wire.Topology{Partitions: 1} }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -595,6 +607,14 @@ func (e *Engine) refreshLocally(ctx context.Context, u core.UserID) error {
 			ids = append(ids, n.User)
 		}
 	}
+	if !e.profiles.Known(u) {
+		// u was migrated away (entombed) while this refresh was
+		// executing; writing the row back would resurrect stale state on
+		// a partition that no longer owns her. (A write can still slip
+		// through between this check and the Put — the residual is one
+		// stale KNN row with no profile, swept by the next migration.)
+		return nil
+	}
 	e.knn.Put(u, ids)
 	if recs := core.Recommend(p, profs, e.cfg.R); len(recs) > 0 {
 		e.recs.Put(u, recs)
@@ -804,22 +824,58 @@ func (e *Engine) ApplyResult(ctx context.Context, res *wire.Result) ([]core.Item
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	rr, err := e.ResolveResult(res)
+	if err != nil {
+		return nil, err
+	}
+	if !e.profiles.Known(rr.User) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, rr.User)
+	}
+	return e.ApplyResolved(ctx, rr)
+}
+
+// ResolvedResult is a widget result translated back into real
+// identifiers by the anonymiser that minted its pseudonyms. Resolution
+// and application are separate steps so a cluster mid-migration can
+// resolve a result on the partition that issued the job and fold it
+// into the partition that owns the user now (double-routing).
+type ResolvedResult struct {
+	// User is the real user the result refreshes.
+	User core.UserID
+	// Lease echoes the result's lease ID (0 for legacy results).
+	Lease uint64
+	// Neighbors is the protocol-enforced neighbor list: duplicates
+	// dropped, self dropped, at most K entries.
+	Neighbors []core.UserID
+	// Recs is the de-anonymised recommendation list, capped at R.
+	Recs []core.ItemID
+	// wireNeighbors/wireRecs are the raw wire counts, for the bandwidth
+	// meter of whichever engine applies the result.
+	wireNeighbors, wireRecs int
+}
+
+// ResolveResult translates res's pseudonyms against this engine's
+// anonymiser and enforces the protocol's shape. The client is untrusted
+// (Section 6: "HyRec limits the impact of untrusted and malicious
+// nodes"): it can only corrupt its own row, but that row feeds other
+// users' candidate sets, so duplicates and self-references are dropped
+// and the lists are capped at K neighbors and R recommendations. It does
+// not touch the tables; pair with ApplyResolved.
+func (e *Engine) ResolveResult(res *wire.Result) (*ResolvedResult, error) {
 	u, ok := e.ResolveUser(core.UserID(res.UID), res.Epoch)
 	if !ok {
 		return nil, fmt.Errorf("%w: uid alias %d epoch %d", ErrStaleEpoch, res.UID, res.Epoch)
 	}
-	if !e.profiles.Known(u) {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownUser, u)
+	rr := &ResolvedResult{
+		User:          u,
+		Lease:         res.Lease,
+		Neighbors:     make([]core.UserID, 0, min(len(res.Neighbors), e.cfg.K)),
+		wireNeighbors: len(res.Neighbors),
+		wireRecs:      len(res.Recommendations),
 	}
-	// The client is untrusted (Section 6: "HyRec limits the impact of
-	// untrusted and malicious nodes"): it can only corrupt its own row,
-	// but that row feeds other users' candidate sets, so the server
-	// enforces the protocol's shape — duplicates dropped, self dropped,
-	// at most K neighbors and R recommendations.
-	neighbors := make([]core.UserID, 0, min(len(res.Neighbors), e.cfg.K))
 	seen := make(map[core.UserID]struct{}, e.cfg.K)
 	for _, alias := range res.Neighbors {
-		if len(neighbors) >= e.cfg.K {
+		if len(rr.Neighbors) >= e.cfg.K {
 			break
 		}
 		v, ok := e.ResolveUser(core.UserID(alias), res.Epoch)
@@ -833,37 +889,47 @@ func (e *Engine) ApplyResult(ctx context.Context, res *wire.Result) ([]core.Item
 			continue
 		}
 		seen[v] = struct{}{}
-		neighbors = append(neighbors, v)
+		rr.Neighbors = append(rr.Neighbors, v)
 	}
-	e.knn.Put(u, neighbors)
-
 	recAliases := res.Recommendations
 	if len(recAliases) > e.cfg.R {
 		recAliases = recAliases[:e.cfg.R]
 	}
-	recs := make([]core.ItemID, 0, len(recAliases))
+	rr.Recs = make([]core.ItemID, 0, len(recAliases))
 	for _, alias := range recAliases {
 		item, ok := e.resolveItem(core.ItemID(alias), res.Epoch)
 		if !ok {
 			return nil, fmt.Errorf("%w: item alias %d epoch %d", ErrStaleEpoch, alias, res.Epoch)
 		}
-		recs = append(recs, item)
+		rr.Recs = append(rr.Recs, item)
 	}
-	if len(recs) > 0 {
-		e.recs.Put(u, recs)
+	return rr, nil
+}
+
+// ApplyResolved folds an already-resolved result into this engine's
+// tables: the KNN row is replaced, recommendations are retained, the
+// bandwidth meter is credited, and the scheduler's refresh cycle for the
+// user is retired.
+func (e *Engine) ApplyResolved(ctx context.Context, rr *ResolvedResult) ([]core.ItemID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	e.meter.CountResult(len(res.Neighbors)*10 + len(res.Recommendations)*10 + 32)
+	e.knn.Put(rr.User, rr.Neighbors)
+	if len(rr.Recs) > 0 {
+		e.recs.Put(rr.User, rr.Recs)
+	}
+	e.meter.CountResult(rr.wireNeighbors*10 + rr.wireRecs*10 + 32)
 	if e.sched != nil {
 		// The fold-in is the implicit ack — with the lease's user binding
 		// verified, so a result quoting some other user's lease ID cannot
 		// retire that user's cycle. A result whose own lease has been
-		// superseded or already expired is still a valid refresh of u's
+		// superseded or already expired is still a valid refresh of the
 		// row, so the cycle completes either way.
-		if res.Lease == 0 || !e.sched.AckUser(res.Lease, u, true) {
-			e.sched.Refreshed(u)
+		if rr.Lease == 0 || !e.sched.AckUser(rr.Lease, rr.User, true) {
+			e.sched.Refreshed(rr.User)
 		}
 	}
-	return recs, nil
+	return rr.Recs, nil
 }
 
 // ResolveUser inverts a user pseudonym minted by this engine's anonymiser

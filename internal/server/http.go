@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -149,6 +150,7 @@ func (s *HTTPServer) Handler() http.Handler {
 	mux.HandleFunc("/rate", s.handleRate)
 	mux.HandleFunc("/recommendations", s.handleRecommendations)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -159,6 +161,7 @@ func (s *HTTPServer) Handler() http.Handler {
 	mux.HandleFunc(wire.V1Prefix+"/result", s.handleV1Result)
 	mux.HandleFunc(wire.V1Prefix+"/recs", s.handleV1Recs)
 	mux.HandleFunc(wire.V1Prefix+"/neighbors", s.handleV1Neighbors)
+	mux.HandleFunc(wire.V1Prefix+"/topology", s.handleV1Topology)
 	return mux
 }
 
@@ -298,6 +301,97 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(stats); err != nil {
 		return
+	}
+}
+
+// handleMetrics serves GET /metrics: the same counters as /stats in
+// Prometheus text exposition format, plus the elastic-topology gauges
+// hyrec_topology_partitions and hyrec_migration_users_moved_total. The
+// alias lets a scrape target consume the deployment without a JSON
+// exporter sidecar.
+func (s *HTTPServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	stats := map[string]any{}
+	if sp, ok := s.svc.(StatsProvider); ok {
+		stats = sp.Stats()
+	}
+	stats["online_users"] = int64(s.seen.Online(presenceWindow))
+	if tp, ok := s.svc.(TopologyProvider); ok {
+		topo := tp.Topology()
+		stats["topology_partitions"] = int64(topo.Partitions)
+		stats["migration_users_moved_total"] = topo.UsersMovedTotal
+		stats["migrating"] = topo.Migrating
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, k := range keys {
+		name := "hyrec_" + k
+		switch v := stats[k].(type) {
+		case int:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+		case int64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+		case float64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+		case bool:
+			b := 0
+			if v {
+				b = 1
+			}
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, b)
+		case []int64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			for i, n := range v {
+				fmt.Fprintf(w, "%s{partition=\"%d\"} %d\n", name, i, n)
+			}
+		}
+	}
+}
+
+// handleV1Topology serves the admin topology endpoint: GET reports the
+// current shape (partition count, ring parameter, migration status);
+// POST triggers a live resharding to the requested partition count and
+// returns the resulting topology once the migration has completed.
+func (s *HTTPServer) handleV1Topology(w http.ResponseWriter, r *http.Request) {
+	tp, ok := s.svc.(TopologyProvider)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service reports no topology")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, tp.Topology())
+	case http.MethodPost:
+		sc, ok := s.svc.(Scaler)
+		if !ok {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service is not elastic (single engine?)")
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
+		if err != nil {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad scale body: "+err.Error())
+			return
+		}
+		var req wire.ScaleRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad scale body: "+err.Error())
+			return
+		}
+		if req.Partitions < 1 {
+			writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest,
+				fmt.Sprintf("partitions must be >= 1, got %d", req.Partitions))
+			return
+		}
+		if err := sc.Scale(r.Context(), req.Partitions); err != nil {
+			writeV1ServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tp.Topology())
+	default:
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET or POST required")
 	}
 }
 
@@ -663,6 +757,8 @@ func statusForErr(err error) (int, string) {
 		return http.StatusNotFound, wire.CodeUnknownUser
 	case errors.Is(err, ErrUnknownLease):
 		return http.StatusNotFound, wire.CodeUnknownLease
+	case errors.Is(err, ErrMoved):
+		return http.StatusMisdirectedRequest, wire.CodeMoved
 	default:
 		return http.StatusInternalServerError, wire.CodeInternal
 	}

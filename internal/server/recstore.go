@@ -73,6 +73,36 @@ func (s *recStore) Get(u core.UserID) []core.ItemID {
 	return el.Value.(*recEntry).recs
 }
 
+// PutIfAbsent records u's recommendations only when none are retained,
+// reporting whether it stored — atomic, so a state import can never
+// clobber a fresher entry a concurrent fold-in just wrote.
+func (s *recStore) PutIfAbsent(u core.UserID, recs []core.ItemID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idx[u]; ok {
+		return false
+	}
+	if s.ll.Len() >= s.cap {
+		if oldest := s.ll.Back(); oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.idx, oldest.Value.(*recEntry).user)
+		}
+	}
+	s.idx[u] = s.ll.PushFront(&recEntry{user: u, recs: recs})
+	return true
+}
+
+// Delete drops u's entry (no-op when absent). Used when u's ownership
+// migrates to a sibling partition.
+func (s *recStore) Delete(u core.UserID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.idx[u]; ok {
+		s.ll.Remove(el)
+		delete(s.idx, u)
+	}
+}
+
 // Len reports the number of retained users.
 func (s *recStore) Len() int {
 	s.mu.Lock()

@@ -108,6 +108,22 @@ type Configured interface {
 	Config() Config
 }
 
+// TopologyProvider reports the deployment's current topology — served
+// on GET /v1/topology and summarized by the /metrics gauges. A single
+// engine is a 1-partition topology; a cluster reports its live ring.
+type TopologyProvider interface {
+	Topology() wire.Topology
+}
+
+// Scaler reshapes the deployment to a new partition count at runtime,
+// streaming moved users' state between partitions (POST /v1/topology,
+// SIGHUP in cmd/hyrec-server). Only elastic deployments (the cluster)
+// implement it; the call is synchronous and returns once the migration
+// has completed.
+type Scaler interface {
+	Scale(ctx context.Context, partitions int) error
+}
+
 // StatsProvider reports operational counters for the /stats endpoint.
 type StatsProvider interface {
 	Stats() map[string]any
@@ -117,15 +133,16 @@ type StatsProvider interface {
 // Service. (internal/cluster asserts the same for *Cluster, and
 // hyrec/client for *Client.)
 var (
-	_ Service         = (*Engine)(nil)
-	_ Payloader       = (*Engine)(nil)
-	_ PayloadAppender = (*Engine)(nil)
-	_ UserDirectory   = (*Engine)(nil)
-	_ Rotator         = (*Engine)(nil)
-	_ UserResolver    = (*Engine)(nil)
-	_ Configured      = (*Engine)(nil)
-	_ StatsProvider   = (*Engine)(nil)
-	_ JobSource       = (*Engine)(nil)
-	_ LeaseAcker      = (*Engine)(nil)
-	_ WorkerJobMeter  = (*Engine)(nil)
+	_ Service          = (*Engine)(nil)
+	_ Payloader        = (*Engine)(nil)
+	_ PayloadAppender  = (*Engine)(nil)
+	_ UserDirectory    = (*Engine)(nil)
+	_ Rotator          = (*Engine)(nil)
+	_ UserResolver     = (*Engine)(nil)
+	_ Configured       = (*Engine)(nil)
+	_ StatsProvider    = (*Engine)(nil)
+	_ JobSource        = (*Engine)(nil)
+	_ LeaseAcker       = (*Engine)(nil)
+	_ WorkerJobMeter   = (*Engine)(nil)
+	_ TopologyProvider = (*Engine)(nil)
 )

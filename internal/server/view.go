@@ -190,7 +190,10 @@ func (e *Engine) rebuildView(prev *TableView) *TableView {
 		s.mu.RUnlock()
 	}
 	e.profiles.rosterMu.RLock()
-	if prev != nil && len(prev.roster) == len(e.profiles.roster) {
+	// Generation equality, not length equality: migration removals can
+	// net out against registrations, leaving the length unchanged while
+	// the membership differs.
+	if prev != nil && prev.rosterGen == nv.rosterGen {
 		nv.roster = prev.roster
 	} else {
 		nv.roster = make([]core.UserID, len(e.profiles.roster))

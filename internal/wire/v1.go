@@ -11,6 +11,8 @@
 //	POST /v1/ack        AckRequest             → AckResponse
 //	GET  /v1/recs?uid=U&n=N                    → RecsResponse
 //	GET  /v1/neighbors?uid=U                   → NeighborsResponse
+//	GET  /v1/topology   —                      → Topology
+//	POST /v1/topology   ScaleRequest           → Topology (after the live reshard)
 //
 // The worker form of /v1/job is the pull loop of client.Worker: the
 // scheduler (internal/sched) dispatches the stalest pending user's job,
@@ -81,6 +83,26 @@ type AckResponse struct {
 	Status string `json:"status"`
 }
 
+// Topology is the cluster shape served on GET /v1/topology (and
+// returned by POST /v1/topology after a scale): the partition count and
+// virtual-node parameter fully determine the consistent-hash ring, so a
+// client that caches them can predict routing; Migrating reports
+// whether a live resharding is streaming user state right now.
+type Topology struct {
+	Partitions int  `json:"partitions"`
+	VNodes     int  `json:"vnodes,omitempty"`
+	Migrating  bool `json:"migrating"`
+	// UsersMovedTotal counts users migrated across all scale events of
+	// this process (mirrors hyrec_migration_users_moved_total).
+	UsersMovedTotal int64 `json:"users_moved_total"`
+}
+
+// ScaleRequest is the body of POST /v1/topology: the target partition
+// count for a live resharding.
+type ScaleRequest struct {
+	Partitions int `json:"partitions"`
+}
+
 // Machine-readable error codes of the v1 protocol.
 const (
 	// CodeBadRequest: malformed parameters or body.
@@ -94,6 +116,10 @@ const (
 	// completed, superseded, expired past its retry budget, or never
 	// issued.
 	CodeUnknownLease = "unknown_lease"
+	// CodeMoved: the request's user state moved to a different
+	// partition in a completed topology change; the client should
+	// refetch GET /v1/topology and retry once.
+	CodeMoved = "moved"
 	// CodeTooLarge: the request exceeds MaxBatchRatings or MaxBodyBytes.
 	CodeTooLarge = "too_large"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.

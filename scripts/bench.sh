@@ -9,6 +9,15 @@
 # which is deterministic per build, may not exceed ALLOC_CEIL times the
 # baseline. Refresh the baseline after an intentional perf change with:
 #   go run ./cmd/hyrec-bench -exp capacity -window 1s -bench-out BENCH_hotpath.json
+#
+# Baseline keys: one row per (scenario, service, mode) — the engine
+# matrix (rate-heavy, job-worker-heavy, mixed-churn), the cluster
+# serving row (job-worker-heavy/cluster-4), the elastic-topology row
+# (rebalance/cluster-2x4: ops are users *moved* by live 2↔4 scale
+# cycles, throughput is users-moved/sec, latency is per-moved-user), and
+# the wire rows. Compare fails when a baseline row goes unmeasured or a
+# measured row is missing from the baseline, so adding a scenario means
+# refreshing BENCH_hotpath.json with the command above.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+	"hyrec/internal/ws"
+)
+
+// WSWorker is the push-based sibling of Worker: instead of long-polling
+// GET /v1/job?worker=1, it holds one WebSocket to GET /v1/worker/ws,
+// grants the server a job credit whenever it is ready to compute, and
+// streams results and acks back over the same connection — the
+// browser-true transport (a real widget keeps a socket open for the tab
+// lifetime). Lease echo and the abandon/silent-abandon churn knobs
+// behave exactly as on Worker, so the two are interchangeable in
+// harnesses:
+//
+//	c := client.New("http://localhost:8080")
+//	w := client.NewWSWorker(c, client.WithAbandonProb(0.3, 42))
+//	go w.Run(ctx) // dials, redials on failure, until cancel()
+//
+// Like Worker, a WSWorker is NOT safe for concurrent use; run one per
+// goroutine, sharing the Client.
+type WSWorker struct {
+	c  *Client
+	w  *widget.Widget
+	rw sync.Mutex // guards rng
+
+	abandonProb float64
+	silent      bool
+	rng         *rand.Rand
+
+	done      atomic.Int64
+	abandoned atomic.Int64
+}
+
+// NewWSWorker builds a socket worker on c. It accepts the same options
+// as NewWorker (WithWorkerWidget, WithAbandonProb, WithSilentAbandon;
+// WithPollBudget is meaningless on a push transport and ignored).
+func NewWSWorker(c *Client, opts ...WorkerOption) *WSWorker {
+	proto := NewWorker(c, opts...)
+	return &WSWorker{
+		c:           c,
+		w:           proto.w,
+		abandonProb: proto.abandonProb,
+		silent:      proto.silent,
+		rng:         proto.rng,
+	}
+}
+
+// Stats returns how many jobs this worker completed and abandoned.
+func (wk *WSWorker) Stats() (done, abandoned int64) {
+	return wk.done.Load(), wk.abandoned.Load()
+}
+
+func (wk *WSWorker) draw() float64 {
+	wk.rw.Lock()
+	defer wk.rw.Unlock()
+	return wk.rng.Float64()
+}
+
+// Dial opens the worker socket (exported for harnesses that drive one
+// connection directly; Run manages its own).
+func (wk *WSWorker) Dial(ctx context.Context) (*ws.Conn, error) {
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return ws.Dial(dctx, wk.c.base+wire.WSWorkerPath, 0)
+}
+
+// ServeConn pumps one established socket until it fails, the server
+// closes, or ctx is done (which sends the polite close handshake — the
+// browser's pagehide). It returns the terminal transport error, nil on a
+// clean ctx cancellation.
+func (wk *WSWorker) ServeConn(ctx context.Context, conn *ws.Conn) error {
+	stop := context.AfterFunc(ctx, func() {
+		conn.WriteClose(ws.CloseGoingAway, "worker stopping")
+		conn.Close()
+	})
+	defer stop()
+	defer conn.Close()
+
+	// First credit: ready to compute one job.
+	if err := wk.send(conn, &wire.WSClientMsg{Want: 1}); err != nil {
+		return wk.ctxErr(ctx, err)
+	}
+	for {
+		_, frame, err := conn.ReadMessage()
+		if err != nil {
+			return wk.ctxErr(ctx, err)
+		}
+		if wire.IsWSError(frame) {
+			// A stale epoch or superseded lease is the scheduler working,
+			// not a worker failure (same tolerance as Worker.RunOnce); any
+			// other error envelope is likewise non-fatal for the socket.
+			continue
+		}
+		job, err := wire.DecodeJob(frame)
+		if err != nil {
+			return err
+		}
+		if wk.abandonProb > 0 && wk.draw() < wk.abandonProb {
+			wk.abandoned.Add(1)
+			if wk.silent {
+				// Churn out: say nothing, let the lease expire server-side,
+				// but stay ready for the next push.
+				if err := wk.send(conn, &wire.WSClientMsg{Want: 1}); err != nil {
+					return wk.ctxErr(ctx, err)
+				}
+				continue
+			}
+			if err := wk.send(conn, &wire.WSClientMsg{
+				Want: 1,
+				Ack:  &wire.AckRequest{Lease: job.Lease, Done: false},
+			}); err != nil {
+				return wk.ctxErr(ctx, err)
+			}
+			continue
+		}
+		res, _ := wk.w.Execute(job)
+		// The result echoes the job's lease (widget.Execute copies it), so
+		// fold-in completes the lease implicitly; the piggybacked credit
+		// asks for the next job in the same frame.
+		if err := wk.send(conn, &wire.WSClientMsg{Want: 1, Result: res}); err != nil {
+			return wk.ctxErr(ctx, err)
+		}
+		wk.done.Add(1)
+	}
+}
+
+// Run dials the worker socket and pumps it until ctx is done, redialing
+// with a brief backoff when the connection fails so a flapping server is
+// not hammered. It returns nil on a clean context cancellation.
+func (wk *WSWorker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		conn, err := wk.Dial(ctx)
+		if err == nil {
+			err = wk.ServeConn(ctx, conn)
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+}
+
+func (wk *WSWorker) send(conn *ws.Conn, msg *wire.WSClientMsg) error {
+	raw, err := wire.EncodeWSClientMsg(msg)
+	if err != nil {
+		return err
+	}
+	return conn.WriteMessage(ws.OpText, raw)
+}
+
+// ctxErr suppresses the transport error when it was caused by our own
+// ctx-driven teardown.
+func (wk *WSWorker) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hyrec"
+)
+
+// waitQuiet spins until the scheduler drained and every user refreshed,
+// or the deadline passes.
+func waitQuiet(eng *hyrec.Engine, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if eng.Scheduler().Quiet() && len(eng.Scheduler().Unrefreshed()) == 0 {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// TestWSWorkerDrainsQueue is the socket counterpart of
+// TestWorkerDrainsQueue: jobs are pushed over one WebSocket, computed,
+// and the results stream back on the same connection until every user is
+// refreshed.
+func TestWSWorkerDrainsQueue(t *testing.T) {
+	eng, ts := newSchedServer(t, func(cfg *hyrec.Config) {
+		cfg.LeaseTTL = time.Minute
+	}, 8)
+	c := New(ts.URL)
+	defer c.Close()
+
+	w := NewWSWorker(c)
+	ctx, cancel := context.WithCancel(tctx)
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(ctx) }()
+
+	if !waitQuiet(eng, 10*time.Second) {
+		t.Fatalf("scheduler never drained over the socket: %+v", eng.Scheduler().Stats())
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v on cancellation", err)
+	}
+	done, abandoned := w.Stats()
+	if done != 8 || abandoned != 0 {
+		t.Fatalf("worker stats done=%d abandoned=%d, want 8/0", done, abandoned)
+	}
+	for u := hyrec.UserID(1); u <= 8; u++ {
+		if !eng.Scheduler().RefreshedUser(u) {
+			t.Fatalf("user %d not refreshed", u)
+		}
+		hood, err := c.Neighbors(tctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hood) == 0 {
+			t.Fatalf("user %d has empty KNN row after socket refresh", u)
+		}
+	}
+}
+
+// TestWSWorkerPoliteAbandonReissues: an abandoning socket worker sends
+// ack(done=false) frames and the job is re-issued; a steady socket
+// worker then completes it.
+func TestWSWorkerPoliteAbandonReissues(t *testing.T) {
+	eng, ts := newSchedServer(t, func(cfg *hyrec.Config) {
+		// A push in flight when the churny session is cancelled leaves a
+		// dangling lease; a short TTL with retries lets it re-issue to the
+		// steady worker instead of stalling the test.
+		cfg.LeaseTTL = 500 * time.Millisecond
+		cfg.LeaseRetries = 5
+	}, 1)
+	c := New(ts.URL)
+	defer c.Close()
+
+	churny := NewWSWorker(c, WithAbandonProb(1, 1))
+	ctx, cancel := context.WithCancel(tctx)
+	runErr := make(chan error, 1)
+	go func() { runErr <- churny.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ab := churny.Stats(); ab >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("churny socket worker never abandoned: sched %+v", eng.Scheduler().Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Scheduler().Stats(); st.Abandoned == 0 {
+		t.Fatalf("scheduler saw no abandon: %+v", st)
+	}
+
+	steady := NewWSWorker(c)
+	sctx, scancel := context.WithCancel(tctx)
+	defer scancel()
+	go steady.Run(sctx)
+	if !waitQuiet(eng, 10*time.Second) {
+		t.Fatalf("re-issued job never completed: %+v", eng.Scheduler().Stats())
+	}
+	if done, _ := steady.Stats(); done == 0 {
+		t.Fatal("steady socket worker completed nothing")
+	}
+}
+
+// TestWSWorkerSilentChurnAbsorbedByFallback: the crash model over the
+// socket — the worker receives pushes and vanishes silently; leases
+// expire and the server-side fallback pool refreshes the rows.
+func TestWSWorkerSilentChurnAbsorbedByFallback(t *testing.T) {
+	eng, ts := newSchedServer(t, func(cfg *hyrec.Config) {
+		cfg.LeaseTTL = 25 * time.Millisecond
+		cfg.LeaseRetries = -1 // first expiry → fallback
+		cfg.FallbackWorkers = 2
+	}, 3)
+	c := New(ts.URL)
+	defer c.Close()
+
+	vanish := NewWSWorker(c, WithAbandonProb(1, 1), WithSilentAbandon())
+	ctx, cancel := context.WithCancel(tctx)
+	defer cancel()
+	go vanish.Run(ctx)
+
+	if !waitQuiet(eng, 10*time.Second) {
+		t.Fatalf("fallback never converged: %+v", eng.Scheduler().Stats())
+	}
+	cancel()
+	st := eng.Scheduler().Stats()
+	if st.Expired == 0 || st.FallbackRuns == 0 {
+		t.Fatalf("fallback never absorbed the churned leases: %+v", st)
+	}
+	if _, ab := vanish.Stats(); ab == 0 {
+		t.Fatal("vanishing worker abandoned nothing")
+	}
+}
+
+// TestWSWorkerRunStopsOnCancel: Run redials as needed and ends cleanly
+// on context cancellation.
+func TestWSWorkerRunStopsOnCancel(t *testing.T) {
+	_, ts := newSchedServer(t, nil, 2)
+	c := New(ts.URL)
+	defer c.Close()
+
+	w := NewWSWorker(c)
+	ctx, cancel := context.WithTimeout(tctx, 300*time.Millisecond)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("Run = %v, want nil on cancellation", err)
+	}
+}

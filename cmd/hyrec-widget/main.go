@@ -19,20 +19,38 @@
 // fallback pool exist for.
 //
 //	hyrec-widget -server http://localhost:8080 -worker 4 -abandon 0.5 -work-duration 5s
+//
+// Adding -ws moves the workers onto the persistent WebSocket transport
+// (GET /v1/worker/ws): one connection per worker, jobs pushed by the
+// server against credit grants instead of long-polled.
+//
+//	hyrec-widget -server http://localhost:8080 -worker 4 -ws -work-duration 5s
+//
+// With -fleet N the command instead drives a seeded deterministic
+// browser fleet (internal/fleet) of N heterogeneous sessions over
+// WebSockets — tab lifetimes, device classes and churn all drawn from
+// -seed — and reports convergence, watching the server's /stats for the
+// sched_unrefreshed gauge. -fleet-disconnect F severs fraction F of the
+// fleet the moment half the population has converged.
+//
+//	hyrec-widget -server http://localhost:8080 -fleet 200 -fleet-users 50 -fleet-disconnect 0.4
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"hyrec"
 	"hyrec/client"
+	"hyrec/internal/fleet"
 )
 
 func main() {
@@ -56,12 +74,23 @@ func run(args []string) error {
 		retries  = fs.Int("retries", 2, "retry attempts on transient failures")
 		verbose  = fs.Bool("v", false, "log every interaction")
 		nWorkers = fs.Int("worker", 0, "run this many pull-based scheduler workers instead of simulated users")
-		abandon  = fs.Float64("abandon", 0, "worker-mode: probability of abandoning each leased job")
-		silent   = fs.Bool("silent-abandon", false, "worker-mode: abandon by vanishing (lease must expire) instead of acking")
-		workFor  = fs.Duration("work-duration", 2*time.Second, "worker-mode: how long the workers run")
+		abandon  = fs.Float64("abandon", 0, "worker/fleet-mode: probability of abandoning each leased job")
+		silent   = fs.Bool("silent-abandon", false, "worker/fleet-mode: abandon by vanishing (lease must expire) instead of acking")
+		workFor  = fs.Duration("work-duration", 2*time.Second, "worker/fleet-mode: how long the run may take")
+		useWS    = fs.Bool("ws", false, "worker-mode: use the WebSocket transport instead of long-polling")
+
+		fleetN    = fs.Int("fleet", 0, "drive a deterministic browser fleet of this many sessions over WebSockets")
+		fleetU    = fs.Int("fleet-users", 0, "fleet-mode: user population whose convergence the fleet is judged on")
+		fleetDrop = fs.Float64("fleet-disconnect", 0, "fleet-mode: sever this fraction of the fleet at 50% convergence")
+		fleetTS   = fs.Float64("fleet-timescale", 0.01, "fleet-mode: multiplier on plan durations (tab lifetimes, join offsets)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *fleetN > 0 {
+		return runFleet(context.Background(), *server, *fleetN, *fleetU, *seed,
+			*abandon, *silent, *fleetDrop, *fleetTS, *workFor)
 	}
 
 	opts := []hyrec.WidgetOption{}
@@ -84,7 +113,7 @@ func run(args []string) error {
 	ctx := context.Background()
 
 	if *nWorkers > 0 {
-		return runWorkers(ctx, c, *nWorkers, *abandon, *silent, *seed, *workFor, *verbose)
+		return runWorkers(ctx, c, *nWorkers, *useWS, *abandon, *silent, *seed, *workFor, *verbose)
 	}
 
 	var totalJobs, totalRecs int
@@ -125,14 +154,19 @@ func run(args []string) error {
 	return nil
 }
 
-// runWorkers drains the server's staleness queue with n client.Worker
-// loops for the given duration and reports what they completed and
-// abandoned.
-func runWorkers(ctx context.Context, c *client.Client, n int, abandon float64,
+// runWorkers drains the server's staleness queue with n worker loops —
+// long-polling client.Worker by default, persistent-socket
+// client.WSWorker with useWS — for the given duration and reports what
+// they completed and abandoned.
+func runWorkers(ctx context.Context, c *client.Client, n int, useWS bool, abandon float64,
 	silent bool, seed int64, d time.Duration, verbose bool) error {
 	ctx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
-	workers := make([]*client.Worker, n)
+	type worker interface {
+		Run(ctx context.Context) error
+		Stats() (done, abandoned int64)
+	}
+	workers := make([]worker, n)
 	var wg sync.WaitGroup
 	for i := range workers {
 		opts := []client.WorkerOption{client.WithPollBudget(500 * time.Millisecond)}
@@ -142,9 +176,13 @@ func runWorkers(ctx context.Context, c *client.Client, n int, abandon float64,
 		if silent {
 			opts = append(opts, client.WithSilentAbandon())
 		}
-		workers[i] = client.NewWorker(c, opts...)
+		if useWS {
+			workers[i] = client.NewWSWorker(c, opts...)
+		} else {
+			workers[i] = client.NewWorker(c, opts...)
+		}
 		wg.Add(1)
-		go func(w *client.Worker) {
+		go func(w worker) {
 			defer wg.Done()
 			if err := w.Run(ctx); err != nil && verbose {
 				log.Printf("worker: %v", err)
@@ -158,6 +196,76 @@ func runWorkers(ctx context.Context, c *client.Client, n int, abandon float64,
 		done += dn
 		abandoned += ab
 	}
-	fmt.Printf("workers=%d completed=%d abandoned=%d in %v\n", n, done, abandoned, d)
+	transport := "longpoll"
+	if useWS {
+		transport = "ws"
+	}
+	fmt.Printf("workers=%d transport=%s completed=%d abandoned=%d in %v\n", n, transport, done, abandoned, d)
 	return nil
+}
+
+// runFleet expands a deterministic session plan and drives it at the
+// server over WebSockets, probing GET /stats for convergence. It exits
+// non-zero when the fleet fails to converge every user within the
+// budget — the contract the smoke test leans on.
+func runFleet(ctx context.Context, server string, sessions, users int, seed int64,
+	abandon float64, silent bool, drop, timeScale float64, budget time.Duration) error {
+	cfg := fleet.Config{
+		Seed:        seed,
+		Sessions:    sessions,
+		AbandonProb: abandon,
+	}
+	if abandon > 0 {
+		cfg.ChurnyFrac = 1
+		if silent {
+			cfg.SilentFrac = 1
+		}
+	}
+	if drop > 0 {
+		if users <= 0 {
+			return fmt.Errorf("-fleet-disconnect needs -fleet-users to judge 50%% convergence")
+		}
+		cfg.Disconnects = []fleet.Disconnect{{Frac: drop, AtConvergedFrac: 0.5}}
+	}
+	plan := fleet.NewPlan(cfg)
+	fmt.Printf("fleet plan %s: %d sessions %v\n", plan.Digest, sessions, plan.ClassCounts())
+
+	rep, err := fleet.Run(ctx, plan, fleet.Options{
+		Target:    fleet.NewWSTarget(server),
+		Probe:     statsProbe(server),
+		Users:     users,
+		TimeScale: timeScale,
+		Budget:    budget,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	fmt.Printf("%s\n", rep)
+	if !rep.Converged {
+		return fmt.Errorf("fleet did not converge within %v", budget)
+	}
+	return nil
+}
+
+// statsProbe adapts GET /stats to the fleet's convergence probe: the
+// sched_unrefreshed gauge plus quiet derived from the queue gauges. A
+// scrape failure reports not-converged rather than aborting the run.
+func statsProbe(server string) func() (int, bool) {
+	return func() (int, bool) {
+		resp, err := http.Get(server + "/stats")
+		if err != nil {
+			return 1, false
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return 1, false
+		}
+		num := func(k string) float64 {
+			v, _ := m[k].(float64)
+			return v
+		}
+		quiet := num("sched_pending") == 0 && num("sched_leased") == 0 && num("sched_fallback_queued") == 0
+		return int(num("sched_unrefreshed")), quiet
+	}
 }

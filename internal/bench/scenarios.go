@@ -328,7 +328,8 @@ func Rebalance(ctx context.Context, opt Options) (Result, error) {
 
 // Capacity runs the full capacity matrix: the three canonical scenarios
 // against a single engine, the serving scenario against a 4-partition
-// cluster, the rebalance scenario against a live-scaling cluster, and
+// cluster, the rebalance scenario against a live-scaling cluster, the
+// WebSocket worker loop and the churny-fleet convergence scenario, and
 // the wire scenarios through the typed client against a live HTTP
 // server. The result is the report committed as BENCH_hotpath.json.
 func Capacity(ctx context.Context, opt Options) (*Report, error) {
@@ -363,6 +364,24 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 	// The rebalance scenario: live 2↔4 scale cycles under traffic,
 	// measured in users-moved/sec.
 	res, err = Rebalance(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
+
+	// The browser-true transport: the credit-push WebSocket worker loop
+	// against a live server, measured in completed push→compute→result
+	// cycles per second.
+	res, err = JobWS(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
+
+	// The fleet-churn scenario: whole-fleet convergence cycles under
+	// silent abandonment and a mass disconnect, measured in completed
+	// jobs per second with per-cycle convergence latency.
+	res, err = FleetChurn(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

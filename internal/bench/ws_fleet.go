@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/fleet"
+	"hyrec/internal/server"
+	"hyrec/internal/stats"
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+	"hyrec/internal/ws"
+)
+
+// JobWS measures the browser-true worker transport end to end: a
+// scheduler-enabled engine behind a live HTTP server, one persistent
+// WebSocket per worker running the credit loop — grant one credit, take
+// the pushed job frame, run the widget kernel, send the result — while a
+// feeder keeps the staleness queue supplied so the socket never idles.
+// One op is one completed push→compute→result cycle; the latency sample
+// is the full cycle time, both ends of the connection included.
+func JobWS(ctx context.Context, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	const items = 2000
+	cfg := server.DefaultConfig()
+	cfg.Seed = opt.Seed
+	// Long leases, no fallback: the workers on the sockets are the only
+	// compute, so the measurement is the transport, not churn recovery.
+	cfg.LeaseTTL = 30 * time.Second
+	cfg.LeaseRetries = 1
+	eng := server.NewEngine(cfg)
+	defer eng.Close()
+	if err := seedPopulation(ctx, eng, opt.Users, items, 6); err != nil {
+		return Result{}, fmt.Errorf("bench: job-ws setup: %w", err)
+	}
+	hs := server.NewServer(eng, 0)
+	ts := httptest.NewServer(hs.Handler())
+	defer func() { ts.Close(); hs.Close() }()
+
+	// Feeder: sweep the population stale so the scheduler always has
+	// jobs to push. MarkStale on a user already queued or leased is a
+	// no-op, so the sweep cannot outrun dispatch into duplicate work.
+	feedCtx, stopFeed := context.WithCancel(ctx)
+	defer stopFeed()
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		sch := eng.Scheduler()
+		for feedCtx.Err() == nil {
+			for u := 1; u <= opt.Users; u++ {
+				sch.MarkStale(core.UserID(u))
+			}
+			select {
+			case <-feedCtx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	// Warm before measuring, like the closed-loop harness: the dial,
+	// the handshake, buffer pools and the GC debt from seeding must not
+	// be charged to the steady-state numbers. The floor is higher than
+	// Run's because a fresh socket session ramps for a few hundred
+	// milliseconds (pool growth, first queue drain), and short CI
+	// windows must still measure the same steady state as the baseline.
+	warm := opt.Window / 8
+	if warm < 250*time.Millisecond {
+		warm = 250 * time.Millisecond
+	}
+	measureStart := time.Now().Add(warm)
+	deadline := measureStart.Add(opt.Window)
+	lat := make([][]float64, opt.Workers)
+	var m0, m1 runtime.MemStats
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Workers)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := ws.Dial(ctx, ts.URL+wire.WSWorkerPath, 0)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer func() {
+				conn.WriteClose(ws.CloseNormal, "")
+				conn.Close()
+			}()
+			conn.SetReadDeadline(deadline)
+			kernel := widget.New()
+			local := make([]float64, 0, 4096)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				raw, err := wire.EncodeWSClientMsg(&wire.WSClientMsg{Want: 1})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := conn.WriteMessage(ws.OpText, raw); err != nil {
+					errs[w] = err
+					return
+				}
+				var job *wire.Job
+				for job == nil {
+					_, frame, err := conn.ReadMessage()
+					if err != nil {
+						var ne net.Error
+						if errors.As(err, &ne) && ne.Timeout() {
+							lat[w] = local
+							return // window lapsed mid-wait
+						}
+						errs[w] = err
+						return
+					}
+					if wire.IsWSError(frame) {
+						continue
+					}
+					if job, err = wire.DecodeJob(frame); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				res, _ := kernel.Execute(job)
+				raw, err = wire.EncodeWSClientMsg(&wire.WSClientMsg{Result: res})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := conn.WriteMessage(ws.OpText, raw); err != nil {
+					errs[w] = err
+					return
+				}
+				if t0.After(measureStart) {
+					local = append(local, float64(time.Since(t0))/float64(time.Millisecond))
+				}
+			}
+			lat[w] = local
+		}(w)
+	}
+	time.Sleep(time.Until(measureStart))
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	stopFeed()
+	feedWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: job-ws worker: %w", err)
+		}
+	}
+
+	all := mergeSorted(lat)
+	res := Result{
+		Scenario: "job-ws",
+		Service:  "engine-ws",
+		Mode:     "wire",
+		Workers:  opt.Workers,
+		Ops:      int64(len(all)),
+		Seconds:  elapsed.Seconds(),
+	}
+	if len(all) == 0 {
+		return res, fmt.Errorf("bench: job-ws completed zero cycles")
+	}
+	res.ThroughputOpsPerSec = float64(len(all)) / elapsed.Seconds()
+	res.P50Ms = stats.Percentile(all, 50)
+	res.P99Ms = stats.Percentile(all, 99)
+	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(len(all))
+	res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(len(all))
+	return res, nil
+}
+
+// FleetChurn measures whole-fleet convergence under churn: a seeded
+// deterministic fleet plan — silent abandonment plus one mass disconnect
+// at 50% convergence — is replayed against a fresh staleness queue until
+// the window lapses. Ops are jobs completed by the fleet; the latency
+// samples are per-cycle convergence times, so p50/p99 report how long a
+// churny fleet takes to refresh every user's row.
+func FleetChurn(ctx context.Context, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	// A convergence cycle takes on the order of 100ms; a sub-second
+	// window measures too few cycles to amortize per-cycle variance
+	// (lease-retry and fallback-absorption timing), so short CI windows
+	// are floored to compare like-for-like with the committed baseline.
+	if opt.Window < time.Second {
+		opt.Window = time.Second
+	}
+	cfg := server.DefaultConfig()
+	cfg.Seed = opt.Seed
+	cfg.LeaseTTL = 30 * time.Millisecond
+	cfg.LeaseRetries = 1
+	cfg.FallbackWorkers = 4
+	eng := server.NewEngine(cfg)
+	defer eng.Close()
+	var ratings []core.Rating
+	for u := 1; u <= opt.Users; u++ {
+		for j := 0; j < 3; j++ {
+			ratings = append(ratings, core.Rating{
+				User:  core.UserID(u),
+				Item:  core.ItemID((u + j) % 97),
+				Liked: (u+j)%3 != 0,
+			})
+		}
+	}
+	if err := eng.RateBatch(ctx, ratings); err != nil {
+		return Result{}, fmt.Errorf("bench: fleet-churn setup: %w", err)
+	}
+	target, err := fleet.NewServiceTarget(eng)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: fleet-churn setup: %w", err)
+	}
+	plan := fleet.NewPlan(fleet.Config{
+		Seed:        opt.Seed,
+		Sessions:    64,
+		ChurnyFrac:  1,
+		SilentFrac:  1,
+		AbandonProb: 0.5,
+		Disconnects: []fleet.Disconnect{
+			{Frac: 0.3, AtConvergedFrac: 0.5},
+		},
+		MeanTabLifetime: 30 * time.Second,
+		JoinSpread:      time.Second,
+	})
+
+	sch := eng.Scheduler()
+	cycle := func() (*fleet.Report, error) {
+		rep, err := fleet.Run(ctx, plan, fleet.Options{
+			Target:    target,
+			Sched:     sch,
+			Users:     opt.Users,
+			TimeScale: 0.01,
+			Budget:    time.Minute,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fleet-churn run: %w", err)
+		}
+		if !rep.Converged {
+			return nil, fmt.Errorf("bench: fleet-churn cycle did not converge: %s", rep)
+		}
+		return rep, nil
+	}
+	// One unmeasured warm cycle pays off the seeding GC debt and the
+	// first-convergence sweep before steady-state accounting begins.
+	if _, err := cycle(); err != nil {
+		return Result{}, err
+	}
+
+	var lats []float64
+	var completed int64
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	deadline := start.Add(opt.Window)
+	for first := true; first || time.Now().Before(deadline); first = false {
+		// Re-dirty the population for the next convergence cycle.
+		for u := 1; u <= opt.Users; u++ {
+			sch.MarkStale(core.UserID(u))
+		}
+		t0 := time.Now()
+		rep, err := cycle()
+		if err != nil {
+			return Result{}, err
+		}
+		lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond))
+		completed += rep.Completed
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	res := Result{
+		Scenario: "fleet-churn",
+		Service:  "engine-fleet",
+		Mode:     "inproc",
+		Workers:  opt.Workers,
+		Ops:      completed,
+		Seconds:  elapsed.Seconds(),
+	}
+	if completed == 0 {
+		return res, fmt.Errorf("bench: fleet-churn completed zero jobs")
+	}
+	res.ThroughputOpsPerSec = float64(completed) / elapsed.Seconds()
+	res.P50Ms = stats.Percentile(lats, 50)
+	res.P99Ms = stats.Percentile(lats, 99)
+	res.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(completed)
+	res.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(completed)
+	return res, nil
+}

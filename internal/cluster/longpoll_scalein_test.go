@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+)
+
+// TestWorkerLongPollSurvivesScaleIn: a worker long-poll parked across a
+// scale-in must be served a job from the post-migration topology within
+// its wait window — the evicted users are re-marked stale on their new
+// partitions, so the poll has work to pick up — rather than answering an
+// early idle 204 because the dispatcher woke mid-Evict.
+func TestWorkerLongPollSurvivesScaleIn(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.K = 4
+	cfg.R = 4
+	cfg.LeaseTTL = 5 * time.Second
+	cfg.LeaseRetries = 1
+	cfg.FallbackWorkers = 0
+	cfg.FallbackBudget = nil
+	cl := New(cfg, 4)
+	defer cl.Close()
+	ctx := context.Background()
+	for u := core.UserID(1); u <= 300; u++ {
+		for j := 0; j < 3; j++ {
+			if err := cl.Rate(ctx, u, core.ItemID((int(u)+j)%12), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Drain the staleness queue so the parked poll below cannot be
+	// satisfied by pre-scale work (leases stay outstanding).
+	for {
+		dctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		job, err := cl.NextJob(dctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil {
+			break
+		}
+	}
+
+	hs := server.NewServer(cl, 0)
+	ts := httptest.NewServer(hs.Handler())
+	defer func() { ts.Close(); hs.Close() }()
+
+	// Launch the scale-in and park the long-poll once the migration's
+	// move stream has started (the mid-Evict window).
+	scaleStarted := make(chan struct{})
+	started := false
+	cl.moveHook = func() {
+		if !started {
+			started = true
+			close(scaleStarted)
+		}
+	}
+	scaleDone := make(chan error, 1)
+	go func() { scaleDone <- cl.Scale(ctx, 2) }()
+	<-scaleStarted
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/job?worker=1&wait=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll across scale-in: status %d after %v, want 200 (migration re-marks moved users stale)",
+			resp.StatusCode, elapsed)
+	}
+	if elapsed > 4*time.Second {
+		t.Fatalf("long-poll took %v to pick up post-migration work", elapsed)
+	}
+	if err := <-scaleDone; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/server"
+)
+
+var tctx = context.Background()
+
+// fleetEngine boots a scheduler-enabled engine with users rated so the
+// staleness queue is full, plus an HTTP server for socket targets.
+func fleetEngine(t *testing.T, users int, mut func(*server.Config)) (*server.Engine, *httptest.Server) {
+	t.Helper()
+	cfg := server.DefaultConfig()
+	cfg.K = 3
+	cfg.R = 3
+	cfg.LeaseTTL = 60 * time.Millisecond
+	cfg.LeaseRetries = 2
+	cfg.FallbackWorkers = 4
+	if mut != nil {
+		mut(&cfg)
+	}
+	e := server.NewEngine(cfg)
+	srv := server.NewServer(e, 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); e.Close() })
+
+	var ratings []core.Rating
+	for u := core.UserID(1); u <= core.UserID(users); u++ {
+		for j := 0; j < 3; j++ {
+			ratings = append(ratings, core.Rating{User: u, Item: core.ItemID((int(u) + j) % 11), Liked: true})
+		}
+	}
+	if err := e.RateBatch(tctx, ratings); err != nil {
+		t.Fatal(err)
+	}
+	return e, ts
+}
+
+// TestPlanDeterministic pins the acceptance criterion: the same seed
+// expands to the exact same session schedule, field for field.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:     42,
+		Sessions: 500,
+		Disconnects: []Disconnect{
+			{Frac: 0.3, AtConvergedFrac: 0.5},
+			{Frac: 0.1, After: 5 * time.Second, Rejoin: true, RejoinAfter: time.Second},
+		},
+	}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %s vs %s", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed expanded to different session schedules")
+	}
+	if c := NewPlan(Config{Seed: 43, Sessions: 500}); c.Digest == a.Digest {
+		t.Fatal("different seeds share a digest")
+	}
+
+	// The heterogeneity knobs actually produced a mixed fleet.
+	counts := a.ClassCounts()
+	for _, class := range []string{"desktop", "laptop", "mobile"} {
+		if counts[class] == 0 {
+			t.Fatalf("500-session plan has no %s sessions: %v", class, counts)
+		}
+	}
+	churny, silent, inEvent := 0, 0, 0
+	for _, s := range a.Sessions {
+		if s.Churny {
+			churny++
+		}
+		if s.Silent {
+			silent++
+		}
+		if s.Disconnects[0] {
+			inEvent++
+		}
+		if s.Compute <= 0 || s.LatencyMS <= 0 || s.BandwidthKbps <= 0 || s.TabLifetime <= 0 {
+			t.Fatalf("degenerate session draw: %+v", s)
+		}
+	}
+	if churny == 0 || silent == 0 || silent >= churny {
+		t.Fatalf("churn draw degenerate: churny=%d silent=%d", churny, silent)
+	}
+	if inEvent == 0 || inEvent == len(a.Sessions) {
+		t.Fatalf("disconnect membership degenerate: %d of %d", inEvent, len(a.Sessions))
+	}
+}
+
+// TestRunReportDeterministicSection: two runs of one plan against fresh
+// identical deployments agree on the deterministic report section.
+func TestRunReportDeterministicSection(t *testing.T) {
+	plan := NewPlan(Config{
+		Seed:            7,
+		Sessions:        40,
+		ChurnyFrac:      0.4,
+		AbandonProb:     0.4,
+		MeanTabLifetime: 20 * time.Second,
+		JoinSpread:      time.Second,
+	})
+	run := func() Summary {
+		e, _ := fleetEngine(t, 25, nil)
+		target, err := NewServiceTarget(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(tctx, plan, Options{
+			Target:    target,
+			Sched:     e.Scheduler(),
+			Users:     25,
+			TimeScale: 0.01,
+			Budget:    20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Converged {
+			t.Fatalf("fleet did not converge: %s", rep)
+		}
+		return rep.Deterministic()
+	}
+	if s1, s2 := run(), run(); !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("deterministic report sections differ:\n  %+v\n  %+v", s1, s2)
+	}
+}
+
+// TestThousandSessionFleetConverges is the headline acceptance run:
+// 1000 heterogeneous sessions, 60% silent per-job abandonment across
+// the whole fleet, one mass disconnect of 40% of the fleet at 50%
+// convergence — and every user's row still converges, race-clean.
+func TestThousandSessionFleetConverges(t *testing.T) {
+	const users = 120
+	e, _ := fleetEngine(t, users, func(cfg *server.Config) {
+		cfg.FallbackWorkers = 8
+	})
+	plan := NewPlan(Config{
+		Seed:        1014,
+		Sessions:    1000,
+		ChurnyFrac:  1,   // every session churns...
+		SilentFrac:  1,   // ...all of it silent
+		AbandonProb: 0.6, // 60% of leased jobs vanish
+		Disconnects: []Disconnect{
+			{Frac: 0.4, AtConvergedFrac: 0.5},
+		},
+		MeanTabLifetime: 30 * time.Second,
+		JoinSpread:      2 * time.Second,
+	})
+	target, err := NewServiceTarget(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(tctx, plan, Options{
+		Target:    target,
+		Sched:     e.Scheduler(),
+		Users:     users,
+		TimeScale: 0.01,
+		Budget:    60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.Converged {
+		t.Fatalf("fleet failed to converge: %s (unrefreshed %v)", rep, e.Scheduler().Unrefreshed())
+	}
+	if un := e.Scheduler().Unrefreshed(); len(un) != 0 {
+		t.Fatalf("%d users unrefreshed after a converged report: %v", len(un), un)
+	}
+	if rep.SilentAbandons == 0 {
+		t.Fatalf("60%% silent churn produced no abandons: %s", rep)
+	}
+	if rep.Dropped == 0 {
+		t.Fatalf("mass disconnect dropped nobody: %s", rep)
+	}
+	if rep.Expired == 0 {
+		t.Fatalf("no lease ever burned under silent churn: %s", rep)
+	}
+	if rep.LeaseBurnRate <= 0 {
+		t.Fatalf("lease burn rate not reported: %s", rep)
+	}
+}
+
+// TestFleetOverWebSocketTarget drives a small fleet through real
+// sockets — dial, credit grants, pushed frames, results — against a
+// live server, with a timed mass disconnect that rejoins.
+func TestFleetOverWebSocketTarget(t *testing.T) {
+	const users = 20
+	e, ts := fleetEngine(t, users, nil)
+	plan := NewPlan(Config{
+		Seed:        3,
+		Sessions:    25,
+		ChurnyFrac:  0.5,
+		SilentFrac:  0.5,
+		AbandonProb: 0.5,
+		Disconnects: []Disconnect{
+			{Frac: 0.5, After: 20 * time.Second, Rejoin: true, RejoinAfter: 10 * time.Second},
+		},
+		MeanTabLifetime: 50 * time.Second,
+		JoinSpread:      time.Second,
+	})
+	rep, err := Run(tctx, plan, Options{
+		Target:    NewWSTarget(ts.URL),
+		Sched:     e.Scheduler(),
+		Users:     users,
+		TimeScale: 0.005,
+		Budget:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+	if !rep.Converged {
+		t.Fatalf("socket fleet failed to converge: %s (unrefreshed %v)", rep, e.Scheduler().Unrefreshed())
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("socket fleet completed nothing: %s", rep)
+	}
+}
+
+// TestRunOptionValidation: the knobs that cannot work fail fast.
+func TestRunOptionValidation(t *testing.T) {
+	plan := NewPlan(Config{Seed: 1, Sessions: 1})
+	if _, err := Run(tctx, plan, Options{}); err == nil {
+		t.Fatal("no error without a target")
+	}
+	e, _ := fleetEngine(t, 1, nil)
+	target, _ := NewServiceTarget(e)
+	if _, err := Run(tctx, plan, Options{Target: target}); err == nil {
+		t.Fatal("no error without an observer")
+	}
+	evPlan := NewPlan(Config{Seed: 1, Sessions: 1,
+		Disconnects: []Disconnect{{Frac: 1, AtConvergedFrac: 0.5}}})
+	if _, err := Run(tctx, evPlan, Options{Target: target, Sched: e.Scheduler()}); err == nil {
+		t.Fatal("no error for a convergence trigger without Users")
+	}
+}

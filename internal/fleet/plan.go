@@ -1,0 +1,268 @@
+// Package fleet is a deterministic browser-fleet simulator: it drives
+// thousands of simulated widget sessions — heterogeneous like a real
+// HyRec deployment's browsers (Section 5 of the paper measures laptops
+// against smartphones) — at a HyRec job dispatcher and reports how the
+// scheduler coped: convergence, lease burn, fallback absorption.
+//
+// The simulation is split in two so experiments are reproducible:
+//
+//   - Plan(cfg) expands a seed into a full session schedule — device
+//     class, network latency and bandwidth class, compute multiplier,
+//     exponential tab lifetime, join offset, churn behaviour,
+//     mass-disconnect membership, and a private RNG seed per session.
+//     The same Config always yields the exact same Plan (asserted by
+//     test), so a fleet run is re-playable from its one seed.
+//   - Run(ctx, plan, opts) executes the schedule with real goroutines
+//     against a Target — the in-process scheduler (NewServiceTarget) or
+//     a live server's WebSocket endpoint (NewWSTarget) — and reports.
+//
+// Wall-clock timing (who raced whom) naturally varies run to run; the
+// plan and the convergence outcome do not.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Class is a simulated device class. The compute multipliers follow the
+// paper's Figure 13 calibration (smartphone widget times 6–8× a laptop).
+type Class int
+
+const (
+	Desktop Class = iota
+	Laptop
+	Mobile
+)
+
+func (c Class) String() string {
+	switch c {
+	case Desktop:
+		return "desktop"
+	case Laptop:
+		return "laptop"
+	case Mobile:
+		return "mobile"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// netClass is a latency/bandwidth band a session is drawn into.
+type netClass struct {
+	name         string
+	latencyMS    [2]int // [min,max) one-way latency
+	bandwidthKbs [2]int // [min,max) downlink kbit/s
+}
+
+var netClasses = []netClass{
+	{"fiber", [2]int{1, 6}, [2]int{50_000, 200_000}},
+	{"dsl", [2]int{8, 25}, [2]int{4_000, 30_000}},
+	{"mobile4g", [2]int{25, 70}, [2]int{1_000, 12_000}},
+	{"mobile3g", [2]int{70, 160}, [2]int{200, 2_000}},
+}
+
+// Config parameterises a fleet. Zero values get defaults from
+// (*Config).withDefaults, so tests can set only what they care about.
+type Config struct {
+	// Seed is the one source of randomness for the whole plan.
+	Seed int64
+	// Sessions is the fleet size.
+	Sessions int
+
+	// MobileFrac is the fraction of sessions on mobile devices (the
+	// rest split between desktop and laptop). Default 0.4.
+	MobileFrac float64
+	// ChurnyFrac is the fraction of sessions that abandon jobs at all.
+	// Default 0.5.
+	ChurnyFrac float64
+	// SilentFrac is the fraction of churny sessions that abandon
+	// silently (vanish; the server learns from lease expiry) rather
+	// than politely (ack done=false). Default 0.5.
+	SilentFrac float64
+	// AbandonProb is a churny session's per-job abandon probability.
+	// Default 0.5.
+	AbandonProb float64
+
+	// MeanTabLifetime is the mean of the exponential tab-lifetime
+	// distribution: a session "closes its tab" (drops its connection,
+	// burning any in-flight lease) and reopens. Default 30s.
+	MeanTabLifetime time.Duration
+	// JoinSpread: sessions join uniformly over [0, JoinSpread), like an
+	// audience trickling onto a page. Default 1s.
+	JoinSpread time.Duration
+
+	// Disconnects are scheduled mass-disconnect events (a mobile
+	// network hiccup, a captive portal, a shared Wi-Fi dropping).
+	Disconnects []Disconnect
+}
+
+// Disconnect is one scheduled mass-disconnect: Frac of the fleet drops
+// simultaneously — silently, burning every lease those sessions hold —
+// when the trigger fires. Sessions rejoin after RejoinAfter if Rejoin
+// is set; otherwise they stay gone and the survivors (plus the
+// server-side fallback pool) must finish the work.
+type Disconnect struct {
+	// Frac of the fleet that drops (membership drawn in the plan).
+	Frac float64
+	// AtConvergedFrac, when > 0, fires the event the moment that
+	// fraction of users has a refreshed KNN row — "the outage hits at
+	// 50% convergence".
+	AtConvergedFrac float64
+	// After fires the event on elapsed run time (used when
+	// AtConvergedFrac is 0).
+	After time.Duration
+	// Rejoin: dropped sessions come back RejoinAfter later.
+	Rejoin      bool
+	RejoinAfter time.Duration
+}
+
+// SessionPlan is one simulated browser session, fully determined by the
+// fleet seed.
+type SessionPlan struct {
+	ID    int
+	Class Class
+	// Net is the latency/bandwidth class name (informational).
+	Net string
+	// LatencyMS is the session's one-way network latency draw.
+	LatencyMS int
+	// BandwidthKbps is the session's downlink draw.
+	BandwidthKbps int
+	// Compute scales widget compute time relative to the reference
+	// laptop (desktop < 1, mobile ≫ 1).
+	Compute float64
+	// TabLifetime: the session drops and redials on this period.
+	TabLifetime time.Duration
+	// JoinOffset delays the session's first connection.
+	JoinOffset time.Duration
+	// Churny sessions abandon jobs with probability AbandonProb;
+	// Silent ones do it by vanishing instead of acking.
+	Churny      bool
+	Silent      bool
+	AbandonProb float64
+	// Disconnects[i] is true when the session is in the membership of
+	// plan disconnect event i.
+	Disconnects []bool
+	// Seed drives the session's private RNG during the run.
+	Seed int64
+}
+
+// Plan is a fully expanded fleet schedule.
+type Plan struct {
+	Cfg      Config
+	Sessions []SessionPlan
+	// Digest fingerprints the whole schedule; two plans with equal
+	// digests ran the same fleet.
+	Digest string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.MobileFrac == 0 {
+		cfg.MobileFrac = 0.4
+	}
+	if cfg.ChurnyFrac == 0 {
+		cfg.ChurnyFrac = 0.5
+	}
+	if cfg.SilentFrac == 0 {
+		cfg.SilentFrac = 0.5
+	}
+	if cfg.AbandonProb == 0 {
+		cfg.AbandonProb = 0.5
+	}
+	if cfg.MeanTabLifetime == 0 {
+		cfg.MeanTabLifetime = 30 * time.Second
+	}
+	if cfg.JoinSpread == 0 {
+		cfg.JoinSpread = time.Second
+	}
+	return cfg
+}
+
+// NewPlan expands cfg into the full deterministic session schedule.
+func NewPlan(cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sessions := make([]SessionPlan, cfg.Sessions)
+	for i := range sessions {
+		s := SessionPlan{ID: i}
+
+		// Device class → compute multiplier (jittered around the
+		// paper's calibration points).
+		switch v := rng.Float64(); {
+		case v < cfg.MobileFrac:
+			s.Class = Mobile
+			s.Compute = 6 + 2*rng.Float64() // Figure 13: 6–8×
+		case v < cfg.MobileFrac+(1-cfg.MobileFrac)/2:
+			s.Class = Laptop
+			s.Compute = 0.9 + 0.3*rng.Float64()
+		default:
+			s.Class = Desktop
+			s.Compute = 0.4 + 0.3*rng.Float64()
+		}
+
+		// Network class: mobiles skew to the mobile bands.
+		ncIdx := rng.Intn(len(netClasses))
+		if s.Class == Mobile && rng.Float64() < 0.7 {
+			ncIdx = 2 + rng.Intn(2)
+		}
+		nc := netClasses[ncIdx]
+		s.Net = nc.name
+		s.LatencyMS = nc.latencyMS[0] + rng.Intn(nc.latencyMS[1]-nc.latencyMS[0])
+		s.BandwidthKbps = nc.bandwidthKbs[0] + rng.Intn(nc.bandwidthKbs[1]-nc.bandwidthKbs[0])
+
+		// Exponential tab lifetime, clamped to stay meaningful.
+		life := time.Duration(rng.ExpFloat64() * float64(cfg.MeanTabLifetime))
+		if min := cfg.MeanTabLifetime / 10; life < min {
+			life = min
+		}
+		s.TabLifetime = life
+		s.JoinOffset = time.Duration(rng.Int63n(int64(cfg.JoinSpread)))
+
+		// Churn behaviour.
+		if rng.Float64() < cfg.ChurnyFrac {
+			s.Churny = true
+			s.AbandonProb = cfg.AbandonProb
+			s.Silent = rng.Float64() < cfg.SilentFrac
+		}
+
+		// Mass-disconnect memberships.
+		s.Disconnects = make([]bool, len(cfg.Disconnects))
+		for d, ev := range cfg.Disconnects {
+			s.Disconnects[d] = rng.Float64() < ev.Frac
+		}
+
+		s.Seed = rng.Int63()
+		sessions[i] = s
+	}
+	p := &Plan{Cfg: cfg, Sessions: sessions}
+	p.Digest = p.digest()
+	return p
+}
+
+// digest fingerprints the schedule with FNV-64a over every field that
+// affects the run.
+func (p *Plan) digest() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d n=%d events=%d\n", p.Cfg.Seed, len(p.Sessions), len(p.Cfg.Disconnects))
+	for _, s := range p.Sessions {
+		fmt.Fprintf(h, "%d %s %s %d %d %.4f %d %d %v %v %.3f %v %d\n",
+			s.ID, s.Class, s.Net, s.LatencyMS, s.BandwidthKbps, s.Compute,
+			s.TabLifetime, s.JoinOffset, s.Churny, s.Silent, s.AbandonProb,
+			s.Disconnects, s.Seed)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ClassCounts tallies sessions per device class (deterministic given
+// the plan).
+func (p *Plan) ClassCounts() map[string]int {
+	m := make(map[string]int, 3)
+	for _, s := range p.Sessions {
+		m[s.Class.String()]++
+	}
+	return m
+}

@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrec/internal/sched"
+	"hyrec/internal/widget"
+	"hyrec/internal/wire"
+)
+
+// Target opens simulated browser sessions against a deployment.
+type Target interface {
+	Open(ctx context.Context, s SessionPlan) (Session, error)
+}
+
+// Session is one open browser tab: it pulls leased jobs, folds results
+// back, and abandons politely via Ack. NextJob blocks until a job
+// arrives, its window lapses (nil, nil), or ctx ends.
+type Session interface {
+	NextJob(ctx context.Context) (*wire.Job, error)
+	Result(ctx context.Context, res *wire.Result) error
+	Ack(ctx context.Context, lease uint64, done bool) error
+	Close() error
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Target opens the sessions (required).
+	Target Target
+	// Sched observes the deployment in-process: convergence probing
+	// plus the lease-burn and fallback counters in the report. Leave
+	// nil for remote targets and set Probe instead.
+	Sched *sched.Scheduler
+	// Probe reports (unrefreshed users, scheduler quiet); overrides
+	// Sched's probe when set.
+	Probe func() (unrefreshed int, quiet bool)
+	// Users is the total user population, needed by convergence-
+	// fraction disconnect triggers and the converged-fraction gauge.
+	Users int
+	// TimeScale multiplies every plan duration (join offsets, tab
+	// lifetimes, latencies, event times); tests compress a "real"
+	// 30s-lifetime fleet into milliseconds. Default 1.
+	TimeScale float64
+	// Budget bounds the whole run. Default 30s.
+	Budget time.Duration
+}
+
+// Report is the outcome of a fleet run. The Summary section is
+// deterministic for a given plan and healthy deployment; the raw
+// counters depend on goroutine timing and vary run to run.
+type Report struct {
+	// Deterministic section.
+	Digest   string
+	Sessions int
+	Classes  map[string]int
+	// Converged: every user's KNN row refreshed and the scheduler
+	// drained within the budget.
+	Converged bool
+
+	// Runtime section.
+	ConvergeTime time.Duration
+	Dispatched   int64
+	Completed    int64
+	// PoliteAbandons were acked done=false; SilentAbandons just
+	// vanished and burned their lease.
+	PoliteAbandons int64
+	SilentAbandons int64
+	// Reconnects counts tab-lifetime reconnection cycles; Dropped
+	// counts session-drops from mass-disconnect events.
+	Reconnects int64
+	Dropped    int64
+	// SessionErrors counts failed opens/transport errors (retried).
+	SessionErrors int64
+
+	// Scheduler section (zero unless Options.Sched was set).
+	Issued       int64
+	Expired      int64
+	FallbackRuns int64
+	// LeaseBurnRate is Expired/Issued: the fraction of leases the
+	// fleet's churn burned.
+	LeaseBurnRate float64
+}
+
+// Summary is the deterministic slice of a Report — what two runs of the
+// same plan against equivalent deployments must agree on.
+type Summary struct {
+	Digest    string
+	Sessions  int
+	Classes   map[string]int
+	Converged bool
+}
+
+// Deterministic extracts the reproducible section of the report.
+func (r *Report) Deterministic() Summary {
+	return Summary{Digest: r.Digest, Sessions: r.Sessions, Classes: r.Classes, Converged: r.Converged}
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"fleet %s: sessions=%d converged=%v in %v; dispatched=%d completed=%d abandoned=%d+%d reconnects=%d dropped=%d; issued=%d expired=%d burn=%.2f fallback=%d",
+		r.Digest, r.Sessions, r.Converged, r.ConvergeTime.Round(time.Millisecond),
+		r.Dispatched, r.Completed, r.PoliteAbandons, r.SilentAbandons,
+		r.Reconnects, r.Dropped, r.Issued, r.Expired, r.LeaseBurnRate, r.FallbackRuns)
+}
+
+// runner is the shared state of one executing fleet.
+type runner struct {
+	plan *Plan
+	opts Options
+
+	start time.Time
+	// fired[i] closes when disconnect event i triggers; rejoinAt[i] is
+	// only read after that. members[i] is the event's membership size.
+	fired    []chan struct{}
+	rejoinAt []time.Time
+	members  []int64
+
+	dispatched, completed atomic.Int64
+	polite, silent        atomic.Int64
+	reconnects, dropped   atomic.Int64
+	sessionErrors         atomic.Int64
+	convergedAt           atomic.Int64 // ns since start, 0 = never
+}
+
+// pollWindow bounds every blocking session call so drop checks and
+// shutdown stay responsive regardless of time scale.
+const pollWindow = 250 * time.Millisecond
+
+// Run executes the plan. It returns when the fleet converged (every
+// user refreshed, scheduler drained), the budget lapsed, or ctx ended.
+func Run(ctx context.Context, plan *Plan, opts Options) (*Report, error) {
+	if opts.Target == nil {
+		return nil, errors.New("fleet: Options.Target is required")
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 30 * time.Second
+	}
+	probe := opts.Probe
+	if probe == nil && opts.Sched != nil {
+		s := opts.Sched
+		probe = func() (int, bool) { return len(s.Unrefreshed()), s.Quiet() }
+	}
+	if probe == nil {
+		return nil, errors.New("fleet: need Options.Sched or Options.Probe to observe convergence")
+	}
+	for _, ev := range plan.Cfg.Disconnects {
+		if ev.AtConvergedFrac > 0 && opts.Users <= 0 {
+			return nil, errors.New("fleet: convergence-fraction disconnect needs Options.Users")
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, opts.Budget)
+	defer cancel()
+
+	r := &runner{
+		plan:     plan,
+		opts:     opts,
+		start:    time.Now(),
+		fired:    make([]chan struct{}, len(plan.Cfg.Disconnects)),
+		rejoinAt: make([]time.Time, len(plan.Cfg.Disconnects)),
+	}
+	r.members = make([]int64, len(plan.Cfg.Disconnects))
+	for i := range r.fired {
+		r.fired[i] = make(chan struct{})
+		for _, s := range plan.Sessions {
+			if s.Disconnects[i] {
+				r.members[i]++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range plan.Sessions {
+		wg.Add(1)
+		go func(sp SessionPlan) {
+			defer wg.Done()
+			r.session(ctx, sp)
+		}(plan.Sessions[i])
+	}
+
+	// Monitor: fire scheduled events, detect convergence, end the run.
+	r.monitor(ctx, probe, cancel)
+	wg.Wait()
+
+	rep := &Report{
+		Digest:         plan.Digest,
+		Sessions:       len(plan.Sessions),
+		Classes:        plan.ClassCounts(),
+		Dispatched:     r.dispatched.Load(),
+		Completed:      r.completed.Load(),
+		PoliteAbandons: r.polite.Load(),
+		SilentAbandons: r.silent.Load(),
+		Reconnects:     r.reconnects.Load(),
+		Dropped:        r.dropped.Load(),
+		SessionErrors:  r.sessionErrors.Load(),
+	}
+	if ns := r.convergedAt.Load(); ns > 0 {
+		rep.Converged = true
+		rep.ConvergeTime = time.Duration(ns)
+	}
+	if opts.Sched != nil {
+		st := opts.Sched.Stats()
+		// Leases come from both the user-driven path (Issued) and
+		// worker dispatch (Dispatched); the fleet drives the latter.
+		rep.Issued = st.Issued + st.Dispatched
+		rep.Expired = st.Expired
+		rep.FallbackRuns = st.FallbackRuns
+		if rep.Issued > 0 {
+			rep.LeaseBurnRate = float64(st.Expired) / float64(rep.Issued)
+		}
+	}
+	return rep, nil
+}
+
+func (r *runner) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * r.opts.TimeScale)
+}
+
+// monitor drives the event triggers and the convergence clock until the
+// run is over, then cancels the session context.
+func (r *runner) monitor(ctx context.Context, probe func() (int, bool), cancel context.CancelFunc) {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		unrefreshed, quiet := probe()
+		elapsed := time.Since(r.start)
+
+		// Fire due events first so a threshold crossed in the same tick
+		// as convergence still triggers.
+		for i, ev := range r.plan.Cfg.Disconnects {
+			select {
+			case <-r.fired[i]:
+				continue
+			default:
+			}
+			due := false
+			if ev.AtConvergedFrac > 0 {
+				frac := 1 - float64(unrefreshed)/float64(r.opts.Users)
+				due = frac >= ev.AtConvergedFrac
+			} else {
+				due = elapsed >= r.scale(ev.After)
+			}
+			if due {
+				r.rejoinAt[i] = time.Now().Add(r.scale(ev.RejoinAfter))
+				// Dropped is accounted at fire time — membership is plan
+				// data, not subject to whether a session's next poll
+				// window got to observe the severance before run end.
+				r.dropped.Add(r.members[i])
+				close(r.fired[i])
+			}
+		}
+
+		if unrefreshed == 0 && quiet {
+			r.convergedAt.CompareAndSwap(0, int64(elapsed))
+			cancel()
+			return
+		}
+	}
+}
+
+// droppedNow reports whether sp is currently severed by a fired event,
+// and whether it can ever come back.
+func (r *runner) droppedNow(sp SessionPlan) (down, forever bool) {
+	for i, member := range sp.Disconnects {
+		if !member {
+			continue
+		}
+		select {
+		case <-r.fired[i]:
+		default:
+			continue
+		}
+		ev := r.plan.Cfg.Disconnects[i]
+		if !ev.Rejoin {
+			return true, true
+		}
+		if time.Now().Before(r.rejoinAt[i]) {
+			down = true
+		}
+	}
+	return down, false
+}
+
+// session lives one simulated browser: join late, cycle tabs, churn,
+// drop on mass disconnects.
+func (r *runner) session(ctx context.Context, sp SessionPlan) {
+	rng := rand.New(rand.NewSource(sp.Seed))
+	kernel := widget.New(widget.WithDevice(widget.Device{
+		Name: sp.Class.String(), SpeedFactor: sp.Compute,
+	}))
+	if !sleepCtx(ctx, r.scale(sp.JoinOffset)) {
+		return
+	}
+	for ctx.Err() == nil {
+		if down, forever := r.droppedNow(sp); down || forever {
+			if forever {
+				return
+			}
+			if !sleepCtx(ctx, pollWindow/5) {
+				return
+			}
+			continue
+		}
+		sess, err := r.opts.Target.Open(ctx, sp)
+		if err != nil {
+			if ctx.Err() == nil {
+				r.sessionErrors.Add(1)
+				sleepCtx(ctx, pollWindow/5)
+			}
+			continue
+		}
+		r.tab(ctx, sp, sess, kernel, rng)
+		sess.Close()
+		r.reconnects.Add(1)
+	}
+}
+
+// tab serves jobs on one open session until its lifetime lapses, the
+// session is severed, or the run ends.
+func (r *runner) tab(ctx context.Context, sp SessionPlan, sess Session, kernel *widget.Widget, rng *rand.Rand) {
+	tabCtx, cancel := context.WithTimeout(ctx, r.scale(sp.TabLifetime))
+	defer cancel()
+	latency := r.scale(time.Duration(sp.LatencyMS) * time.Millisecond)
+	for tabCtx.Err() == nil {
+		if down, _ := r.droppedNow(sp); down {
+			// Severed mid-tab: any lease in flight burns.
+			return
+		}
+		pollCtx, pollCancel := context.WithTimeout(tabCtx, pollWindow)
+		job, err := sess.NextJob(pollCtx)
+		pollCancel()
+		if err != nil {
+			if tabCtx.Err() == nil {
+				r.sessionErrors.Add(1)
+			}
+			return
+		}
+		if job == nil {
+			continue
+		}
+		r.dispatched.Add(1)
+		if !sleepCtx(tabCtx, latency) {
+			return // tab closed with the job in hand: lease burns
+		}
+		if sp.Churny && rng.Float64() < sp.AbandonProb {
+			if sp.Silent {
+				r.silent.Add(1)
+				continue // vanish; the lease expires server-side
+			}
+			r.polite.Add(1)
+			if err := sess.Ack(tabCtx, job.Lease, false); err != nil && tabCtx.Err() == nil {
+				r.sessionErrors.Add(1)
+				return
+			}
+			continue
+		}
+		res, _ := kernel.Execute(job)
+		if !sleepCtx(tabCtx, latency) {
+			return
+		}
+		if err := sess.Result(tabCtx, res); err != nil {
+			if tabCtx.Err() == nil {
+				r.sessionErrors.Add(1)
+			}
+			return
+		}
+		r.completed.Add(1)
+	}
+}
+
+// sleepCtx sleeps d unless ctx ends first; true when the full sleep
+// happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -142,6 +142,9 @@ type Stats struct {
 	FallbackErrors int64
 	// Pending, Leased and FallbackQueued are current gauges.
 	Pending, Leased, FallbackQueued int
+	// Unrefreshed gauges how many tracked users never had a fold-in —
+	// the quantity a fleet watches to call a deployment converged.
+	Unrefreshed int
 }
 
 // Add accumulates o into s — the aggregation a multi-scheduler front-end
@@ -159,6 +162,7 @@ func (s *Stats) Add(o Stats) {
 	s.Pending += o.Pending
 	s.Leased += o.Leased
 	s.FallbackQueued += o.FallbackQueued
+	s.Unrefreshed += o.Unrefreshed
 }
 
 // user lifecycle states.
@@ -489,6 +493,11 @@ func (s *Scheduler) Stats() Stats {
 	out.Pending = s.pending.Len()
 	out.Leased = len(s.leases)
 	out.FallbackQueued = len(s.fallbackQ) + s.fbInflight
+	for _, st := range s.users {
+		if !st.refreshed {
+			out.Unrefreshed++
+		}
+	}
 	return out
 }
 

@@ -388,6 +388,7 @@ func AddSchedStats(m map[string]any, s sched.Stats) {
 	m["sched_pending"] = int64(s.Pending)
 	m["sched_leased"] = int64(s.Leased)
 	m["sched_fallback_queued"] = int64(s.FallbackQueued)
+	m["sched_unrefreshed"] = int64(s.Unrefreshed)
 }
 
 // Job assembles the personalization job for u: profile update has already

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyrec/internal/core"
@@ -71,6 +72,11 @@ type HTTPServer struct {
 	// (or alongside) Shutdown to drain dispatchers promptly.
 	dispatchCtx  context.Context
 	stopDispatch context.CancelFunc
+
+	// Worker-socket gauges (GET /v1/worker/ws): live connections and
+	// jobs pushed over them, surfaced on /stats and /metrics.
+	wsWorkers    atomic.Int64
+	wsJobsPushed atomic.Int64
 }
 
 // NewServer wraps any Service with the web API. If rotateEvery > 0 and
@@ -157,6 +163,7 @@ func (s *HTTPServer) Handler() http.Handler {
 	})
 	mux.HandleFunc(wire.V1Prefix+"/rate", s.handleV1Rate)
 	mux.HandleFunc(wire.V1Prefix+"/job", s.handleV1Job)
+	mux.HandleFunc(wire.WSWorkerPath, s.handleV1WorkerWS)
 	mux.HandleFunc(wire.V1Prefix+"/ack", s.handleV1Ack)
 	mux.HandleFunc(wire.V1Prefix+"/result", s.handleV1Result)
 	mux.HandleFunc(wire.V1Prefix+"/recs", s.handleV1Recs)
@@ -298,6 +305,8 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 		stats = sp.Stats()
 	}
 	stats["online_users"] = int64(s.seen.Online(presenceWindow))
+	stats["ws_workers"] = s.wsWorkers.Load()
+	stats["ws_jobs_pushed_total"] = s.wsJobsPushed.Load()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(stats); err != nil {
 		return
@@ -315,6 +324,8 @@ func (s *HTTPServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		stats = sp.Stats()
 	}
 	stats["online_users"] = int64(s.seen.Online(presenceWindow))
+	stats["ws_workers"] = s.wsWorkers.Load()
+	stats["ws_jobs_pushed_total"] = s.wsJobsPushed.Load()
 	if tp, ok := s.svc.(TopologyProvider); ok {
 		topo := tp.Topology()
 		stats["topology_partitions"] = int64(topo.Partitions)
@@ -441,6 +452,10 @@ func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
 // never outlives the HTTP server's write timeout.
 const maxWorkerWait = 25 * time.Second
 
+// workerRepollEvery paces the long-poll's re-poll loop after NextJob
+// answered nil before the window expired (see handleV1WorkerJob).
+const workerRepollEvery = 20 * time.Millisecond
+
 func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
@@ -509,19 +524,32 @@ func (s *HTTPServer) handleV1WorkerJob(w http.ResponseWriter, r *http.Request) {
 	// Server shutdown (Close) releases the poll immediately.
 	stop := context.AfterFunc(s.dispatchCtx, cancel)
 	defer stop()
-	job, err := js.NextJob(ctx)
-	if err != nil {
-		writeV1ServiceError(w, err)
-		return
-	}
-	if job == nil {
-		// Honour the requested poll window even when the service returned
-		// early (e.g. no scheduler configured: NextJob answers nil
-		// immediately) — otherwise parked workers degrade into a tight
-		// request loop.
-		<-ctx.Done()
-		w.WriteHeader(http.StatusNoContent)
-		return
+	var job *wire.Job
+	for {
+		var err error
+		job, err = js.NextJob(ctx)
+		if err != nil {
+			writeV1ServiceError(w, err)
+			return
+		}
+		if job != nil {
+			break
+		}
+		// NextJob can answer nil before the window expires: a service
+		// with no scheduler answers immediately, and a scheduler woken
+		// mid-Evict during a scale-in (or racing its own shutdown) sees
+		// an empty queue for an instant even though the evicted users are
+		// re-marked stale moments later. Treating that first nil as "idle
+		// for the whole window" would turn the poll into an early idle
+		// 204 that misses work arriving in the remaining window, so
+		// re-poll — paced, to keep scheduler-free services from spinning —
+		// until the window genuinely expires.
+		select {
+		case <-ctx.Done():
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-time.After(workerRepollEvery):
+		}
 	}
 	// Worker jobs serialize in the transport layer; borrow the same
 	// pooled buffers the user-driven payload path uses.

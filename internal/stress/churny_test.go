@@ -6,15 +6,18 @@ import (
 	"time"
 
 	"hyrec/internal/core"
+	"hyrec/internal/fleet"
 	"hyrec/internal/server"
 )
 
 // TestChurnyWorkersConverge is the acceptance scenario of the
-// asynchronous scheduler: a worker fleet that abandons ≥ 50% of its
-// leased jobs mid-computation (silent churn — the server only learns
-// from lease expiry) must still leave every active user's KNN row
-// refreshed within the lease-retry budget, with the fallback pool
-// absorbing the leases that burn out. Run under -race in CI.
+// asynchronous scheduler, promoted to the deterministic fleet
+// simulator: a seed-planned browser fleet that silently abandons ≥ 50%
+// of its leased jobs — and additionally loses 40% of its sessions to a
+// mass disconnect the moment half the users have converged — must
+// still leave every active user's KNN row refreshed within the
+// lease-retry budget, with the fallback pool absorbing the leases that
+// burn out. Run under -race in CI.
 func TestChurnyWorkersConverge(t *testing.T) {
 	cfg := server.DefaultConfig()
 	cfg.K = 4
@@ -36,25 +39,48 @@ func TestChurnyWorkersConverge(t *testing.T) {
 	}
 
 	const abandonProb = 0.6 // ≥ 0.5 per the acceptance criterion
-	report := ChurnyWorkers(e, 8, abandonProb, 7, 2*time.Second)
-	if report.Dispatched == 0 {
-		t.Fatal("workers never leased a job")
+	plan := fleet.NewPlan(fleet.Config{
+		Seed:        7,
+		Sessions:    64,
+		ChurnyFrac:  1, // the whole fleet churns, all silently
+		SilentFrac:  1,
+		AbandonProb: abandonProb,
+		Disconnects: []fleet.Disconnect{
+			{Frac: 0.4, AtConvergedFrac: 0.5},
+		},
+		MeanTabLifetime: 30 * time.Second,
+		JoinSpread:      time.Second,
+	})
+	target, err := fleet.NewServiceTarget(e)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if report.Abandoned == 0 {
+	report, err := fleet.Run(ctx, plan, fleet.Options{
+		Target:    target,
+		Sched:     e.Scheduler(),
+		Users:     users,
+		TimeScale: 0.01,
+		Budget:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", report)
+	if report.Dispatched == 0 {
+		t.Fatal("fleet never leased a job")
+	}
+	if report.SilentAbandons == 0 {
 		t.Fatal("churn model never abandoned — the scenario is vacuous")
 	}
-
-	// Convergence: wait for the scheduler to drain (expiries sweep in,
-	// fallback absorbs, re-issues complete) and assert every user's row
-	// was refreshed at least once.
-	s := e.Scheduler()
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		if s.Quiet() && len(s.Unrefreshed()) == 0 {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+	if report.Dropped == 0 {
+		t.Fatalf("mass disconnect at 50%% convergence never fired: %s", report)
 	}
+	if !report.Converged {
+		t.Fatalf("fleet failed to converge: %s (stats %+v)", report, e.Scheduler().Stats())
+	}
+
+	// Every user's row was refreshed at least once despite the churn.
+	s := e.Scheduler()
 	if un := s.Unrefreshed(); len(un) != 0 {
 		t.Fatalf("%d users never refreshed under churn: %v (stats %+v)", len(un), un, s.Stats())
 	}
@@ -75,10 +101,6 @@ func TestChurnyWorkersConverge(t *testing.T) {
 	if st.FallbackRuns == 0 {
 		t.Fatalf("fallback pool absorbed nothing: %+v", st)
 	}
-	total := st.FallbackRuns + st.Acked
-	frac := float64(st.FallbackRuns) / float64(total)
-	t.Logf("churny run: dispatched=%d completed=%d abandoned=%d expired=%d reissued=%d fallback=%d (%.0f%% of refreshes)",
-		report.Dispatched, report.Completed, report.Abandoned, st.Expired, st.Reissued, st.FallbackRuns, frac*100)
 }
 
 // TestChurnyWorkersOnSyncService: the harness degrades gracefully when

@@ -1,0 +1,255 @@
+package ws
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// CloseError is returned by ReadMessage when the peer (or the connection
+// itself, on a protocol violation) closed the WebSocket.
+type CloseError struct {
+	Code   uint16
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("ws: connection closed (code %d)", e.Code)
+	}
+	return fmt.Sprintf("ws: connection closed (code %d: %s)", e.Code, e.Reason)
+}
+
+// ErrClosed reports a read or write on a connection after the close
+// handshake completed locally.
+var ErrClosed = errors.New("ws: connection closed")
+
+// DefaultMaxMessage bounds an assembled message (across fragments) when
+// the dialer/upgrader is given no explicit limit — matches the HTTP
+// protocol's wire.MaxBodyBytes order of magnitude with headroom for
+// large candidate sets.
+const DefaultMaxMessage = 4 << 20
+
+// Conn is one WebSocket connection. One goroutine may read
+// (ReadMessage) while others write (WriteMessage & friends) — writes are
+// serialized internally; concurrent reads are not supported.
+type Conn struct {
+	c      net.Conn
+	client bool // we are the client side: mask writes, require unmasked reads
+	maxMsg int64
+
+	// Read state (single reader).
+	rbuf   []byte // undecoded bytes already read from the socket
+	rstart int    // consumed prefix of rbuf
+
+	wmu       sync.Mutex
+	wbuf      []byte
+	rnd       *rand.Rand // masking keys (client side only)
+	closeSent bool
+
+	closeOnce sync.Once
+}
+
+func newConn(c net.Conn, client bool, maxMsg int64, leftover []byte) *Conn {
+	if maxMsg <= 0 {
+		maxMsg = DefaultMaxMessage
+	}
+	conn := &Conn{c: c, client: client, maxMsg: maxMsg}
+	if len(leftover) > 0 {
+		conn.rbuf = append(conn.rbuf, leftover...)
+	}
+	if client {
+		conn.rnd = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(uintptr(len(leftover)))))
+	}
+	return conn
+}
+
+// LocalAddr / RemoteAddr expose the underlying socket addresses.
+func (cn *Conn) LocalAddr() net.Addr  { return cn.c.LocalAddr() }
+func (cn *Conn) RemoteAddr() net.Addr { return cn.c.RemoteAddr() }
+
+// SetReadDeadline bounds the next ReadMessage (zero time clears it).
+func (cn *Conn) SetReadDeadline(t time.Time) error { return cn.c.SetReadDeadline(t) }
+
+// Close tears down the underlying socket without a close handshake; use
+// WriteClose first for a graceful shutdown.
+func (cn *Conn) Close() error {
+	var err error
+	cn.closeOnce.Do(func() { err = cn.c.Close() })
+	return err
+}
+
+// nextFrame decodes one frame, reading more bytes as needed.
+func (cn *Conn) nextFrame() (Frame, error) {
+	for {
+		if cn.rstart > 0 && cn.rstart == len(cn.rbuf) {
+			cn.rbuf = cn.rbuf[:0]
+			cn.rstart = 0
+		}
+		f, n, err := DecodeFrame(cn.rbuf[cn.rstart:], cn.maxMsg)
+		if err == nil {
+			cn.rstart += n
+			// Enforce the masking direction (§5.1): clients mask, servers
+			// must not.
+			if !cn.client && !f.Masked {
+				return Frame{}, fmt.Errorf("%w: unmasked client frame", ErrProtocol)
+			}
+			if cn.client && f.Masked {
+				return Frame{}, fmt.Errorf("%w: masked server frame", ErrProtocol)
+			}
+			return f, nil
+		}
+		if !errors.Is(err, ErrShortFrame) {
+			return Frame{}, err
+		}
+		// Compact before growing so a long-lived connection does not
+		// accrete every consumed frame.
+		if cn.rstart > 0 {
+			cn.rbuf = append(cn.rbuf[:0], cn.rbuf[cn.rstart:]...)
+			cn.rstart = 0
+		}
+		var chunk [4096]byte
+		n, rerr := cn.c.Read(chunk[:])
+		if n > 0 {
+			cn.rbuf = append(cn.rbuf, chunk[:n]...)
+			continue
+		}
+		if rerr == nil {
+			rerr = io.ErrUnexpectedEOF
+		}
+		return Frame{}, rerr
+	}
+}
+
+// ReadMessage blocks until one complete data message arrives, assembling
+// fragments and servicing control frames transparently: pings are
+// answered with pongs, pongs are swallowed, and a close frame completes
+// the close handshake and surfaces as *CloseError. Protocol violations
+// send a closing handshake with CloseProtocolError and fail the
+// connection.
+func (cn *Conn) ReadMessage() (Opcode, []byte, error) {
+	var (
+		msgOp  Opcode
+		msg    []byte
+		inFrag bool
+	)
+	for {
+		f, err := cn.nextFrame()
+		if err != nil {
+			if errors.Is(err, ErrProtocol) || errors.Is(err, ErrFrameTooLarge) {
+				code := uint16(CloseProtocolError)
+				if errors.Is(err, ErrFrameTooLarge) {
+					code = CloseTooLarge
+				}
+				cn.WriteClose(code, "")
+				cn.Close()
+			}
+			return 0, nil, err
+		}
+		switch f.Op {
+		case OpPing:
+			if err := cn.writeFrame(true, OpPong, f.Payload, controlWriteGrace); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			code, reason := ParseClosePayload(f.Payload)
+			// Echo the close once (§5.5.1) and tear down.
+			cn.WriteClose(code, "")
+			cn.Close()
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		case OpContinuation:
+			if !inFrag {
+				cn.failProtocol()
+				return 0, nil, fmt.Errorf("%w: continuation without a message in progress", ErrProtocol)
+			}
+		case OpText, OpBinary:
+			if inFrag {
+				cn.failProtocol()
+				return 0, nil, fmt.Errorf("%w: new %v frame interleaved mid-message", ErrProtocol, f.Op)
+			}
+			msgOp = f.Op
+		}
+		if int64(len(msg)+len(f.Payload)) > cn.maxMsg {
+			cn.WriteClose(CloseTooLarge, "")
+			cn.Close()
+			return 0, nil, fmt.Errorf("%w: assembled message exceeds %d bytes", ErrFrameTooLarge, cn.maxMsg)
+		}
+		if msg == nil {
+			msg = f.Payload
+		} else {
+			msg = append(msg, f.Payload...)
+		}
+		if f.Fin {
+			return msgOp, msg, nil
+		}
+		inFrag = true
+	}
+}
+
+func (cn *Conn) failProtocol() {
+	cn.WriteClose(CloseProtocolError, "")
+	cn.Close()
+}
+
+// controlWriteGrace bounds unsolicited control writes (pong, close echo)
+// issued from the read path, so a peer that stopped draining its socket
+// cannot wedge ReadMessage forever.
+const controlWriteGrace = 5 * time.Second
+
+// writeFrame emits one frame, masking on the client side. A positive
+// grace bounds the write with a deadline (cleared afterwards).
+func (cn *Conn) writeFrame(fin bool, op Opcode, payload []byte, grace time.Duration) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if cn.closeSent && op != OpClose {
+		return ErrClosed
+	}
+	var key *[4]byte
+	if cn.client {
+		var k [4]byte
+		v := cn.rnd.Uint32()
+		k[0], k[1], k[2], k[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		key = &k
+	}
+	cn.wbuf = AppendFrame(cn.wbuf[:0], fin, op, payload, key)
+	if grace > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(grace))
+		defer cn.c.SetWriteDeadline(time.Time{})
+	}
+	_, err := cn.c.Write(cn.wbuf)
+	return err
+}
+
+// WriteMessage sends one unfragmented data message.
+func (cn *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if op != OpText && op != OpBinary {
+		return fmt.Errorf("%w: WriteMessage with %v", ErrProtocol, op)
+	}
+	return cn.writeFrame(true, op, payload, 0)
+}
+
+// WritePing sends a ping control frame (the keepalive probe).
+func (cn *Conn) WritePing(payload []byte) error {
+	return cn.writeFrame(true, OpPing, payload, 0)
+}
+
+// WriteClose sends the closing handshake frame once; later calls are
+// no-ops so the initiator and the echo path cannot double-send.
+func (cn *Conn) WriteClose(code uint16, reason string) error {
+	cn.wmu.Lock()
+	if cn.closeSent {
+		cn.wmu.Unlock()
+		return nil
+	}
+	cn.closeSent = true
+	cn.wmu.Unlock()
+	payload := AppendClosePayload(nil, code, reason)
+	return cn.writeFrame(true, OpClose, payload, controlWriteGrace)
+}

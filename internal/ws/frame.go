@@ -1,0 +1,224 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation — exactly
+// the subset HyRec's browser-true worker transport needs: frame
+// encode/decode with client-side masking, fragmented messages, ping/pong
+// keepalive, the close handshake, and the HTTP/1.1 upgrade on both ends.
+// No extensions (RSV bits must be zero), no subprotocol negotiation, no
+// TLS termination (that belongs to the listener).
+//
+// The frame decoder is a pure function over a byte slice
+// (DecodeFrame) so the production read path and the FuzzDecodeWSFrame
+// target exercise identical code: arbitrary input yields a frame, "need
+// more bytes" (ErrShortFrame), or a typed protocol error — never a panic.
+package ws
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcode is a WebSocket frame opcode (RFC 6455 §5.2).
+type Opcode byte
+
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// IsControl reports whether the opcode is a control frame (§5.5).
+func (op Opcode) IsControl() bool { return op >= OpClose }
+
+func (op Opcode) String() string {
+	switch op {
+	case OpContinuation:
+		return "continuation"
+	case OpText:
+		return "text"
+	case OpBinary:
+		return "binary"
+	case OpClose:
+		return "close"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("opcode(%#x)", byte(op))
+	}
+}
+
+// Close status codes (§7.4.1) — the subset the transport uses.
+const (
+	CloseNormal        = 1000
+	CloseGoingAway     = 1001
+	CloseProtocolError = 1002
+	CloseTooLarge      = 1009
+	CloseInternal      = 1011
+)
+
+// Decode failures. ErrShortFrame means the input holds an incomplete
+// frame — read more bytes and retry; everything else is fatal for the
+// connection (§10.7: fail the WebSocket connection on protocol errors).
+var (
+	ErrShortFrame    = errors.New("ws: incomplete frame")
+	ErrFrameTooLarge = errors.New("ws: frame exceeds size limit")
+	ErrProtocol      = errors.New("ws: protocol violation")
+)
+
+// Frame is one decoded WebSocket frame. Payload is unmasked and owned by
+// the caller (DecodeFrame copies it out of the input).
+type Frame struct {
+	Fin     bool
+	Op      Opcode
+	Masked  bool
+	Payload []byte
+}
+
+// maxHeaderBytes is the worst-case frame header: 2 fixed bytes + 8-byte
+// extended length + 4-byte masking key.
+const maxHeaderBytes = 14
+
+// DecodeFrame parses one frame from the front of data, returning the
+// frame and the number of bytes consumed. maxPayload bounds the declared
+// payload length (≤ 0 means unlimited); a frame announcing more fails
+// with ErrFrameTooLarge *before* any payload is buffered, so a hostile
+// 2^63-byte header cannot balloon memory. Incomplete input returns
+// ErrShortFrame with n = 0.
+func DecodeFrame(data []byte, maxPayload int64) (f Frame, n int, err error) {
+	if len(data) < 2 {
+		return Frame{}, 0, ErrShortFrame
+	}
+	b0, b1 := data[0], data[1]
+	if b0&0x70 != 0 {
+		return Frame{}, 0, fmt.Errorf("%w: nonzero RSV bits %#x (no extension negotiated)", ErrProtocol, b0&0x70)
+	}
+	f.Fin = b0&0x80 != 0
+	f.Op = Opcode(b0 & 0x0f)
+	switch f.Op {
+	case OpContinuation, OpText, OpBinary, OpClose, OpPing, OpPong:
+	default:
+		return Frame{}, 0, fmt.Errorf("%w: reserved opcode %#x", ErrProtocol, byte(f.Op))
+	}
+	f.Masked = b1&0x80 != 0
+
+	length := int64(b1 & 0x7f)
+	off := 2
+	switch length {
+	case 126:
+		if len(data) < off+2 {
+			return Frame{}, 0, ErrShortFrame
+		}
+		length = int64(binary.BigEndian.Uint16(data[off:]))
+		off += 2
+		if length < 126 {
+			return Frame{}, 0, fmt.Errorf("%w: non-minimal 16-bit length %d", ErrProtocol, length)
+		}
+	case 127:
+		if len(data) < off+8 {
+			return Frame{}, 0, ErrShortFrame
+		}
+		u := binary.BigEndian.Uint64(data[off:])
+		off += 8
+		if u&(1<<63) != 0 {
+			return Frame{}, 0, fmt.Errorf("%w: 64-bit length with MSB set", ErrProtocol)
+		}
+		if u < 1<<16 {
+			return Frame{}, 0, fmt.Errorf("%w: non-minimal 64-bit length %d", ErrProtocol, u)
+		}
+		length = int64(u)
+	}
+	if f.Op.IsControl() {
+		// §5.5: control frames must not be fragmented and carry ≤ 125
+		// bytes of payload.
+		if !f.Fin {
+			return Frame{}, 0, fmt.Errorf("%w: fragmented %v frame", ErrProtocol, f.Op)
+		}
+		if length > 125 {
+			return Frame{}, 0, fmt.Errorf("%w: %d-byte %v frame", ErrProtocol, length, f.Op)
+		}
+	}
+	if maxPayload > 0 && length > maxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, length, maxPayload)
+	}
+
+	var key [4]byte
+	if f.Masked {
+		if len(data) < off+4 {
+			return Frame{}, 0, ErrShortFrame
+		}
+		copy(key[:], data[off:])
+		off += 4
+	}
+	if int64(len(data)-off) < length {
+		return Frame{}, 0, ErrShortFrame
+	}
+	f.Payload = make([]byte, length)
+	copy(f.Payload, data[off:off+int(length)])
+	if f.Masked {
+		maskBytes(f.Payload, key, 0)
+	}
+	return f, off + int(length), nil
+}
+
+// AppendFrame appends the wire encoding of one frame to dst. A non-nil
+// maskKey masks the payload (client→server direction); dst never aliases
+// f.Payload afterwards, so the caller may reuse the payload buffer.
+func AppendFrame(dst []byte, fin bool, op Opcode, payload []byte, maskKey *[4]byte) []byte {
+	b0 := byte(op)
+	if fin {
+		b0 |= 0x80
+	}
+	dst = append(dst, b0)
+	maskBit := byte(0)
+	if maskKey != nil {
+		maskBit = 0x80
+	}
+	switch n := len(payload); {
+	case n <= 125:
+		dst = append(dst, maskBit|byte(n))
+	case n <= 1<<16-1:
+		dst = append(dst, maskBit|126)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(n))
+	default:
+		dst = append(dst, maskBit|127)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n))
+	}
+	if maskKey == nil {
+		return append(dst, payload...)
+	}
+	dst = append(dst, maskKey[:]...)
+	start := len(dst)
+	dst = append(dst, payload...)
+	maskBytes(dst[start:], *maskKey, 0)
+	return dst
+}
+
+// maskBytes XORs p with the masking key, starting at key offset pos
+// (§5.3). Returns the key offset after p, for streaming use.
+func maskBytes(p []byte, key [4]byte, pos int) int {
+	for i := range p {
+		p[i] ^= key[(pos+i)&3]
+	}
+	return (pos + len(p)) & 3
+}
+
+// AppendClosePayload encodes a close frame body: a 2-byte big-endian
+// status code plus optional UTF-8 reason (§5.5.1).
+func AppendClosePayload(dst []byte, code uint16, reason string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, code)
+	return append(dst, reason...)
+}
+
+// ParseClosePayload decodes a close frame body. An empty body is a close
+// without a code (reported as CloseNormal); a 1-byte body is a protocol
+// violation per §5.5.1 but tolerated here as code-less.
+func ParseClosePayload(p []byte) (code uint16, reason string) {
+	if len(p) < 2 {
+		return CloseNormal, ""
+	}
+	return binary.BigEndian.Uint16(p), string(p[2:])
+}

@@ -1,0 +1,67 @@
+package ws
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeWSFrame enforces the frame reader's contract: arbitrary
+// bytes decode to a valid frame, a "need more" signal, or a typed error —
+// never a panic, never an over-read, never a frame that re-encodes to
+// something the decoder disagrees with.
+func FuzzDecodeWSFrame(f *testing.F) {
+	// Seed corpus: the frame shapes the protocol actually exchanges,
+	// plus the adversarial ones the decoder must refuse.
+	f.Add([]byte{0x81, 0x00})                                                         // empty unmasked text
+	f.Add(AppendFrame(nil, true, OpText, []byte(`{"uid":1,"epoch":2}`), nil))         // server job push
+	f.Add(AppendFrame(nil, true, OpText, []byte(`{"want":1}`), &[4]byte{1, 2, 3, 4})) // masked client msg
+	f.Add(AppendFrame(nil, false, OpText, []byte("frag-start"), &[4]byte{9, 9, 9, 9}))
+	f.Add(AppendFrame(nil, true, OpContinuation, []byte("frag-end"), &[4]byte{9, 9, 9, 9}))
+	f.Add(AppendFrame(nil, true, OpPing, []byte("hb"), nil))
+	f.Add(AppendFrame(nil, true, OpPong, []byte("hb"), &[4]byte{5, 6, 7, 8}))
+	f.Add(AppendFrame(nil, true, OpClose, AppendClosePayload(nil, CloseGoingAway, "bye"), nil))
+	f.Add(AppendFrame(nil, true, OpBinary, bytes.Repeat([]byte{0xA5}, 300), nil))   // 16-bit length
+	f.Add(AppendFrame(nil, true, OpBinary, bytes.Repeat([]byte{0x5A}, 1<<16), nil)) // 64-bit length
+	f.Add([]byte{0xF1, 0x05, 1, 2, 3, 4, 5})                                        // RSV bits set
+	f.Add([]byte{0x83, 0x01, 0xFF})                                                 // reserved opcode
+	f.Add([]byte{0x09, 0x02, 1, 2})                                                 // fragmented ping
+	f.Add([]byte{0x82, 127, 0x40, 0, 0, 0, 0, 0, 0, 0})                             // 2^62-byte announcement
+	f.Add([]byte{0x82, 127, 0x80, 0, 0, 0, 0, 0, 0, 1})                             // MSB-set 64-bit length
+	f.Add([]byte{0x82, 126, 0x00, 0x05, 1, 2, 3, 4, 5})                             // non-minimal 16-bit
+	f.Add([]byte{0x81, 0x85, 0xDE, 0xAD})                                           // truncated mask key
+
+	const maxPayload = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data, maxPayload)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if int64(len(frame.Payload)) > maxPayload {
+			t.Fatalf("payload %d exceeds the %d limit", len(frame.Payload), maxPayload)
+		}
+		if frame.Op.IsControl() && (!frame.Fin || len(frame.Payload) > 125) {
+			t.Fatalf("invalid control frame survived decode: %+v", frame)
+		}
+		// Round-trip: re-encoding the decoded frame (unmasked) must
+		// decode to the identical frame.
+		re := AppendFrame(nil, frame.Fin, frame.Op, frame.Payload, nil)
+		frame2, n2, err := DecodeFrame(re, maxPayload)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(re) || frame2.Fin != frame.Fin || frame2.Op != frame.Op ||
+			!bytes.Equal(frame2.Payload, frame.Payload) {
+			t.Fatalf("round-trip divergence: %+v vs %+v", frame, frame2)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package ws
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// acceptGUID is the fixed key-hashing GUID of RFC 6455 §1.3.
+const acceptGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + acceptGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// ErrNotWebSocket reports an upgrade request that is not a well-formed
+// RFC 6455 opening handshake.
+var ErrNotWebSocket = errors.New("ws: not a websocket handshake")
+
+// headerHasToken reports whether a comma-separated header value contains
+// token (case-insensitive) — Connection: keep-alive, Upgrade must match.
+func headerHasToken(value, token string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Upgrade performs the server side of the opening handshake and hijacks
+// the HTTP connection. On failure it writes the appropriate HTTP error
+// response itself and returns ErrNotWebSocket (wrapped). maxMsg ≤ 0
+// applies DefaultMaxMessage.
+func Upgrade(w http.ResponseWriter, r *http.Request, maxMsg int64) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket handshake requires GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("%w: method %s", ErrNotWebSocket, r.Method)
+	}
+	if !headerHasToken(r.Header.Get("Connection"), "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket upgrade headers missing", http.StatusBadRequest)
+		return nil, fmt.Errorf("%w: missing upgrade headers", ErrNotWebSocket)
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("%w: version %q", ErrNotWebSocket, v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("%w: missing key", ErrNotWebSocket)
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, errors.New("ws: response writer does not support hijacking")
+	}
+	netConn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := netConn.Write([]byte(resp)); err != nil {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: write handshake response: %w", err)
+	}
+	// Bytes the server's reader buffered past the request head belong to
+	// the first frames.
+	var leftover []byte
+	if n := brw.Reader.Buffered(); n > 0 {
+		leftover, _ = brw.Reader.Peek(n)
+	}
+	return newConn(netConn, false, maxMsg, leftover), nil
+}
+
+// Dial opens a WebSocket to rawURL (ws://, or http:// as an alias) and
+// performs the client side of the opening handshake. maxMsg ≤ 0 applies
+// DefaultMaxMessage.
+func Dial(ctx context.Context, rawURL string, maxMsg int64) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: parse url: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("ws: unsupported scheme %q (wss/https not implemented)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	var d net.Dialer
+	netConn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", host, err)
+	}
+	// Honour ctx for the whole handshake; cleared before the Conn is
+	// handed out.
+	if dl, ok := ctx.Deadline(); ok {
+		netConn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { netConn.Close() })
+	defer stop()
+
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: key entropy: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := netConn.Write([]byte(req)); err != nil {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: write handshake: %w", err)
+	}
+	br := bufio.NewReader(netConn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		netConn.Close()
+		return nil, fmt.Errorf("ws: read handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		netConn.Close()
+		return nil, fmt.Errorf("%w: server answered %s", ErrNotWebSocket, resp.Status)
+	}
+	if got, want := resp.Header.Get("Sec-WebSocket-Accept"), AcceptKey(key); got != want {
+		netConn.Close()
+		return nil, fmt.Errorf("%w: bad accept key %q", ErrNotWebSocket, got)
+	}
+	var leftover []byte
+	if n := br.Buffered(); n > 0 {
+		leftover, _ = br.Peek(n)
+	}
+	if err := ctx.Err(); err != nil {
+		netConn.Close()
+		return nil, err
+	}
+	netConn.SetDeadline(time.Time{})
+	return newConn(netConn, true, maxMsg, leftover), nil
+}

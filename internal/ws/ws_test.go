@@ -1,0 +1,329 @@
+package ws
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		fin     bool
+		op      Opcode
+		payload []byte
+		mask    bool
+	}{
+		{"empty-text", true, OpText, nil, false},
+		{"small-masked", true, OpBinary, []byte("hello"), true},
+		{"fragment-start", false, OpText, []byte("part one "), true},
+		{"continuation", true, OpContinuation, []byte("part two"), true},
+		{"len-126-boundary", true, OpBinary, bytes.Repeat([]byte{0xAB}, 126), false},
+		{"len-16bit", true, OpBinary, bytes.Repeat([]byte{0xCD}, 40_000), true},
+		{"len-64bit", true, OpBinary, bytes.Repeat([]byte{0xEF}, 1<<16+5), false},
+		{"ping", true, OpPing, []byte("keepalive"), true},
+		{"close", true, OpClose, AppendClosePayload(nil, CloseNormal, "bye"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var key *[4]byte
+			if tc.mask {
+				key = &[4]byte{0x12, 0x34, 0x56, 0x78}
+			}
+			raw := AppendFrame(nil, tc.fin, tc.op, tc.payload, key)
+			f, n, err := DecodeFrame(raw, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(raw) {
+				t.Fatalf("consumed %d of %d bytes", n, len(raw))
+			}
+			if f.Fin != tc.fin || f.Op != tc.op || f.Masked != tc.mask {
+				t.Fatalf("frame meta %+v, want fin=%v op=%v masked=%v", f, tc.fin, tc.op, tc.mask)
+			}
+			if !bytes.Equal(f.Payload, tc.payload) {
+				t.Fatalf("payload mismatch: got %d bytes, want %d", len(f.Payload), len(tc.payload))
+			}
+			// Truncated prefixes must report a short frame, never succeed
+			// or panic.
+			for cut := 0; cut < len(raw); cut++ {
+				if _, _, err := DecodeFrame(raw[:cut], 0); !errors.Is(err, ErrShortFrame) {
+					t.Fatalf("truncated at %d/%d: err=%v, want ErrShortFrame", cut, len(raw), err)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		max  int64
+		want error
+	}{
+		{"rsv-bits", []byte{0xF1, 0x00}, 0, ErrProtocol},
+		{"reserved-opcode", []byte{0x83, 0x00}, 0, ErrProtocol},
+		{"fragmented-ping", []byte{0x09, 0x00}, 0, ErrProtocol},
+		{"oversized-control", AppendFrame(nil, true, OpPing, bytes.Repeat([]byte{1}, 126), nil), 0, ErrProtocol},
+		{"non-minimal-16bit", []byte{0x82, 126, 0x00, 0x05}, 0, ErrProtocol},
+		{"non-minimal-64bit", []byte{0x82, 127, 0, 0, 0, 0, 0, 0, 0, 5}, 0, ErrProtocol},
+		{"msb-64bit-len", []byte{0x82, 127, 0x80, 0, 0, 0, 0, 0, 0, 0}, 0, ErrProtocol},
+		{"over-limit", AppendFrame(nil, true, OpBinary, bytes.Repeat([]byte{1}, 200), nil), 100, ErrFrameTooLarge},
+		// A hostile header announcing 2^62 bytes must fail before any
+		// payload allocation, from the 10-byte header alone.
+		{"huge-announced-len", []byte{0x82, 127, 0x40, 0, 0, 0, 0, 0, 0, 0}, 1 << 20, ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeFrame(tc.raw, tc.max)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err=%v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// pipeConns builds a connected client/server Conn pair over an in-memory
+// duplex pipe.
+func pipeConns(maxMsg int64) (client, server *Conn) {
+	cc, sc := net.Pipe()
+	return newConn(cc, true, maxMsg, nil), newConn(sc, false, maxMsg, nil)
+}
+
+func TestConnMessageRoundTrip(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- client.WriteMessage(OpText, []byte(`{"want":2}`)) }()
+	op, msg, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != `{"want":2}` {
+		t.Fatalf("got op=%v msg=%q", op, msg)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	go func() { errc <- server.WriteMessage(OpBinary, bytes.Repeat([]byte{7}, 70_000)) }()
+	op, msg, err = client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || len(msg) != 70_000 {
+		t.Fatalf("got op=%v len=%d", op, len(msg))
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnFragmentedMessage(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	// net.Pipe is synchronous: the client must read the auto-pong while
+	// the server's ReadMessage is still mid-assembly, so it runs in the
+	// writer goroutine.
+	pongc := make(chan Frame, 1)
+	go func() {
+		key := &[4]byte{1, 2, 3, 4}
+		raw := AppendFrame(nil, false, OpText, []byte("hello "), key)
+		raw = AppendFrame(raw, false, OpContinuation, []byte("fragmented "), key)
+		// A ping interleaved between fragments must be serviced
+		// transparently (§5.4).
+		raw = AppendFrame(raw, true, OpPing, []byte("mid"), key)
+		raw = AppendFrame(raw, true, OpContinuation, []byte("world"), key)
+		if _, err := client.c.Write(raw); err != nil {
+			t.Error(err)
+		}
+		f, err := client.nextFrame()
+		if err != nil {
+			t.Error(err)
+		}
+		pongc <- f
+	}()
+	op, msg, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "hello fragmented world" {
+		t.Fatalf("got op=%v msg=%q", op, msg)
+	}
+	// The interleaved ping was answered with a pong carrying the payload.
+	if f := <-pongc; f.Op != OpPong || string(f.Payload) != "mid" {
+		t.Fatalf("expected pong echo, got %v %q", f.Op, f.Payload)
+	}
+}
+
+func TestConnPingPong(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	go server.WritePing([]byte("hb"))
+	// The client's reader auto-pongs and keeps waiting; feed it a real
+	// message afterwards so ReadMessage returns.
+	go func() {
+		f, err := server.nextFrame()
+		if err != nil || f.Op != OpPong || string(f.Payload) != "hb" {
+			t.Errorf("server got %v %q err=%v, want pong hb", f.Op, f.Payload, err)
+		}
+		server.WriteMessage(OpText, []byte("after"))
+	}()
+	op, msg, err := client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "after" {
+		t.Fatalf("got %v %q", op, msg)
+	}
+}
+
+func TestConnCloseHandshake(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	// The client reads the server's close echo concurrently (net.Pipe has
+	// no buffering, so the echo write blocks until someone reads it).
+	clientErr := make(chan error, 1)
+	go func() {
+		if err := client.WriteClose(CloseGoingAway, "tab closed"); err != nil {
+			t.Error(err)
+		}
+		_, _, err := client.ReadMessage()
+		clientErr <- err
+	}()
+	_, _, err := server.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err=%v, want *CloseError", err)
+	}
+	if ce.Code != CloseGoingAway || ce.Reason != "tab closed" {
+		t.Fatalf("close %+v", ce)
+	}
+	// The server echoed the close; the client's reader surfaces it too.
+	if err := <-clientErr; !errors.As(err, &ce) {
+		t.Fatalf("client err=%v, want *CloseError", err)
+	}
+}
+
+func TestConnRejectsUnmaskedClientFrame(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		client.c.Write(AppendFrame(nil, true, OpText, []byte("bare"), nil))
+		// Drain the server's protocol-error close so its bounded write
+		// does not have to wait out the grace period.
+		client.nextFrame()
+	}()
+	_, _, err := server.ReadMessage()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err=%v, want ErrProtocol", err)
+	}
+}
+
+func TestUpgradeAndDial(t *testing.T) {
+	accepted := make(chan *Conn, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sock", func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r, 0)
+		if err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		accepted <- conn
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := Dial(ctx, ts.URL+"/sock", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if err := client.WriteMessage(OpText, []byte("over http upgrade")); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "over http upgrade" {
+		t.Fatalf("got %v %q", op, msg)
+	}
+	if err := server.WriteMessage(OpText, []byte("and back")); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err = client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "and back" {
+		t.Fatalf("got %q", msg)
+	}
+}
+
+func TestUpgradeRejectsPlainGET(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r, 0); !errors.Is(err, ErrNotWebSocket) {
+			t.Errorf("err=%v, want ErrNotWebSocket", err)
+		}
+	}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAcceptKeyRFCVector(t *testing.T) {
+	// The worked example from RFC 6455 §1.3.
+	if got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("AcceptKey = %q", got)
+	}
+}
+
+func TestHeaderHasToken(t *testing.T) {
+	if !headerHasToken("keep-alive, Upgrade", "upgrade") {
+		t.Fatal("token list parse failed")
+	}
+	if headerHasToken("keep-alive", "upgrade") {
+		t.Fatal("false positive")
+	}
+}
+
+func TestDialRejectsNonWSServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, strings.Replace(ts.URL, "http://", "ws://", 1), 0); !errors.Is(err, ErrNotWebSocket) {
+		t.Fatalf("err=%v, want ErrNotWebSocket", err)
+	}
+}

@@ -14,10 +14,15 @@
 # matrix (rate-heavy, job-worker-heavy, mixed-churn), the cluster
 # serving row (job-worker-heavy/cluster-4), the elastic-topology row
 # (rebalance/cluster-2x4: ops are users *moved* by live 2↔4 scale
-# cycles, throughput is users-moved/sec, latency is per-moved-user), and
-# the wire rows. Compare fails when a baseline row goes unmeasured or a
-# measured row is missing from the baseline, so adding a scenario means
-# refreshing BENCH_hotpath.json with the command above.
+# cycles, throughput is users-moved/sec, latency is per-moved-user),
+# the WebSocket worker row (job-ws/engine-ws: ops are completed
+# push→compute→result cycles over persistent sockets), the fleet row
+# (fleet-churn/engine-fleet: ops are jobs completed by a churny
+# deterministic fleet, latency is per-convergence-cycle — this scenario
+# floors its window at 1s so short CI windows still amortize cycle
+# variance), and the wire rows. Compare fails when a baseline row goes
+# unmeasured or a measured row is missing from the baseline, so adding a
+# scenario means refreshing BENCH_hotpath.json with the command above.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -18,5 +18,6 @@ run ./internal/wire FuzzDecodeResult
 run ./internal/wire FuzzDecodeAck
 run ./internal/wire FuzzDecodeJob
 run ./internal/persist FuzzSnapshotDecode
+run ./internal/ws FuzzDecodeWSFrame
 
 echo "all fuzzers clean"

@@ -6,7 +6,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
-trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} ${FLEET_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "--- building all cmd/ and examples/ binaries"
 go build -o "$BIN/" ./cmd/...
@@ -190,5 +190,52 @@ done
 
 kill -TERM $SCALE_PID
 wait $SCALE_PID
+
+echo "--- browser fleet: 200 WebSocket sessions vs a 2-partition server, one forced mass disconnect"
+FLEET_ADDR="127.0.0.1:18084"
+FLEET_BASE="http://$FLEET_ADDR"
+"$BIN/hyrec-server" -addr "$FLEET_ADDR" -partitions 2 -rotate 0 \
+  -lease-ttl 300ms -lease-retries 1 -fallback-workers 4 &
+FLEET_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$FLEET_BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $FLEET_PID 2>/dev/null; then
+    echo "fleet server died during startup" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+# Seed 50 users: the ratings fill the staleness queue the fleet must drain.
+RATINGS='{"ratings":['
+for u in $(seq 1 50); do
+  RATINGS+="{\"uid\":$u,\"item\":$((u % 11)),\"liked\":true},"
+  RATINGS+="{\"uid\":$u,\"item\":$((u % 7 + 11)),\"liked\":false},"
+done
+RATINGS="${RATINGS%,}]}"
+curl -fsS -X POST "$FLEET_BASE/v1/rate" -H 'Content-Type: application/json' -d "$RATINGS" >/dev/null
+curl -fsS "$FLEET_BASE/stats" | grep -Eq '"sched_unrefreshed":[1-9]' \
+  || { echo "seeding left no unrefreshed users to converge" >&2; exit 1; }
+
+# A 200-session deterministic fleet over real sockets: 60% of leased
+# jobs silently vanish, and 40% of the fleet is severed the moment half
+# the users have converged. The widget exits non-zero unless every user
+# converges within the budget.
+"$BIN/hyrec-widget" -server "$FLEET_BASE" -fleet 200 -fleet-users 50 -seed 7 \
+  -abandon 0.6 -silent-abandon -fleet-disconnect 0.4 -work-duration 60s
+
+STATS=$(curl -fsS "$FLEET_BASE/stats")
+echo "$STATS" | grep -Eq '"sched_unrefreshed":0' \
+  || { echo "fleet left users unrefreshed: $STATS" >&2; exit 1; }
+# Silent churn plus the mass disconnect must have burned leases...
+echo "$STATS" | grep -Eq '"sched_expired":[1-9]' \
+  || { echo "no lease ever burned under 60% silent churn: $STATS" >&2; exit 1; }
+# ...and the fallback pool must have absorbed them.
+echo "$STATS" | grep -Eq '"sched_fallback_runs":[1-9]' \
+  || { echo "fallback pool absorbed no burned leases: $STATS" >&2; exit 1; }
+curl -fsS "$FLEET_BASE/metrics" | grep -q '^hyrec_ws_jobs_pushed_total [1-9]' \
+  || { echo "/metrics shows no jobs pushed over WebSockets" >&2; exit 1; }
+
+kill -TERM $FLEET_PID
+wait $FLEET_PID
 
 echo "smoke test passed"

@@ -207,6 +207,10 @@ type Scheduler struct {
 	readyCh chan struct{} // closed+replaced to wake Next waiters
 	onReady func()        // external work-available hook (see OnReady)
 	stats   Stats
+	// unrefreshed counts tracked users with refreshed == false, kept
+	// incrementally so Stats() does not scan s.users under the lock on
+	// every scrape.
+	unrefreshed int
 
 	fallbackQ  []core.UserID
 	fbCond     *sync.Cond
@@ -493,11 +497,7 @@ func (s *Scheduler) Stats() Stats {
 	out.Pending = s.pending.Len()
 	out.Leased = len(s.leases)
 	out.FallbackQueued = len(s.fallbackQ) + s.fbInflight
-	for _, st := range s.users {
-		if !st.refreshed {
-			out.Unrefreshed++
-		}
-	}
+	out.Unrefreshed = s.unrefreshed
 	return out
 }
 
@@ -540,8 +540,18 @@ func (s *Scheduler) userLocked(u core.UserID) *userState {
 	if !ok {
 		st = &userState{user: u, heapIdx: -1}
 		s.users[u] = st
+		s.unrefreshed++
 	}
 	return st
+}
+
+// markRefreshedLocked flips st.refreshed exactly once, keeping the
+// incremental unrefreshed gauge in step.
+func (s *Scheduler) markRefreshedLocked(st *userState) {
+	if !st.refreshed {
+		st.refreshed = true
+		s.unrefreshed--
+	}
 }
 
 func (s *Scheduler) leaseLocked(st *userState) Lease {
@@ -567,7 +577,7 @@ func (s *Scheduler) completeLocked(st *userState) {
 		// heap, or it would be popped later as a spurious dispatch.
 		heap.Remove(&s.pending, st.heapIdx)
 	}
-	st.refreshed = true
+	s.markRefreshedLocked(st)
 	st.retries = 0
 	if st.dirtyAgain {
 		st.dirtyAgain = false
@@ -671,7 +681,7 @@ func (s *Scheduler) fallbackLoop() {
 			// lease owns the lifecycle now. On success the row was still
 			// genuinely refreshed — record that, touch nothing else.
 			if err == nil {
-				st.refreshed = true
+				s.markRefreshedLocked(st)
 			} else {
 				s.stats.FallbackErrors++
 			}

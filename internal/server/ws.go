@@ -17,6 +17,12 @@ import (
 // frames is torn down by the peer's read failing. Variable for tests.
 var wsPingEvery = 20 * time.Second
 
+// wsWriteGrace bounds every server→worker write: a worker that stops
+// draining its socket fails the push (or the keepalive ping) within
+// this window instead of wedging the session goroutines, so the lease
+// it was holding expires and is reissued. Variable for tests.
+var wsWriteGrace = 30 * time.Second
+
 // handleV1WorkerWS serves GET /v1/worker/ws: the push-capable worker
 // transport. One upgraded connection carries the whole worker protocol —
 // the server pushes leased jobs (one per credit the worker granted,
@@ -36,6 +42,7 @@ func (s *HTTPServer) handleV1WorkerWS(w http.ResponseWriter, r *http.Request) {
 		// Upgrade already answered the request.
 		return
 	}
+	conn.SetWriteGrace(wsWriteGrace)
 	s.wsWorkers.Add(1)
 	defer s.wsWorkers.Add(-1)
 	defer conn.Close()

@@ -1,10 +1,10 @@
 package ws
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -46,10 +46,12 @@ type Conn struct {
 	rbuf   []byte // undecoded bytes already read from the socket
 	rstart int    // consumed prefix of rbuf
 
-	wmu       sync.Mutex
-	wbuf      []byte
-	rnd       *rand.Rand // masking keys (client side only)
-	closeSent bool
+	wmu        sync.Mutex
+	wbuf       []byte
+	maskBuf    [256]byte // buffered crypto/rand masking keys (client side only)
+	maskLeft   int
+	writeGrace time.Duration // default deadline for writes without an explicit grace
+	closeSent  bool
 
 	closeOnce sync.Once
 }
@@ -62,9 +64,6 @@ func newConn(c net.Conn, client bool, maxMsg int64, leftover []byte) *Conn {
 	if len(leftover) > 0 {
 		conn.rbuf = append(conn.rbuf, leftover...)
 	}
-	if client {
-		conn.rnd = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(uintptr(len(leftover)))))
-	}
 	return conn
 }
 
@@ -74,6 +73,17 @@ func (cn *Conn) RemoteAddr() net.Addr { return cn.c.RemoteAddr() }
 
 // SetReadDeadline bounds the next ReadMessage (zero time clears it).
 func (cn *Conn) SetReadDeadline(t time.Time) error { return cn.c.SetReadDeadline(t) }
+
+// SetWriteGrace bounds every subsequent data write (WriteMessage,
+// WritePing) with a per-write deadline, so a peer that stops draining
+// its socket fails the write instead of blocking the caller forever.
+// Zero restores unbounded writes. A server pushing jobs should set
+// this; control writes issued from the read path carry their own grace.
+func (cn *Conn) SetWriteGrace(d time.Duration) {
+	cn.wmu.Lock()
+	cn.writeGrace = d
+	cn.wmu.Unlock()
+}
 
 // Close tears down the underlying socket without a close handshake; use
 // WriteClose first for a graceful shutdown.
@@ -204,7 +214,8 @@ func (cn *Conn) failProtocol() {
 const controlWriteGrace = 5 * time.Second
 
 // writeFrame emits one frame, masking on the client side. A positive
-// grace bounds the write with a deadline (cleared afterwards).
+// grace bounds the write with a deadline (cleared afterwards); zero
+// falls back to the connection's write grace, if any.
 func (cn *Conn) writeFrame(fin bool, op Opcode, payload []byte, grace time.Duration) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
@@ -213,10 +224,21 @@ func (cn *Conn) writeFrame(fin bool, op Opcode, payload []byte, grace time.Durat
 	}
 	var key *[4]byte
 	if cn.client {
+		// Masking keys must come from a strong entropy source (RFC 6455
+		// §5.3); amortize crypto/rand reads over a buffer of keys.
+		if cn.maskLeft < 4 {
+			if _, err := rand.Read(cn.maskBuf[:]); err != nil {
+				return fmt.Errorf("ws: masking entropy: %w", err)
+			}
+			cn.maskLeft = len(cn.maskBuf)
+		}
 		var k [4]byte
-		v := cn.rnd.Uint32()
-		k[0], k[1], k[2], k[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		copy(k[:], cn.maskBuf[len(cn.maskBuf)-cn.maskLeft:])
+		cn.maskLeft -= 4
 		key = &k
+	}
+	if grace <= 0 {
+		grace = cn.writeGrace
 	}
 	cn.wbuf = AppendFrame(cn.wbuf[:0], fin, op, payload, key)
 	if grace > 0 {

@@ -72,6 +72,12 @@ func Upgrade(w http.ResponseWriter, r *http.Request, maxMsg int64) (*Conn, error
 	if err != nil {
 		return nil, fmt.Errorf("ws: hijack: %w", err)
 	}
+	// Clear any Read/WriteTimeout deadlines armed before the hijack:
+	// left in place they would kill the long-lived WebSocket within one
+	// server timeout window. The stdlib http.Server clears them in
+	// Hijack itself, but Hijacker wrappers (middleware, custom servers)
+	// are not guaranteed to, so the upgrade owns the invariant.
+	netConn.SetDeadline(time.Time{})
 	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
 		"Upgrade: websocket\r\n" +
 		"Connection: Upgrade\r\n" +

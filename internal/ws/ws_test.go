@@ -283,6 +283,77 @@ func TestUpgradeAndDial(t *testing.T) {
 	}
 }
 
+// TestUpgradeSurvivesServerTimeouts arms the http.Server Read/Write
+// timeouts the production binary uses (scaled down) and checks the
+// upgraded socket outlives them: the hijacked conn inherits the armed
+// deadlines, and Upgrade must clear them or every real-world worker
+// socket dies with an i/o timeout within one timeout window.
+func TestUpgradeSurvivesServerTimeouts(t *testing.T) {
+	accepted := make(chan *Conn, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sock", func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r, 0)
+		if err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		accepted <- conn
+	})
+	ts := httptest.NewUnstartedServer(mux)
+	ts.Config.ReadTimeout = 150 * time.Millisecond
+	ts.Config.WriteTimeout = 150 * time.Millisecond
+	ts.Start()
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := Dial(ctx, ts.URL+"/sock", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// Outlive both armed deadlines, then exchange in both directions.
+	time.Sleep(400 * time.Millisecond)
+	if err := client.WriteMessage(OpText, []byte("still alive?")); err != nil {
+		t.Fatal(err)
+	}
+	if _, msg, err := server.ReadMessage(); err != nil || string(msg) != "still alive?" {
+		t.Fatalf("server read after timeout window: msg=%q err=%v", msg, err)
+	}
+	if err := server.WriteMessage(OpText, []byte("yes")); err != nil {
+		t.Fatalf("server write after timeout window: %v", err)
+	}
+	if _, msg, err := client.ReadMessage(); err != nil || string(msg) != "yes" {
+		t.Fatalf("client read after timeout window: msg=%q err=%v", msg, err)
+	}
+}
+
+// TestWriteGraceFailsStalledPeer checks SetWriteGrace: a data write to a
+// peer that never drains its socket must fail with a timeout instead of
+// blocking forever (net.Pipe is unbuffered, so any write stalls until
+// the peer reads).
+func TestWriteGraceFailsStalledPeer(t *testing.T) {
+	client, server := pipeConns(0)
+	defer client.Close()
+	defer server.Close()
+
+	server.SetWriteGrace(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- server.WriteMessage(OpBinary, bytes.Repeat([]byte{1}, 1024)) }()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err=%v, want a net timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write to a stalled peer never returned")
+	}
+}
+
 func TestUpgradeRejectsPlainGET(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if _, err := Upgrade(w, r, 0); !errors.Is(err, ErrNotWebSocket) {

@@ -50,6 +50,7 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	timeout time.Duration
+	headers map[string]string
 
 	// Rating batcher (enabled by WithBatch).
 	batchSize  int
@@ -82,6 +83,18 @@ func WithHTTPClient(hc *http.Client) Option {
 // context has none (default 30s; 0 disables).
 func WithTimeout(d time.Duration) Option {
 	return func(c *Client) { c.timeout = d }
+}
+
+// WithHeader attaches a fixed header to every request — e.g. the
+// forwarded marker a node sets on proxied traffic (server.ForwardedHeader)
+// so the receiving node rejects instead of proxying again.
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = make(map[string]string)
+		}
+		c.headers[key] = value
+	}
 }
 
 // WithRetries makes transient failures (network errors, HTTP 5xx) retry
@@ -159,6 +172,9 @@ type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // machine code from the envelope (wire.Code*)
 	Message string
+	// Primary is the owning node's address on not_primary answers (empty
+	// otherwise) — the re-target hint of multi-node deployments.
+	Primary string
 }
 
 func (e *APIError) Error() string {
@@ -176,6 +192,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeUnknownLease
 	case hyrec.ErrMoved:
 		return e.Code == wire.CodeMoved
+	case hyrec.ErrNotPrimary:
+		return e.Code == wire.CodeNotPrimary
 	}
 	return false
 }
@@ -289,6 +307,14 @@ func (c *Client) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 		return nil, err
 	}
 	return wire.DecodeJob(raw)
+}
+
+// JobRaw fetches u's job payload as the exact JSON bytes the server
+// serialized (after transport decompression) — the proxy path of a
+// multi-node deployment, where re-encoding would break the byte-identity
+// the payload cache guarantees.
+func (c *Client) JobRaw(ctx context.Context, u core.UserID) ([]byte, error) {
+	return c.getRaw(ctx, "/v1/job?uid="+strconv.FormatUint(uint64(u), 10))
 }
 
 // NextJob implements hyrec.JobSource remotely: GET /v1/job?worker=1,
@@ -440,6 +466,32 @@ func (c *Client) CachedTopology() *wire.Topology {
 	return c.topo
 }
 
+// Replicate ships one replication batch to the node at the other end
+// (POST /v1/replicate) — the node-plane call a primary partition uses to
+// keep its replica mirror current.
+func (c *Client) Replicate(ctx context.Context, b *wire.ReplBatch) (*wire.ReplAck, error) {
+	body, err := wire.EncodeReplBatch(b)
+	if err != nil {
+		return nil, fmt.Errorf("hyrec client: marshal repl batch: %w", err)
+	}
+	var out wire.ReplAck
+	if err := c.do(ctx, http.MethodPost, "/v1/replicate", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PushNodeMap publishes a node map to the node at the other end
+// (POST /v1/nodes) — the failover coordinator's re-publication call.
+func (c *Client) PushNodeMap(ctx context.Context, m *wire.NodeMap) error {
+	body, err := wire.EncodeNodeMap(m)
+	if err != nil {
+		return fmt.Errorf("hyrec client: marshal node map: %w", err)
+	}
+	var out wire.AckResponse
+	return c.do(ctx, http.MethodPost, "/v1/nodes", body, &out)
+}
+
 // Neighbors implements hyrec.Service: GET /v1/neighbors.
 func (c *Client) Neighbors(ctx context.Context, u core.UserID) ([]core.UserID, error) {
 	var out wire.NeighborsResponse
@@ -521,21 +573,28 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	var lastErr error
 	movedRetried := false
+	base := c.base
 	for attempt := 0; ; attempt++ {
-		raw, retryable, err := c.attempt(ctx, method, path, body, negotiateGzip)
+		raw, retryable, err := c.attemptAt(ctx, base, method, path, body, negotiateGzip)
 		if err == nil {
 			return raw, nil
 		}
 		lastErr = err
-		// CodeMoved: the user's state migrated to a different partition
-		// mid-flight. Refetch the topology (so routing caches catch up)
-		// and retry exactly once — a second moved answer means the
-		// result is a pre-migration straggler and surfaces as-is.
+		// CodeMoved / CodeNotPrimary: the user's state migrated to a
+		// different partition — or the node answering no longer serves it
+		// as primary — mid-flight. Refetch the topology (so routing
+		// caches catch up) and retry exactly once; a not_primary envelope
+		// naming the primary's address re-targets the retry directly. A
+		// second such answer means the request is a pre-change straggler
+		// and surfaces as-is.
 		var apiErr *APIError
-		if !movedRetried && ctx.Err() == nil &&
-			errors.As(err, &apiErr) && apiErr.Code == wire.CodeMoved &&
+		if !movedRetried && ctx.Err() == nil && errors.As(err, &apiErr) &&
+			(apiErr.Code == wire.CodeMoved || apiErr.Code == wire.CodeNotPrimary) &&
 			!strings.HasSuffix(path, "/v1/topology") {
 			movedRetried = true
+			if apiErr.Primary != "" {
+				base = strings.TrimRight(apiErr.Primary, "/")
+			}
 			c.refreshTopology(ctx)
 			attempt-- // the moved retry does not consume the transient budget
 			continue
@@ -552,11 +611,15 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 }
 
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, negotiateGzip bool) (raw []byte, retryable bool, err error) {
+	return c.attemptAt(ctx, c.base, method, path, body, negotiateGzip)
+}
+
+func (c *Client) attemptAt(ctx context.Context, base, method, path string, body []byte, negotiateGzip bool) (raw []byte, retryable bool, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return nil, false, fmt.Errorf("hyrec client: build request: %w", err)
 	}
@@ -565,6 +628,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if negotiateGzip {
 		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -613,7 +679,7 @@ func (c *Client) refreshTopology(ctx context.Context) {
 func decodeAPIError(status int, body []byte) error {
 	var env wire.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message, Primary: env.Error.Primary}
 	}
 	// Legacy plain-text error (or proxy junk): keep the raw text.
 	return &APIError{Status: status, Code: wire.CodeInternal, Message: strings.TrimSpace(string(body))}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"hyrec/internal/cluster"
 	"hyrec/internal/core"
 	"hyrec/internal/loadgen"
+	"hyrec/internal/node"
 	"hyrec/internal/server"
 	"hyrec/internal/stats"
 	"hyrec/internal/widget"
@@ -67,7 +70,7 @@ func servePayload(svc server.Service, u core.UserID) error {
 	}
 	if pa, ok := svc.(server.PayloadAppender); ok && !baseline {
 		bufs := wire.GetPayloadBufs()
-		jsonBody, gzBody, err := pa.AppendJobPayload(u, bufs.JSON, bufs.Gz)
+		jsonBody, gzBody, err := pa.AppendJobPayload(context.Background(), u, bufs.JSON, bufs.Gz)
 		if err == nil {
 			bufs.JSON, bufs.Gz = jsonBody, gzBody
 		}
@@ -234,6 +237,88 @@ func wireScenarios(users int) map[string]Scenario {
 			Op:          fromLoadgen(loadgen.JobOp(uids)),
 		},
 	}
+}
+
+// NodeWire measures the multi-node distribution tax on the ingest path:
+// the typed client rates through one node of a live two-node HTTP
+// deployment, so roughly half of each batch is proxied to the owning
+// peer (client → non-owner → owner), and every locally-applied batch is
+// synchronously replicated to its partition's mirror before the ack
+// returns — replication on, the durability the failover guarantee is
+// priced at. Comparing rate-node-wire with rate-batch-wire reads off
+// the proxy-plus-replication overhead directly.
+func NodeWire(ctx context.Context, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	cfg := server.DefaultConfig()
+	cfg.Seed = opt.Seed
+
+	lns := make([]net.Listener, 2)
+	mems := make([]node.Member, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: node-wire listen: %w", err)
+		}
+		lns[i] = ln
+		mems[i] = node.Member{ID: fmt.Sprintf("n%d", i+1), Addr: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*node.Node, 2)
+	srvs := make([]*http.Server, 2)
+	for i := range nodes {
+		nd, err := node.New(node.Config{
+			Self:       mems[i],
+			Members:    mems,
+			Partitions: 8,
+			Engine:     cfg,
+			// Static two-node deployment under measurement: liveness
+			// probing off, the synchronous RateBatch leg and the async
+			// dirty tail carry all replication.
+			ReplicateEvery:   50 * time.Millisecond,
+			AntiEntropyEvery: -1,
+			HeartbeatEvery:   -1,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: node-wire node %s: %w", mems[i].ID, err)
+		}
+		nodes[i] = nd
+		srvs[i] = &http.Server{Handler: server.NewServer(nd, 0).Handler()}
+		go srvs[i].Serve(lns[i])
+		nd.Start()
+	}
+	defer func() {
+		for i := range nodes {
+			srvs[i].Close()
+			nodes[i].Close()
+		}
+	}()
+
+	const items = 2000
+	uids := loadgen.UIDRange(opt.Users)
+	sc := Scenario{
+		Name:        "rate-node-wire",
+		Description: "batched rating ingest via a non-owner node (proxy hop + synchronous replication)",
+		Setup: func(ctx context.Context, svc server.Service) error {
+			c := svc.(*client.Client)
+			batchOp := loadgen.RateBatchOp(uids, items, 32)
+			for i := 0; i*32 < opt.Users*4; i++ {
+				if err := batchOp(ctx, c, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+			return loadgen.RateBatchOp(uids, items, 32)(ctx, svc.(*client.Client), worker*1_000_003+i)
+		},
+	}
+	c := client.New(mems[0].Addr, client.WithTimeout(10*time.Second))
+	defer c.Close()
+	res, err := Run(ctx, c, sc, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Service, res.Mode = "node-2-wire", "wire"
+	return res, nil
 }
 
 // Rebalance measures the elastic-topology coordinator: a 2-partition
@@ -405,5 +490,14 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 		res.Service, res.Mode = "engine-wire", "wire"
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
+
+	// Multi-node wire mode: the same batched ingest through one node of
+	// a two-node deployment, pricing the proxy hop and the synchronous
+	// replica ship against rate-batch-wire above.
+	res, err = NodeWire(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
 	return rep, nil
 }

@@ -353,8 +353,8 @@ func (c *Cluster) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error)
 
 // AppendJobPayload implements server.PayloadAppender on the owning
 // partition (the pooled zero-allocation serving path).
-func (c *Cluster) AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
-	return c.snap().jobEngine(u).AppendJobPayload(u, jsonDst, gzDst)
+func (c *Cluster) AppendJobPayload(ctx context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
+	return c.snap().jobEngine(u).AppendJobPayload(ctx, u, jsonDst, gzDst)
 }
 
 // routed describes where a widget result resolves and where it applies.

@@ -1,0 +1,165 @@
+package node
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hyrec/internal/wire"
+)
+
+// heartbeats is the liveness and failover loop. Every HeartbeatEvery it
+// probes each other member's /healthz; DeadAfter consecutive misses
+// declare a member dead. When the observed alive set disagrees with the
+// node map in force, the coordinator — the alive member with the lowest
+// ID, a total order every survivor computes identically — builds the
+// next map (epoch+1) over the alive set, applies it locally (promoting
+// its own mirrors) and pushes it to every alive peer, whose applyMap
+// promotes theirs. A recovered member re-enters the alive set the same
+// way and gets its partitions back through the demotion/handoff path.
+type heartbeats struct {
+	n  *Node
+	hc *http.Client
+
+	mu      sync.Mutex
+	misses  map[string]int // member ID → consecutive missed probes
+	probing bool
+}
+
+func newHeartbeats(n *Node) *heartbeats {
+	return &heartbeats{
+		n:      n,
+		hc:     &http.Client{Timeout: n.cfg.PeerTimeout},
+		misses: map[string]int{},
+	}
+}
+
+func (h *heartbeats) loop(wg *sync.WaitGroup, stop <-chan struct{}) {
+	defer wg.Done()
+	t := time.NewTicker(h.n.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			h.Tick()
+		}
+	}
+}
+
+// Tick runs one probe round and reconciles the map. Exported on the
+// struct (tests drive it directly with HeartbeatEvery disabled).
+func (h *heartbeats) Tick() {
+	h.mu.Lock()
+	if h.probing { // previous round still timing out against a dead peer
+		h.mu.Unlock()
+		return
+	}
+	h.probing = true
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		h.probing = false
+		h.mu.Unlock()
+	}()
+
+	n := h.n
+	type probe struct {
+		id string
+		ok bool
+	}
+	results := make(chan probe, len(n.members))
+	probed := 0
+	for _, m := range n.members {
+		if m.ID == n.self.ID {
+			continue
+		}
+		probed++
+		go func(m Member) {
+			results <- probe{id: m.ID, ok: h.alive(m.Addr)}
+		}(m)
+	}
+	h.mu.Lock()
+	for i := 0; i < probed; i++ {
+		r := <-results
+		if r.ok {
+			h.misses[r.id] = 0
+		} else {
+			h.misses[r.id]++
+		}
+	}
+	alive := make([]Member, 0, len(n.members))
+	for _, m := range n.members {
+		if m.ID == n.self.ID || h.misses[m.ID] < n.cfg.DeadAfter {
+			alive = append(alive, m)
+		}
+	}
+	h.mu.Unlock()
+
+	h.reconcile(alive)
+}
+
+func (h *heartbeats) alive(addr string) bool {
+	req, err := http.NewRequest(http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// reconcile publishes a new node map when the alive set drifted from the
+// map in force and this node is the coordinator for that alive set.
+func (h *heartbeats) reconcile(alive []Member) {
+	n := h.n
+	cur := n.nm.Load()
+	if membersMatch(cur, alive) {
+		return
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ID < alive[j].ID })
+	if len(alive) == 0 || alive[0].ID != n.self.ID {
+		return // another survivor coordinates
+	}
+	m := BuildMap(alive, n.cfg.Partitions, cur.Epoch+1)
+	n.applyMap(m)
+	h.push(m, alive)
+}
+
+// push distributes m to every alive peer. Best-effort: a peer that
+// misses the push converges on the next reconcile round or rejects
+// stray traffic with not_primary until it does.
+func (h *heartbeats) push(m *wire.NodeMap, alive []Member) {
+	n := h.n
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+	defer cancel()
+	for _, mb := range alive {
+		if mb.ID == n.self.ID {
+			continue
+		}
+		_ = n.peer(mb.Addr).PushNodeMap(ctx, m)
+	}
+}
+
+// membersMatch reports whether the map's node set equals the alive set.
+func membersMatch(m *wire.NodeMap, alive []Member) bool {
+	if len(m.Nodes) != len(alive) {
+		return false
+	}
+	ids := make(map[string]bool, len(m.Nodes))
+	for _, nd := range m.Nodes {
+		ids[nd.ID] = true
+	}
+	for _, mb := range alive {
+		if !ids[mb.ID] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+// Package node is HyRec's multi-process distribution layer: it spans the
+// consistent-hash ring (internal/cluster) across OS processes. Every
+// node embeds a full in-process Cluster — identical engines, seeds and
+// lease lanes on every node, so all processes agree on routing and
+// pseudonym spaces by construction — but serves only the partitions the
+// published node map assigns it as primary; the rest run their
+// schedulers in standby as replica mirrors or sit empty.
+//
+// A node is a full hyrec.Service: requests for users it does not own are
+// proxied to the owning node through the typed client, so callers can
+// hit any node. Each primary partition streams its state to one
+// ring-distinct replica (repl.go); heartbeats detect node death and a
+// coordinator promotes replicas by publishing a higher-epoch node map
+// (failover.go).
+package node
+
+import (
+	"sort"
+
+	"hyrec/internal/wire"
+)
+
+// Member is one node's static identity: a unique ID (coordinator
+// election orders by it) and the base URL peers dial it on.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// BuildMap assigns every ring partition a primary and (when at least
+// two nodes are alive) one replica over the alive member set, by
+// rendezvous (highest-random-weight) hashing: the primary of partition p
+// is the alive node with the highest hash(node, p), the replica the
+// second-highest — necessarily a different node, the "ring-distinct"
+// placement. The assignment is a pure function of (alive set, partition
+// count), so every process computes the same map without coordination,
+// and removing one node only reassigns the partitions that node held.
+func BuildMap(alive []Member, partitions int, epoch uint64) *wire.NodeMap {
+	members := append([]Member(nil), alive...)
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	m := &wire.NodeMap{Epoch: epoch, Partitions: partitions, Nodes: make([]wire.NodeInfo, len(members))}
+	for i, mb := range members {
+		m.Nodes[i] = wire.NodeInfo{ID: mb.ID, Addr: mb.Addr}
+	}
+	if len(members) == 0 {
+		return m
+	}
+	for p := 0; p < partitions; p++ {
+		best, second := -1, -1
+		var bestW, secondW uint64
+		for i, mb := range members {
+			w := rendezvousWeight(mb.ID, p)
+			switch {
+			case best < 0 || w > bestW:
+				second, secondW = best, bestW
+				best, bestW = i, w
+			case second < 0 || w > secondW:
+				second, secondW = i, w
+			}
+		}
+		m.Nodes[best].Primary = append(m.Nodes[best].Primary, p)
+		if second >= 0 {
+			m.Nodes[second].Replica = append(m.Nodes[second].Replica, p)
+		}
+	}
+	return m
+}
+
+// rendezvousWeight scores (node, partition) pairs with an FNV-1a hash
+// finished by a splitmix-style avalanche — stable across processes and
+// Go versions, unlike map iteration or math/rand.
+func rendezvousWeight(id string, partition int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= uint64(partition) + 0x9e3779b97f4a7c15
+	h *= prime64
+	// Avalanche so adjacent partition indexes decorrelate.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// roles summarizes one node's view of a map: the partitions it serves
+// as primary and those it mirrors.
+func roles(m *wire.NodeMap, self string) (primary, replica map[int]bool) {
+	primary, replica = map[int]bool{}, map[int]bool{}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		if n.ID != self {
+			continue
+		}
+		for _, p := range n.Primary {
+			primary[p] = true
+		}
+		for _, p := range n.Replica {
+			replica[p] = true
+		}
+	}
+	return primary, replica
+}

@@ -1,0 +1,90 @@
+package node
+
+import (
+	"testing"
+)
+
+func members(ids ...string) []Member {
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = Member{ID: id, Addr: "http://" + id}
+	}
+	return out
+}
+
+// TestBuildMapDeterministic: the map is a pure function of the alive set
+// — member order must not matter, every process computes the same
+// assignment.
+func TestBuildMapDeterministic(t *testing.T) {
+	a := BuildMap(members("n1", "n2", "n3"), 16, 1)
+	b := BuildMap(members("n3", "n1", "n2"), 16, 1)
+	for p := 0; p < 16; p++ {
+		if a.Primary(p).ID != b.Primary(p).ID {
+			t.Fatalf("partition %d: primary differs across input orders", p)
+		}
+		if a.Replica(p).ID != b.Replica(p).ID {
+			t.Fatalf("partition %d: replica differs across input orders", p)
+		}
+	}
+}
+
+// TestBuildMapReplicaDistinct: with ≥2 nodes every partition gets a
+// replica on a different node than its primary; with 1 node, none.
+func TestBuildMapReplicaDistinct(t *testing.T) {
+	m := BuildMap(members("n1", "n2", "n3"), 32, 1)
+	for p := 0; p < 32; p++ {
+		pr, rep := m.Primary(p), m.Replica(p)
+		if pr == nil || rep == nil {
+			t.Fatalf("partition %d: unassigned (primary %v replica %v)", p, pr, rep)
+		}
+		if pr.ID == rep.ID {
+			t.Fatalf("partition %d: replica on the primary node %s", p, pr.ID)
+		}
+	}
+	solo := BuildMap(members("n1"), 8, 1)
+	for p := 0; p < 8; p++ {
+		if solo.Primary(p) == nil {
+			t.Fatalf("partition %d: no primary in 1-node map", p)
+		}
+		if solo.Replica(p) != nil {
+			t.Fatalf("partition %d: 1-node map has a replica", p)
+		}
+	}
+}
+
+// TestBuildMapMinimalReassignment pins the rendezvous property the
+// failover design rests on: removing one node reassigns only the
+// partitions that node held, and each orphaned partition's new primary
+// is its old replica (whose mirror already holds the state).
+func TestBuildMapMinimalReassignment(t *testing.T) {
+	full := BuildMap(members("n1", "n2", "n3"), 64, 1)
+	without := BuildMap(members("n1", "n3"), 64, 2)
+	for p := 0; p < 64; p++ {
+		oldPr := full.Primary(p)
+		newPr := without.Primary(p)
+		if oldPr.ID != "n2" {
+			if newPr.ID != oldPr.ID {
+				t.Fatalf("partition %d: primary moved %s→%s though n2 did not own it", p, oldPr.ID, newPr.ID)
+			}
+			continue
+		}
+		if rep := full.Replica(p); newPr.ID != rep.ID {
+			t.Fatalf("partition %d: orphaned primary went to %s, want old replica %s", p, newPr.ID, rep.ID)
+		}
+	}
+}
+
+// TestBuildMapBalance: rendezvous hashing should spread partitions
+// roughly evenly — no node may hold more than twice its fair share.
+func TestBuildMapBalance(t *testing.T) {
+	const parts = 256
+	m := BuildMap(members("n1", "n2", "n3", "n4"), parts, 1)
+	for _, nd := range m.Nodes {
+		if got, cap := len(nd.Primary), parts/2; got > cap {
+			t.Fatalf("node %s holds %d/%d primaries (fair share %d)", nd.ID, got, parts, parts/4)
+		}
+		if len(nd.Primary) == 0 {
+			t.Fatalf("node %s holds no primaries", nd.ID)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package node
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"hyrec/internal/core"
+	"hyrec/internal/wire"
+)
+
+// replicator is the per-node replication pump. For every partition this
+// node serves as primary it keeps a dirty set — users whose state has
+// changed since it was last shipped to the partition's replica. The
+// RateBatch path ships its dirtied users synchronously before the ack
+// returns (shipSync); worker results and fallback refreshes land in the
+// dirty set and ride the async tail (flushAll, every ReplicateEvery);
+// a periodic full-state pass (fullSyncAll) bounds divergence from any
+// lost tail batch. All shipping reuses the PR-5 migration surface:
+// ExportUsers on the source, ImportUsers' destination-wins merge on the
+// mirror, so duplicate and reordered delivery are idempotent.
+type replicator struct {
+	n *Node
+
+	mu    sync.Mutex
+	parts map[int]*replPart
+}
+
+type replPart struct {
+	dirty map[core.UserID]struct{}
+	seq   uint64
+}
+
+func newReplicator(n *Node) *replicator {
+	return &replicator{n: n, parts: map[int]*replPart{}}
+}
+
+// ensure starts tracking partition p (idempotent).
+func (r *replicator) ensure(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.parts[p]; !ok {
+		r.parts[p] = &replPart{dirty: map[core.UserID]struct{}{}}
+	}
+}
+
+// drop stops tracking partition p (this node is no longer its primary).
+func (r *replicator) drop(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.parts, p)
+}
+
+// markDirty queues u for the async tail. A no-op for partitions this
+// node does not track (it is not their primary).
+func (r *replicator) markDirty(p int, u core.UserID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.parts[p]; ok {
+		st.dirty[u] = struct{}{}
+	}
+}
+
+// requeue puts users back in p's dirty set after a failed ship.
+func (r *replicator) requeue(p int, users []core.UserID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.parts[p]
+	if !ok {
+		return
+	}
+	for _, u := range users {
+		st.dirty[u] = struct{}{}
+	}
+}
+
+// takeDirty drains and returns p's dirty set.
+func (r *replicator) takeDirty(p int) []core.UserID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.parts[p]
+	if !ok || len(st.dirty) == 0 {
+		return nil
+	}
+	users := make([]core.UserID, 0, len(st.dirty))
+	for u := range st.dirty {
+		users = append(users, u)
+	}
+	st.dirty = map[core.UserID]struct{}{}
+	return users
+}
+
+func (r *replicator) nextSeq(p int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.parts[p]
+	if !ok {
+		return 0
+	}
+	st.seq++
+	return st.seq
+}
+
+// partitions snapshots the tracked partition set in stable order.
+func (r *replicator) partitions() []int {
+	r.mu.Lock()
+	out := make([]int, 0, len(r.parts))
+	for p := range r.parts {
+		out = append(out, p)
+	}
+	r.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// lag is the hyrec_replica_lag_users gauge: users whose latest state has
+// not yet been acknowledged by their partition's replica.
+func (r *replicator) lag() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, st := range r.parts {
+		n += int64(len(st.dirty))
+	}
+	return n
+}
+
+// replicaAddr resolves the replica destination for p under the current
+// map. ok is false when the partition has no distinct replica (a
+// single-node deployment, or mid-failover before a new map is in force).
+func (r *replicator) replicaAddr(p int) (string, bool) {
+	rep := r.n.nm.Load().Replica(p)
+	if rep == nil || rep.ID == r.n.self.ID {
+		return "", false
+	}
+	return rep.Addr, true
+}
+
+// ship exports the listed users from p's engine and streams them to
+// dstAddr in MaxReplUsers-sized batches. Unknown users are skipped by
+// ExportUsers; an error leaves delivery incomplete and the caller
+// decides whether to requeue.
+func (r *replicator) ship(ctx context.Context, p int, users []core.UserID, full bool, dstAddr string) error {
+	states := r.n.cl.Engine(p).ExportUsers(users)
+	if len(states) == 0 {
+		return nil
+	}
+	peer := r.n.peer(dstAddr)
+	epoch := r.n.nm.Load().Epoch
+	for start := 0; start < len(states); start += wire.MaxReplUsers {
+		end := min(start+wire.MaxReplUsers, len(states))
+		b := &wire.ReplBatch{
+			Epoch:     epoch,
+			Partition: p,
+			Seq:       r.nextSeq(p),
+			Full:      full,
+			Users:     make([]wire.ReplUser, 0, end-start),
+		}
+		for _, st := range states[start:end] {
+			b.Users = append(b.Users, replUserFromState(st))
+		}
+		if _, err := peer.Replicate(ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shipSync is the semi-synchronous leg of RateBatch: the dirtied users'
+// state goes to the replica before the rating ack returns, so an
+// acknowledged rating survives the immediate death of its primary. When
+// the replica is unreachable (it may be the node that just died), the
+// users fall back to the async tail — the coordinator will have
+// published a new map by the time it runs.
+func (r *replicator) shipSync(ctx context.Context, dirty map[int][]core.UserID) {
+	for p, users := range dirty {
+		users = dedupeUsers(users)
+		addr, ok := r.replicaAddr(p)
+		if !ok {
+			continue
+		}
+		if err := r.ship(ctx, p, users, false, addr); err != nil {
+			r.requeue(p, users)
+		}
+	}
+}
+
+// flushAll drains every partition's dirty set to its replica — the
+// async tail. Failed partitions are requeued for the next tick.
+func (r *replicator) flushAll(ctx context.Context) {
+	for _, p := range r.partitions() {
+		users := r.takeDirty(p)
+		if len(users) == 0 {
+			continue
+		}
+		addr, ok := r.replicaAddr(p)
+		if !ok {
+			continue // no replica configured: nothing owes this state
+		}
+		if err := r.ship(ctx, p, users, false, addr); err != nil {
+			r.requeue(p, users)
+		}
+	}
+}
+
+// fullSyncAll is the anti-entropy pass: re-ship every known user of
+// every primary partition. Errors are dropped — the next pass repeats
+// the full state anyway.
+func (r *replicator) fullSyncAll(ctx context.Context) {
+	for _, p := range r.partitions() {
+		addr, ok := r.replicaAddr(p)
+		if !ok {
+			continue
+		}
+		users := r.n.cl.Engine(p).Profiles().Users()
+		if len(users) == 0 {
+			continue
+		}
+		_ = r.ship(ctx, p, users, true, addr)
+	}
+}
+
+// handoff ships p's full state to its new primary under map m — the
+// demotion leg of a rebalance (a node rejoining takes its partitions
+// back). Best-effort: the new primary's anti-entropy inherits whatever
+// a failed handoff missed, since this node stays p's replica.
+func (r *replicator) handoff(p int, m *wire.NodeMap) {
+	pr := m.Primary(p)
+	if pr == nil || pr.ID == r.n.self.ID {
+		return
+	}
+	users := r.n.cl.Engine(p).Profiles().Users()
+	if len(users) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.n.cfg.PeerTimeout)
+	defer cancel()
+	_ = r.ship(ctx, p, users, true, pr.Addr)
+}
+
+// loop drives the async tail and the anti-entropy pass until stop.
+func (r *replicator) loop(wg *sync.WaitGroup, stop <-chan struct{}) {
+	defer wg.Done()
+	if r.n.cfg.ReplicateEvery <= 0 {
+		<-stop
+		return
+	}
+	tail := time.NewTicker(r.n.cfg.ReplicateEvery)
+	defer tail.Stop()
+	var antiC <-chan time.Time
+	if r.n.cfg.AntiEntropyEvery > 0 {
+		anti := time.NewTicker(r.n.cfg.AntiEntropyEvery)
+		defer anti.Stop()
+		antiC = anti.C
+	}
+	for {
+		select {
+		case <-stop:
+			// Final drain so a clean shutdown leaves no dirty tail
+			// (skipped when killed: SIGKILL gets no goodbye flush).
+			if !r.n.killed.Load() {
+				ctx, cancel := context.WithTimeout(context.Background(), r.n.cfg.PeerTimeout)
+				r.flushAll(ctx)
+				cancel()
+			}
+			return
+		case <-tail.C:
+			ctx, cancel := context.WithTimeout(context.Background(), r.n.cfg.PeerTimeout)
+			r.flushAll(ctx)
+			cancel()
+		case <-antiC:
+			ctx, cancel := context.WithTimeout(context.Background(), 2*r.n.cfg.PeerTimeout)
+			r.fullSyncAll(ctx)
+			cancel()
+		}
+	}
+}
+
+func dedupeUsers(users []core.UserID) []core.UserID {
+	if len(users) < 2 {
+		return users
+	}
+	seen := make(map[core.UserID]struct{}, len(users))
+	out := users[:0]
+	for _, u := range users {
+		if _, ok := seen[u]; ok {
+			continue
+		}
+		seen[u] = struct{}{}
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hyrec/internal/wire"
+)
+
+// Node-map sidecar: a multi-node deployment stamps its snapshot set
+// with the node map that was in force when the state was captured
+// (path.nodemap, next to the per-partition frames). On restart the
+// stamp tells the booting node which epoch its disk state corresponds
+// to, so it can refuse to regress a cluster that has since failed over
+// past it — a node rejoining with epoch-3 state while the survivors run
+// epoch 5 must adopt their map, not re-publish its own.
+
+// NodeMapPath is the sidecar location for a snapshot base path.
+func NodeMapPath(path string) string { return path + ".nodemap" }
+
+// SaveNodeMap writes the node-map stamp with the same atomic-rename
+// discipline as the state frames: a crash mid-save leaves the previous
+// stamp intact, never a torn file.
+func SaveNodeMap(path string, m *wire.NodeMap) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("persist: refusing to save invalid node map: %w", err)
+	}
+	body, err := wire.EncodeNodeMap(m)
+	if err != nil {
+		return err
+	}
+	dst := NodeMapPath(path)
+	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(body)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadNodeMap reads and validates the node-map stamp. A missing sidecar
+// returns os.ErrNotExist (wrapped): the snapshot predates multi-node
+// deployment, or none was ever saved.
+func LoadNodeMap(path string) (*wire.NodeMap, error) {
+	body, err := os.ReadFile(NodeMapPath(path))
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.DecodeNodeMap(body)
+	if err != nil {
+		return nil, fmt.Errorf("persist: node-map stamp %s: %w", NodeMapPath(path), err)
+	}
+	return m, nil
+}

@@ -1,0 +1,54 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyrec/internal/wire"
+)
+
+func TestNodeMapSidecarRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "state.snap")
+	m := &wire.NodeMap{
+		Epoch:      7,
+		Partitions: 4,
+		Nodes: []wire.NodeInfo{
+			{ID: "n1", Addr: "http://127.0.0.1:9001", Primary: []int{0, 2}, Replica: []int{1, 3}},
+			{ID: "n2", Addr: "http://127.0.0.1:9002", Primary: []int{1, 3}, Replica: []int{0, 2}},
+		},
+	}
+	if err := SaveNodeMap(base, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadNodeMap(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 || got.Partitions != 4 || len(got.Nodes) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Primary(0).ID != "n1" || got.Replica(0).ID != "n2" {
+		t.Fatalf("assignments lost: %+v", got.Nodes)
+	}
+}
+
+func TestNodeMapSidecarMissing(t *testing.T) {
+	if _, err := LoadNodeMap(filepath.Join(t.TempDir(), "none")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing sidecar = %v, want ErrNotExist", err)
+	}
+}
+
+func TestNodeMapSidecarRejectsInvalid(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "state.snap")
+	if err := SaveNodeMap(base, &wire.NodeMap{Epoch: 1, Partitions: 0}); err == nil {
+		t.Fatal("saved a node map with zero partitions")
+	}
+	if err := os.WriteFile(NodeMapPath(base), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNodeMap(base); err == nil {
+		t.Fatal("loaded a torn sidecar")
+	}
+}

@@ -211,6 +211,13 @@ type Scheduler struct {
 	// incrementally so Stats() does not scan s.users under the lock on
 	// every scrape.
 	unrefreshed int
+	// standby parks the dispatch side: MarkStale keeps accumulating the
+	// pending backlog, but Next/TryNext issue nothing and the sweeper
+	// neither promotes over-age users to the fallback pool nor lets
+	// re-issues reach it. A replica partition runs its scheduler in
+	// standby so leases stay primary-only; promotion (SetStandby(false))
+	// releases the accumulated backlog at once.
+	standby bool
 
 	fallbackQ  []core.UserID
 	fbCond     *sync.Cond
@@ -279,6 +286,33 @@ func (s *Scheduler) OnReady(fn func()) {
 	s.mu.Unlock()
 }
 
+// SetStandby parks or releases the dispatch side (see the standby field).
+// Entering standby does not recall leases already out — the caller drains
+// those via Evict; leaving standby wakes Next waiters and fires the
+// OnReady hook when a backlog is waiting.
+func (s *Scheduler) SetStandby(standby bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.standby == standby {
+		return
+	}
+	s.standby = standby
+	if !standby && s.pending.Len() > 0 {
+		close(s.readyCh)
+		s.readyCh = make(chan struct{})
+		if s.onReady != nil {
+			s.onReady()
+		}
+	}
+}
+
+// Standby reports whether the dispatch side is parked.
+func (s *Scheduler) Standby() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.standby
+}
+
 // Close stops the sweeper and the fallback pool, waiting for in-flight
 // fallback executions to finish. Safe to call multiple times.
 func (s *Scheduler) Close() {
@@ -333,7 +367,7 @@ func (s *Scheduler) Acquire(u core.UserID) Lease {
 func (s *Scheduler) Next(ctx context.Context) (Lease, bool) {
 	for {
 		s.mu.Lock()
-		if s.pending.Len() > 0 {
+		if !s.standby && s.pending.Len() > 0 {
 			st := heap.Pop(&s.pending).(*userState)
 			s.stats.Dispatched++
 			l := s.leaseLocked(st)
@@ -356,7 +390,7 @@ func (s *Scheduler) Next(ctx context.Context) (Lease, bool) {
 func (s *Scheduler) TryNext() (Lease, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.pending.Len() == 0 {
+	if s.standby || s.pending.Len() == 0 {
 		return Lease{}, false
 	}
 	st := heap.Pop(&s.pending).(*userState)
@@ -477,7 +511,7 @@ func (s *Scheduler) SweepNow() {
 	}
 	// Inactive users: pending entries nobody dispatched within
 	// FallbackAfter go to the fallback pool so they converge anyway.
-	if s.cfg.FallbackAfter > 0 && s.cfg.FallbackWorkers > 0 {
+	if s.cfg.FallbackAfter > 0 && s.cfg.FallbackWorkers > 0 && !s.standby {
 		for s.pending.Len() > 0 {
 			st := s.pending[0]
 			if now.Sub(st.dirtySince) < s.cfg.FallbackAfter {
@@ -592,7 +626,7 @@ func (s *Scheduler) completeLocked(st *userState) {
 // or hands it to the fallback pool once the retry budget is exhausted.
 func (s *Scheduler) reissueLocked(st *userState) {
 	st.retries++
-	if st.retries > s.cfg.MaxRetries && s.cfg.FallbackWorkers > 0 {
+	if st.retries > s.cfg.MaxRetries && s.cfg.FallbackWorkers > 0 && !s.standby {
 		s.toFallbackLocked(st)
 		return
 	}

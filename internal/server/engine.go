@@ -675,7 +675,7 @@ func (e *Engine) candidateProfileView(v *TableView, c core.UserID) core.Profile 
 // The returned slices are freshly allocated; the zero-allocation serving
 // path is AppendJobPayload with pooled buffers.
 func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) {
-	return e.AppendJobPayload(u, nil, nil)
+	return e.AppendJobPayload(context.Background(), u, nil, nil)
 }
 
 // AppendJobPayload is JobPayload appending into caller-owned buffers
@@ -685,7 +685,7 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 // candidate assembly works out of a pooled scratch, candidate and own
 // profile fragments come from the serialized-profile cache, and the gzip
 // writer is pooled.
-func (e *Engine) AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
+func (e *Engine) AppendJobPayload(_ context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
 	if !e.profiles.Known(u) {
 		e.profiles.Put(core.NewProfile(u))
 	}

@@ -52,7 +52,7 @@ func measureJobPayloadAllocs(t testing.TB, e *Engine, users, rounds int) float64
 	defer wire.PutPayloadBufs(bufs)
 	run := func() {
 		for u := 1; u <= users; u++ {
-			j, g, err := e.AppendJobPayload(core.UserID(u), bufs.JSON[:0], bufs.Gz[:0])
+			j, g, err := e.AppendJobPayload(context.Background(), core.UserID(u), bufs.JSON[:0], bufs.Gz[:0])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,7 +198,7 @@ func BenchmarkJobAssemblyEncode(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				u := core.UserID(i%users + 1)
 				if mode.snapshot {
-					j, g, err := e.AppendJobPayload(u, bufs.JSON[:0], bufs.Gz[:0])
+					j, g, err := e.AppendJobPayload(context.Background(), u, bufs.JSON[:0], bufs.Gz[:0])
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -235,7 +235,7 @@ func BenchmarkJobAssemblyEncodeParallel(b *testing.B) {
 				for pb.Next() {
 					i++
 					u := core.UserID(i%users + 1)
-					j, g, err := e.AppendJobPayload(u, bufs.JSON[:0], bufs.Gz[:0])
+					j, g, err := e.AppendJobPayload(context.Background(), u, bufs.JSON[:0], bufs.Gz[:0])
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -169,7 +169,87 @@ func (s *HTTPServer) Handler() http.Handler {
 	mux.HandleFunc(wire.V1Prefix+"/recs", s.handleV1Recs)
 	mux.HandleFunc(wire.V1Prefix+"/neighbors", s.handleV1Neighbors)
 	mux.HandleFunc(wire.V1Prefix+"/topology", s.handleV1Topology)
-	return mux
+	mux.HandleFunc(wire.V1Prefix+"/replicate", s.handleV1Replicate)
+	mux.HandleFunc(wire.V1Prefix+"/nodes", s.handleV1Nodes)
+	// Node-forwarded requests are marked in the context so a service can
+	// refuse to proxy them a second time (loop guard; see ForwardedHeader).
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "" {
+			r = r.WithContext(WithForwarded(r.Context()))
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleV1Replicate serves POST /v1/replicate: a primary's replication
+// batch for a partition this node mirrors (or owns, during a handoff).
+func (s *HTTPServer) handleV1Replicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	rep, ok := s.svc.(Replicator)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service does not accept replication")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxReplBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", wire.MaxReplBodyBytes))
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad replicate body: "+err.Error())
+		return
+	}
+	// DecodeReplBatch is the fuzzed production decoder (FuzzDecodeReplBatch).
+	batch, err := wire.DecodeReplBatch(body)
+	if err != nil {
+		if errors.Is(err, wire.ErrTooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge, err.Error())
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad replicate body: "+err.Error())
+		return
+	}
+	ack, err := rep.Replicate(r.Context(), batch)
+	if err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleV1Nodes serves POST /v1/nodes: the failover coordinator's node
+// map push. Stale epochs are ignored by the sink, not an error.
+func (s *HTTPServer) handleV1Nodes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	sink, ok := s.svc.(NodeMapSink)
+	if !ok {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service does not accept node maps")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad node map body: "+err.Error())
+		return
+	}
+	// DecodeNodeMap is the fuzzed production decoder (FuzzDecodeNodeMap).
+	nm, err := wire.DecodeNodeMap(body)
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad node map body: "+err.Error())
+		return
+	}
+	if err := sink.ApplyNodeMap(r.Context(), nm); err != nil {
+		writeV1ServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.AckResponse{Status: "ok"})
 }
 
 // ---- legacy Table-1 endpoints ----
@@ -374,7 +454,25 @@ func (s *HTTPServer) handleV1Topology(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, tp.Topology())
+		topo := tp.Topology()
+		// ?uid=U additionally resolves the node serving that user's
+		// partition as primary, when the service knows the node map.
+		if raw := r.URL.Query().Get("uid"); raw != "" {
+			loc, ok := s.svc.(UserLocator)
+			if !ok {
+				writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service cannot locate users by node")
+				return
+			}
+			uid64, err := strconv.ParseUint(raw, 10, 32)
+			if err != nil {
+				writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, fmt.Sprintf("bad uid %q", raw))
+				return
+			}
+			if ref, ok := loc.LocateUser(core.UserID(uid64)); ok {
+				topo.Owner = &ref
+			}
+		}
+		writeJSON(w, http.StatusOK, topo)
 	case http.MethodPost:
 		sc, ok := s.svc.(Scaler)
 		if !ok {
@@ -709,7 +807,7 @@ func (s *HTTPServer) writeJob(w http.ResponseWriter, ctx context.Context, u core
 	if pa, ok := s.svc.(PayloadAppender); ok {
 		bufs := wire.GetPayloadBufs()
 		defer wire.PutPayloadBufs(bufs)
-		jsonBody, gzBody, err := pa.AppendJobPayload(u, bufs.JSON, bufs.Gz)
+		jsonBody, gzBody, err := pa.AppendJobPayload(ctx, u, bufs.JSON, bufs.Gz)
 		if err != nil {
 			return err
 		}
@@ -785,6 +883,11 @@ func statusForErr(err error) (int, string) {
 		return http.StatusNotFound, wire.CodeUnknownUser
 	case errors.Is(err, ErrUnknownLease):
 		return http.StatusNotFound, wire.CodeUnknownLease
+	case errors.Is(err, ErrNotPrimary):
+		// The not_primary rejection shares CodeMoved's 421 family: the
+		// client refreshes its topology and retries once against the
+		// primary the envelope names.
+		return http.StatusMisdirectedRequest, wire.CodeNotPrimary
 	case errors.Is(err, ErrMoved):
 		return http.StatusMisdirectedRequest, wire.CodeMoved
 	default:
@@ -794,6 +897,13 @@ func statusForErr(err error) (int, string) {
 
 func writeV1ServiceError(w http.ResponseWriter, err error) {
 	status, code := statusForErr(err)
+	var np *NotPrimaryError
+	if errors.As(err, &np) && np.PrimaryAddr != "" {
+		writeJSON(w, status, wire.ErrorEnvelope{Error: wire.ErrorBody{
+			Code: code, Message: err.Error(), Primary: np.PrimaryAddr,
+		}})
+		return
+	}
 	writeV1Error(w, status, code, err.Error())
 }
 

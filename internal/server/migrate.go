@@ -77,6 +77,31 @@ func (e *Engine) ImportUsers(states []UserState) {
 	}
 }
 
+// ImportUsersSnapshot installs exported state verbatim: profile, KNN
+// row and recommendation cache replace whatever the engine holds. This
+// is the replica-mirror discipline — a mirror's only writer is its
+// primary's replication stream, and the caller (internal/node) routes
+// only each user's newest-known record here, dropping older ones at its
+// recency gate — so installing the snapshot converges the mirror to the
+// primary's state regardless of delivery order or duplication. Engines
+// taking live writes must use ImportUsers' merge instead.
+func (e *Engine) ImportUsersSnapshot(states []UserState) {
+	for _, st := range states {
+		u := st.Profile.User()
+		e.profiles.Exhume(u)
+		e.profiles.Put(st.Profile)
+		if len(st.Neighbors) > 0 {
+			e.knn.Put(u, st.Neighbors)
+		}
+		if len(st.Recs) > 0 {
+			e.recs.Put(u, st.Recs)
+		}
+		if e.sched != nil {
+			e.sched.MarkStale(u)
+		}
+	}
+}
+
 // RemoveUsers deletes every listed user's state — profile (and roster
 // entry), KNN row and retained recommendations. The migration
 // coordinator calls this on the source partition after the destination

@@ -55,7 +55,7 @@ type Payloader interface {
 // (possibly re-grown) inputs and are only valid until the caller recycles
 // them.
 type PayloadAppender interface {
-	AppendJobPayload(u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error)
+	AppendJobPayload(ctx context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error)
 }
 
 // JobSource dispatches leased jobs to pull-based workers: NextJob blocks

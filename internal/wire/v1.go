@@ -95,6 +95,17 @@ type Topology struct {
 	// UsersMovedTotal counts users migrated across all scale events of
 	// this process (mirrors hyrec_migration_users_moved_total).
 	UsersMovedTotal int64 `json:"users_moved_total"`
+
+	// Multi-node deployments additionally publish the node map (see
+	// node.go): which node serves each partition as primary and which
+	// mirrors it, stamped with the map epoch. Self identifies the node
+	// that answered. All three are absent on single-process deployments.
+	NodeEpoch uint64     `json:"node_epoch,omitempty"`
+	Nodes     []NodeInfo `json:"nodes,omitempty"`
+	Self      string     `json:"self,omitempty"`
+	// Owner answers the ?uid=U form of GET /v1/topology: the node
+	// currently serving that user's partition as primary.
+	Owner *NodeRef `json:"owner,omitempty"`
 }
 
 // ScaleRequest is the body of POST /v1/topology: the target partition
@@ -120,6 +131,13 @@ const (
 	// partition in a completed topology change; the client should
 	// refetch GET /v1/topology and retry once.
 	CodeMoved = "moved"
+	// CodeNotPrimary: the request (a worker result/ack, a replication
+	// batch, or a forwarded user request) landed on a node that does not
+	// serve the user's partition as primary — typically a replica that
+	// only mirrors the state. Like CodeMoved, the client should refetch
+	// GET /v1/topology and retry once; the envelope's Primary field
+	// carries the owning node's address when the rejecting node knows it.
+	CodeNotPrimary = "not_primary"
 	// CodeTooLarge: the request exceeds MaxBatchRatings or MaxBodyBytes.
 	CodeTooLarge = "too_large"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
@@ -132,6 +150,9 @@ const (
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Primary is the owning node's address on CodeNotPrimary answers,
+	// so a node-aware client can re-target without a topology fetch.
+	Primary string `json:"primary,omitempty"`
 }
 
 // ErrorEnvelope is the JSON shape of every v1 error response.

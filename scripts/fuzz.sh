@@ -17,6 +17,8 @@ run ./internal/wire FuzzDecodeRateBatch
 run ./internal/wire FuzzDecodeResult
 run ./internal/wire FuzzDecodeAck
 run ./internal/wire FuzzDecodeJob
+run ./internal/wire FuzzDecodeNodeMap
+run ./internal/wire FuzzDecodeReplBatch
 run ./internal/persist FuzzSnapshotDecode
 run ./internal/ws FuzzDecodeWSFrame
 

@@ -6,7 +6,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
-trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} ${FLEET_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} ${FLEET_PID:-} ${NODE1_PID:-} ${NODE2_PID:-} ${NODE3_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "--- building all cmd/ and examples/ binaries"
 go build -o "$BIN/" ./cmd/...
@@ -237,5 +237,90 @@ curl -fsS "$FLEET_BASE/metrics" | grep -q '^hyrec_ws_jobs_pushed_total [1-9]' \
 
 kill -TERM $FLEET_PID
 wait $FLEET_PID
+
+echo "--- multi-node: 3-node deployment, proxying, replication, SIGKILL failover"
+N1="127.0.0.1:18085"; N2="127.0.0.1:18086"; N3="127.0.0.1:18087"
+PEERS="n1=http://$N1,n2=http://$N2,n3=http://$N3"
+NODE_FLAGS=(-partitions 6 -peers "$PEERS" -rotate 0
+  -replicate-every 25ms -anti-entropy 250ms -heartbeat 100ms -dead-after 3)
+"$BIN/hyrec-node" -id n1 -addr "$N1" "${NODE_FLAGS[@]}" &
+NODE1_PID=$!
+"$BIN/hyrec-node" -id n2 -addr "$N2" "${NODE_FLAGS[@]}" &
+NODE2_PID=$!
+"$BIN/hyrec-node" -id n3 -addr "$N3" "${NODE_FLAGS[@]}" &
+NODE3_PID=$!
+for base in "http://$N1" "http://$N2" "http://$N3"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "$base/healthz" >/dev/null || { echo "node at $base never came up" >&2; exit 1; }
+done
+
+# All ratings go through node 1 only: non-owned users are proxied to
+# their primaries, owned ones replicate synchronously to their mirrors.
+RATINGS='{"ratings":['
+for u in $(seq 1 12); do
+  RATINGS+="{\"uid\":$u,\"item\":$((u % 5 + 1)),\"liked\":true},"
+  RATINGS+="{\"uid\":$u,\"item\":$((u % 7 + 20)),\"liked\":false},"
+done
+RATINGS="${RATINGS%,}]}"
+ACCEPTED=$(curl -fsS -X POST "http://$N1/v1/rate" -H 'Content-Type: application/json' -d "$RATINGS")
+echo "$ACCEPTED" | grep -q '"accepted":24' || { echo "multi-node rate lost ratings: $ACCEPTED" >&2; exit 1; }
+
+# Topology from any node names all three members and locates uid 7's
+# current primary (poll: a slow member may transiently look dead during
+# the staggered boot, which reshuffles the map until it reappears).
+for i in $(seq 1 100); do
+  TOPO=$(curl -fsS "http://$N1/v1/topology?uid=7" || true)
+  if echo "$TOPO" | grep -q '"id":"n1"' && echo "$TOPO" | grep -q '"id":"n2"' \
+    && echo "$TOPO" | grep -q '"id":"n3"' && echo "$TOPO" | grep -q '"owner"'; then break; fi
+  sleep 0.1
+done
+OWNER_ADDR=$(echo "$TOPO" | sed -n 's/.*"owner":{"id":"[^"]*","addr":"\([^"]*\)".*/\1/p')
+[ -n "$OWNER_ADDR" ] || { echo "topology never converged on 3 nodes + owner for uid 7: $TOPO" >&2; exit 1; }
+
+case "$OWNER_ADDR" in
+  *18085) VICTIM_PID=$NODE1_PID; SURVIVOR_A="http://$N2"; SURVIVOR_B="http://$N3" ;;
+  *18086) VICTIM_PID=$NODE2_PID; SURVIVOR_A="http://$N1"; SURVIVOR_B="http://$N3" ;;
+  *18087) VICTIM_PID=$NODE3_PID; SURVIVOR_A="http://$N1"; SURVIVOR_B="http://$N2" ;;
+  *) echo "owner addr $OWNER_ADDR matches no node" >&2; exit 1 ;;
+esac
+echo "    SIGKILL uid 7's primary at $OWNER_ADDR"
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+
+# Survivors converge on a two-node map with a bumped epoch within the
+# heartbeat budget (100ms probes, dead after 3 misses).
+for i in $(seq 1 100); do
+  STATS=$(curl -fsS "$SURVIVOR_A/stats" || true)
+  if echo "$STATS" | grep -q '"nodes":2'; then break; fi
+  sleep 0.1
+done
+echo "$STATS" | grep -q '"nodes":2' || { echo "survivors never declared the dead node: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -Eq '"node_epoch":([2-9]|[0-9]{2,})' \
+  || { echo "no epoch bump after failover: $STATS" >&2; exit 1; }
+
+# The promoted replica answers for the dead node's users from
+# replicated state — via either survivor (non-owners proxy).
+curl -fsS "$SURVIVOR_A/v1/recs?uid=7" | grep -q '"recs"' \
+  || { echo "uid 7 unservable after failover via $SURVIVOR_A" >&2; exit 1; }
+curl -fsS "$SURVIVOR_B/v1/recs?uid=7" | grep -q '"recs"' \
+  || { echo "uid 7 unservable after failover via $SURVIVOR_B" >&2; exit 1; }
+
+# The promotion is visible on /metrics: the fleet-wide failover counter
+# moved.
+FAILOVERS=0
+for base in "$SURVIVOR_A" "$SURVIVOR_B"; do
+  F=$(curl -fsS "$base/metrics" | sed -n 's/^hyrec_failovers_total \([0-9][0-9]*\)$/\1/p')
+  FAILOVERS=$((FAILOVERS + ${F:-0}))
+done
+[ "$FAILOVERS" -ge 1 ] || { echo "hyrec_failovers_total never incremented after a node death" >&2; exit 1; }
+
+for pid in $NODE1_PID $NODE2_PID $NODE3_PID; do
+  [ "$pid" = "$VICTIM_PID" ] && continue
+  kill -TERM "$pid" 2>/dev/null || true
+done
+wait 2>/dev/null || true
 
 echo "smoke test passed"

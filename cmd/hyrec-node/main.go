@@ -70,6 +70,7 @@ func run(args []string) error {
 		hbEvery   = fs.Duration("heartbeat", time.Second, "peer liveness probe period (<0 disables failover)")
 		deadAfter = fs.Int("dead-after", 3, "consecutive missed heartbeats before a peer is declared dead")
 		peerTO    = fs.Duration("peer-timeout", 5*time.Second, "node-to-node request timeout")
+		peerSec   = fs.String("peer-secret", "", "shared secret gating the node plane (/v1/replicate, /v1/nodes); identical on every node, empty leaves it open")
 		snapPath  = fs.String("snapshot", "", "snapshot base path for durable state (empty = stateless)")
 		snapIvl   = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (with -snapshot)")
 		grace     = fs.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on shutdown")
@@ -112,6 +113,7 @@ func run(args []string) error {
 		HeartbeatEvery:   *hbEvery,
 		DeadAfter:        *deadAfter,
 		PeerTimeout:      *peerTO,
+		PeerSecret:       *peerSec,
 	})
 	if err != nil {
 		return err
@@ -147,6 +149,7 @@ func run(args []string) error {
 
 	nd.Start()
 	srv := server.NewServer(nd, *rotate)
+	srv.RequireNodeSecret(*peerSec)
 	srv.Start()
 
 	m := nd.Map()

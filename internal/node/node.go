@@ -44,6 +44,11 @@ type Config struct {
 	DeadAfter int
 	// PeerTimeout bounds every node-to-node request (default 5s).
 	PeerTimeout time.Duration
+	// PeerSecret, when non-empty, is sent on every node-to-node request
+	// and required of inbound node-plane traffic (the HTTP front-end
+	// enforces it — see server.NodeSecretHeader). Every member must share
+	// it.
+	PeerSecret string
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +195,10 @@ func (n *Node) Cluster() *cluster.Cluster { return n.cl }
 // Map returns the node map currently in force.
 func (n *Node) Map() *wire.NodeMap { return n.nm.Load() }
 
+// NodeEpoch implements server.NodeEpocher: /healthz advertises the
+// map epoch in force, turning heartbeats into an epoch exchange.
+func (n *Node) NodeEpoch() uint64 { return n.nm.Load().Epoch }
+
 // Self returns this node's identity.
 func (n *Node) Self() Member { return n.self }
 
@@ -202,11 +211,15 @@ func (n *Node) peer(addr string) *client.Client {
 	if p, ok := n.peers[addr]; ok {
 		return p
 	}
-	p := client.New(addr,
+	opts := []client.Option{
 		client.WithHeader(server.ForwardedHeader, "1"),
 		client.WithTimeout(n.cfg.PeerTimeout),
 		client.WithRetries(1, 25*time.Millisecond),
-	)
+	}
+	if n.cfg.PeerSecret != "" {
+		opts = append(opts, client.WithHeader(server.NodeSecretHeader, n.cfg.PeerSecret))
+	}
+	p := client.New(addr, opts...)
 	n.peers[addr] = p
 	return p
 }
@@ -252,7 +265,7 @@ func (n *Node) applyMap(m *wire.NodeMap) {
 	n.mapMu.Lock()
 	defer n.mapMu.Unlock()
 	old := n.nm.Load()
-	if old != nil && m.Epoch <= old.Epoch {
+	if old != nil && !supersedes(m, old) {
 		return
 	}
 	newPrimary, _ := roles(m, n.self.ID)
@@ -311,6 +324,19 @@ func (n *Node) applyMap(m *wire.NodeMap) {
 			n.repl.drop(p)
 		}
 	}
+}
+
+// supersedes reports whether map m must replace the map in force. A
+// higher epoch always wins. At an equal epoch, two *different*
+// coordinators have raced a publish (a partial partition where each saw
+// its own alive majority); the lower coordinator ID wins the tie, so
+// every node both publishers can reach converges on one map instead of
+// keeping whichever push arrived first.
+func supersedes(m, cur *wire.NodeMap) bool {
+	if m.Epoch != cur.Epoch {
+		return m.Epoch > cur.Epoch
+	}
+	return m.Coordinator != "" && cur.Coordinator != "" && m.Coordinator < cur.Coordinator
 }
 
 // primaryIn returns the ID of p's primary in m ("" when m is nil or
@@ -607,6 +633,7 @@ func (n *Node) Topology() wire.Topology {
 	t.NodeEpoch = m.Epoch
 	t.Nodes = m.Nodes
 	t.Self = n.self.ID
+	t.NodeCoordinator = m.Coordinator
 	return t
 }
 
@@ -743,4 +770,5 @@ var (
 	_ server.Replicator       = (*Node)(nil)
 	_ server.NodeMapSink      = (*Node)(nil)
 	_ server.UserLocator      = (*Node)(nil)
+	_ server.NodeEpocher      = (*Node)(nil)
 )

@@ -317,6 +317,36 @@ type liveNode struct {
 	ln     net.Listener
 }
 
+// testPeerSecret gates the node plane in every live-deployment test, so
+// the full replication/failover loop runs authenticated.
+const testPeerSecret = "test-node-plane-secret"
+
+// bootNode starts one live HTTP node of the deployment on ln.
+func bootNode(t *testing.T, self Member, mems []Member, engine server.Config, partitions int, ln net.Listener) *liveNode {
+	t.Helper()
+	nd, err := New(Config{
+		Self:             self,
+		Members:          mems,
+		Partitions:       partitions,
+		Engine:           engine,
+		ReplicateEvery:   20 * time.Millisecond,
+		AntiEntropyEvery: 300 * time.Millisecond,
+		HeartbeatEvery:   25 * time.Millisecond,
+		DeadAfter:        3,
+		PeerTimeout:      2 * time.Second,
+		PeerSecret:       testPeerSecret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := server.NewServer(nd, 0)
+	hs.RequireNodeSecret(testPeerSecret)
+	srv := &http.Server{Handler: hs.Handler()}
+	go srv.Serve(ln)
+	nd.Start()
+	return &liveNode{member: self, node: nd, srv: srv, ln: ln}
+}
+
 // startDeployment boots n real HTTP nodes on loopback listeners.
 func startDeployment(t *testing.T, n int, engine server.Config, partitions int) []*liveNode {
 	t.Helper()
@@ -332,25 +362,7 @@ func startDeployment(t *testing.T, n int, engine server.Config, partitions int) 
 	}
 	out := make([]*liveNode, n)
 	for i := 0; i < n; i++ {
-		nd, err := New(Config{
-			Self:             mems[i],
-			Members:          mems,
-			Partitions:       partitions,
-			Engine:           engine,
-			ReplicateEvery:   20 * time.Millisecond,
-			AntiEntropyEvery: 300 * time.Millisecond,
-			HeartbeatEvery:   25 * time.Millisecond,
-			DeadAfter:        3,
-			PeerTimeout:      2 * time.Second,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		hs := server.NewServer(nd, 0)
-		srv := &http.Server{Handler: hs.Handler()}
-		go srv.Serve(lns[i])
-		nd.Start()
-		out[i] = &liveNode{member: mems[i], node: nd, srv: srv, ln: lns[i]}
+		out[i] = bootNode(t, mems[i], mems, engine, partitions, lns[i])
 	}
 	t.Cleanup(func() {
 		for _, ln := range out {

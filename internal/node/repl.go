@@ -25,6 +25,12 @@ type replicator struct {
 
 	mu    sync.Mutex
 	parts map[int]*replPart
+
+	// shipMu serializes, per partition, the engine-state export with its
+	// seq allocation (exportBatches). Lock instances are never removed —
+	// a partition dropped mid-ship must still order against the ship in
+	// flight — and the map is bounded by the ring size.
+	shipMu map[int]*sync.Mutex
 }
 
 type replPart struct {
@@ -33,7 +39,19 @@ type replPart struct {
 }
 
 func newReplicator(n *Node) *replicator {
-	return &replicator{n: n, parts: map[int]*replPart{}}
+	return &replicator{n: n, parts: map[int]*replPart{}, shipMu: map[int]*sync.Mutex{}}
+}
+
+// shipLock returns p's export-order lock, creating it on first use.
+func (r *replicator) shipLock(p int) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mu, ok := r.shipMu[p]
+	if !ok {
+		mu = &sync.Mutex{}
+		r.shipMu[p] = mu
+	}
+	return mu
 }
 
 // ensure starts tracking partition p (idempotent).
@@ -142,12 +160,36 @@ func (r *replicator) replicaAddr(p int) (string, bool) {
 // ExportUsers; an error leaves delivery incomplete and the caller
 // decides whether to requeue.
 func (r *replicator) ship(ctx context.Context, p int, users []core.UserID, full bool, dstAddr string) error {
+	batches := r.exportBatches(p, users, full)
+	peer := r.n.peer(dstAddr)
+	for _, b := range batches {
+		if _, err := peer.Replicate(ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportBatches snapshots the users' engine state and stamps each chunk
+// with the next (epoch, seq) under p's ship lock: the state read and
+// the seq allocation are one atomic step, so of two racing ships the
+// one that exported *later* state always carries the higher stamp.
+// Without that ordering, a ship that exported before an overlapping
+// rating but allocated its seq after the rating's own ship would hand
+// the mirror a staler snapshot under a newer stamp — the recency gate
+// would install it verbatim, silently dropping an acknowledged rating
+// from the replica. Delivery itself happens outside the lock; the
+// mirror's per-user gate reorders whatever the network interleaves.
+func (r *replicator) exportBatches(p int, users []core.UserID, full bool) []*wire.ReplBatch {
+	mu := r.shipLock(p)
+	mu.Lock()
+	defer mu.Unlock()
 	states := r.n.cl.Engine(p).ExportUsers(users)
 	if len(states) == 0 {
 		return nil
 	}
-	peer := r.n.peer(dstAddr)
 	epoch := r.n.nm.Load().Epoch
+	batches := make([]*wire.ReplBatch, 0, (len(states)+wire.MaxReplUsers-1)/wire.MaxReplUsers)
 	for start := 0; start < len(states); start += wire.MaxReplUsers {
 		end := min(start+wire.MaxReplUsers, len(states))
 		b := &wire.ReplBatch{
@@ -160,11 +202,9 @@ func (r *replicator) ship(ctx context.Context, p int, users []core.UserID, full 
 		for _, st := range states[start:end] {
 			b.Users = append(b.Users, replUserFromState(st))
 		}
-		if _, err := peer.Replicate(ctx, b); err != nil {
-			return err
-		}
+		batches = append(batches, b)
 	}
-	return nil
+	return batches
 }
 
 // shipSync is the semi-synchronous leg of RateBatch: the dirtied users'

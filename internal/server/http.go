@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,6 +78,10 @@ type HTTPServer struct {
 	// jobs pushed over them, surfaced on /stats and /metrics.
 	wsWorkers    atomic.Int64
 	wsJobsPushed atomic.Int64
+
+	// nodeSecret, when non-empty, gates the node-plane endpoints
+	// (/v1/replicate, /v1/nodes) behind NodeSecretHeader.
+	nodeSecret string
 }
 
 // NewServer wraps any Service with the web API. If rotateEvery > 0 and
@@ -107,6 +112,26 @@ func NewHTTPServer(engine *Engine, rotateEvery time.Duration) *HTTPServer {
 
 // Service returns the service this server fronts.
 func (s *HTTPServer) Service() Service { return s.svc }
+
+// RequireNodeSecret gates POST /v1/replicate and /v1/nodes behind the
+// shared secret: requests whose NodeSecretHeader does not match answer
+// 403/forbidden. Call before Handler traffic arrives. An empty secret
+// leaves the node plane open (see NodeSecretHeader for the trust model).
+func (s *HTTPServer) RequireNodeSecret(secret string) { s.nodeSecret = secret }
+
+// nodePlaneAuthorized checks r against the configured node-plane secret,
+// writing the typed 403 on mismatch.
+func (s *HTTPServer) nodePlaneAuthorized(w http.ResponseWriter, r *http.Request) bool {
+	if s.nodeSecret == "" {
+		return true
+	}
+	got := r.Header.Get(NodeSecretHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.nodeSecret)) == 1 {
+		return true
+	}
+	writeV1Error(w, http.StatusForbidden, wire.CodeForbidden, "node-plane secret missing or wrong")
+	return false
+}
 
 // Start launches the anonymiser-rotation loop (no-op when rotateEvery ≤ 0
 // or the service cannot rotate).
@@ -158,6 +183,11 @@ func (s *HTTPServer) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness doubles as epoch exchange: peers probing this node
+		// learn which node-map epoch it runs, and repair the difference.
+		if ne, ok := s.svc.(NodeEpocher); ok {
+			w.Header().Set(NodeEpochHeader, strconv.FormatUint(ne.NodeEpoch(), 10))
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -186,6 +216,9 @@ func (s *HTTPServer) Handler() http.Handler {
 func (s *HTTPServer) handleV1Replicate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.nodePlaneAuthorized(w, r) {
 		return
 	}
 	rep, ok := s.svc.(Replicator)
@@ -227,6 +260,9 @@ func (s *HTTPServer) handleV1Replicate(w http.ResponseWriter, r *http.Request) {
 func (s *HTTPServer) handleV1Nodes(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.nodePlaneAuthorized(w, r) {
 		return
 	}
 	sink, ok := s.svc.(NodeMapSink)

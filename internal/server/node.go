@@ -62,6 +62,27 @@ type UserLocator interface {
 	LocateUser(u core.UserID) (wire.NodeRef, bool)
 }
 
+// NodeEpocher reports the node-map epoch currently in force. /healthz
+// advertises it in NodeEpochHeader so the heartbeat path doubles as an
+// epoch exchange: a prober that sees a peer on a lower epoch re-pushes
+// its map, and one that sees a higher epoch pulls the newer map — the
+// repair loop that reconverges restarted nodes and missed pushes.
+type NodeEpocher interface {
+	NodeEpoch() uint64
+}
+
+// NodeEpochHeader carries the responding node's map epoch on /healthz.
+const NodeEpochHeader = "X-Hyrec-Node-Epoch"
+
+// NodeSecretHeader authenticates node-plane requests (POST /v1/replicate
+// and /v1/nodes) when the deployment configures a shared secret
+// (HTTPServer.RequireNodeSecret, hyrec-node -peer-secret). Without a
+// secret those endpoints are open — acceptable only when the listener is
+// reachable by trusted peers alone, since a well-formed higher-epoch map
+// push reassigns partition ownership and a replication batch injects
+// user state.
+const NodeSecretHeader = "X-Hyrec-Node-Secret"
+
 // ForwardedHeader marks a request already proxied once by a node. A
 // node receiving a forwarded request it cannot serve as primary answers
 // not_primary instead of proxying again, so topology disagreements

@@ -47,6 +47,13 @@ type NodeMap struct {
 	Epoch      uint64     `json:"epoch"`
 	Partitions int        `json:"partitions"`
 	Nodes      []NodeInfo `json:"nodes"`
+	// Coordinator identifies the node that published this map (empty on
+	// the boot map, which every member computes locally). When two
+	// coordinators race the same epoch — a partial partition where each
+	// sees a different alive majority — receivers break the tie
+	// deterministically in favour of the lower coordinator ID, so every
+	// node both publishers can reach settles on the same map.
+	Coordinator string `json:"coordinator,omitempty"`
 }
 
 // Primary returns the node serving partition p as primary, or nil.

@@ -103,6 +103,9 @@ type Topology struct {
 	NodeEpoch uint64     `json:"node_epoch,omitempty"`
 	Nodes     []NodeInfo `json:"nodes,omitempty"`
 	Self      string     `json:"self,omitempty"`
+	// NodeCoordinator echoes the in-force map's Coordinator, so a map
+	// reconstructed from a topology pull keeps its tie-break identity.
+	NodeCoordinator string `json:"node_coordinator,omitempty"`
 	// Owner answers the ?uid=U form of GET /v1/topology: the node
 	// currently serving that user's partition as primary.
 	Owner *NodeRef `json:"owner,omitempty"`
@@ -142,6 +145,9 @@ const (
 	CodeTooLarge = "too_large"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeForbidden: a node-plane request (/v1/replicate, /v1/nodes)
+	// without the deployment's shared secret.
+	CodeForbidden = "forbidden"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = "internal"
 )

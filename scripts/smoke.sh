@@ -242,7 +242,8 @@ echo "--- multi-node: 3-node deployment, proxying, replication, SIGKILL failover
 N1="127.0.0.1:18085"; N2="127.0.0.1:18086"; N3="127.0.0.1:18087"
 PEERS="n1=http://$N1,n2=http://$N2,n3=http://$N3"
 NODE_FLAGS=(-partitions 6 -peers "$PEERS" -rotate 0
-  -replicate-every 25ms -anti-entropy 250ms -heartbeat 100ms -dead-after 3)
+  -replicate-every 25ms -anti-entropy 250ms -heartbeat 100ms -dead-after 3
+  -peer-secret smoke-node-secret)
 "$BIN/hyrec-node" -id n1 -addr "$N1" "${NODE_FLAGS[@]}" &
 NODE1_PID=$!
 "$BIN/hyrec-node" -id n2 -addr "$N2" "${NODE_FLAGS[@]}" &
@@ -256,6 +257,14 @@ for base in "http://$N1" "http://$N2" "http://$N3"; do
   done
   curl -fsS "$base/healthz" >/dev/null || { echo "node at $base never came up" >&2; exit 1; }
 done
+
+# The node plane is gated by -peer-secret: a well-formed map push
+# without the shared secret must bounce with 403 (were it accepted, this
+# epoch-99 push would hijack partition ownership of the whole cluster).
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$N1/v1/nodes" \
+  -H 'Content-Type: application/json' \
+  -d '{"epoch":99,"partitions":6,"nodes":[{"id":"evil","addr":"http://127.0.0.1:1"}]}')
+[ "$CODE" = "403" ] || { echo "unauthenticated node-map push answered $CODE, want 403" >&2; exit 1; }
 
 # All ratings go through node 1 only: non-owned users are proxied to
 # their primaries, owned ones replicate synchronously to their mirrors.

@@ -67,6 +67,13 @@ type Client struct {
 	// refreshed automatically when the server answers CodeMoved.
 	topoMu sync.Mutex
 	topo   *wire.Topology
+
+	// Framed transport (WithFramed, see framed.go): the persistent
+	// multiplexed binary connection the hot wire paths prefer.
+	frameAddr      string
+	frameMu        sync.Mutex
+	framed         *framedConn
+	frameDownUntil time.Time
 }
 
 // Option customises a Client.
@@ -283,6 +290,13 @@ func (c *Client) RateBatch(ctx context.Context, ratings []core.Rating) error {
 		if n > wire.MaxBatchRatings {
 			n = wire.MaxBatchRatings
 		}
+		if handled, err := c.framedRateBatch(ctx, ratings[:n]); handled {
+			if err != nil {
+				return err
+			}
+			ratings = ratings[n:]
+			continue
+		}
 		req := wire.RateRequest{Ratings: make([]wire.RatingMsg, n)}
 		for i, r := range ratings[:n] {
 			req.Ratings[i] = wire.RatingMsg{UID: uint32(r.User), Item: uint32(r.Item), Liked: r.Liked}
@@ -300,9 +314,11 @@ func (c *Client) RateBatch(ctx context.Context, ratings []core.Rating) error {
 	return nil
 }
 
-// Job implements hyrec.Service: GET /v1/job with gzip negotiation.
+// Job implements hyrec.Service: GET /v1/job with gzip negotiation (or
+// one TJobGet exchange when the framed transport is up — the payload
+// bytes are identical either way).
 func (c *Client) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
-	raw, err := c.getRaw(ctx, "/v1/job?uid="+strconv.FormatUint(uint64(u), 10))
+	raw, err := c.JobRaw(ctx, u)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +330,9 @@ func (c *Client) Job(ctx context.Context, u core.UserID) (*wire.Job, error) {
 // multi-node deployment, where re-encoding would break the byte-identity
 // the payload cache guarantees.
 func (c *Client) JobRaw(ctx context.Context, u core.UserID) ([]byte, error) {
+	if raw, handled, err := c.framedJobRaw(ctx, u); handled {
+		return raw, err
+	}
 	return c.getRaw(ctx, "/v1/job?uid="+strconv.FormatUint(uint64(u), 10))
 }
 
@@ -354,6 +373,22 @@ func (c *Client) NextJob(ctx context.Context) (*wire.Job, error) {
 				wait = w
 			}
 		}
+		if job, handled, err := c.framedNextJob(ctx, wait); handled {
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, nil
+				}
+				return nil, err
+			}
+			if job == nil {
+				// The queue stayed empty for this framed poll.
+				if ctx.Err() != nil || !c.hasDeadline(ctx) {
+					return nil, nil
+				}
+				continue
+			}
+			return job, nil
+		}
 		raw, err := c.getRaw(ctx, "/v1/job?worker=1&wait="+wait.Truncate(time.Millisecond).String())
 		if err != nil {
 			if ctx.Err() != nil {
@@ -382,6 +417,9 @@ func (c *Client) hasDeadline(ctx context.Context) bool {
 
 // Ack implements hyrec.LeaseAcker remotely: POST /v1/ack.
 func (c *Client) Ack(ctx context.Context, lease uint64, done bool) error {
+	if handled, err := c.framedAck(ctx, lease, done); handled {
+		return err
+	}
 	body, err := json.Marshal(&wire.AckRequest{Lease: lease, Done: done})
 	if err != nil {
 		return fmt.Errorf("hyrec client: marshal ack: %w", err)
@@ -393,6 +431,9 @@ func (c *Client) Ack(ctx context.Context, lease uint64, done bool) error {
 // ApplyResult implements hyrec.Service: POST /v1/result, returning the
 // recommendations the server resolved.
 func (c *Client) ApplyResult(ctx context.Context, res *wire.Result) ([]core.ItemID, error) {
+	if recs, handled, err := c.framedApplyResult(ctx, res); handled {
+		return recs, err
+	}
 	body, err := wire.EncodeResult(res)
 	if err != nil {
 		return nil, fmt.Errorf("hyrec client: marshal result: %w", err)
@@ -470,6 +511,9 @@ func (c *Client) CachedTopology() *wire.Topology {
 // (POST /v1/replicate) — the node-plane call a primary partition uses to
 // keep its replica mirror current.
 func (c *Client) Replicate(ctx context.Context, b *wire.ReplBatch) (*wire.ReplAck, error) {
+	if ack, handled, err := c.framedReplicate(ctx, b); handled {
+		return ack, err
+	}
 	body, err := wire.EncodeReplBatch(b)
 	if err != nil {
 		return nil, fmt.Errorf("hyrec client: marshal repl batch: %w", err)
@@ -528,6 +572,7 @@ func (c *Client) Close() error {
 			err = ferr
 		}
 	}
+	c.closeFramed()
 	if c.ownsHC {
 		c.hc.CloseIdleConnections()
 	}

@@ -1,0 +1,81 @@
+package client
+
+import (
+	"net"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyrec"
+)
+
+// countingListener counts accepted connections — each accept is one
+// TCP dial the client paid.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestClientPoolBoundsDialsUnderConcurrency is the connection-churn
+// regression test: N workers hammering one host through the typed
+// client must reuse pooled connections, not redial per request. (The
+// zero-value http.Transport keeps only 2 idle connections per host,
+// which under concurrent load turns almost every request into a fresh
+// dial — the client sizes its pool explicitly to avoid that.)
+func TestClientPoolBoundsDialsUnderConcurrency(t *testing.T) {
+	cfg := hyrec.DefaultConfig()
+	cfg.K = 3
+	eng := hyrec.NewEngine(cfg)
+	srv := hyrec.NewServiceServer(eng, 0)
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	cl := &countingListener{Listener: ts.Listener}
+	ts.Listener = cl
+	ts.Start()
+	t.Cleanup(func() { ts.Close(); srv.Close(); eng.Close() })
+
+	if err := eng.Rate(tctx, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(ts.URL)
+	defer c.Close()
+
+	const workers = 16
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Recommendations(tctx, 1, 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// With a correctly sized pool the dial count is bounded by peak
+	// concurrency; churn through a 2-connection pool would push it
+	// toward the request count (400).
+	if got := cl.accepts.Load(); got > workers*2 {
+		t.Fatalf("%d TCP dials for %d requests from %d workers — connection pool is churning",
+			got, workers*perWorker, workers)
+	}
+}

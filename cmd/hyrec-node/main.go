@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,9 +56,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hyrec-node", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":9001", "listen address")
+		frame     = fs.String("frame-addr", "", "framed binary transport listen address (empty = disabled); advertise it to peers via the id=url|frameaddr form of -peers")
 		id        = fs.String("id", "", "this node's unique ID (must appear in -peers)")
 		advertise = fs.String("advertise", "", "base URL peers dial this node on (default: the -peers entry for -id)")
-		peers     = fs.String("peers", "", "static membership: comma-separated id=url pairs, identical on every node")
+		peers     = fs.String("peers", "", "static membership: comma-separated id=url[|frameaddr] pairs, identical on every node")
 		parts     = fs.Int("partitions", 8, "ring partition count (identical on every node)")
 		k         = fs.Int("k", 10, "neighborhood size")
 		r         = fs.Int("r", 10, "recommendations per job")
@@ -87,9 +89,15 @@ func run(args []string) error {
 		return errors.New("-id is required")
 	}
 	selfAddr := *advertise
+	selfFrame := *frame
 	for _, m := range members {
-		if m.ID == *id && selfAddr == "" {
-			selfAddr = m.Addr
+		if m.ID == *id {
+			if selfAddr == "" {
+				selfAddr = m.Addr
+			}
+			if selfFrame == "" {
+				selfFrame = m.FrameAddr
+			}
 		}
 	}
 	if selfAddr == "" {
@@ -104,7 +112,7 @@ func run(args []string) error {
 	cfg.FallbackWorkers = *fallback
 
 	nd, err := node.New(node.Config{
-		Self:             node.Member{ID: *id, Addr: selfAddr},
+		Self:             node.Member{ID: *id, Addr: selfAddr, FrameAddr: selfFrame},
 		Members:          members,
 		Partitions:       *parts,
 		Engine:           cfg,
@@ -159,16 +167,18 @@ func run(args []string) error {
 			primaries, replicas = len(info.Primary), len(info.Replica)
 		}
 	}
-	fmt.Printf("hyrec-node %s listening on %s (members=%d partitions=%d primary=%d replica=%d epoch=%d)\n",
-		*id, *addr, len(members), *parts, primaries, replicas, m.Epoch)
+	fmt.Printf("hyrec-node %s listening on %s (members=%d partitions=%d primary=%d replica=%d epoch=%d frame=%q)\n",
+		*id, *addr, len(members), *parts, primaries, replicas, m.Epoch, selfFrame)
 	defer nd.Close()
-	return serve(*addr, srv, saver, *grace)
+	return serve(*addr, selfFrame, srv, saver, *grace)
 }
 
-// parsePeers parses "id=url,id=url,..." into a membership list.
+// parsePeers parses "id=url,id=url|frameaddr,..." into a membership
+// list; the optional |frameaddr suffix advertises a member's framed
+// transport listener.
 func parsePeers(s string) ([]node.Member, error) {
 	if strings.TrimSpace(s) == "" {
-		return nil, errors.New("-peers is required (id=url pairs, comma-separated)")
+		return nil, errors.New("-peers is required (id=url[|frameaddr] pairs, comma-separated)")
 	}
 	var out []node.Member
 	for _, pair := range strings.Split(s, ",") {
@@ -178,9 +188,13 @@ func parsePeers(s string) ([]node.Member, error) {
 		}
 		id, url, ok := strings.Cut(pair, "=")
 		if !ok || id == "" || url == "" {
-			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", pair)
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url[|frameaddr])", pair)
 		}
-		out = append(out, node.Member{ID: id, Addr: strings.TrimRight(url, "/")})
+		url, frameAddr, _ := strings.Cut(url, "|")
+		if url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url[|frameaddr])", pair)
+		}
+		out = append(out, node.Member{ID: id, Addr: strings.TrimRight(url, "/"), FrameAddr: frameAddr})
 	}
 	if len(out) > wire.MaxNodes {
 		return nil, fmt.Errorf("%d peers exceeds the %d-node limit", len(out), wire.MaxNodes)
@@ -191,7 +205,19 @@ func parsePeers(s string) ([]node.Member, error) {
 // serve mirrors cmd/hyrec-server's shutdown discipline: stop accepting,
 // release parked worker long-polls, drain in-flight requests bounded by
 // grace, then take the final snapshot.
-func serve(addr string, hsrv *server.HTTPServer, saver *persist.Saver, grace time.Duration) error {
+func serve(addr, frameAddr string, hsrv *server.HTTPServer, saver *persist.Saver, grace time.Duration) error {
+	if frameAddr != "" {
+		ln, err := net.Listen("tcp", frameAddr)
+		if err != nil {
+			return fmt.Errorf("frame listener: %w", err)
+		}
+		// hsrv.Close tears the listener (and its connections) down.
+		go func() {
+			if err := hsrv.ServeFrames(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("frame listener: %v", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           hsrv.Handler(),

@@ -48,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -69,6 +70,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hyrec-server", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
+		frame    = fs.String("frame-addr", "", "framed binary transport listen address (empty = disabled); clients opt in with client.WithFramed")
 		parts    = fs.Int("partitions", 1, "number of user partitions (engines); >1 serves a cluster")
 		k        = fs.Int("k", 10, "neighborhood size")
 		r        = fs.Int("r", 10, "recommendations per job")
@@ -219,17 +221,29 @@ func run(args []string) error {
 	srv := hyrec.NewServiceServer(svc, *rotate)
 	srv.Start()
 
-	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s sched=%v fallback=%d scale-on-HUP=%d)\n",
-		*addr, *parts, *k, *r, *rotate, cfg.SchedulerEnabled(), *fallback, *scale)
+	fmt.Printf("hyrec-server listening on %s (partitions=%d k=%d r=%d rotate=%s sched=%v fallback=%d scale-on-HUP=%d frame=%q)\n",
+		*addr, *parts, *k, *r, *rotate, cfg.SchedulerEnabled(), *fallback, *scale, *frame)
 	defer svc.Close()
-	return serve(*addr, srv, saver, *grace)
+	return serve(*addr, *frame, srv, saver, *grace)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
 // gracefully: stop accepting, drain in-flight requests (bounded by
 // grace), drain the rotation goroutine via Close, and take the final
 // snapshot when a saver is configured.
-func serve(addr string, hsrv *hyrec.HTTPServer, saver *persist.Saver, grace time.Duration) error {
+func serve(addr, frameAddr string, hsrv *hyrec.HTTPServer, saver *persist.Saver, grace time.Duration) error {
+	if frameAddr != "" {
+		ln, err := net.Listen("tcp", frameAddr)
+		if err != nil {
+			return fmt.Errorf("frame listener: %w", err)
+		}
+		// hsrv.Close tears the listener (and its connections) down.
+		go func() {
+			if err := hsrv.ServeFrames(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("frame listener: %v", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:    addr,
 		Handler: hsrv.Handler(),

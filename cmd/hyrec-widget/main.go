@@ -78,6 +78,7 @@ func run(args []string) error {
 		silent   = fs.Bool("silent-abandon", false, "worker/fleet-mode: abandon by vanishing (lease must expire) instead of acking")
 		workFor  = fs.Duration("work-duration", 2*time.Second, "worker/fleet-mode: how long the run may take")
 		useWS    = fs.Bool("ws", false, "worker-mode: use the WebSocket transport instead of long-polling")
+		framed   = fs.String("framed", "", "host:port of the server's framed listener (-frame-addr); hot paths ride one multiplexed binary connection with JSON fallback")
 
 		fleetN    = fs.Int("fleet", 0, "drive a deterministic browser fleet of this many sessions over WebSockets")
 		fleetU    = fs.Int("fleet-users", 0, "fleet-mode: user population whose convergence the fleet is judged on")
@@ -106,9 +107,14 @@ func run(args []string) error {
 	w := hyrec.NewWidget(opts...)
 	rng := rand.New(rand.NewSource(*seed))
 
-	c := client.New(*server,
+	copts := []client.Option{
 		client.WithTimeout(*timeout),
-		client.WithRetries(*retries, 50*time.Millisecond))
+		client.WithRetries(*retries, 50*time.Millisecond),
+	}
+	if *framed != "" {
+		copts = append(copts, client.WithFramed(*framed))
+	}
+	c := client.New(*server, copts...)
 	defer c.Close()
 	ctx := context.Background()
 

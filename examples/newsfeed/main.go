@@ -42,7 +42,14 @@ func main() {
 	// 30 users in two interest communities (tech vs sports) vote on
 	// stories through the web API, each running the widget loop.
 	rng := rand.New(rand.NewSource(7))
-	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	// Size the idle pool explicitly: the zero-value transport keeps only
+	// 2 idle connections per host, so a busy loop against one server
+	// would churn through fresh dials.
+	client := &http.Client{Transport: &http.Transport{
+		DisableCompression:  true,
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 32,
+	}}
 	widget := hyrec.NewWidget()
 	lastRecs := map[hyrec.UserID][]hyrec.ItemID{}
 

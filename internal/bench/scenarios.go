@@ -239,6 +239,31 @@ func wireScenarios(users int) map[string]Scenario {
 	}
 }
 
+// framedWireScenarios builds the framed-transport twins of the wire
+// scenarios: the same typed client and the same deterministic op
+// stream, but the hot paths ride one persistent multiplexed binary
+// connection (client.WithFramed) instead of per-request HTTP. The job
+// scenario fetches the raw payload bytes (client.JobRaw — the exact
+// JSON the HTTP path serves), so the row prices the transport itself:
+// framing versus connection setup, headers and chunked encoding.
+func framedWireScenarios(users int) map[string]Scenario {
+	base := wireScenarios(users)
+	uids := loadgen.UIDRange(users)
+	rb := base["rate-batch-wire"]
+	rb.Name = "rate-batch-framed"
+	rb.Description = "batched rating ingest over the persistent framed transport (TRateBatch)"
+	jb := base["job-wire"]
+	jb.Name = "job-framed"
+	jb.Description = "raw job payload fetches over the persistent framed transport (TJobGet)"
+	jb.Op = func(ctx context.Context, svc server.Service, worker, i int) error {
+		c := svc.(*client.Client)
+		n := worker*1_000_003 + i
+		_, err := c.JobRaw(ctx, core.UserID(uids[n%len(uids)]))
+		return err
+	}
+	return map[string]Scenario{"rate-batch-framed": rb, "job-framed": jb}
+}
+
 // NodeWire measures the multi-node distribution tax on the ingest path:
 // the typed client rates through one node of a live two-node HTTP
 // deployment, so roughly half of each batch is proxied to the owning
@@ -248,11 +273,25 @@ func wireScenarios(users int) map[string]Scenario {
 // priced at. Comparing rate-node-wire with rate-batch-wire reads off
 // the proxy-plus-replication overhead directly.
 func NodeWire(ctx context.Context, opt Options) (Result, error) {
+	return nodeWire(ctx, opt, false)
+}
+
+// NodeWireFramed is NodeWire with the framed transport end to end:
+// the driving client AND the node-to-node peer clients (proxy hop,
+// replication ship) all ride persistent multiplexed binary
+// connections. Comparing rate-node-framed with rate-node-wire reads
+// off what framing buys the distribution tax.
+func NodeWireFramed(ctx context.Context, opt Options) (Result, error) {
+	return nodeWire(ctx, opt, true)
+}
+
+func nodeWire(ctx context.Context, opt Options, framed bool) (Result, error) {
 	opt = opt.withDefaults()
 	cfg := server.DefaultConfig()
 	cfg.Seed = opt.Seed
 
 	lns := make([]net.Listener, 2)
+	frameLns := make([]net.Listener, 2)
 	mems := make([]node.Member, 2)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -261,8 +300,17 @@ func NodeWire(ctx context.Context, opt Options) (Result, error) {
 		}
 		lns[i] = ln
 		mems[i] = node.Member{ID: fmt.Sprintf("n%d", i+1), Addr: "http://" + ln.Addr().String()}
+		if framed {
+			fln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return Result{}, fmt.Errorf("bench: node-wire frame listen: %w", err)
+			}
+			frameLns[i] = fln
+			mems[i].FrameAddr = fln.Addr().String()
+		}
 	}
 	nodes := make([]*node.Node, 2)
+	hsrvs := make([]*server.HTTPServer, 2)
 	srvs := make([]*http.Server, 2)
 	for i := range nodes {
 		nd, err := node.New(node.Config{
@@ -281,22 +329,32 @@ func NodeWire(ctx context.Context, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("bench: node-wire node %s: %w", mems[i].ID, err)
 		}
 		nodes[i] = nd
-		srvs[i] = &http.Server{Handler: server.NewServer(nd, 0).Handler()}
+		hsrvs[i] = server.NewServer(nd, 0)
+		srvs[i] = &http.Server{Handler: hsrvs[i].Handler()}
 		go srvs[i].Serve(lns[i])
+		if framed {
+			go hsrvs[i].ServeFrames(frameLns[i])
+		}
 		nd.Start()
 	}
 	defer func() {
 		for i := range nodes {
 			srvs[i].Close()
+			hsrvs[i].Close()
 			nodes[i].Close()
 		}
 	}()
 
 	const items = 2000
 	uids := loadgen.UIDRange(opt.Users)
+	name, desc := "rate-node-wire", "batched rating ingest via a non-owner node (proxy hop + synchronous replication)"
+	if framed {
+		name = "rate-node-framed"
+		desc = "batched rating ingest via a non-owner node with every hop framed (client, proxy, replication)"
+	}
 	sc := Scenario{
-		Name:        "rate-node-wire",
-		Description: "batched rating ingest via a non-owner node (proxy hop + synchronous replication)",
+		Name:        name,
+		Description: desc,
 		Setup: func(ctx context.Context, svc server.Service) error {
 			c := svc.(*client.Client)
 			batchOp := loadgen.RateBatchOp(uids, items, 32)
@@ -311,13 +369,20 @@ func NodeWire(ctx context.Context, opt Options) (Result, error) {
 			return loadgen.RateBatchOp(uids, items, 32)(ctx, svc.(*client.Client), worker*1_000_003+i)
 		},
 	}
-	c := client.New(mems[0].Addr, client.WithTimeout(10*time.Second))
+	copts := []client.Option{client.WithTimeout(10 * time.Second)}
+	if framed {
+		copts = append(copts, client.WithFramed(mems[0].FrameAddr))
+	}
+	c := client.New(mems[0].Addr, copts...)
 	defer c.Close()
 	res, err := Run(ctx, c, sc, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Service, res.Mode = "node-2-wire", "wire"
+	if framed {
+		res.Service, res.Mode = "node-2-framed", "framed"
+	}
 	return res, nil
 }
 
@@ -491,10 +556,44 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 
+	// Framed wire mode: the same ops through the same typed client, but
+	// the hot paths ride one persistent multiplexed binary connection —
+	// priced directly against the HTTP wire rows above.
+	for _, name := range []string{"rate-batch-framed", "job-framed"} {
+		eng := server.NewEngine(engineCfg)
+		hs := server.NewServer(eng, 0)
+		ts := httptest.NewServer(hs.Handler())
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: framed listen: %w", err)
+		}
+		go hs.ServeFrames(fln)
+		c := client.New(ts.URL, client.WithTimeout(10*time.Second),
+			client.WithFramed(fln.Addr().String()))
+		res, err := Run(ctx, c, framedWireScenarios(opt.Users)[name], opt)
+		c.Close()
+		ts.Close()
+		hs.Close()
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Service, res.Mode = "engine-framed", "framed"
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
 	// Multi-node wire mode: the same batched ingest through one node of
 	// a two-node deployment, pricing the proxy hop and the synchronous
 	// replica ship against rate-batch-wire above.
 	res, err = NodeWire(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenarios = append(rep.Scenarios, res)
+
+	// And the framed twin: every hop — client ingest, proxy, replication
+	// ship — on persistent framed connections.
+	res, err = NodeWireFramed(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

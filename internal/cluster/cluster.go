@@ -357,6 +357,12 @@ func (c *Cluster) AppendJobPayload(ctx context.Context, u core.UserID, jsonDst, 
 	return c.snap().jobEngine(u).AppendJobPayload(ctx, u, jsonDst, gzDst)
 }
 
+// AppendJobJSON implements server.JSONJobAppender on the owning
+// partition — the framed plane's gzip-free serving path.
+func (c *Cluster) AppendJobJSON(ctx context.Context, u core.UserID, jsonDst []byte) ([]byte, error) {
+	return c.snap().jobEngine(u).AppendJobJSON(ctx, u, jsonDst)
+}
+
 // routed describes where a widget result resolves and where it applies.
 type routed struct {
 	// mint is the partition whose anonymiser minted the pseudonyms.

@@ -69,15 +69,50 @@ func (p Profile) LikedContains(i ItemID) bool { return containsSorted(p.liked, i
 
 // WithRating returns a new profile that additionally records the opinion
 // (i, liked). Re-rating an item moves it between the liked and disliked
-// sets. The receiver is unchanged.
+// sets. The receiver is unchanged. Both result sets are carved from one
+// backing allocation (with hard capacity caps so neither can ever grow
+// into the other), making a polarity flip one allocation, a new item
+// one, and a re-rating that changes nothing zero — the sets are shared,
+// which is safe because they are never mutated afterwards.
 func (p Profile) WithRating(i ItemID, liked bool) Profile {
 	next := Profile{user: p.user, version: p.version + 1}
+	tgt, oth := p.liked, p.disliked
+	if !liked {
+		tgt, oth = oth, tgt
+	}
+	ti := sort.Search(len(tgt), func(j int) bool { return tgt[j] >= i })
+	oi := sort.Search(len(oth), func(j int) bool { return oth[j] >= i })
+	ins := ti == len(tgt) || tgt[ti] != i
+	rem := oi < len(oth) && oth[oi] == i
+	newTgt, newOth := tgt, oth
+	if ins || rem {
+		nt, no := len(tgt)+1, len(oth)-1
+		var buf []ItemID
+		switch {
+		case ins && rem:
+			buf = make([]ItemID, nt+no)
+		case ins:
+			buf = make([]ItemID, nt)
+		default:
+			buf = make([]ItemID, no)
+		}
+		if ins {
+			newTgt = buf[0:nt:nt]
+			copy(newTgt, tgt[:ti])
+			newTgt[ti] = i
+			copy(newTgt[ti+1:], tgt[ti:])
+			buf = buf[nt:]
+		}
+		if rem {
+			newOth = buf[0:no:no]
+			copy(newOth, oth[:oi])
+			copy(newOth[oi:], oth[oi+1:])
+		}
+	}
 	if liked {
-		next.liked = insertSorted(p.liked, i)
-		next.disliked = removeSorted(p.disliked, i)
+		next.liked, next.disliked = newTgt, newOth
 	} else {
-		next.disliked = insertSorted(p.disliked, i)
-		next.liked = removeSorted(p.liked, i)
+		next.disliked, next.liked = newTgt, newOth
 	}
 	return next
 }
@@ -139,21 +174,6 @@ func equalIDs(a, b []ItemID) bool {
 func containsSorted(ids []ItemID, x ItemID) bool {
 	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= x })
 	return i < len(ids) && ids[i] == x
-}
-
-// insertSorted returns a fresh sorted slice equal to ids ∪ {x}.
-func insertSorted(ids []ItemID, x ItemID) []ItemID {
-	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= x })
-	if i < len(ids) && ids[i] == x {
-		out := make([]ItemID, len(ids))
-		copy(out, ids)
-		return out
-	}
-	out := make([]ItemID, len(ids)+1)
-	copy(out, ids[:i])
-	out[i] = x
-	copy(out[i+1:], ids[i:])
-	return out
 }
 
 // removeSorted returns a fresh sorted slice equal to ids \ {x}.

@@ -45,9 +45,20 @@ type heartbeats struct {
 }
 
 func newHeartbeats(n *Node) *heartbeats {
+	// The probe fans out to every member concurrently each round; the
+	// default transport keeps only 2 idle connections per host, so a
+	// larger cluster would redial most peers every HeartbeatEvery. Size
+	// the idle pool to the membership instead.
 	return &heartbeats{
-		n:      n,
-		hc:     &http.Client{Timeout: n.cfg.PeerTimeout},
+		n: n,
+		hc: &http.Client{
+			Timeout: n.cfg.PeerTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        len(n.cfg.Members) + 2,
+				MaxIdleConnsPerHost: 2,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
 		misses: map[string]int{},
 	}
 }

@@ -1,0 +1,77 @@
+package node
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// acceptCounter counts TCP accepts on a peer — each one is a dial the
+// prober paid.
+type acceptCounter struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *acceptCounter) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestHeartbeatReusesPeerConnections is the dial-churn regression test
+// for the failover prober: repeated probe rounds against the same
+// peers must ride persistent connections, one dial per peer, instead
+// of redialing every HeartbeatEvery. It also pins that the prober owns
+// its transport (sized to the membership) rather than sharing the
+// process-wide default with its 2-idle-per-host ceiling.
+func TestHeartbeatReusesPeerConnections(t *testing.T) {
+	healthz := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	members := []Member{{ID: "n1", Addr: "http://127.0.0.1:1"}}
+	var counters []*acceptCounter
+	for _, id := range []string{"n2", "n3", "n4"} {
+		ts := httptest.NewUnstartedServer(healthz)
+		ac := &acceptCounter{Listener: ts.Listener}
+		ts.Listener = ac
+		ts.Start()
+		t.Cleanup(ts.Close)
+		counters = append(counters, ac)
+		members = append(members, Member{ID: id, Addr: ts.URL})
+	}
+
+	nd, err := New(Config{
+		Self:           members[0],
+		Members:        members,
+		Partitions:     4,
+		Engine:         testEngineConfig(),
+		HeartbeatEvery: -1, // drive Tick by hand
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nd.Close() })
+
+	h := newHeartbeats(nd)
+	if tr, ok := h.hc.Transport.(*http.Transport); !ok {
+		t.Fatal("heartbeat client shares the default transport instead of owning a sized one")
+	} else if tr.MaxIdleConns < len(members) {
+		t.Fatalf("heartbeat idle pool %d smaller than the %d-node membership", tr.MaxIdleConns, len(members))
+	}
+
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		h.Tick()
+	}
+	for i, ac := range counters {
+		if got := ac.accepts.Load(); got > 2 {
+			t.Fatalf("peer %d saw %d dials across %d probe rounds — heartbeat connections are churning",
+				i, got, rounds)
+		}
+	}
+}

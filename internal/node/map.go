@@ -21,10 +21,13 @@ import (
 )
 
 // Member is one node's static identity: a unique ID (coordinator
-// election orders by it) and the base URL peers dial it on.
+// election orders by it), the base URL peers dial it on, and the
+// optional framed-transport address (host:port) peers prefer for the
+// replication and proxy hot paths.
 type Member struct {
-	ID   string
-	Addr string
+	ID        string
+	Addr      string
+	FrameAddr string
 }
 
 // BuildMap assigns every ring partition a primary and (when at least
@@ -40,7 +43,7 @@ func BuildMap(alive []Member, partitions int, epoch uint64) *wire.NodeMap {
 	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
 	m := &wire.NodeMap{Epoch: epoch, Partitions: partitions, Nodes: make([]wire.NodeInfo, len(members))}
 	for i, mb := range members {
-		m.Nodes[i] = wire.NodeInfo{ID: mb.ID, Addr: mb.Addr}
+		m.Nodes[i] = wire.NodeInfo{ID: mb.ID, Addr: mb.Addr, FrameAddr: mb.FrameAddr}
 	}
 	if len(members) == 0 {
 		return m

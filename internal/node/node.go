@@ -219,6 +219,15 @@ func (n *Node) peer(addr string) *client.Client {
 	if n.cfg.PeerSecret != "" {
 		opts = append(opts, client.WithHeader(server.NodeSecretHeader, n.cfg.PeerSecret))
 	}
+	// When the static membership advertises a framed listener for this
+	// peer, the replication shipments and proxy hops ride it (with the
+	// JSON path as automatic fallback).
+	for _, m := range n.cfg.Members {
+		if m.Addr == addr && m.FrameAddr != "" {
+			opts = append(opts, client.WithFramed(m.FrameAddr))
+			break
+		}
+	}
 	p := client.New(addr, opts...)
 	n.peers[addr] = p
 	return p
@@ -430,6 +439,24 @@ func (n *Node) AppendJobPayload(ctx context.Context, u core.UserID, jsonDst, gzD
 		return nil, nil, err
 	}
 	return jsonBody, gzBody, nil
+}
+
+// AppendJobJSON implements server.JSONJobAppender: the framed plane's
+// gzip-free twin of AppendJobPayload. The proxy path already carries
+// raw JSON bytes (client.JobRaw), so neither leg compresses anything.
+func (n *Node) AppendJobJSON(ctx context.Context, u core.UserID, jsonDst []byte) ([]byte, error) {
+	p, primary, local := n.owner(u)
+	if local {
+		return n.cl.AppendJobJSON(ctx, u, jsonDst)
+	}
+	if server.IsForwarded(ctx) || primary == nil {
+		return nil, n.notPrimaryErr(p)
+	}
+	raw, err := n.peer(primary.Addr).JobRaw(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	return append(jsonDst[:0], raw...), nil
 }
 
 // ApplyResult implements hyrec.Service. The partition is routed by the

@@ -686,6 +686,28 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 // profile fragments come from the serialized-profile cache, and the gzip
 // writer is pooled.
 func (e *Engine) AppendJobPayload(_ context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
+	jsonBody = e.appendJobJSON(u, jsonDst)
+	gzBody, err = wire.AppendGzip(gzDst, jsonBody, e.cfg.GzipLevel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
+	}
+	e.meter.CountJob(len(jsonBody), len(gzBody))
+	return jsonBody, gzBody, nil
+}
+
+// AppendJobJSON is AppendJobPayload without the gzip leg, for
+// transports that ship the raw JSON bytes (the framed plane): the
+// payload is byte-identical to AppendJobPayload's jsonBody, and no
+// compressed bytes are metered because none are produced.
+func (e *Engine) AppendJobJSON(_ context.Context, u core.UserID, jsonDst []byte) ([]byte, error) {
+	jsonBody := e.appendJobJSON(u, jsonDst)
+	e.meter.CountJob(len(jsonBody), 0)
+	return jsonBody, nil
+}
+
+// appendJobJSON assembles and serializes u's job (shared by the
+// gzip-producing and JSON-only serving paths; metering is theirs).
+func (e *Engine) appendJobJSON(u core.UserID, jsonDst []byte) (jsonBody []byte) {
 	if !e.profiles.Known(u) {
 		e.profiles.Put(core.NewProfile(u))
 	}
@@ -757,13 +779,7 @@ func (e *Engine) AppendJobPayload(_ context.Context, u core.UserID, jsonDst, gzD
 		}
 		jsonBody = wire.AppendJob(jsonDst, &job, nil)
 	}
-
-	gzBody, err = wire.AppendGzip(gzDst, jsonBody, e.cfg.GzipLevel)
-	if err != nil {
-		return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
-	}
-	e.meter.CountJob(len(jsonBody), len(gzBody))
-	return jsonBody, gzBody, nil
+	return jsonBody
 }
 
 // assembleWithCache builds the job JSON splicing pre-encoded profile

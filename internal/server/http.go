@@ -79,6 +79,12 @@ type HTTPServer struct {
 	wsWorkers    atomic.Int64
 	wsJobsPushed atomic.Int64
 
+	// Framed-transport gauges (ServeFrames): live connections, request
+	// streams in flight, and bytes moved in either direction.
+	frameConns   atomic.Int64
+	frameStreams atomic.Int64
+	frameBytes   atomic.Int64
+
 	// nodeSecret, when non-empty, gates the node-plane endpoints
 	// (/v1/replicate, /v1/nodes) behind NodeSecretHeader.
 	nodeSecret string
@@ -423,6 +429,9 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats["online_users"] = int64(s.seen.Online(presenceWindow))
 	stats["ws_workers"] = s.wsWorkers.Load()
 	stats["ws_jobs_pushed_total"] = s.wsJobsPushed.Load()
+	stats["frame_conns"] = s.frameConns.Load()
+	stats["frame_streams_active"] = s.frameStreams.Load()
+	stats["frame_bytes_total"] = s.frameBytes.Load()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(stats); err != nil {
 		return
@@ -442,6 +451,9 @@ func (s *HTTPServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	stats["online_users"] = int64(s.seen.Online(presenceWindow))
 	stats["ws_workers"] = s.wsWorkers.Load()
 	stats["ws_jobs_pushed_total"] = s.wsJobsPushed.Load()
+	stats["frame_conns"] = s.frameConns.Load()
+	stats["frame_streams_active"] = s.frameStreams.Load()
+	stats["frame_bytes_total"] = s.frameBytes.Load()
 	if tp, ok := s.svc.(TopologyProvider); ok {
 		topo := tp.Topology()
 		stats["topology_partitions"] = int64(topo.Partitions)

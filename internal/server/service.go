@@ -58,6 +58,13 @@ type PayloadAppender interface {
 	AppendJobPayload(ctx context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error)
 }
 
+// JSONJobAppender is the gzip-free sibling of PayloadAppender for
+// transports that ship raw JSON bytes (the framed plane): same payload
+// bytes, no compressed twin produced or metered.
+type JSONJobAppender interface {
+	AppendJobJSON(ctx context.Context, u core.UserID, jsonDst []byte) ([]byte, error)
+}
+
 // JobSource dispatches leased jobs to pull-based workers: NextJob blocks
 // until a stale user is available (stalest first) or ctx is done, and
 // returns (nil, nil) when no work arrived in time — the transport layer

@@ -32,6 +32,10 @@ const (
 type NodeInfo struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
+	// FrameAddr is the node's framed-transport listener (host:port),
+	// empty when the node serves JSON/HTTP only. Peers prefer it for
+	// replication shipments and proxy hops.
+	FrameAddr string `json:"frame_addr,omitempty"`
 	// Primary lists the partitions this node owns (serves reads/writes,
 	// dispatches worker jobs, streams replication).
 	Primary []int `json:"primary,omitempty"`

@@ -21,5 +21,12 @@ run ./internal/wire FuzzDecodeNodeMap
 run ./internal/wire FuzzDecodeReplBatch
 run ./internal/persist FuzzSnapshotDecode
 run ./internal/ws FuzzDecodeWSFrame
+run ./internal/frame FuzzDecodeFrame
+run ./internal/frame FuzzDecodeHello
+run ./internal/frame FuzzDecodeError
+run ./internal/frame FuzzDecodeRateBatch
+run ./internal/frame FuzzDecodeAckBatch
+run ./internal/frame FuzzDecodeReplBatch
+run ./internal/frame FuzzDecodeU32s
 
 echo "all fuzzers clean"

@@ -17,8 +17,9 @@ done
 ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
 
-echo "--- starting hyrec-server on $ADDR"
-"$BIN/hyrec-server" -addr "$ADDR" -partitions 2 -rotate 0 &
+FRAME_ADDR="127.0.0.1:18090"
+echo "--- starting hyrec-server on $ADDR (framed listener on $FRAME_ADDR)"
+"$BIN/hyrec-server" -addr "$ADDR" -partitions 2 -rotate 0 -frame-addr "$FRAME_ADDR" &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -32,6 +33,21 @@ curl -fsS "$BASE/healthz" >/dev/null
 
 echo "--- driving the full widget loop through the typed client"
 "$BIN/hyrec-widget" -server "$BASE" -users 20 -requests 3
+
+echo "--- framed transport: widget loop + worker over the binary listener"
+# The same loop upgraded onto the framed lane: rate batches, job
+# fetches, results and acks ride one multiplexed binary connection.
+"$BIN/hyrec-widget" -server "$BASE" -framed "$FRAME_ADDR" -users 20 -requests 2
+# A framed pull-worker drains whatever staleness the loops left behind.
+"$BIN/hyrec-widget" -server "$BASE" -framed "$FRAME_ADDR" -worker 1 -work-duration 2s
+STATS=$(curl -fsS "$BASE/stats")
+# The framed listener must have seen connections and moved real bytes.
+echo "$STATS" | grep -Eq '"frame_conns":[0-9]' \
+  || { echo "/stats missing framed-transport gauges: $STATS" >&2; exit 1; }
+echo "$STATS" | grep -Eq '"frame_bytes_total":[1-9]' \
+  || { echo "framed listener moved no bytes: $STATS" >&2; exit 1; }
+curl -fsS "$BASE/metrics" | grep -q '^hyrec_frame_bytes_total [1-9]' \
+  || { echo "/metrics shows no framed bytes" >&2; exit 1; }
 
 echo "--- checking the /v1 protocol surface"
 # Batch rate.

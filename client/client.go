@@ -182,6 +182,11 @@ type APIError struct {
 	// Primary is the owning node's address on not_primary answers (empty
 	// otherwise) — the re-target hint of multi-node deployments.
 	Primary string
+	// RetryAfter is the server's backoff hint on overloaded answers
+	// (zero otherwise). The client honors it — capped — before its
+	// single overload retry; callers shedding work themselves should
+	// wait at least this long too.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -201,6 +206,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeMoved
 	case hyrec.ErrNotPrimary:
 		return e.Code == wire.CodeNotPrimary
+	case hyrec.ErrOverloaded:
+		return e.Code == wire.CodeOverloaded
 	}
 	return false
 }
@@ -618,6 +625,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	var lastErr error
 	movedRetried := false
+	overloadRetried := false
 	base := c.base
 	for attempt := 0; ; attempt++ {
 		raw, retryable, err := c.attemptAt(ctx, base, method, path, body, negotiateGzip)
@@ -643,6 +651,19 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			c.refreshTopology(ctx)
 			attempt-- // the moved retry does not consume the transient budget
 			continue
+		}
+		// CodeOverloaded: the server's admission gate shed the request.
+		// Honor the envelope's retry-after hint (capped) and retry exactly
+		// once — hammering a shedding server defeats the gate's purpose,
+		// so a second overloaded answer surfaces as-is.
+		if !overloadRetried && ctx.Err() == nil && errors.As(err, &apiErr) &&
+			apiErr.Code == wire.CodeOverloaded {
+			overloadRetried = true
+			if waitOverload(ctx, apiErr.RetryAfter) {
+				attempt-- // like the moved retry: outside the transient budget
+				continue
+			}
+			return nil, lastErr
 		}
 		if !retryable || attempt >= c.retries || ctx.Err() != nil {
 			return nil, lastErr
@@ -706,6 +727,31 @@ func (c *Client) attemptAt(ctx context.Context, base, method, path string, body 
 	return data, false, nil
 }
 
+// overloadBackoffCap bounds how long the client honors a server's
+// retry-after hint before its single overload retry — a hostile or
+// misconfigured hint cannot park a caller for minutes. Variable for
+// tests.
+var overloadBackoffCap = 2 * time.Second
+
+// waitOverload sleeps the server's retry-after hint (the default when
+// the hint is absent, capped always) before the one overload retry.
+// false means ctx expired first and the caller should surface the
+// overloaded error instead of retrying.
+func waitOverload(ctx context.Context, hint time.Duration) bool {
+	if hint <= 0 {
+		hint = time.Second
+	}
+	if hint > overloadBackoffCap {
+		hint = overloadBackoffCap
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(hint):
+		return true
+	}
+}
+
 // refreshTopology best-effort-updates the topology cache after a moved
 // answer; failures are swallowed (the retry surfaces the real error).
 func (c *Client) refreshTopology(ctx context.Context) {
@@ -724,7 +770,10 @@ func (c *Client) refreshTopology(ctx context.Context) {
 func decodeAPIError(status int, body []byte) error {
 	var env wire.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message, Primary: env.Error.Primary}
+		return &APIError{
+			Status: status, Code: env.Error.Code, Message: env.Error.Message, Primary: env.Error.Primary,
+			RetryAfter: time.Duration(env.Error.RetryAfterMS) * time.Millisecond,
+		}
 	}
 	// Legacy plain-text error (or proxy junk): keep the raw text.
 	return &APIError{Status: status, Code: wire.CodeInternal, Message: strings.TrimSpace(string(body))}

@@ -102,7 +102,7 @@ func dialFramed(addr, secret string) (*framedConn, error) {
 	if f.Type != frame.THelloOK {
 		cn.Close()
 		if f.Type == frame.TError {
-			if code, msg, _, derr := frame.DecodeError(f.Payload); derr == nil {
+			if code, msg, _, _, derr := frame.DecodeError(f.Payload); derr == nil {
 				return nil, fmt.Errorf("hyrec client: framed handshake refused (%s): %s", code, msg)
 			}
 		}
@@ -235,11 +235,14 @@ func (fc *framedConn) close() { fc.cn.Close() }
 // JSON path produces, so errors.Is against the hyrec sentinels works
 // identically on both transports.
 func decodeFrameError(payload []byte) error {
-	code, msg, primary, err := frame.DecodeError(payload)
+	code, msg, primary, retryMS, err := frame.DecodeError(payload)
 	if err != nil {
 		return fmt.Errorf("hyrec client: bad framed error envelope: %w", err)
 	}
-	return &APIError{Status: statusForCode(code), Code: code, Message: msg, Primary: primary}
+	return &APIError{
+		Status: statusForCode(code), Code: code, Message: msg, Primary: primary,
+		RetryAfter: time.Duration(retryMS) * time.Millisecond,
+	}
 }
 
 // statusForCode reconstructs the HTTP status the JSON path would have
@@ -258,6 +261,8 @@ func statusForCode(code string) int {
 		return http.StatusBadRequest
 	case wire.CodeTooLarge:
 		return http.StatusRequestEntityTooLarge
+	case wire.CodeOverloaded:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
@@ -325,40 +330,54 @@ func (c *Client) framedCall(ctx context.Context, t frame.Type, payload []byte) (
 	if c.frameAddr == "" {
 		return 0, nil, nil, false, nil
 	}
-	fc, err := c.getFramed()
-	if err != nil {
-		return 0, nil, nil, false, nil
-	}
-	// Deadline-less contexts get the client-level timeout, exactly like
-	// the JSON path's roundTrip — applied as a pooled per-call timer.
-	timeout := time.Duration(0)
-	if c.timeout > 0 {
-		if _, has := ctx.Deadline(); !has {
-			timeout = c.timeout
-		}
-	}
-	rt, resp, buf, err := fc.call(ctx, timeout, t, payload)
-	if err == nil {
-		return rt, resp, buf, true, nil
-	}
-	if apiErr, ok := err.(*APIError); ok {
-		if apiErr.Code == wire.CodeMoved || apiErr.Code == wire.CodeNotPrimary {
+	overloadRetried := false
+	for {
+		fc, err := c.getFramed()
+		if err != nil {
 			return 0, nil, nil, false, nil
 		}
-		return 0, nil, nil, true, err
+		// Deadline-less contexts get the client-level timeout, exactly like
+		// the JSON path's roundTrip — applied as a pooled per-call timer.
+		timeout := time.Duration(0)
+		if c.timeout > 0 {
+			if _, has := ctx.Deadline(); !has {
+				timeout = c.timeout
+			}
+		}
+		rt, resp, buf, err := fc.call(ctx, timeout, t, payload)
+		if err == nil {
+			return rt, resp, buf, true, nil
+		}
+		if apiErr, ok := err.(*APIError); ok {
+			if apiErr.Code == wire.CodeMoved || apiErr.Code == wire.CodeNotPrimary {
+				return 0, nil, nil, false, nil
+			}
+			// The framed twin of roundTrip's overload handling: honor the
+			// TError's retry-after hint (capped) and retry exactly once on
+			// this lane; a second overloaded answer surfaces as-is rather
+			// than falling back to JSON — the HTTP plane shares the same
+			// gate, so redoing the request there would just hammer it.
+			if apiErr.Code == wire.CodeOverloaded && !overloadRetried && ctx.Err() == nil {
+				overloadRetried = true
+				if waitOverload(ctx, apiErr.RetryAfter) {
+					continue
+				}
+			}
+			return 0, nil, nil, true, err
+		}
+		if ctx.Err() != nil {
+			return 0, nil, nil, true, ctx.Err()
+		}
+		if err == context.DeadlineExceeded {
+			// The pooled per-call timer fired: the client-level timeout
+			// elapsed, same surface as the JSON path's deadline.
+			return 0, nil, nil, true, err
+		}
+		// Transport-level failure: drop the connection and let the JSON
+		// path (with its retry budget) carry this operation.
+		c.dropFramed(fc)
+		return 0, nil, nil, false, nil
 	}
-	if ctx.Err() != nil {
-		return 0, nil, nil, true, ctx.Err()
-	}
-	if err == context.DeadlineExceeded {
-		// The pooled per-call timer fired: the client-level timeout
-		// elapsed, same surface as the JSON path's deadline.
-		return 0, nil, nil, true, err
-	}
-	// Transport-level failure: drop the connection and let the JSON
-	// path (with its retry budget) carry this operation.
-	c.dropFramed(fc)
-	return 0, nil, nil, false, nil
 }
 
 // framedRateBatch ships one ≤MaxBatchRatings chunk as a TRateBatch.

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyrec"
+)
+
+var overloadedAnswer = scripted{http.StatusTooManyRequests,
+	`{"error":{"code":"overloaded","message":"rating queue full","retry_after_ms":20}}`}
+
+// overloadServer scripts successive /v1/neighbors answers and counts
+// hits; a call past the script fails the test (retry-once violated).
+func overloadServer(t *testing.T, answers []scripted) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) > len(answers) {
+			t.Errorf("call %d beyond the script (overload retry-once violated)", n)
+			w.WriteHeader(http.StatusTeapot)
+			return
+		}
+		a := answers[n-1]
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(a.status)
+		w.Write([]byte(a.body))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestClientOverloadRetriesOnce: an overloaded answer makes the client
+// wait out the server's retry_after_ms hint and retry exactly once.
+func TestClientOverloadRetriesOnce(t *testing.T) {
+	ts, calls := overloadServer(t, []scripted{overloadedAnswer, hoodAnswer})
+	c := New(ts.URL)
+	defer c.Close()
+
+	start := time.Now()
+	hood, err := c.Neighbors(tctx, 1)
+	if err != nil {
+		t.Fatalf("Neighbors = %v, want success after one backoff retry", err)
+	}
+	if len(hood) != 2 {
+		t.Fatalf("retried neighbors = %v", hood)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("endpoint hit %d times, want exactly 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("retry after %v, want >= the 20ms hint", elapsed)
+	}
+}
+
+// TestClientOverloadGivesUpAfterOneRetry: a second overloaded answer
+// surfaces as hyrec.ErrOverloaded instead of retrying forever into a
+// server that is shedding load.
+func TestClientOverloadGivesUpAfterOneRetry(t *testing.T) {
+	ts, calls := overloadServer(t, []scripted{overloadedAnswer, overloadedAnswer})
+	c := New(ts.URL)
+	defer c.Close()
+
+	_, err := c.Neighbors(tctx, 1)
+	if !errors.Is(err, hyrec.ErrOverloaded) {
+		t.Fatalf("err = %v, want errors.Is(hyrec.ErrOverloaded)", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter != 20*time.Millisecond {
+		t.Fatalf("err = %v, want APIError carrying the 20ms retry hint", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("endpoint hit %d times, want exactly 2", got)
+	}
+}
+
+// TestClientOverloadBackoffCapped: with no retry_after_ms hint the
+// client defaults to a 1s wait, and the wait never exceeds the backoff
+// cap however large the server's hint is.
+func TestClientOverloadBackoffCapped(t *testing.T) {
+	old := overloadBackoffCap
+	overloadBackoffCap = 5 * time.Millisecond
+	t.Cleanup(func() { overloadBackoffCap = old })
+
+	noHint := scripted{http.StatusTooManyRequests, `{"error":{"code":"overloaded","message":"busy"}}`}
+	hugeHint := scripted{http.StatusTooManyRequests, `{"error":{"code":"overloaded","message":"busy","retry_after_ms":3600000}}`}
+	for name, first := range map[string]scripted{"no hint": noHint, "huge hint": hugeHint} {
+		t.Run(name, func(t *testing.T) {
+			ts, calls := overloadServer(t, []scripted{first, hoodAnswer})
+			c := New(ts.URL)
+			defer c.Close()
+
+			start := time.Now()
+			if _, err := c.Neighbors(tctx, 1); err != nil {
+				t.Fatalf("Neighbors = %v, want success after one capped backoff", err)
+			}
+			if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+				t.Fatalf("backoff took %v, want capped near 5ms", elapsed)
+			}
+			if got := calls.Load(); got != 2 {
+				t.Fatalf("endpoint hit %d times, want exactly 2", got)
+			}
+		})
+	}
+}

@@ -76,6 +76,10 @@ func run(args []string) error {
 		snapPath  = fs.String("snapshot", "", "snapshot base path for durable state (empty = stateless)")
 		snapIvl   = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot period (with -snapshot)")
 		grace     = fs.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on shutdown")
+		maxRate   = fs.Int("max-inflight-rating", 0, "admission bound on concurrent rating-ingest requests; excess answers 429 overloaded (0 = unlimited)")
+		maxWork   = fs.Int("max-inflight-worker", 0, "admission bound on concurrent worker job traffic — parked long-polls, results, acks (0 = unlimited)")
+		maxRead   = fs.Int("max-inflight-read", 0, "admission bound on concurrent rec/neighbor reads and user job fetches (0 = unlimited)")
+		replCap   = fs.Int("repl-backlog", 0, "per-partition replication backlog cap while a mirror is down; past it one full re-ship replaces the queue (0 = default 8192, negative = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +114,9 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.LeaseTTL = *leaseTTL
 	cfg.FallbackWorkers = *fallback
+	cfg.MaxInflightRating = *maxRate
+	cfg.MaxInflightWorker = *maxWork
+	cfg.MaxInflightRead = *maxRead
 
 	nd, err := node.New(node.Config{
 		Self:             node.Member{ID: *id, Addr: selfAddr, FrameAddr: selfFrame},
@@ -117,6 +124,7 @@ func run(args []string) error {
 		Partitions:       *parts,
 		Engine:           cfg,
 		ReplicateEvery:   *replEvery,
+		ReplBacklog:      *replCap,
 		AntiEntropyEvery: *antiEvery,
 		HeartbeatEvery:   *hbEvery,
 		DeadAfter:        *deadAfter,

@@ -88,6 +88,9 @@ func run(args []string) error {
 		leaseTry = fs.Int("lease-retries", 0, "lease re-issues before server-side fallback (0 = default, negative = none)")
 		fallback = fs.Int("fallback-workers", 0, "server-side fallback worker pool size; > 0 also enables the scheduler")
 		scale    = fs.Int("scale", 0, "target partition count applied on SIGHUP (live resharding; also available any time via POST /v1/topology); > 0 forces the cluster shape")
+		maxRate  = fs.Int("max-inflight-rating", 0, "admission bound on concurrent rating-ingest requests; excess answers 429 overloaded (0 = unlimited)")
+		maxWork  = fs.Int("max-inflight-worker", 0, "admission bound on concurrent worker job traffic — parked long-polls, results, acks (0 = unlimited)")
+		maxRead  = fs.Int("max-inflight-read", 0, "admission bound on concurrent rec/neighbor reads and user job fetches (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +107,9 @@ func run(args []string) error {
 	cfg.LeaseTTL = *leaseTTL
 	cfg.LeaseRetries = *leaseTry
 	cfg.FallbackWorkers = *fallback
+	cfg.MaxInflightRating = *maxRate
+	cfg.MaxInflightWorker = *maxWork
+	cfg.MaxInflightRead = *maxRead
 	if *gzipBest {
 		cfg.GzipLevel = wire.GzipBestCompact
 	}

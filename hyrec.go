@@ -123,6 +123,10 @@ var (
 	// map); clients refresh /v1/topology and retry against the primary
 	// named in the envelope.
 	ErrNotPrimary = server.ErrNotPrimary
+	// ErrOverloaded: the server's admission gate shed the request (429 /
+	// "overloaded" with a retry-after hint); the typed client backs off
+	// the hinted duration — capped — and retries once.
+	ErrOverloaded = server.ErrOverloaded
 )
 
 // Scheduler-facing capability interfaces (see internal/sched for the

@@ -1,0 +1,202 @@
+// Package admit is the server-side admission gate: per-class bounded
+// queues that turn overload into fast, typed load-shedding instead of
+// unbounded queueing and OOM. Every request entering either transport
+// plane (the /v1 HTTP mux, the framed binary listener) is classified —
+// rating ingest, worker job traffic, or rec/neighbor reads — and must
+// acquire a slot in its class before any work happens. A full class
+// answers "overloaded" immediately (reads, worker traffic) or after a
+// short bounded grace wait (rating ingest — the prioritized class: a
+// rating burst queues briefly rather than shedding, and its slots are
+// never consumed by read or worker floods, so an abusive read storm
+// cannot move rating latency).
+//
+// The gate is deliberately transport-agnostic: it hands out release
+// funcs and counters; the HTTP and framed layers translate a shed into
+// their own envelope (429 {"error":{"code":"overloaded"}} with
+// Retry-After, or a TError carrying the same code and hint).
+package admit
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Class is the admission class a request belongs to.
+type Class int
+
+const (
+	// Rating is rating ingest (POST /v1/rate, /rate, TRateBatch) — the
+	// prioritized class: its slots are isolated from the read and worker
+	// classes, and over-limit arrivals wait a short grace window for a
+	// slot before shedding.
+	Rating Class = iota
+	// Worker is worker job traffic: long-polls (GET /v1/job?worker=1,
+	// TJobPull — a parked poll holds its slot for the whole park),
+	// result posts and lease acks.
+	Worker
+	// Read is rec/neighbor reads and user-driven job fetches — the
+	// first class shed under pressure (no grace wait).
+	Read
+
+	numClasses
+)
+
+// String names the class for error messages and metric keys.
+func (c Class) String() string {
+	switch c {
+	case Rating:
+		return "rating"
+	case Worker:
+		return "worker"
+	case Read:
+		return "read"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultRetryAfter is the backoff hint announced with every shed when
+// Config leaves RetryAfter zero.
+const DefaultRetryAfter = time.Second
+
+// DefaultRatingGrace is how long an over-limit rating arrival may wait
+// for a slot before shedding (Config.RatingGrace zero). Reads and
+// worker traffic never wait: shedding them fast is the point.
+const DefaultRatingGrace = 50 * time.Millisecond
+
+// Config bounds each class. Zero means unlimited for that class — the
+// gate still counts inflight, it just never sheds. The queue depth of a
+// bounded class (how many over-limit arrivals may wait for a slot
+// during the grace window) equals its inflight bound.
+type Config struct {
+	// MaxRating / MaxWorker / MaxRead bound concurrently admitted
+	// requests per class (0 = unlimited).
+	MaxRating int
+	MaxWorker int
+	MaxRead   int
+	// RatingGrace is the bounded wait a full rating class grants before
+	// shedding (0 = DefaultRatingGrace; negative = shed immediately).
+	RatingGrace time.Duration
+	// RetryAfter is the hint shed responses carry (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+}
+
+// Gate is the admission gate. All methods are safe for concurrent use;
+// the zero value is not usable — call New.
+type Gate struct {
+	classes    [numClasses]classGate
+	retryAfter time.Duration
+	shedTotal  atomic.Int64
+}
+
+type classGate struct {
+	// slots is the bounded-queue core: a buffered channel whose
+	// capacity is the class's inflight bound. nil = unlimited.
+	slots chan struct{}
+	// grace is how long a full-class arrival may wait for a slot.
+	grace time.Duration
+	// waiters bounds the grace-wait queue to cap(slots) so a sustained
+	// flood cannot park unbounded goroutines behind a full class.
+	waiters  atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+// New builds a gate from cfg.
+func New(cfg Config) *Gate {
+	g := &Gate{retryAfter: cfg.RetryAfter}
+	if g.retryAfter <= 0 {
+		g.retryAfter = DefaultRetryAfter
+	}
+	ratingGrace := cfg.RatingGrace
+	if ratingGrace == 0 {
+		ratingGrace = DefaultRatingGrace
+	}
+	if ratingGrace < 0 {
+		ratingGrace = 0
+	}
+	bounds := [numClasses]int{Rating: cfg.MaxRating, Worker: cfg.MaxWorker, Read: cfg.MaxRead}
+	for c := Class(0); c < numClasses; c++ {
+		if bounds[c] > 0 {
+			g.classes[c].slots = make(chan struct{}, bounds[c])
+		}
+		if c == Rating {
+			g.classes[c].grace = ratingGrace
+		}
+	}
+	return g
+}
+
+// Acquire admits one request of class c, blocking at most the class's
+// grace window (and never past ctx). ok=false means the request was
+// shed — the caller answers overloaded with RetryAfter as the hint and
+// must not call release. On ok=true the caller owns a slot until it
+// calls release (exactly once).
+func (g *Gate) Acquire(ctx context.Context, c Class) (release func(), ok bool) {
+	cg := &g.classes[c]
+	if cg.slots == nil {
+		cg.inflight.Add(1)
+		return func() { cg.inflight.Add(-1) }, true
+	}
+	select {
+	case cg.slots <- struct{}{}:
+	default:
+		if !g.acquireSlow(ctx, cg) {
+			cg.shed.Add(1)
+			g.shedTotal.Add(1)
+			return nil, false
+		}
+	}
+	cg.inflight.Add(1)
+	return func() {
+		cg.inflight.Add(-1)
+		<-cg.slots
+	}, true
+}
+
+// acquireSlow is the bounded-queue wait of a full class: up to
+// cap(slots) arrivals may park for the grace window; everyone else (and
+// everyone whose wait expires) is shed.
+func (g *Gate) acquireSlow(ctx context.Context, cg *classGate) bool {
+	if cg.grace <= 0 {
+		return false
+	}
+	if int(cg.waiters.Add(1)) > cap(cg.slots) {
+		cg.waiters.Add(-1)
+		return false
+	}
+	defer cg.waiters.Add(-1)
+	timer := time.NewTimer(cg.grace)
+	defer timer.Stop()
+	select {
+	case cg.slots <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// RetryAfter is the backoff hint shed responses carry.
+func (g *Gate) RetryAfter() time.Duration { return g.retryAfter }
+
+// ShedTotal is the total requests shed across all classes.
+func (g *Gate) ShedTotal() int64 { return g.shedTotal.Load() }
+
+// Inflight reports class c's currently admitted requests.
+func (g *Gate) Inflight(c Class) int64 { return g.classes[c].inflight.Load() }
+
+// Shed reports class c's total shed requests.
+func (g *Gate) Shed(c Class) int64 { return g.classes[c].shed.Load() }
+
+// AddStats merges the gate's counters into a /stats map: shed_total,
+// and per-class inflight_* gauges and shed_* counters.
+func (g *Gate) AddStats(m map[string]any) {
+	m["shed_total"] = g.ShedTotal()
+	for c := Class(0); c < numClasses; c++ {
+		m["inflight_"+c.String()] = g.Inflight(c)
+		m["shed_"+c.String()] = g.Shed(c)
+	}
+}

@@ -1,0 +1,199 @@
+package admit
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUnlimitedClassNeverSheds(t *testing.T) {
+	g := New(Config{})
+	ctx := context.Background()
+	var releases []func()
+	for i := 0; i < 1000; i++ {
+		rel, ok := g.Acquire(ctx, Read)
+		if !ok {
+			t.Fatalf("unlimited class shed at acquisition %d", i)
+		}
+		releases = append(releases, rel)
+	}
+	if got := g.Inflight(Read); got != 1000 {
+		t.Fatalf("inflight = %d, want 1000", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := g.Inflight(Read); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	if g.ShedTotal() != 0 {
+		t.Fatalf("shed_total = %d, want 0", g.ShedTotal())
+	}
+}
+
+func TestFullClassSheds(t *testing.T) {
+	g := New(Config{MaxRead: 2})
+	ctx := context.Background()
+	rel1, ok1 := g.Acquire(ctx, Read)
+	rel2, ok2 := g.Acquire(ctx, Read)
+	if !ok1 || !ok2 {
+		t.Fatal("acquisitions under the bound must succeed")
+	}
+	// Reads have no grace window: the third acquisition sheds immediately.
+	if _, ok := g.Acquire(ctx, Read); ok {
+		t.Fatal("third read admitted past MaxRead=2")
+	}
+	if g.Shed(Read) != 1 || g.ShedTotal() != 1 {
+		t.Fatalf("shed(read)=%d shed_total=%d, want 1/1", g.Shed(Read), g.ShedTotal())
+	}
+	rel1()
+	rel3, ok := g.Acquire(ctx, Read)
+	if !ok {
+		t.Fatal("slot freed by release was not reusable")
+	}
+	rel3()
+	rel2()
+}
+
+func TestRatingGraceWaitsForSlot(t *testing.T) {
+	g := New(Config{MaxRating: 1, RatingGrace: time.Second})
+	ctx := context.Background()
+	rel, ok := g.Acquire(ctx, Rating)
+	if !ok {
+		t.Fatal("first rating acquisition must succeed")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		rel2, ok := g.Acquire(ctx, Rating)
+		if ok {
+			rel2()
+		}
+		done <- ok
+	}()
+	// Give the waiter time to park, then free the slot: the graced
+	// arrival must get it instead of shedding.
+	time.Sleep(20 * time.Millisecond)
+	rel()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("graced rating arrival shed despite a slot freeing within the window")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("graced arrival never resolved")
+	}
+	if g.ShedTotal() != 0 {
+		t.Fatalf("shed_total = %d, want 0", g.ShedTotal())
+	}
+}
+
+func TestRatingGraceExpiresToShed(t *testing.T) {
+	g := New(Config{MaxRating: 1, RatingGrace: 10 * time.Millisecond})
+	rel, _ := g.Acquire(context.Background(), Rating)
+	defer rel()
+	start := time.Now()
+	if _, ok := g.Acquire(context.Background(), Rating); ok {
+		t.Fatal("second rating admitted past MaxRating=1 with the slot held")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("grace wait took %v, want ~10ms", waited)
+	}
+	if g.Shed(Rating) != 1 {
+		t.Fatalf("shed(rating) = %d, want 1", g.Shed(Rating))
+	}
+}
+
+func TestGraceQueueDepthBounded(t *testing.T) {
+	// One slot held, long grace: at most cap(slots)=1 arrival may wait;
+	// further arrivals shed immediately instead of parking goroutines.
+	g := New(Config{MaxRating: 1, RatingGrace: 5 * time.Second})
+	rel, _ := g.Acquire(context.Background(), Rating)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		g.Acquire(ctx, Rating) // parks for the grace window until cancel
+	}()
+	<-parked
+	time.Sleep(20 * time.Millisecond) // let the waiter enter acquireSlow
+	start := time.Now()
+	if _, ok := g.Acquire(context.Background(), Rating); ok {
+		t.Fatal("second over-limit arrival admitted")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("over-depth arrival waited %v, want immediate shed", waited)
+	}
+	cancel()
+	rel()
+}
+
+func TestClassIsolation(t *testing.T) {
+	// A read flood at its bound must not consume rating slots.
+	g := New(Config{MaxRating: 4, MaxRead: 1, RatingGrace: -1})
+	ctx := context.Background()
+	relRead, ok := g.Acquire(ctx, Read)
+	if !ok {
+		t.Fatal("read acquisition under bound failed")
+	}
+	defer relRead()
+	for i := 0; i < 50; i++ {
+		g.Acquire(ctx, Read) // all shed: the one read slot is held
+	}
+	for i := 0; i < 4; i++ {
+		rel, ok := g.Acquire(ctx, Rating)
+		if !ok {
+			t.Fatalf("rating acquisition %d shed during read flood", i)
+		}
+		defer rel()
+	}
+	if g.Shed(Rating) != 0 {
+		t.Fatalf("rating shed %d during read flood, want 0", g.Shed(Rating))
+	}
+	if g.Shed(Read) != 50 {
+		t.Fatalf("shed(read) = %d, want 50", g.Shed(Read))
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	g := New(Config{MaxRating: 8, MaxWorker: 8, MaxRead: 8, RatingGrace: time.Millisecond})
+	ctx := context.Background()
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := Class(w % int(numClasses))
+			for i := 0; i < 500; i++ {
+				if rel, ok := g.Acquire(ctx, c); ok {
+					admitted.Add(1)
+					rel()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for c := Class(0); c < numClasses; c++ {
+		if got := g.Inflight(c); got != 0 {
+			t.Fatalf("inflight_%s = %d after all releases, want 0", c, got)
+		}
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing was admitted")
+	}
+}
+
+func TestAddStats(t *testing.T) {
+	g := New(Config{MaxRead: 1})
+	rel, _ := g.Acquire(context.Background(), Read)
+	g.Acquire(context.Background(), Read) // shed
+	m := map[string]any{}
+	g.AddStats(m)
+	if m["shed_total"] != int64(1) || m["shed_read"] != int64(1) || m["inflight_read"] != int64(1) {
+		t.Fatalf("stats = %v", m)
+	}
+	rel()
+}

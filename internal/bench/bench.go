@@ -107,6 +107,13 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// BytesPerOp is process-wide heap bytes allocated per operation.
 	BytesPerOp float64 `json:"bytes_per_op"`
+
+	// ShedTotal counts requests the server's admission gate shed during
+	// the measurement window. Non-zero only on adversarial rows (the
+	// overload scenario); Compare requires a shed row's gate to still be
+	// engaging, and skips the allocs/op ceiling for it (the flood's own
+	// allocations land in the process-wide counters).
+	ShedTotal int64 `json:"shed_total,omitempty"`
 }
 
 // Run executes one scenario against svc and measures it. The service is

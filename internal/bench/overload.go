@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"hyrec/client"
+	"hyrec/internal/core"
+	"hyrec/internal/loadgen"
+	"hyrec/internal/server"
+)
+
+// Overload is the adversarial capacity scenario: a read-side flood at
+// 10× the nominal worker count — recommendation reads plus worker
+// long-polls — hammers a live server whose read and worker classes are
+// admission-bounded, while the measured workload (the same batched
+// rating ingest as rate-batch-wire) keeps flowing through the same
+// server. The committed row is the rating measurement taken UNDER the
+// flood, plus the number of requests the gate shed to protect it; the
+// paper-level claim (Section 5's capacity argument only holds if
+// overload degrades service, not the server) is that ingest p99 moves
+// at most 2× against its unflooded baseline, asserted by
+// TestOverloadProtectsIngest and guarded in CI by the shed_total > 0
+// check in Compare.
+//
+// The worker leg of the flood is what makes shedding deterministic on
+// any host: the scenario drains the job queue under a long lease TTL
+// first, so every flood worker poll either parks — holding its Worker
+// slot for the whole wait window — or sheds against the parked one.
+// The rec-read leg sheds only when admitted reads actually overlap,
+// which a single-CPU host serializing microsecond handlers may never
+// produce; it still contributes the read-side CPU pressure the p99
+// assertion is measured against.
+func Overload(ctx context.Context, opt Options) (Result, error) {
+	res, _, err := overloadRun(ctx, opt)
+	return res, err
+}
+
+// floodPace is the per-flooder request interval: the flood is a paced
+// open-loop load (a botnet of fixed-rate clients), not an unbounded
+// closed loop — shedding bounds the server's queues and memory, but no
+// gate can hand the ingest path CPU back from a flood allowed to spin
+// at line rate on the cheap 429 path.
+const floodPace = 4 * time.Millisecond
+
+// overloadRun measures rating ingest twice — quiet, then under the
+// flood — and returns the flooded row (with ShedTotal) alongside the
+// quiet-baseline p99 for the protection assertion.
+func overloadRun(ctx context.Context, opt Options) (Result, float64, error) {
+	opt = opt.withDefaults()
+	const items = 2000
+	cfg := server.DefaultConfig()
+	cfg.Seed = opt.Seed
+	// The adversarial knobs: both flood-facing classes are admission-
+	// bounded near serving capacity, so the flood sheds instead of
+	// queueing behind (and starving) the rating path. Leases outlive
+	// the window and are never acked, so once the queue drains the
+	// worker polls park against an empty queue.
+	cfg.MaxInflightRead = 2 * opt.Workers
+	cfg.MaxInflightWorker = opt.Workers
+	cfg.LeaseTTL = 5 * time.Minute
+
+	eng := server.NewEngine(cfg)
+	defer eng.Close()
+	hs := server.NewServer(eng, 0)
+	defer hs.Close()
+	ts := httptest.NewServer(hs.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithTimeout(10*time.Second))
+	defer c.Close()
+
+	uids := loadgen.UIDRange(opt.Users)
+	rateOp := loadgen.RateBatchOp(uids, items, 32)
+	seeded := Scenario{
+		Name:        "rate-under-read-flood",
+		Description: "batched rating ingest while a 10x read flood (recs + worker polls) is being shed",
+		Setup: func(ctx context.Context, svc server.Service) error {
+			cl := svc.(*client.Client)
+			for i := 0; i*32 < opt.Users*4; i++ {
+				if err := rateOp(ctx, cl, i); err != nil {
+					return err
+				}
+			}
+			// Full personalization cycles so the rec store is populated:
+			// the flood must exercise the real recommendation read, not
+			// an instant no-recs-yet error path.
+			for _, u := range uids {
+				if err := roundTrip(ctx, cl, core.UserID(u)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Op: func(ctx context.Context, svc server.Service, worker, i int) error {
+			return rateOp(ctx, svc.(*client.Client), worker*1_000_003+i)
+		},
+	}
+
+	// Quiet baseline: the same op stream with no flood.
+	base, err := Run(ctx, c, seeded, opt)
+	if err != nil {
+		return Result{}, 0, fmt.Errorf("bench: overload baseline: %w", err)
+	}
+
+	// Drain the job queue: every stale user gets leased out and never
+	// acked, so the flood's worker polls face an empty queue for the
+	// whole window — park (holding a Worker slot) or shed. Ratings
+	// during the measurement mark leased users dirty-again rather than
+	// re-enqueueing them, so the queue stays empty.
+	for drained := 0; drained <= opt.Users*2; drained++ {
+		resp, err := http.Get(ts.URL + "/v1/job?worker=1")
+		if err != nil {
+			return Result{}, 0, fmt.Errorf("bench: overload drain: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent {
+			break
+		}
+	}
+
+	// The flood: 10 paced flooders per nominal worker over a keep-alive
+	// pool sized so every flooder's request is concurrently in the
+	// server, not stuck in a TCP handshake. Raw HTTP, not the typed
+	// client, so the flood does not politely back off on 429s. Three of
+	// every four requests read recommendations; the fourth is a worker
+	// long-poll.
+	flooders := 10 * opt.Workers
+	floodClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        flooders * 2,
+		MaxIdleConnsPerHost: flooders * 2,
+	}}
+	defer floodClient.CloseIdleConnections()
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	defer stopFlood()
+	var wg sync.WaitGroup
+	for f := 0; f < flooders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			tick := time.NewTicker(floodPace)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-floodCtx.Done():
+					return
+				case <-tick.C:
+				}
+				u := benchUID(f, i, opt.Users)
+				url := fmt.Sprintf("%s/v1/recs?uid=%d", ts.URL, u)
+				if i%4 == 3 {
+					url = ts.URL + "/v1/job?worker=1&wait=2s"
+				}
+				req, err := http.NewRequestWithContext(floodCtx, http.MethodGet, url, nil)
+				if err != nil {
+					return
+				}
+				resp, err := floodClient.Do(req)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(f)
+	}
+
+	// The measured row: identical op stream, now under fire. No Setup —
+	// the population is already in place.
+	flood, err := Run(ctx, c, Scenario{
+		Name:        seeded.Name,
+		Description: seeded.Description,
+		Op:          seeded.Op,
+	}, opt)
+	stopFlood()
+	wg.Wait()
+	if err != nil {
+		return Result{}, 0, fmt.Errorf("bench: overload flood run: %w", err)
+	}
+	flood.ShedTotal = hs.Gate().ShedTotal()
+	return flood, base.P99Ms, nil
+}

@@ -140,13 +140,24 @@ func Compare(baseline, current *Report, tol Tolerance) []string {
 					base.ThroughputOpsPerSec, tol.MinThroughputRatio*100))
 			}
 		}
-		if base.AllocsPerOp > 0 {
+		// Shed rows (the adversarial overload scenario) are exempt from
+		// the alloc ceiling: the flood's own allocations dominate the
+		// process-wide counters and are not the workload's cost.
+		if base.AllocsPerOp > 0 && base.ShedTotal == 0 {
 			ratio := now.AllocsPerOp / base.AllocsPerOp
 			if ratio > tol.MaxAllocsRatio {
 				issues = append(issues, fmt.Sprintf(
 					"%s: allocs/op %.1f is %.1fx baseline %.1f (ceiling %.1fx)",
 					base.key(), now.AllocsPerOp, ratio, base.AllocsPerOp, tol.MaxAllocsRatio))
 			}
+		}
+		// On adversarial rows the gate must still be engaging: a build
+		// that stops shedding under the same flood has silently lost its
+		// admission control.
+		if base.ShedTotal > 0 && now.ShedTotal == 0 {
+			issues = append(issues, fmt.Sprintf(
+				"%s: shed path inactive: baseline shed %d requests under the flood, current shed none — admission gate not engaging",
+				base.key(), base.ShedTotal))
 		}
 		// Failures are excluded from throughput, so a failing build
 		// cannot hide behind a fast error path — but the failures

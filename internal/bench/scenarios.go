@@ -598,5 +598,15 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Scenarios = append(rep.Scenarios, res)
+
+	// The adversarial row: rating ingest measured while an admission-
+	// bounded server sheds a 10x read flood. Its shed_total > 0 is what
+	// Compare uses to insist the gate keeps engaging.
+	res, err = Overload(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Service, res.Mode = "engine-wire", "wire"
+	rep.Scenarios = append(rep.Scenarios, res)
 	return rep, nil
 }

@@ -84,13 +84,31 @@ func TestHelloRoundTrip(t *testing.T) {
 }
 
 func TestErrorRoundTrip(t *testing.T) {
-	buf := AppendError(nil, "not_primary", "user 9 is elsewhere", "http://other:8080")
-	code, msg, primary, err := DecodeError(buf)
+	buf := AppendError(nil, "not_primary", "user 9 is elsewhere", "http://other:8080", 0)
+	code, msg, primary, retryMS, err := DecodeError(buf)
 	if err != nil {
 		t.Fatalf("DecodeError: %v", err)
 	}
-	if code != "not_primary" || msg != "user 9 is elsewhere" || primary != "http://other:8080" {
-		t.Fatalf("got %q %q %q", code, msg, primary)
+	if code != "not_primary" || msg != "user 9 is elsewhere" || primary != "http://other:8080" || retryMS != 0 {
+		t.Fatalf("got %q %q %q retry=%d", code, msg, primary, retryMS)
+	}
+}
+
+func TestErrorRetryAfterRoundTrip(t *testing.T) {
+	// The retry-after hint is an optional trailing uvarint: present on
+	// overloaded answers, absent (byte-identical to the old form)
+	// everywhere else.
+	with := AppendError(nil, "overloaded", "rating queue full", "", 1500)
+	without := AppendError(nil, "overloaded", "rating queue full", "", 0)
+	if len(with) <= len(without) {
+		t.Fatal("retry-after hint not appended")
+	}
+	code, _, _, retryMS, err := DecodeError(with)
+	if err != nil || code != "overloaded" || retryMS != 1500 {
+		t.Fatalf("got code=%q retry=%d err=%v", code, retryMS, err)
+	}
+	if _, _, _, retryMS, err = DecodeError(without); err != nil || retryMS != 0 {
+		t.Fatalf("hint-free envelope: retry=%d err=%v", retryMS, err)
 	}
 }
 

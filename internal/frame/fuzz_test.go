@@ -57,15 +57,16 @@ func FuzzDecodeHello(f *testing.F) {
 }
 
 func FuzzDecodeError(f *testing.F) {
-	f.Add(AppendError(nil, "moved", "user moved", "http://n2:9"))
-	f.Add(AppendError(nil, "", "", ""))
+	f.Add(AppendError(nil, "moved", "user moved", "http://n2:9", 0))
+	f.Add(AppendError(nil, "", "", "", 0))
+	f.Add(AppendError(nil, "overloaded", "rating queue full", "", 1000))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		code, msg, primary, err := DecodeError(data)
+		code, msg, primary, retryMS, err := DecodeError(data)
 		if err != nil {
 			return
 		}
-		c2, m2, p2, err := DecodeError(AppendError(nil, code, msg, primary))
-		if err != nil || c2 != code || m2 != msg || p2 != primary {
+		c2, m2, p2, r2, err := DecodeError(AppendError(nil, code, msg, primary, retryMS))
+		if err != nil || c2 != code || m2 != msg || p2 != primary || r2 != retryMS {
 			t.Fatalf("error envelope round trip: %v", err)
 		}
 	})

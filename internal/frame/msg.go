@@ -62,32 +62,48 @@ func DecodeHello(data []byte) (version byte, secret string, err error) {
 
 // ---- TError ----
 
-// AppendError appends an error-envelope payload: code, message and the
-// optional primary-address hint of not_primary answers.
-func AppendError(dst []byte, code, msg, primary string) []byte {
+// AppendError appends an error-envelope payload: code, message, the
+// optional primary-address hint of not_primary answers, and the
+// optional retry-after hint (milliseconds) of overloaded answers. A
+// zero retryMS is omitted entirely, keeping the byte form of every
+// pre-existing error identical.
+func AppendError(dst []byte, code, msg, primary string, retryMS uint64) []byte {
 	dst = appendString(dst, code)
 	dst = appendString(dst, msg)
-	return appendString(dst, primary)
+	dst = appendString(dst, primary)
+	if retryMS > 0 {
+		dst = binary.AppendUvarint(dst, retryMS)
+	}
+	return dst
 }
 
-// DecodeError parses an error-envelope payload.
-func DecodeError(data []byte) (code, msg, primary string, err error) {
+// DecodeError parses an error-envelope payload. retryMS is zero when
+// the optional trailing hint is absent (every pre-overload sender).
+func DecodeError(data []byte) (code, msg, primary string, retryMS uint64, err error) {
 	code, data, err = cutString(data)
 	if err != nil {
-		return "", "", "", fmt.Errorf("error code: %w", err)
+		return "", "", "", 0, fmt.Errorf("error code: %w", err)
 	}
 	msg, data, err = cutString(data)
 	if err != nil {
-		return "", "", "", fmt.Errorf("error message: %w", err)
+		return "", "", "", 0, fmt.Errorf("error message: %w", err)
 	}
 	primary, data, err = cutString(data)
 	if err != nil {
-		return "", "", "", fmt.Errorf("error primary: %w", err)
+		return "", "", "", 0, fmt.Errorf("error primary: %w", err)
+	}
+	if len(data) > 0 {
+		var n int
+		retryMS, n = binary.Uvarint(data)
+		if n <= 0 {
+			return "", "", "", 0, fmt.Errorf("%w: bad error retry-after", ErrMalformed)
+		}
+		data = data[n:]
 	}
 	if len(data) != 0 {
-		return "", "", "", fmt.Errorf("%w: %d trailing error bytes", ErrMalformed, len(data))
+		return "", "", "", 0, fmt.Errorf("%w: %d trailing error bytes", ErrMalformed, len(data))
 	}
-	return code, msg, primary, nil
+	return code, msg, primary, retryMS, nil
 }
 
 // ---- TRateBatch ----

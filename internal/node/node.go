@@ -33,6 +33,12 @@ type Config struct {
 
 	// ReplicateEvery paces the async replication tail (default 100ms).
 	ReplicateEvery time.Duration
+	// ReplBacklog caps each partition's replication dirty set — the
+	// users queued for the async tail while a mirror is unreachable.
+	// Past the cap the set is dropped and the partition is flagged for
+	// one full-state re-ship instead, so a long-dead mirror costs
+	// constant memory. 0 = default (8192); negative = unlimited.
+	ReplBacklog int
 	// AntiEntropyEvery paces per-partition full-state syncs (default 30s;
 	// negative disables).
 	AntiEntropyEvery time.Duration
@@ -690,6 +696,7 @@ func (n *Node) Stats() map[string]any {
 	stats["node_partitions_primary"] = int64(len(primary))
 	stats["node_partitions_replica"] = int64(len(replica))
 	stats["replica_lag_users"] = n.repl.lag()
+	stats["replica_backlog_users"] = n.repl.backlogHighWater()
 	stats["failovers_total"] = n.failovers.Load()
 	return stats
 }

@@ -20,11 +20,25 @@ import (
 // lost tail batch. All shipping reuses the PR-5 migration surface:
 // ExportUsers on the source, ImportUsers' destination-wins merge on the
 // mirror, so duplicate and reordered delivery are idempotent.
+// defaultReplBacklog is the per-partition dirty-set cap when
+// Config.ReplBacklog is zero.
+const defaultReplBacklog = 8192
+
 type replicator struct {
 	n *Node
 
 	mu    sync.Mutex
 	parts map[int]*replPart
+	// backlogCap bounds each partition's dirty set (0 = unlimited): a
+	// long-dead mirror must not grow the backlog without bound. When a
+	// partition trips the cap its dirty set collapses into one needFull
+	// flag — "re-ship everything" is constant-size state, and the full
+	// anti-entropy export covers whatever the dropped set recorded.
+	backlogCap int
+	// dirtyTotal / backlogHW track the current and high-water total
+	// dirty users across partitions (the replica_backlog_users gauge).
+	dirtyTotal int64
+	backlogHW  int64
 
 	// shipMu serializes, per partition, the engine-state export with its
 	// seq allocation (exportBatches). Lock instances are never removed —
@@ -36,10 +50,24 @@ type replicator struct {
 type replPart struct {
 	dirty map[core.UserID]struct{}
 	seq   uint64
+	// needFull records that this partition's backlog tripped the cap:
+	// the dirty set was dropped and the next flush re-ships the
+	// partition's full state instead. While set, new dirt is skipped —
+	// the pending full export covers it, because flushAll clears the
+	// flag before exporting (every drop happens before its covering
+	// export reads state).
+	needFull bool
 }
 
 func newReplicator(n *Node) *replicator {
-	return &replicator{n: n, parts: map[int]*replPart{}, shipMu: map[int]*sync.Mutex{}}
+	cap := n.cfg.ReplBacklog
+	if cap == 0 {
+		cap = defaultReplBacklog
+	}
+	if cap < 0 {
+		cap = 0 // explicit "unlimited"
+	}
+	return &replicator{n: n, parts: map[int]*replPart{}, shipMu: map[int]*sync.Mutex{}, backlogCap: cap}
 }
 
 // shipLock returns p's export-order lock, creating it on first use.
@@ -67,7 +95,33 @@ func (r *replicator) ensure(p int) {
 func (r *replicator) drop(p int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if st, ok := r.parts[p]; ok {
+		r.dirtyTotal -= int64(len(st.dirty))
+	}
 	delete(r.parts, p)
+}
+
+// addDirtyLocked records u in st's dirty set under r.mu, enforcing the
+// backlog cap: past it, the set collapses into st.needFull and further
+// dirt is skipped until the full re-ship runs.
+func (r *replicator) addDirtyLocked(st *replPart, u core.UserID) {
+	if st.needFull {
+		return
+	}
+	if _, ok := st.dirty[u]; ok {
+		return
+	}
+	if r.backlogCap > 0 && len(st.dirty) >= r.backlogCap {
+		st.needFull = true
+		r.dirtyTotal -= int64(len(st.dirty))
+		st.dirty = map[core.UserID]struct{}{}
+		return
+	}
+	st.dirty[u] = struct{}{}
+	r.dirtyTotal++
+	if r.dirtyTotal > r.backlogHW {
+		r.backlogHW = r.dirtyTotal
+	}
 }
 
 // markDirty queues u for the async tail. A no-op for partitions this
@@ -76,11 +130,14 @@ func (r *replicator) markDirty(p int, u core.UserID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if st, ok := r.parts[p]; ok {
-		st.dirty[u] = struct{}{}
+		r.addDirtyLocked(st, u)
 	}
 }
 
-// requeue puts users back in p's dirty set after a failed ship.
+// requeue puts users back in p's dirty set after a failed ship —
+// subject to the same backlog cap as fresh dirt, so repeated ship
+// failures against a dead mirror degrade into the needFull flag
+// instead of an ever-growing set.
 func (r *replicator) requeue(p int, users []core.UserID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -89,7 +146,7 @@ func (r *replicator) requeue(p int, users []core.UserID) {
 		return
 	}
 	for _, u := range users {
-		st.dirty[u] = struct{}{}
+		r.addDirtyLocked(st, u)
 	}
 }
 
@@ -105,8 +162,41 @@ func (r *replicator) takeDirty(p int) []core.UserID {
 	for u := range st.dirty {
 		users = append(users, u)
 	}
+	r.dirtyTotal -= int64(len(st.dirty))
 	st.dirty = map[core.UserID]struct{}{}
 	return users
+}
+
+// takeNeedFull reports and clears p's pending-full-re-ship flag. The
+// clear-before-export ordering matters: dirt arriving after the clear
+// is tracked normally, dirt that arrived before it is covered by the
+// export the caller is about to run (which reads current state).
+func (r *replicator) takeNeedFull(p int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.parts[p]
+	if !ok || !st.needFull {
+		return false
+	}
+	st.needFull = false
+	return true
+}
+
+// setNeedFull re-arms p's full re-ship after a failed one.
+func (r *replicator) setNeedFull(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.parts[p]; ok {
+		st.needFull = true
+	}
+}
+
+// backlogHighWater is the replica_backlog_users gauge: the most dirty
+// users ever pending at once across partitions.
+func (r *replicator) backlogHighWater() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backlogHW
 }
 
 func (r *replicator) nextSeq(p int) uint64 {
@@ -227,16 +317,31 @@ func (r *replicator) shipSync(ctx context.Context, dirty map[int][]core.UserID) 
 }
 
 // flushAll drains every partition's dirty set to its replica — the
-// async tail. Failed partitions are requeued for the next tick.
+// async tail. Failed partitions are requeued for the next tick. A
+// partition whose backlog tripped the cap gets a full-state re-ship
+// instead, the anti-entropy fallback that makes the dropped dirty set
+// safe. The needFull flag is cleared *before* the export so the
+// drop-before-covering-export invariant holds (see replPart.needFull);
+// a failed full ship re-arms it.
 func (r *replicator) flushAll(ctx context.Context) {
 	for _, p := range r.partitions() {
+		needFull := r.takeNeedFull(p)
 		users := r.takeDirty(p)
-		if len(users) == 0 {
+		if !needFull && len(users) == 0 {
 			continue
 		}
 		addr, ok := r.replicaAddr(p)
 		if !ok {
 			continue // no replica configured: nothing owes this state
+		}
+		if needFull {
+			// The dirty users are a subset of the partition's full state,
+			// so the full shipment covers the drained set too.
+			all := r.n.cl.Engine(p).Profiles().Users()
+			if err := r.ship(ctx, p, all, true, addr); err != nil {
+				r.setNeedFull(p)
+			}
+			continue
 		}
 		if err := r.ship(ctx, p, users, false, addr); err != nil {
 			r.requeue(p, users)
@@ -246,18 +351,23 @@ func (r *replicator) flushAll(ctx context.Context) {
 
 // fullSyncAll is the anti-entropy pass: re-ship every known user of
 // every primary partition. Errors are dropped — the next pass repeats
-// the full state anyway.
+// the full state anyway. A successful pass also discharges a pending
+// needFull re-ship (cleared before the export, like flushAll, so a
+// backlog trip racing the delivery re-arms rather than being lost).
 func (r *replicator) fullSyncAll(ctx context.Context) {
 	for _, p := range r.partitions() {
 		addr, ok := r.replicaAddr(p)
 		if !ok {
 			continue
 		}
+		needFull := r.takeNeedFull(p)
 		users := r.n.cl.Engine(p).Profiles().Users()
 		if len(users) == 0 {
 			continue
 		}
-		_ = r.ship(ctx, p, users, true, addr)
+		if err := r.ship(ctx, p, users, true, addr); err != nil && needFull {
+			r.setNeedFull(p)
+		}
 	}
 }
 

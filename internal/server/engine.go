@@ -88,6 +88,29 @@ type Config struct {
 	// use so server-refreshed rows and browser-refreshed rows agree on
 	// the ordering. Nil selects the paper's default (cosine).
 	FallbackMetric core.Similarity
+
+	// The MaxInflight* fields bound the admission gate's per-class
+	// concurrent request counts on both transport planes (HTTP mux and
+	// framed listener); over-limit arrivals are shed with a typed
+	// "overloaded" answer carrying a retry-after hint. Zero = unlimited
+	// for that class. See internal/admit and ARCHITECTURE.md "Overload
+	// & admission control". These knobs live on the engine Config so
+	// every deployment shape (engine, cluster, node) carries them to
+	// the front-end without a second config surface.
+
+	// MaxInflightRating bounds concurrent rating-ingest requests
+	// (POST /v1/rate, /rate, TRateBatch). Rating is the prioritized
+	// class: full-queue arrivals wait a short grace window for a slot
+	// before shedding, and its slots are isolated from read/worker
+	// floods.
+	MaxInflightRating int
+	// MaxInflightWorker bounds concurrent worker job traffic: parked
+	// long-polls (each holds a slot for the whole park), result posts,
+	// lease acks.
+	MaxInflightWorker int
+	// MaxInflightRead bounds concurrent rec/neighbor reads and
+	// user-driven job fetches — the first class shed under pressure.
+	MaxInflightRead int
 }
 
 // SchedulerEnabled reports whether this configuration runs the

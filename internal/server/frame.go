@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"hyrec/internal/admit"
 	"hyrec/internal/core"
 	"hyrec/internal/frame"
 	"hyrec/internal/wire"
@@ -34,6 +36,17 @@ var frameWriteGrace = 30 * time.Second
 // frameHelloTimeout bounds how long a fresh connection may sit without
 // completing its handshake before the listener drops it.
 var frameHelloTimeout = 10 * time.Second
+
+// maxConnPullStreams bounds parked TJobPull goroutines per connection:
+// a framed client issuing thousands of concurrent pull streams on one
+// socket gets the overloaded TError past this, instead of pinning a
+// goroutine per stream. Variable for tests.
+var maxConnPullStreams int64 = 32
+
+// maxServerPullStreams bounds parked TJobPull goroutines across all
+// framed connections, the overall backstop behind the per-connection
+// cap. Variable for tests.
+var maxServerPullStreams int64 = 1024
 
 // ServeFrames accepts framed-transport connections on ln until it
 // closes. Close tears the listener and every framed connection down.
@@ -93,6 +106,10 @@ func (s *HTTPServer) handleFrameConn(c net.Conn) {
 type frameScratch struct {
 	ratings []core.Rating
 	acks    []frame.Ack
+	// pulls counts this connection's parked TJobPull goroutines against
+	// maxConnPullStreams. Atomic because the parked goroutines decrement
+	// it while the read loop checks and increments.
+	pulls atomic.Int64
 }
 
 // frameHandshake reads and answers the THello frame, reporting whether
@@ -137,6 +154,11 @@ func (s *HTTPServer) frameHandshake(cn *frame.Conn) (authorized bool, err error)
 func (s *HTTPServer) dispatchFrame(ctx context.Context, cn *frame.Conn, f frame.Frame, authorized bool, scr *frameScratch) {
 	switch f.Type {
 	case frame.TRateBatch:
+		release, admitted := s.admitFrame(ctx, cn, f.Stream, admit.Rating)
+		if !admitted {
+			return
+		}
+		defer release()
 		ratings, err := frame.DecodeRateBatch(f.Payload, scr.ratings[:0])
 		scr.ratings = ratings[:0]
 		if err != nil {
@@ -158,7 +180,28 @@ func (s *HTTPServer) dispatchFrame(ctx context.Context, cn *frame.Conn, f frame.
 			s.sendFrameErrorCode(cn, f.Stream, wire.CodeBadRequest, "bad job pull: "+err.Error())
 			return
 		}
+		// Parked pulls are bounded three ways before a goroutine spawns:
+		// per connection, across the server, and by the worker admission
+		// class (a parked pull holds its worker slot for the whole park,
+		// like the HTTP long-poll). All three shed with the overloaded
+		// TError. Only this read loop increments scr.pulls, so the
+		// check-then-add is race-free for admission.
+		if scr.pulls.Load() >= maxConnPullStreams {
+			s.sendFrameOverloaded(cn, f.Stream, "too many parked job pulls on this connection")
+			return
+		}
+		if s.frameStreams.Load() >= maxServerPullStreams {
+			s.sendFrameOverloaded(cn, f.Stream, "too many parked job pulls server-wide")
+			return
+		}
+		release, admitted := s.admitFrame(ctx, cn, f.Stream, admit.Worker)
+		if !admitted {
+			return
+		}
+		scr.pulls.Add(1)
 		s.spawnFrame(cn, f.Stream, func(stream uint64) {
+			defer release()
+			defer scr.pulls.Add(-1)
 			s.frameJobPull(ctx, cn, stream, time.Duration(waitMS)*time.Millisecond)
 		})
 	case frame.TJobGet:
@@ -167,8 +210,18 @@ func (s *HTTPServer) dispatchFrame(ctx context.Context, cn *frame.Conn, f frame.
 			s.sendFrameErrorCode(cn, f.Stream, wire.CodeBadRequest, "bad job get: "+err.Error())
 			return
 		}
+		release, admitted := s.admitFrame(ctx, cn, f.Stream, admit.Read)
+		if !admitted {
+			return
+		}
+		defer release()
 		s.frameJobGet(ctx, cn, f.Stream, core.UserID(uid))
 	case frame.TResult:
+		release, admitted := s.admitFrame(ctx, cn, f.Stream, admit.Worker)
+		if !admitted {
+			return
+		}
+		defer release()
 		res, err := wire.DecodeResult(f.Payload)
 		if err != nil {
 			s.sendFrameErrorCode(cn, f.Stream, wire.CodeBadRequest, "bad result body: "+err.Error())
@@ -189,6 +242,11 @@ func (s *HTTPServer) dispatchFrame(ctx context.Context, cn *frame.Conn, f frame.
 		cn.WriteFrame(frame.TRecs, f.Stream, out)
 		wire.PutBuf(buf)
 	case frame.TAckBatch:
+		release, admitted := s.admitFrame(ctx, cn, f.Stream, admit.Worker)
+		if !admitted {
+			return
+		}
+		defer release()
 		acks, err := frame.DecodeAckBatch(f.Payload, scr.acks[:0])
 		scr.acks = acks[:0]
 		if err != nil {
@@ -357,10 +415,30 @@ func (s *HTTPServer) sendFrameError(cn *frame.Conn, stream uint64, err error) {
 	if errors.As(err, &np) {
 		primary = np.PrimaryAddr
 	}
-	cn.WriteFrame(frame.TError, stream, frame.AppendError(nil, code, err.Error(), primary))
+	cn.WriteFrame(frame.TError, stream, frame.AppendError(nil, code, err.Error(), primary, 0))
 }
 
 // sendFrameErrorCode answers a stream with an explicit error code.
 func (s *HTTPServer) sendFrameErrorCode(cn *frame.Conn, stream uint64, code, msg string) {
-	cn.WriteFrame(frame.TError, stream, frame.AppendError(nil, code, msg, ""))
+	cn.WriteFrame(frame.TError, stream, frame.AppendError(nil, code, msg, "", 0))
+}
+
+// admitFrame acquires an admission slot of class c for a frame on
+// stream, or answers the overloaded TError and reports ok=false — the
+// framed twin of admitHTTP.
+func (s *HTTPServer) admitFrame(ctx context.Context, cn *frame.Conn, stream uint64, c admit.Class) (release func(), ok bool) {
+	release, ok = s.gate.Acquire(ctx, c)
+	if !ok {
+		s.sendFrameOverloaded(cn, stream, c.String()+" queue full")
+		return nil, false
+	}
+	return release, true
+}
+
+// sendFrameOverloaded answers a stream with the typed shed envelope:
+// the overloaded code plus the retry-after hint in milliseconds — the
+// framed twin of the HTTP plane's 429 + Retry-After.
+func (s *HTTPServer) sendFrameOverloaded(cn *frame.Conn, stream uint64, msg string) {
+	retryMS := uint64(s.gate.RetryAfter() / time.Millisecond)
+	cn.WriteFrame(frame.TError, stream, frame.AppendError(nil, wire.CodeOverloaded, msg, "", retryMS))
 }

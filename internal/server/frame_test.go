@@ -259,7 +259,7 @@ func TestFrameAckSemantics(t *testing.T) {
 	if f.Type != frame.TError {
 		t.Fatalf("bogus single ack answered %#x, want TError", byte(f.Type))
 	}
-	code, _, _, err := frame.DecodeError(f.Payload)
+	code, _, _, _, err := frame.DecodeError(f.Payload)
 	if err != nil || code != wire.CodeUnknownLease {
 		t.Fatalf("bogus single ack code = %q, %v; want %q", code, err, wire.CodeUnknownLease)
 	}
@@ -294,7 +294,7 @@ func TestFrameReplGating(t *testing.T) {
 	if f.Type != frame.TError {
 		t.Fatalf("unauthorized replicate answered %#x", byte(f.Type))
 	}
-	if code, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeForbidden {
+	if code, _, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeForbidden {
 		t.Fatalf("unauthorized replicate code = %q, want %q", code, wire.CodeForbidden)
 	}
 	// The same connection still serves the client lanes.
@@ -308,7 +308,7 @@ func TestFrameReplGating(t *testing.T) {
 	if f.Type != frame.TError {
 		t.Fatalf("authorized replicate answered %#x", byte(f.Type))
 	}
-	if code, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
+	if code, _, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
 		t.Fatalf("authorized replicate on a plain engine code = %q, want %q (past the gate)", code, wire.CodeBadRequest)
 	}
 }
@@ -352,7 +352,7 @@ func TestFrameHandshakeVersionMismatch(t *testing.T) {
 	if f.Type != frame.TError {
 		t.Fatalf("version mismatch answered %#x, want TError", byte(f.Type))
 	}
-	if code, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
+	if code, _, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
 		t.Fatalf("version mismatch code = %q", code)
 	}
 	if _, err := cn.ReadFrame(); err == nil {
@@ -367,7 +367,7 @@ func TestFrameUnknownTypeAnswersError(t *testing.T) {
 	if f.Type != frame.TError {
 		t.Fatalf("unknown frame type answered %#x, want TError", byte(f.Type))
 	}
-	if code, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
+	if code, _, _, _, _ := frame.DecodeError(f.Payload); code != wire.CodeBadRequest {
 		t.Fatalf("unknown frame type code = %q", code)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyrec/internal/admit"
 	"hyrec/internal/core"
 	"hyrec/internal/wire"
 )
@@ -85,6 +86,11 @@ type HTTPServer struct {
 	frameStreams atomic.Int64
 	frameBytes   atomic.Int64
 
+	// gate is the admission gate both transport planes clear before any
+	// service work: per-class bounded queues that shed with a typed
+	// "overloaded" answer when full (see admission.go).
+	gate *admit.Gate
+
 	// nodeSecret, when non-empty, gates the node-plane endpoints
 	// (/v1/replicate, /v1/nodes) behind NodeSecretHeader.
 	nodeSecret string
@@ -107,6 +113,7 @@ func NewServer(svc Service, rotateEvery time.Duration) *HTTPServer {
 		stopRotate:   make(chan struct{}),
 		dispatchCtx:  dispatchCtx,
 		stopDispatch: stopDispatch,
+		gate:         newGate(svc),
 	}
 }
 
@@ -297,6 +304,13 @@ func (s *HTTPServer) handleV1Nodes(w http.ResponseWriter, r *http.Request) {
 // ---- legacy Table-1 endpoints ----
 
 func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
+	// Read class even when a rating piggybacks: the job assembly
+	// dominates the request's cost.
+	release, admitted := s.admitHTTP(w, r, admit.Read)
+	if !admitted {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -333,6 +347,13 @@ func (s *HTTPServer) handleOnline(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	// Applying a KNN result is worker-class traffic regardless of which
+	// wire shape (POST body or Table-1 query form) carried it.
+	release, admitted := s.admitHTTP(w, r, admit.Worker)
+	if !admitted {
+		return
+	}
+	defer release()
 	var res wire.Result
 	switch r.Method {
 	case http.MethodPost:
@@ -385,6 +406,11 @@ func (s *HTTPServer) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitHTTP(w, r, admit.Rating)
+	if !ok {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		http.Error(w, errOrMissing(err), http.StatusBadRequest)
@@ -404,6 +430,11 @@ func (s *HTTPServer) handleRate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) handleRecommendations(w http.ResponseWriter, r *http.Request) {
+	release, admitted := s.admitHTTP(w, r, admit.Read)
+	if !admitted {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		http.Error(w, errOrMissing(err), http.StatusBadRequest)
@@ -432,6 +463,7 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats["frame_conns"] = s.frameConns.Load()
 	stats["frame_streams_active"] = s.frameStreams.Load()
 	stats["frame_bytes_total"] = s.frameBytes.Load()
+	s.gate.AddStats(stats)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(stats); err != nil {
 		return
@@ -454,6 +486,7 @@ func (s *HTTPServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	stats["frame_conns"] = s.frameConns.Load()
 	stats["frame_streams_active"] = s.frameStreams.Load()
 	stats["frame_bytes_total"] = s.frameBytes.Load()
+	s.gate.AddStats(stats)
 	if tp, ok := s.svc.(TopologyProvider); ok {
 		topo := tp.Topology()
 		stats["topology_partitions"] = int64(topo.Partitions)
@@ -559,6 +592,11 @@ func (s *HTTPServer) handleV1Rate(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := s.admitHTTP(w, r, admit.Rating)
+	if !ok {
+		return
+	}
+	defer release()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -611,6 +649,11 @@ func (s *HTTPServer) handleV1Job(w http.ResponseWriter, r *http.Request) {
 		s.handleV1WorkerJob(w, r)
 		return
 	}
+	release, admitted := s.admitHTTP(w, r, admit.Read)
+	if !admitted {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
@@ -653,6 +696,13 @@ func (s *HTTPServer) handleV1WorkerJob(w http.ResponseWriter, r *http.Request) {
 			"service does not dispatch jobs to workers")
 		return
 	}
+	// A parked long-poll holds its worker slot for the whole park: parked
+	// polls are exactly the held capacity the worker bound meters.
+	release, admitted := s.admitHTTP(w, r, admit.Worker)
+	if !admitted {
+		return
+	}
+	defer release()
 	wait := time.Duration(0)
 	if raw := r.URL.Query().Get("wait"); raw != "" {
 		d, err := time.ParseDuration(raw)
@@ -739,6 +789,11 @@ func (s *HTTPServer) handleV1Ack(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "service does not manage leases")
 		return
 	}
+	release, admitted := s.admitHTTP(w, r, admit.Worker)
+	if !admitted {
+		return
+	}
+	defer release()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
 	if err != nil {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, "bad ack body: "+err.Error())
@@ -762,6 +817,11 @@ func (s *HTTPServer) handleV1Result(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "POST required")
 		return
 	}
+	release, admitted := s.admitHTTP(w, r, admit.Worker)
+	if !admitted {
+		return
+	}
+	defer release()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -797,6 +857,11 @@ func (s *HTTPServer) handleV1Recs(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
 		return
 	}
+	release, admitted := s.admitHTTP(w, r, admit.Read)
+	if !admitted {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, errOrMissing(err))
@@ -827,6 +892,11 @@ func (s *HTTPServer) handleV1Neighbors(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "GET required")
 		return
 	}
+	release, admitted := s.admitHTTP(w, r, admit.Read)
+	if !admitted {
+		return
+	}
+	defer release()
 	uid, known, err := UIDFromRequest(r)
 	if err != nil || !known {
 		writeV1Error(w, http.StatusBadRequest, wire.CodeBadRequest, errOrMissing(err))
@@ -938,6 +1008,8 @@ func statusForErr(err error) (int, string) {
 		return http.StatusMisdirectedRequest, wire.CodeNotPrimary
 	case errors.Is(err, ErrMoved):
 		return http.StatusMisdirectedRequest, wire.CodeMoved
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, wire.CodeOverloaded
 	default:
 		return http.StatusInternalServerError, wire.CodeInternal
 	}

@@ -145,6 +145,12 @@ const (
 	CodeTooLarge = "too_large"
 	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded: the server's admission gate shed the request
+	// because its class's bounded queue is full. Sent as HTTP 429 with a
+	// Retry-After header (and RetryAfterMS in the envelope), or as a
+	// framed TError carrying the same retry-after hint. The client
+	// should back off at least the hinted duration before one retry.
+	CodeOverloaded = "overloaded"
 	// CodeForbidden: a node-plane request (/v1/replicate, /v1/nodes)
 	// without the deployment's shared secret.
 	CodeForbidden = "forbidden"
@@ -159,6 +165,9 @@ type ErrorBody struct {
 	// Primary is the owning node's address on CodeNotPrimary answers,
 	// so a node-aware client can re-target without a topology fetch.
 	Primary string `json:"primary,omitempty"`
+	// RetryAfterMS is the backoff hint in milliseconds on CodeOverloaded
+	// answers (mirrors the Retry-After header, at finer resolution).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // ErrorEnvelope is the JSON shape of every v1 error response.

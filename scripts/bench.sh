@@ -20,9 +20,15 @@
 # (fleet-churn/engine-fleet: ops are jobs completed by a churny
 # deterministic fleet, latency is per-convergence-cycle — this scenario
 # floors its window at 1s so short CI windows still amortize cycle
-# variance), and the wire rows. Compare fails when a baseline row goes
-# unmeasured or a measured row is missing from the baseline, so adding a
-# scenario means refreshing BENCH_hotpath.json with the command above.
+# variance), the wire rows, and the adversarial overload row
+# (rate-under-read-flood/engine-wire: rating ingest measured while a
+# 10x paced read flood is being shed by the admission gate — its
+# shed_total must stay non-zero, Compare fails a build whose gate stops
+# engaging under the same flood, and the allocs/op ceiling is skipped
+# for it since the flood's own allocations land in the process-wide
+# counters). Compare fails when a baseline row goes unmeasured or a
+# measured row is missing from the baseline, so adding a scenario means
+# refreshing BENCH_hotpath.json with the command above.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -6,7 +6,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
-trap 'kill ${SERVER_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} ${FLEET_PID:-} ${NODE1_PID:-} ${NODE2_PID:-} ${NODE3_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
+trap 'kill ${SERVER_PID:-} ${SHED_PID:-} ${SCHED_PID:-} ${SNAP_PID:-} ${SCALE_PID:-} ${FLEET_PID:-} ${NODE1_PID:-} ${NODE2_PID:-} ${NODE3_PID:-} 2>/dev/null || true; rm -rf "$BIN"' EXIT
 
 echo "--- building all cmd/ and examples/ binaries"
 go build -o "$BIN/" ./cmd/...
@@ -68,6 +68,52 @@ curl -fsS "$BASE/stats" | grep -q '"users"'
 echo "--- graceful shutdown"
 kill -TERM $SERVER_PID
 wait $SERVER_PID
+
+echo "--- admission control: a saturated worker class sheds with a typed 429"
+SHED_ADDR="127.0.0.1:18088"
+SHED_BASE="http://$SHED_ADDR"
+"$BIN/hyrec-server" -addr "$SHED_ADDR" -rotate 0 \
+  -max-inflight-worker 1 -lease-ttl 60s &
+SHED_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$SHED_BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 $SHED_PID 2>/dev/null; then
+    echo "shed server died during startup" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+# Seed one stale user and lease its job out (never acked, 60s TTL): the
+# queue is now empty, so the next long-poll parks — holding the only
+# worker admission slot for its whole wait window.
+curl -fsS -X POST "$SHED_BASE/v1/rate" -H 'Content-Type: application/json' \
+  -d '{"ratings":[{"uid":1,"item":2,"liked":true}]}' >/dev/null
+for i in $(seq 1 20); do
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' "$SHED_BASE/v1/job?worker=1")
+  [ "$CODE" = "204" ] && break
+done
+curl -s "$SHED_BASE/v1/job?worker=1&wait=10s" >/dev/null &
+PARKED_PID=$!
+for i in $(seq 1 50); do
+  if curl -fsS "$SHED_BASE/stats" | grep -q '"inflight_worker":1'; then break; fi
+  sleep 0.1
+done
+
+# The second poll must shed, not queue: 429 status, Retry-After header,
+# and the typed overloaded error envelope.
+RESP=$(curl -s -D - "$SHED_BASE/v1/job?worker=1")
+echo "$RESP" | grep -q ' 429 ' || { echo "saturated worker poll was not shed: $RESP" >&2; exit 1; }
+echo "$RESP" | grep -qi '^Retry-After:' || { echo "shed response missing Retry-After: $RESP" >&2; exit 1; }
+echo "$RESP" | grep -q '"code":"overloaded"' || { echo "shed envelope not typed overloaded: $RESP" >&2; exit 1; }
+curl -fsS "$SHED_BASE/stats" | grep -Eq '"shed_total":[1-9]' \
+  || { echo "/stats shed_total never moved" >&2; exit 1; }
+curl -fsS "$SHED_BASE/metrics" | grep -q '^hyrec_shed_total [1-9]' \
+  || { echo "/metrics missing shed counter" >&2; exit 1; }
+
+kill $PARKED_PID 2>/dev/null || true
+wait $PARKED_PID 2>/dev/null || true
+kill -TERM $SHED_PID
+wait $SHED_PID
 
 echo "--- async scheduler: churny worker abandons a lease, server re-issues or falls back"
 SCHED_ADDR="127.0.0.1:18081"

@@ -36,6 +36,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,6 +65,7 @@ func run(args []string) error {
 		benchBase = fs.String("bench-baseline", "", "capacity: compare against this committed report and exit non-zero on regression")
 		benchTput = fs.Float64("bench-tolerance", 0, "capacity: min current/baseline throughput ratio (default 0.25)")
 		benchAllo = fs.Float64("bench-allocs-tolerance", 0, "capacity: max current/baseline allocs/op ratio (default 1.5)")
+		benchCaps = fs.String("bench-allocs-cap", "", "capacity: comma-separated absolute allocs/op ceilings, scenario/service/mode=N (e.g. job-worker-heavy/engine/inproc=55)")
 		benchWork = fs.Int("bench-workers", 0, "capacity: closed-loop workers (default GOMAXPROCS)")
 		benchUser = fs.Int("bench-users", 0, "capacity: seeded population (default 512)")
 	)
@@ -165,6 +167,20 @@ func run(args []string) error {
 					return err
 				}
 				tol := bench.Tolerance{MinThroughputRatio: *benchTput, MaxAllocsRatio: *benchAllo}
+				if *benchCaps != "" {
+					tol.AllocCaps = make(map[string]float64)
+					for _, kv := range strings.Split(*benchCaps, ",") {
+						key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+						if !ok {
+							return fmt.Errorf("capacity: malformed -bench-allocs-cap entry %q (want scenario/service/mode=N)", kv)
+						}
+						ceil, err := strconv.ParseFloat(val, 64)
+						if err != nil {
+							return fmt.Errorf("capacity: -bench-allocs-cap %q: %w", kv, err)
+						}
+						tol.AllocCaps[key] = ceil
+					}
+				}
 				if issues := bench.Compare(baseline, rep, tol); len(issues) > 0 {
 					for _, issue := range issues {
 						fmt.Fprintf(out, "REGRESSION %s\n", issue)

@@ -117,6 +117,25 @@ func TestReportRoundTripAndCompare(t *testing.T) {
 		!strings.Contains(issues[0], "not measured") {
 		t.Fatalf("dropped scenario not flagged: %v", issues)
 	}
+
+	// Absolute alloc caps bind regardless of the baseline ratio: 11 vs a
+	// baseline of 10 passes the ratio guard but breaks a cap of 10.5, and
+	// a capped row that disappears is flagged too.
+	capped := DefaultTolerance()
+	capped.AllocCaps = map[string]float64{"rate-heavy/engine/inproc": 10.5}
+	issues = Compare(base, &healthy, capped)
+	if len(issues) != 1 || !strings.Contains(issues[0], "absolute ceiling") {
+		t.Fatalf("absolute alloc cap not enforced: %v", issues)
+	}
+	capped.AllocCaps = map[string]float64{"rate-heavy/engine/inproc": 20}
+	if issues := Compare(base, &healthy, capped); len(issues) != 0 {
+		t.Fatalf("run under the alloc cap flagged: %v", issues)
+	}
+	capped.AllocCaps = map[string]float64{"no-such/row/inproc": 1}
+	if issues := Compare(base, &healthy, capped); len(issues) != 1 ||
+		!strings.Contains(issues[0], "alloc-capped row not measured") {
+		t.Fatalf("missing capped row not flagged: %v", issues)
+	}
 }
 
 // TestSnapshotPathBeatsLockedBaselineOnAllocs is the bench-level form of

@@ -85,6 +85,12 @@ type Tolerance struct {
 	// is the tight one: it is what fails CI when someone un-pools the
 	// hot path.
 	MaxAllocsRatio float64
+	// AllocCaps sets absolute allocs/op ceilings for specific rows,
+	// keyed scenario/service/mode. Unlike the ratio bound, these do not
+	// drift when the baseline is refreshed: a capped row must stay under
+	// its ceiling no matter what number the last regeneration recorded.
+	// A capped row that goes unmeasured is itself a violation.
+	AllocCaps map[string]float64
 }
 
 // DefaultTolerance is the CI guard configuration.
@@ -143,9 +149,13 @@ func Compare(baseline, current *Report, tol Tolerance) []string {
 		// Shed rows (the adversarial overload scenario) are exempt from
 		// the alloc ceiling: the flood's own allocations dominate the
 		// process-wide counters and are not the workload's cost.
+		// The ratio is gated on an absolute increase of at least one
+		// alloc/op: on near-allocation-free rows (the kernel row runs at
+		// ~0.000x allocs/op) the ratio of two noise floors is meaningless
+		// — the absolute AllocCaps below are what guard those rows.
 		if base.AllocsPerOp > 0 && base.ShedTotal == 0 {
 			ratio := now.AllocsPerOp / base.AllocsPerOp
-			if ratio > tol.MaxAllocsRatio {
+			if ratio > tol.MaxAllocsRatio && now.AllocsPerOp-base.AllocsPerOp > 1 {
 				issues = append(issues, fmt.Sprintf(
 					"%s: allocs/op %.1f is %.1fx baseline %.1f (ceiling %.1fx)",
 					base.key(), now.AllocsPerOp, ratio, base.AllocsPerOp, tol.MaxAllocsRatio))
@@ -179,6 +189,18 @@ func Compare(baseline, current *Report, tol Tolerance) []string {
 	for _, res := range current.Scenarios {
 		if !seen[res.key()] {
 			issues = append(issues, fmt.Sprintf("%s: measured but missing from baseline (regenerate BENCH_hotpath.json)", res.key()))
+		}
+	}
+	for key, ceil := range tol.AllocCaps {
+		now, ok := cur[key]
+		if !ok {
+			issues = append(issues, fmt.Sprintf("%s: alloc-capped row not measured", key))
+			continue
+		}
+		if now.AllocsPerOp > ceil {
+			issues = append(issues, fmt.Sprintf(
+				"%s: allocs/op %.1f exceeds the absolute ceiling %.1f",
+				key, now.AllocsPerOp, ceil))
 		}
 	}
 	sort.Strings(issues)

@@ -18,6 +18,7 @@ import (
 	"hyrec/internal/node"
 	"hyrec/internal/server"
 	"hyrec/internal/stats"
+	"hyrec/internal/topk"
 	"hyrec/internal/widget"
 	"hyrec/internal/wire"
 )
@@ -476,6 +477,96 @@ func Rebalance(ctx context.Context, opt Options) (Result, error) {
 	return res, nil
 }
 
+// KNNKernel measures the raw similarity kernel: candidate scores per
+// second through SelectKNNInto over the standard seeded population, with
+// no server, wire or scheduler in the way. One op is one candidate
+// scored; latency samples are per-selection milliseconds. This is the
+// row that prices the blocked-bitmap kernel itself — the server rows
+// above it measure how much of that speed survives the full stack.
+func KNNKernel(ctx context.Context, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	const items = 2000
+	const ratingsPer = 24 // denser than seedPopulation's 6, so profiles
+	// clear the packed-form size gate and the row prices the blocked-
+	// bitmap kernel rather than the small-profile merge fallback
+	cands := 32 // candidate-set size per selection (≈ K + hood churn)
+
+	// The same deterministic derivations seedPopulation uses, built
+	// directly as profiles.
+	n := opt.Users
+	profiles := make([]core.Profile, n)
+	for u := 1; u <= n; u++ {
+		p := core.NewProfile(core.UserID(u))
+		for j := 0; j < ratingsPer; j++ {
+			p = p.WithRating(benchItem(u*ratingsPer+j, items), (u+j)%3 != 0)
+		}
+		profiles[u-1] = p
+	}
+	if n < 2 {
+		return Result{}, fmt.Errorf("bench: knn-kernel needs at least 2 users, have %d", n)
+	}
+	if cands > n-1 {
+		cands = n - 1
+	}
+	cfg := server.DefaultConfig()
+	metric := core.Cosine{}
+	col := topk.New(cfg.K)
+	var hood []core.Neighbor
+
+	// Warm every profile's packed form so the window measures the
+	// steady-state kernel, not one-time pack construction.
+	for i := range profiles {
+		metric.Score(profiles[i], profiles[(i+1)%n])
+	}
+
+	const batch = 128 // selections per latency sample
+	lats := make([]float64, 0, 1<<16)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	deadline := start.Add(opt.Window)
+	var selections int64
+	for i := 0; ; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		t0 := time.Now()
+		for b := 0; b < batch; b++ {
+			j := int(uint32((i*batch+b)*2654435761) % uint32(n))
+			lo := j
+			if lo+cands > n {
+				lo = n - cands
+			}
+			hood = core.SelectKNNInto(profiles[j], profiles[lo:lo+cands], cfg.K, metric, col, hood)
+		}
+		if len(lats) < cap(lats) {
+			lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond)/batch)
+		}
+		selections += batch
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	scores := selections * int64(cands)
+	res := Result{
+		Scenario:            "knn-kernel",
+		Service:             "core",
+		Mode:                "inproc",
+		Workers:             opt.Workers,
+		Ops:                 scores,
+		Seconds:             elapsed.Seconds(),
+		ThroughputOpsPerSec: float64(scores) / elapsed.Seconds(),
+		P50Ms:               stats.Percentile(lats, 50),
+		P99Ms:               stats.Percentile(lats, 99),
+		AllocsPerOp:         float64(m1.Mallocs-m0.Mallocs) / float64(scores),
+		BytesPerOp:          float64(m1.TotalAlloc-m0.TotalAlloc) / float64(scores),
+	}
+	return res, nil
+}
+
 // Capacity runs the full capacity matrix: the three canonical scenarios
 // against a single engine, the serving scenario against a 4-partition
 // cluster, the rebalance scenario against a live-scaling cluster, the
@@ -497,6 +588,38 @@ func Capacity(ctx context.Context, opt Options) (*Report, error) {
 			return nil, err
 		}
 		res.Service, res.Mode = "engine", "inproc"
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
+	// The raw similarity kernel: candidate scores per second through
+	// SelectKNNInto, no server in the way — the ceiling the serving rows
+	// are measured against.
+	{
+		res, err := KNNKernel(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
+	// The serving scenario again at 4 workers: parallel scaling of the
+	// job hot path on one engine (the top-level report stays at
+	// opt.Workers; this row carries its own worker count).
+	{
+		w4 := opt
+		w4.Workers = 4
+		// Floor the window (like fleet-churn): per-worker startup
+		// allocations only amortize out of allocs/op over a real window.
+		if w4.Window < time.Second {
+			w4.Window = time.Second
+		}
+		eng := server.NewEngine(engineCfg)
+		res, err := Run(ctx, eng, inproc["job-worker-heavy"], w4)
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Service, res.Mode = "engine-w4", "inproc"
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 

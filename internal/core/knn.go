@@ -1,6 +1,10 @@
 package core
 
-import "hyrec/internal/topk"
+import (
+	"slices"
+
+	"hyrec/internal/topk"
+)
 
 // SelectKNN implements Algorithm 1 of the paper, γ(P_u, S_u): it scores
 // every candidate profile against p with the given similarity metric and
@@ -14,19 +18,33 @@ func SelectKNN(p Profile, candidates []Profile, k int, metric Similarity) []Neig
 	if k <= 0 || len(candidates) == 0 {
 		return nil
 	}
-	col := topk.New(k)
+	return SelectKNNInto(p, candidates, k, metric, topk.New(k), make([]Neighbor, 0, k))
+}
+
+// SelectKNNInto is SelectKNN with caller-owned storage: the collector is
+// re-armed with ResetK and the neighborhood is written into dst (clobbering
+// its contents, growing it only if needed). With a pooled collector and a
+// reused dst the whole selection is allocation-free, which is what keeps
+// the server's refresh path flat. Results are identical to SelectKNN.
+func SelectKNNInto(p Profile, candidates []Profile, k int, metric Similarity, col *topk.Collector, dst []Neighbor) []Neighbor {
+	dst = dst[:0]
+	if k <= 0 || len(candidates) == 0 {
+		return dst
+	}
+	col.ResetK(k)
 	for _, c := range candidates {
 		if c.User() == p.User() {
 			continue
 		}
 		col.Offer(uint32(c.User()), metric.Score(p, c))
 	}
-	entries := col.Sorted()
-	out := make([]Neighbor, len(entries))
-	for i, e := range entries {
-		out[i] = Neighbor{User: UserID(e.ID), Sim: e.Score}
+	n := col.Len()
+	dst = slices.Grow(dst, n)[:n]
+	for i := n - 1; i >= 0; i-- {
+		e := col.PopWorst()
+		dst[i] = Neighbor{User: UserID(e.ID), Sim: e.Score}
 	}
-	return out
+	return dst
 }
 
 // ViewSimilarity returns the mean similarity between p and its neighbors'

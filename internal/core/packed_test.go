@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Reference implementations. intersectMergeRef is the plain element-by-element
+// merge with no galloping and no packing — the ground truth both the blocked
+// kernel and the galloping path must reproduce exactly.
+// ---------------------------------------------------------------------------
+
+func intersectMergeRef(a, b []ItemID) int {
+	count, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			count++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count
+}
+
+// refScore recomputes each metric from intersectMergeRef counts. The packed
+// kernel feeds the same integers into the same float expressions, so exact
+// (==) float equality must hold.
+func refScore(name string, a, b Profile) float64 {
+	switch name {
+	case "cosine":
+		na, nb := len(a.liked), len(b.liked)
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		inter := intersectMergeRef(a.liked, b.liked)
+		if inter == 0 {
+			return 0
+		}
+		return float64(inter) / math.Sqrt(float64(na)*float64(nb))
+	case "jaccard":
+		na, nb := len(a.liked), len(b.liked)
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		inter := intersectMergeRef(a.liked, b.liked)
+		union := na + nb - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	case "signed-cosine":
+		na := len(a.liked) + len(a.disliked)
+		nb := len(b.liked) + len(b.disliked)
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		agree := intersectMergeRef(a.liked, b.liked) + intersectMergeRef(a.disliked, b.disliked)
+		clash := intersectMergeRef(a.liked, b.disliked) + intersectMergeRef(a.disliked, b.liked)
+		if agree == 0 && clash == 0 {
+			return 0
+		}
+		return float64(agree-clash) / math.Sqrt(float64(na)*float64(nb))
+	case "overlap":
+		return float64(intersectMergeRef(a.liked, b.liked))
+	}
+	panic("unknown metric " + name)
+}
+
+// unpackSets expands a packed profile back into sorted item sets, validating
+// the block structure end to end.
+func unpackSets(pp *packedProfile) (liked, disliked []ItemID) {
+	for _, b := range pp.blocks {
+		base := ItemID(b.key) << 6
+		for m := b.liked; m != 0; m &= m - 1 {
+			liked = append(liked, base+ItemID(bits.TrailingZeros64(m)))
+		}
+		for m := b.disliked; m != 0; m &= m - 1 {
+			disliked = append(disliked, base+ItemID(bits.TrailingZeros64(m)))
+		}
+	}
+	return liked, disliked
+}
+
+func equalBlocks(a, b []packedBlock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzzer: packed kernel vs merge reference vs galloping path,
+// across all four metrics, plus incremental WithRating maintenance.
+// ---------------------------------------------------------------------------
+
+// fuzzProfiles decodes fuzz input into two profiles. Byte 0/1 control ID
+// spread (small spread → dense blocks sharing 64-item spans; large spread →
+// sparse, one item per block), bytes 2/3 the liked/disliked split (small
+// values → dislike-heavy profiles). The remaining bytes become item walks:
+// clustered increments approximate the power-law neighbourhood overlap of
+// real rating data.
+func fuzzProfiles(data []byte) (a, b Profile, ok bool) {
+	if len(data) < 5 {
+		return Profile{}, Profile{}, false
+	}
+	if len(data) > 4096 {
+		data = data[:4096]
+	}
+	spreadA := int(data[0])%64 + 1
+	spreadB := int(data[1])%64 + 1
+	rest := data[4:]
+	half := len(rest) / 2
+	segA, segB := rest[:half], rest[half:]
+
+	walk := func(seg []byte, spread int) []uint32 {
+		ids := make([]uint32, 0, len(seg))
+		id := uint32(0)
+		for _, c := range seg {
+			id += 1 + uint32(int(c)%spread)
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	split := func(ids []uint32, frac byte) (liked, disliked []uint32) {
+		cut := len(ids) * int(frac) / 256
+		return ids[:cut], ids[cut:]
+	}
+
+	al, ad := split(walk(segA, spreadA), data[2])
+	bl, bd := split(walk(segB, spreadB), data[3])
+	return ProfileFromLists(1, al, ad), ProfileFromLists(2, bl, bd), true
+}
+
+// FuzzSimilarityKernelEquivalence pins the central claim of the blocked
+// kernel: every count and every metric score is bit-identical between the
+// packed popcount path, the galloping path, and the plain merge reference.
+// It also pins WithRating's incremental pack maintenance against a full
+// rebuild. Seed corpus under testdata/fuzz covers dislike-heavy, dense,
+// sparse and empty-set shapes.
+func FuzzSimilarityKernelEquivalence(f *testing.F) {
+	f.Add([]byte{3, 3, 128, 128, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{1, 1, 20, 20, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}) // dislike-heavy, dense
+	f.Add([]byte{63, 5, 255, 0, 200, 100, 50, 25, 12, 6, 3, 1, 0, 0, 0, 0, 7, 7})     // sparse vs dense, all-liked vs all-disliked
+	f.Add([]byte{10, 10, 0, 255, 1, 1})                                               // tiny, below packMinSize
+	f.Add([]byte{2, 40, 77, 180, 0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 128, 64, 32, 16, 8, 4, 2, 1, 100, 100, 100})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, ok := fuzzProfiles(data)
+		if !ok {
+			return
+		}
+
+		// Counts: packed block walk vs merge reference vs galloping.
+		pa, pb := buildPacked(a), buildPacked(b)
+		want := intersectMergeRef(a.liked, b.liked)
+		if got := pa.intersectLiked(pb); got != want {
+			t.Fatalf("packed intersect = %d, merge reference = %d", got, want)
+		}
+		if got := pb.intersectLiked(pa); got != want {
+			t.Fatalf("packed intersect not symmetric: %d vs %d", got, want)
+		}
+		if got := IntersectCount(a.liked, b.liked); got != want {
+			t.Fatalf("IntersectCount (galloping) = %d, merge reference = %d", got, want)
+		}
+		wantAgree := intersectMergeRef(a.liked, b.liked) + intersectMergeRef(a.disliked, b.disliked)
+		wantClash := intersectMergeRef(a.liked, b.disliked) + intersectMergeRef(a.disliked, b.liked)
+		if agree, clash := pa.signedCounts(pb); agree != wantAgree || clash != wantClash {
+			t.Fatalf("packed signedCounts = (%d,%d), reference = (%d,%d)", agree, clash, wantAgree, wantClash)
+		}
+
+		// Block structure round-trips to the exact source sets.
+		gotL, gotD := unpackSets(pa)
+		if !equalIDs(gotL, a.liked) || !equalIDs(gotD, a.disliked) {
+			t.Fatalf("unpack(buildPacked(a)) != a: %v/%v vs %v/%v", gotL, gotD, a.liked, a.disliked)
+		}
+
+		// Metric dispatch: scores identical (==) whichever kernel runs, and
+		// symmetric.
+		for _, m := range []Similarity{Cosine{}, Jaccard{}, SignedCosine{}, Overlap{}} {
+			got := m.Score(a, b)
+			if want := refScore(m.Name(), a, b); got != want {
+				t.Fatalf("%s.Score = %v, reference = %v", m.Name(), got, want)
+			}
+			if rev := m.Score(b, a); rev != got {
+				t.Fatalf("%s.Score not symmetric: %v vs %v", m.Name(), got, rev)
+			}
+		}
+
+		// Incremental maintenance: prime a's pack, apply one more rating,
+		// and the lineage cell must hold exactly buildPacked of the child.
+		extra := ItemID(data[len(data)-1]) * ItemID(int(data[0])%7+1)
+		liked := data[len(data)-1]&1 == 0
+		a.pk.v.Store(pa)
+		child := a.WithRating(extra, liked)
+		pp := child.pk.v.Load()
+		if pp == nil || !pp.matches(child) {
+			t.Fatalf("incremental pack maintenance did not fire for child snapshot")
+		}
+		if rebuilt := buildPacked(child); !equalBlocks(pp.blocks, rebuilt.blocks) {
+			t.Fatalf("incremental pack != rebuild after WithRating(%d, %v)", extra, liked)
+		}
+	})
+}
+
+// TestPackedIncrementalMatchesRebuild drives long random WithRating
+// sequences — dislike-heavy, with re-ratings and polarity flips — and
+// asserts after every step that the incrementally maintained pack equals a
+// from-scratch rebuild and that packed-path scores equal the merge
+// reference.
+func TestPackedIncrementalMatchesRebuild(t *testing.T) {
+	metrics := []Similarity{Cosine{}, Jaccard{}, SignedCosine{}, Overlap{}}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProfile(7)
+		q := NewProfile(9) // scoring partner, rebuilt independently
+		for i := 0; i < 200; i++ {
+			q = q.WithRating(ItemID(rng.Intn(400)), rng.Intn(10) < 5)
+		}
+		// Prime the lineage cell so WithRating's incremental path is live
+		// from the first step.
+		p.pk.v.Store(buildPacked(p))
+		for step := 0; step < 300; step++ {
+			item := ItemID(rng.Intn(400))
+			liked := rng.Intn(10) >= 7 // dislike-heavy
+			p = p.WithRating(item, liked)
+
+			pp := p.pk.v.Load()
+			if pp == nil || !pp.matches(p) {
+				t.Fatalf("seed %d step %d: pack not maintained incrementally", seed, step)
+			}
+			rebuilt := buildPacked(p)
+			if !equalBlocks(pp.blocks, rebuilt.blocks) {
+				t.Fatalf("seed %d step %d: incremental pack diverged from rebuild after (%d,%v)", seed, step, item, liked)
+			}
+			if step%17 == 0 {
+				for _, m := range metrics {
+					if got, want := m.Score(p, q), refScore(m.Name(), p, q); got != want {
+						t.Fatalf("seed %d step %d: %s = %v, reference = %v", seed, step, m.Name(), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedCacheKeying pins the identity-keyed cache against the sibling
+// hazard: two WithRating children forked from one parent share the lineage
+// cell and the same version number, so a version-keyed cache would serve one
+// sibling the other's pack. The identity key must keep them straight.
+func TestPackedCacheKeying(t *testing.T) {
+	parent := NewProfile(1)
+	for i := 0; i < 32; i++ {
+		parent = parent.WithRating(ItemID(i*3), i%4 != 0)
+	}
+	s1 := parent.WithRating(1000, true)
+	s2 := parent.WithRating(2000, false) // same version as s1, different content
+
+	other := NewProfile(2)
+	for i := 0; i < 32; i++ {
+		other = other.WithRating(ItemID(i*3), true)
+	}
+
+	for _, m := range []Similarity{Cosine{}, SignedCosine{}} {
+		if got, want := m.Score(s1, other), refScore(m.Name(), s1, other); got != want {
+			t.Fatalf("%s sibling 1: got %v want %v", m.Name(), got, want)
+		}
+		if got, want := m.Score(s2, other), refScore(m.Name(), s2, other); got != want {
+			t.Fatalf("%s sibling 2: got %v want %v", m.Name(), got, want)
+		}
+		// And again in the opposite order, so each sibling scores with a
+		// cell most recently claimed by the other.
+		if got, want := m.Score(s1, other), refScore(m.Name(), s1, other); got != want {
+			t.Fatalf("%s sibling 1 (second pass): got %v want %v", m.Name(), got, want)
+		}
+	}
+}
+
+// TestProfileFromListsMatchesWithRatingLoop pins the bulk wire constructor
+// to the exact semantics of the rating-at-a-time decode loop it replaced:
+// duplicates collapse and an item on both lists ends up disliked.
+func TestProfileFromListsMatchesWithRatingLoop(t *testing.T) {
+	cases := []struct{ liked, disliked []uint32 }{
+		{nil, nil},
+		{[]uint32{5, 3, 5, 1}, nil},
+		{nil, []uint32{9, 9, 2}},
+		{[]uint32{1, 2, 3, 4}, []uint32{3, 4, 5, 6}}, // overlap: dislikes win
+		{[]uint32{7, 7, 7}, []uint32{7}},
+		{[]uint32{100, 1, 50, 1, 100}, []uint32{50, 2, 2}},
+	}
+	for i, c := range cases {
+		got := ProfileFromLists(42, c.liked, c.disliked)
+		want := NewProfile(42)
+		for _, x := range c.liked {
+			want = want.WithRating(ItemID(x), true)
+		}
+		for _, x := range c.disliked {
+			want = want.WithRating(ItemID(x), false)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("case %d: ProfileFromLists = %v, loop = %v", i, got, want)
+		}
+		if got.Version() != uint64(len(c.liked)+len(c.disliked)) {
+			t.Fatalf("case %d: version = %d, want %d", i, got.Version(), len(c.liked)+len(c.disliked))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks: size-ratio sweep for the galloping threshold and merge-vs-
+// packed break-even for packMinSize.
+// ---------------------------------------------------------------------------
+
+// intersectGallopRef is the galloping path with no threshold gate, used to
+// measure where galloping actually beats the merge.
+func intersectGallopRef(a, b []ItemID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	count := 0
+	lo := 0
+	for _, x := range a {
+		i := lo + searchIDs(b[lo:], x)
+		if i < len(b) && b[i] == x {
+			count++
+			lo = i + 1
+		} else {
+			lo = i
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return count
+}
+
+func searchIDs(ids []ItemID, x ItemID) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func randomSet(rng *rand.Rand, n, space int) []ItemID {
+	seen := make(map[ItemID]struct{}, n)
+	out := make([]ItemID, 0, n)
+	for len(out) < n {
+		id := ItemID(rng.Intn(space))
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return normalizeIDs(out)
+}
+
+// BenchmarkIntersect sweeps |a| and the |b|/|a| size ratio across the merge,
+// galloping and dispatching implementations. This is the tuning input for
+// IntersectCount's galloping threshold.
+func BenchmarkIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []struct{ na, ratio int }{
+		{16, 1}, {16, 8}, {16, 16}, {16, 32}, {16, 64}, {16, 128},
+		{128, 1}, {128, 8}, {128, 16}, {128, 32},
+	}
+	for _, s := range sizes {
+		nb := s.na * s.ratio
+		space := nb * 4
+		as := randomSet(rng, s.na, space)
+		bs := randomSet(rng, nb, space)
+		b.Run(fmt.Sprintf("merge/a=%d/ratio=%d", s.na, s.ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkInt = intersectMergeRef(as, bs)
+			}
+		})
+		b.Run(fmt.Sprintf("gallop/a=%d/ratio=%d", s.na, s.ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkInt = intersectGallopRef(as, bs)
+			}
+		})
+		b.Run(fmt.Sprintf("dispatch/a=%d/ratio=%d", s.na, s.ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkInt = IntersectCount(as, bs)
+			}
+		})
+	}
+}
+
+var sinkInt int
+var sinkFloat float64
+
+// BenchmarkSimilarityKernel compares a full metric score through the packed
+// popcount kernel against the merge fallback at increasing profile sizes —
+// the tuning input for packMinSize.
+func BenchmarkSimilarityKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 8, 16, 32, 64, 128, 512} {
+		mk := func(u UserID) Profile {
+			liked := randomSet(rng, n, n*3)
+			disliked := randomSet(rng, n/4+1, n*3)
+			liked = subtractSorted(liked, disliked)
+			return Profile{user: u, version: uint64(n), liked: liked, disliked: disliked, pk: &packCell{}}
+		}
+		pa, pb := mk(1), mk(2)
+		b.Run(fmt.Sprintf("packed/cosine/n=%d", n), func(b *testing.B) {
+			xa, xb := buildPacked(pa), buildPacked(pb)
+			pa.pk.v.Store(xa)
+			pb.pk.v.Store(xb)
+			for i := 0; i < b.N; i++ {
+				sinkInt = xa.intersectLiked(xb)
+			}
+		})
+		b.Run(fmt.Sprintf("merge/cosine/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkInt = IntersectCount(pa.liked, pb.liked)
+			}
+		})
+		b.Run(fmt.Sprintf("packed/signed/n=%d", n), func(b *testing.B) {
+			xa, xb := buildPacked(pa), buildPacked(pb)
+			for i := 0; i < b.N; i++ {
+				a, c := xa.signedCounts(xb)
+				sinkInt = a + c
+			}
+		})
+		b.Run(fmt.Sprintf("merge/signed/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agree := IntersectCount(pa.liked, pb.liked) + IntersectCount(pa.disliked, pb.disliked)
+				clash := IntersectCount(pa.liked, pb.disliked) + IntersectCount(pa.disliked, pb.liked)
+				sinkInt = agree + clash
+			}
+		})
+		b.Run(fmt.Sprintf("dispatch/score/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkFloat = (SignedCosine{}).Score(pa, pb)
+			}
+		})
+	}
+}
+
+// BenchmarkPackedWithRating measures the incremental maintenance cost of one
+// rating through a warm pack (COW of one block) versus a full rebuild.
+func BenchmarkPackedWithRating(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewProfile(1)
+	for i := 0; i < 256; i++ {
+		p = p.WithRating(ItemID(rng.Intn(1024)), rng.Intn(4) != 0)
+	}
+	pp := buildPacked(p)
+	p.pk.v.Store(pp)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			child := p.WithRating(ItemID(i%1024), i%2 == 0)
+			_ = child
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		child := p.WithRating(500, true)
+		for i := 0; i < b.N; i++ {
+			_ = buildPacked(child)
+		}
+	})
+}

@@ -18,10 +18,16 @@ type Profile struct {
 	version  uint64
 	liked    []ItemID // sorted ascending, no duplicates
 	disliked []ItemID // sorted ascending, no duplicates
+	// pk caches the blocked-bitmap form of this lineage's latest-scored
+	// snapshot (packed.go). The cell is shared down WithRating descent,
+	// so it is derived state only: every read is version-checked against
+	// the snapshot in hand. nil (zero-value profiles) just disables the
+	// cache.
+	pk *packCell
 }
 
 // NewProfile returns an empty profile for user u.
-func NewProfile(u UserID) Profile { return Profile{user: u} }
+func NewProfile(u UserID) Profile { return Profile{user: u, pk: &packCell{}} }
 
 // ProfileFromRatings builds a profile from a batch of ratings for user u.
 // Later ratings for the same item overwrite earlier ones.
@@ -75,7 +81,10 @@ func (p Profile) LikedContains(i ItemID) bool { return containsSorted(p.liked, i
 // one, and a re-rating that changes nothing zero — the sets are shared,
 // which is safe because they are never mutated afterwards.
 func (p Profile) WithRating(i ItemID, liked bool) Profile {
-	next := Profile{user: p.user, version: p.version + 1}
+	next := Profile{user: p.user, version: p.version + 1, pk: p.pk}
+	if next.pk == nil {
+		next.pk = &packCell{}
+	}
 	tgt, oth := p.liked, p.disliked
 	if !liked {
 		tgt, oth = oth, tgt
@@ -114,6 +123,13 @@ func (p Profile) WithRating(i ItemID, liked bool) Profile {
 	} else {
 		next.disliked, next.liked = newTgt, newOth
 	}
+	if pp := next.pk.v.Load(); pp != nil && pp.matches(p) {
+		// The parent snapshot's pack is current (this lineage is being
+		// scored): maintain it incrementally — one-block copy-on-write —
+		// instead of leaving the next scorer a full rebuild. A cold cell
+		// costs nothing here, so pure ingest never pays for packing.
+		next.pk.v.Store(pp.withRating(i, liked, next.liked, next.disliked))
+	}
 	return next
 }
 
@@ -124,6 +140,7 @@ func (p Profile) WithoutItem(i ItemID) Profile {
 		version:  p.version + 1,
 		liked:    removeSorted(p.liked, i),
 		disliked: removeSorted(p.disliked, i),
+		pk:       &packCell{},
 	}
 }
 
@@ -131,7 +148,7 @@ func (p Profile) WithoutItem(i ItemID) Profile {
 // items per set. Content providers can bound profile (and hence message)
 // size this way (Section 6 of the paper discusses this knob).
 func (p Profile) Truncate(n int) Profile {
-	next := Profile{user: p.user, version: p.version + 1}
+	next := Profile{user: p.user, version: p.version + 1, pk: &packCell{}}
 	next.liked = tailCopy(p.liked, n)
 	next.disliked = tailCopy(p.disliked, n)
 	return next
@@ -200,8 +217,13 @@ func IntersectCount(a, b []ItemID) int {
 	if len(a) == 0 {
 		return 0
 	}
-	// Galloping pays off when b is much larger than a.
-	if len(b) >= 32*len(a) {
+	// Galloping pays off when b is much larger than a. The 8× threshold
+	// is tuned with BenchmarkIntersect: at ratio 8 galloping already
+	// edges out the merge for both small and large |a|, and by ratio 16
+	// it is ~2× faster; below ratio 8 the branch-predictable merge wins.
+	// This path is also the documented fallback for profiles below the
+	// packing break-even (packMinSize in packed.go).
+	if len(b) >= 8*len(a) {
 		count := 0
 		lo := 0
 		for _, x := range a {

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ErrInvalidSets reports that liked/disliked item sets passed to
@@ -24,7 +24,38 @@ func ProfileFromSets(u UserID, liked, disliked []ItemID) (Profile, error) {
 	if intersects(l, d) {
 		return Profile{}, fmt.Errorf("%w: user %v", ErrInvalidSets, u)
 	}
-	return Profile{user: u, version: uint64(len(l) + len(d)), liked: l, disliked: d}, nil
+	return Profile{user: u, version: uint64(len(l) + len(d)), liked: l, disliked: d, pk: &packCell{}}, nil
+}
+
+// ProfileFromLists builds a profile from raw ID lists in their wire form
+// (possibly unsorted, possibly overlapping), with exactly the semantics
+// of applying every liked rating then every disliked rating through
+// WithRating: duplicates collapse, and an item on both lists ends up
+// disliked (the later opinion wins). Both result sets are carved from
+// one backing allocation. This is the widget's bulk path for decoding
+// wire profiles — O(n log n) total instead of the O(n²) of repeated
+// WithRating calls.
+func ProfileFromLists(u UserID, liked, disliked []uint32) Profile {
+	n := len(liked) + len(disliked)
+	p := Profile{user: u, version: uint64(n), pk: &packCell{}}
+	if n == 0 {
+		return p
+	}
+	buf := make([]ItemID, n)
+	l := buf[0:len(liked):len(liked)]
+	d := buf[len(liked):]
+	for i, x := range liked {
+		l[i] = ItemID(x)
+	}
+	for i, x := range disliked {
+		d[i] = ItemID(x)
+	}
+	slices.Sort(l)
+	slices.Sort(d)
+	d = dedupSorted(d)
+	l = subtractSorted(dedupSorted(l), d)
+	p.liked, p.disliked = l, d
+	return p
 }
 
 // normalizeIDs returns a fresh sorted duplicate-free copy of ids.
@@ -34,15 +65,43 @@ func normalizeIDs(ids []ItemID) []ItemID {
 	}
 	out := make([]ItemID, len(ids))
 	copy(out, ids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	return dedupSorted(out)
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(ids []ItemID) []ItemID {
+	if len(ids) == 0 {
+		return ids
+	}
 	w := 1
-	for i := 1; i < len(out); i++ {
-		if out[i] != out[w-1] {
-			out[w] = out[i]
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
 			w++
 		}
 	}
-	return out[:w]
+	return ids[:w]
+}
+
+// subtractSorted removes, in place, every element of b from a (both
+// sorted, duplicate-free).
+func subtractSorted(a, b []ItemID) []ItemID {
+	if len(a) == 0 || len(b) == 0 {
+		return a
+	}
+	w, j := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j < len(b) && b[j] == a[i] {
+			continue
+		}
+		a[w] = a[i]
+		w++
+	}
+	return a[:w]
 }
 
 // intersects reports whether two sorted slices share an element.

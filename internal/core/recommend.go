@@ -1,6 +1,10 @@
 package core
 
-import "hyrec/internal/topk"
+import (
+	"slices"
+
+	"hyrec/internal/topk"
+)
 
 // Recommend implements Algorithm 2 of the paper, α(S_u, P_u): it counts,
 // over the candidate profiles, the popularity of every liked item the
@@ -17,6 +21,18 @@ func Recommend(p Profile, candidates []Profile, r int) []ItemID {
 	return TopItems(CountUnseen(p, candidates), r)
 }
 
+// RecommendInto is Recommend with caller-owned storage: the popularity
+// tally map, the collector, and the result slice are all reused across
+// calls. With pooled scratch the whole of Algorithm 2 runs without
+// allocating. Results are identical to Recommend.
+func RecommendInto(p Profile, candidates []Profile, r int, col *topk.Collector, popularity map[ItemID]int, dst []ItemID) []ItemID {
+	dst = dst[:0]
+	if r <= 0 {
+		return dst
+	}
+	return TopItemsInto(CountUnseenInto(p, candidates, popularity), r, col, dst)
+}
+
 // TopItems returns the r most popular items from a popularity tally, most
 // popular first, ties broken on the smaller ItemID. Exposed so callers
 // that assemble tallies differently (parallel widgets, DP-corrected
@@ -25,23 +41,45 @@ func TopItems(popularity map[ItemID]int, r int) []ItemID {
 	if r <= 0 || len(popularity) == 0 {
 		return nil
 	}
-	col := topk.New(r)
+	return TopItemsInto(popularity, r, topk.New(r), make([]ItemID, 0, r))
+}
+
+// TopItemsInto is TopItems with a caller-owned collector and result slice;
+// dst is clobbered and grown only if needed. Results are identical to
+// TopItems.
+func TopItemsInto(popularity map[ItemID]int, r int, col *topk.Collector, dst []ItemID) []ItemID {
+	dst = dst[:0]
+	if r <= 0 || len(popularity) == 0 {
+		return dst
+	}
+	col.ResetK(r)
 	for item, count := range popularity {
 		col.Offer(uint32(item), float64(count))
 	}
-	entries := col.Sorted()
-	out := make([]ItemID, len(entries))
-	for i, e := range entries {
-		out[i] = ItemID(e.ID)
+	n := col.Len()
+	dst = slices.Grow(dst, n)[:n]
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = ItemID(col.PopWorst().ID)
 	}
-	return out
+	return dst
 }
 
 // CountUnseen tallies how many candidate profiles like each item that the
 // reference user has not rated. Exposed as a building block for custom
 // recommendation policies (Table 1: setRecommendedItems()).
 func CountUnseen(p Profile, candidates []Profile) map[ItemID]int {
-	popularity := make(map[ItemID]int, 64)
+	return CountUnseenInto(p, candidates, make(map[ItemID]int, 64))
+}
+
+// CountUnseenInto is CountUnseen tallying into a caller-owned map, which
+// is cleared first (Go's clear is a memclr on maps — no rehash, no
+// allocation). Pass nil to allocate a fresh map.
+func CountUnseenInto(p Profile, candidates []Profile, popularity map[ItemID]int) map[ItemID]int {
+	if popularity == nil {
+		popularity = make(map[ItemID]int, 64)
+	} else {
+		clear(popularity)
+	}
 	for _, c := range candidates {
 		if c.User() == p.User() {
 			continue

@@ -26,7 +26,7 @@ func (Cosine) Score(a, b Profile) float64 {
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	inter := IntersectCount(a.liked, b.liked)
+	inter := likedIntersect(a, b)
 	if inter == 0 {
 		return 0
 	}
@@ -48,7 +48,7 @@ func (Jaccard) Score(a, b Profile) float64 {
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	inter := IntersectCount(a.liked, b.liked)
+	inter := likedIntersect(a, b)
 	union := na + nb - inter
 	if union == 0 {
 		return 0
@@ -79,8 +79,7 @@ func (SignedCosine) Score(a, b Profile) float64 {
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	agree := IntersectCount(a.liked, b.liked) + IntersectCount(a.disliked, b.disliked)
-	clash := IntersectCount(a.liked, b.disliked) + IntersectCount(a.disliked, b.liked)
+	agree, clash := signedIntersect(a, b)
 	if agree == 0 && clash == 0 {
 		return 0
 	}
@@ -98,7 +97,7 @@ var _ Similarity = Overlap{}
 
 // Score implements Similarity.
 func (Overlap) Score(a, b Profile) float64 {
-	return float64(IntersectCount(a.liked, b.liked))
+	return float64(likedIntersect(a, b))
 }
 
 // Name implements Similarity.

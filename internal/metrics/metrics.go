@@ -48,66 +48,98 @@ func (m MapSource) Users() []core.UserID {
 	return out
 }
 
+// parallelFor runs fn(i) for every i in [0, n) across GOMAXPROCS workers
+// in contiguous chunks (sequentially when n is small). fn must only write
+// to position-indexed storage; per-index work is independent, so results
+// are identical to a sequential loop — the evaluators below rely on this
+// to fold per-user terms in deterministic user order afterwards.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // IdealKNN computes, by exhaustive pairwise comparison, the true k nearest
 // neighbours of every user — the "ideal KNN" upper bound of Section 5.2.
-// Work is sharded across all CPUs.
+// Work is sharded across all CPUs; each worker writes its rows into a
+// position-indexed slice, so no locking and a deterministic result.
 func IdealKNN(src ProfileSource, k int, metric core.Similarity) map[core.UserID][]core.Neighbor {
 	users := src.Users()
 	profiles := make([]core.Profile, len(users))
 	for i, u := range users {
 		profiles[i] = src.Profile(u)
 	}
+	rows := make([][]core.Neighbor, len(users))
+	parallelFor(len(users), func(i int) {
+		rows[i] = core.SelectKNN(profiles[i], profiles, k, metric)
+	})
 	out := make(map[core.UserID][]core.Neighbor, len(users))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(users) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(users) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(users) {
-			hi = len(users)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			local := make(map[core.UserID][]core.Neighbor, hi-lo)
-			for i := lo; i < hi; i++ {
-				local[users[i]] = core.SelectKNN(profiles[i], profiles, k, metric)
-			}
-			mu.Lock()
-			for u, ns := range local {
-				out[u] = ns
-			}
-			mu.Unlock()
-		}(lo, hi)
+	for i, u := range users {
+		out[u] = rows[i]
 	}
-	wg.Wait()
 	return out
 }
 
 // ViewSimilarity returns the mean, over all users with a non-empty
 // neighbourhood, of the mean similarity between the user's profile and her
 // neighbours' profiles — the y-axis of Figure 3.
+// Per-user terms are computed in parallel (src and neighbors must
+// tolerate concurrent reads, which every adapter in this module does) and
+// folded sequentially in user order, so the result is bit-identical to a
+// sequential evaluation — TestViewSimilarityParallelMatchesSequential
+// pins this.
 func ViewSimilarity(src ProfileSource, neighbors func(core.UserID) []core.UserID, metric core.Similarity) float64 {
 	users := src.Users()
-	var sum float64
-	counted := 0
-	for _, u := range users {
+	terms := make([]float64, len(users))
+	have := make([]bool, len(users))
+	parallelFor(len(users), func(i int) {
+		u := users[i]
 		hood := neighbors(u)
 		if len(hood) == 0 {
-			continue
+			return
 		}
 		p := src.Profile(u)
 		var s float64
 		for _, v := range hood {
 			s += metric.Score(p, src.Profile(v))
 		}
-		sum += s / float64(len(hood))
-		counted++
+		terms[i] = s / float64(len(hood))
+		have[i] = true
+	})
+	var sum float64
+	counted := 0
+	for i := range terms {
+		if have[i] {
+			sum += terms[i]
+			counted++
+		}
 	}
 	if counted == 0 {
 		return 0
@@ -133,13 +165,19 @@ func IdealViewSimilarity(src ProfileSource, k int, metric core.Similarity) float
 // fraction of her ideal view similarity (Figure 4's y-axis), keyed by the
 // user's profile size (its x-axis). Users with zero ideal similarity are
 // skipped.
+// Like ViewSimilarity, per-user points are computed in parallel and
+// collected in user order; each point depends only on its own user, so
+// the map is identical to a sequential evaluation's.
 func PerUserViewRatio(src ProfileSource, neighbors func(core.UserID) []core.UserID, k int, metric core.Similarity) map[core.UserID]RatioPoint {
 	ideal := IdealKNN(src, k, metric)
-	out := make(map[core.UserID]RatioPoint)
-	for _, u := range src.Users() {
+	users := src.Users()
+	points := make([]RatioPoint, len(users))
+	have := make([]bool, len(users))
+	parallelFor(len(users), func(i int) {
+		u := users[i]
 		idealNs := ideal[u]
 		if len(idealNs) == 0 {
-			continue
+			return
 		}
 		var idealSim float64
 		for _, n := range idealNs {
@@ -147,7 +185,7 @@ func PerUserViewRatio(src ProfileSource, neighbors func(core.UserID) []core.User
 		}
 		idealSim /= float64(len(idealNs))
 		if idealSim == 0 {
-			continue
+			return
 		}
 		p := src.Profile(u)
 		hood := neighbors(u)
@@ -158,7 +196,14 @@ func PerUserViewRatio(src ProfileSource, neighbors func(core.UserID) []core.User
 			}
 			got /= float64(len(hood))
 		}
-		out[u] = RatioPoint{ProfileSize: p.Size(), Ratio: got / idealSim}
+		points[i] = RatioPoint{ProfileSize: p.Size(), Ratio: got / idealSim}
+		have[i] = true
+	})
+	out := make(map[core.UserID]RatioPoint)
+	for i, u := range users {
+		if have[i] {
+			out[u] = points[i]
+		}
 	}
 	return out
 }

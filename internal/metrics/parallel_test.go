@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyrec/internal/core"
+)
+
+// Sequential reference copies of the evaluators, kept verbatim from the
+// pre-parallel implementations. The parallel versions must produce
+// bit-identical results (same float operations in the same order).
+
+func viewSimilaritySeq(src ProfileSource, neighbors func(core.UserID) []core.UserID, metric core.Similarity) float64 {
+	users := src.Users()
+	var sum float64
+	counted := 0
+	for _, u := range users {
+		hood := neighbors(u)
+		if len(hood) == 0 {
+			continue
+		}
+		p := src.Profile(u)
+		var s float64
+		for _, v := range hood {
+			s += metric.Score(p, src.Profile(v))
+		}
+		sum += s / float64(len(hood))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+func idealKNNSeq(src ProfileSource, k int, metric core.Similarity) map[core.UserID][]core.Neighbor {
+	users := src.Users()
+	profiles := make([]core.Profile, len(users))
+	for i, u := range users {
+		profiles[i] = src.Profile(u)
+	}
+	out := make(map[core.UserID][]core.Neighbor, len(users))
+	for i, u := range users {
+		out[u] = core.SelectKNN(profiles[i], profiles, k, metric)
+	}
+	return out
+}
+
+func perUserViewRatioSeq(src ProfileSource, neighbors func(core.UserID) []core.UserID, k int, metric core.Similarity) map[core.UserID]RatioPoint {
+	ideal := idealKNNSeq(src, k, metric)
+	out := make(map[core.UserID]RatioPoint)
+	for _, u := range src.Users() {
+		idealNs := ideal[u]
+		if len(idealNs) == 0 {
+			continue
+		}
+		var idealSim float64
+		for _, n := range idealNs {
+			idealSim += n.Sim
+		}
+		idealSim /= float64(len(idealNs))
+		if idealSim == 0 {
+			continue
+		}
+		p := src.Profile(u)
+		hood := neighbors(u)
+		var got float64
+		if len(hood) > 0 {
+			for _, v := range hood {
+				got += metric.Score(p, src.Profile(v))
+			}
+			got /= float64(len(hood))
+		}
+		out[u] = RatioPoint{ProfileSize: p.Size(), Ratio: got / idealSim}
+	}
+	return out
+}
+
+// orderedSource is a ProfileSource with a deterministic Users() order.
+// MapSource.Users() follows map iteration order, which changes between
+// calls — that would shuffle the fold order of two otherwise identical
+// evaluations, so bit-exact comparison needs a stable order.
+type orderedSource struct {
+	m     MapSource
+	users []core.UserID
+}
+
+func (s orderedSource) Profile(u core.UserID) core.Profile { return s.m.Profile(u) }
+func (s orderedSource) Users() []core.UserID               { return s.users }
+
+// randomSource builds a population large enough that parallelFor actually
+// fans out across workers.
+func randomSource(seed int64, users, items, ratings int) orderedSource {
+	rng := rand.New(rand.NewSource(seed))
+	src := orderedSource{m: make(MapSource, users)}
+	for u := 1; u <= users; u++ {
+		p := core.NewProfile(core.UserID(u))
+		for r := 0; r < ratings; r++ {
+			p = p.WithRating(core.ItemID(rng.Intn(items)), rng.Intn(5) != 0)
+		}
+		src.m[core.UserID(u)] = p
+		src.users = append(src.users, core.UserID(u))
+	}
+	return src
+}
+
+func TestIdealKNNParallelMatchesSequential(t *testing.T) {
+	src := randomSource(11, 150, 300, 12)
+	for _, metric := range []core.Similarity{core.Cosine{}, core.SignedCosine{}} {
+		got := IdealKNN(src, 5, metric)
+		want := idealKNNSeq(src, 5, metric)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: parallel IdealKNN differs from sequential", metric.Name())
+		}
+	}
+}
+
+func TestViewSimilarityParallelMatchesSequential(t *testing.T) {
+	src := randomSource(12, 200, 300, 10)
+	ideal := idealKNNSeq(src, 4, core.Cosine{})
+	neighbors := func(u core.UserID) []core.UserID {
+		ns := ideal[u]
+		out := make([]core.UserID, len(ns))
+		for i, n := range ns {
+			out[i] = n.User
+		}
+		return out
+	}
+	got := ViewSimilarity(src, neighbors, core.Cosine{})
+	want := viewSimilaritySeq(src, neighbors, core.Cosine{})
+	if got != want {
+		t.Fatalf("parallel ViewSimilarity = %v, sequential = %v", got, want)
+	}
+	// Empty-neighborhood users must be skipped, not averaged as zeros.
+	none := func(core.UserID) []core.UserID { return nil }
+	if got := ViewSimilarity(src, none, core.Cosine{}); got != 0 {
+		t.Fatalf("ViewSimilarity with no neighborhoods = %v, want 0", got)
+	}
+}
+
+func TestPerUserViewRatioParallelMatchesSequential(t *testing.T) {
+	src := randomSource(13, 150, 250, 10)
+	ideal := idealKNNSeq(src, 3, core.Cosine{})
+	neighbors := func(u core.UserID) []core.UserID {
+		ns := ideal[u]
+		if len(ns) > 1 {
+			ns = ns[:len(ns)-1] // a deliberately imperfect neighborhood
+		}
+		out := make([]core.UserID, len(ns))
+		for i, n := range ns {
+			out[i] = n.User
+		}
+		return out
+	}
+	got := PerUserViewRatio(src, neighbors, 3, core.Cosine{})
+	want := perUserViewRatioSeq(src, neighbors, 3, core.Cosine{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel PerUserViewRatio differs from sequential: %d vs %d points", len(got), len(want))
+	}
+}

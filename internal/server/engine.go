@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyrec/internal/core"
 	"hyrec/internal/sched"
+	"hyrec/internal/topk"
 	"hyrec/internal/wire"
 )
 
@@ -446,8 +448,19 @@ type assembleScratch struct {
 	seen    map[core.UserID]struct{}
 	randBuf []core.UserID
 	frags   [][]byte
+	fragGz  [][]byte
 	src     rand.Source
 	rng     *rand.Rand
+	// Refresh-path working set (refreshLocally): candidate profiles, the
+	// selected neighborhood, Algorithm 2's popularity tally, a rec buffer
+	// and a re-armable top-k collector. Together with the Into variants of
+	// the core kernels these make a steady-state refresh allocate only the
+	// two table rows it retains.
+	profs  []core.Profile
+	hood   []core.Neighbor
+	pop    map[core.ItemID]int
+	recbuf []core.ItemID
+	col    *topk.Collector
 }
 
 var scratchPool = sync.Pool{New: func() any {
@@ -456,6 +469,8 @@ var scratchPool = sync.Pool{New: func() any {
 		seen: make(map[core.UserID]struct{}, 64),
 		src:  src,
 		rng:  rand.New(src),
+		pop:  make(map[core.ItemID]int, 64),
+		col:  topk.New(8),
 	}
 }}
 
@@ -468,6 +483,18 @@ func releaseScratch(sc *assembleScratch) {
 		sc.frags[i] = nil
 	}
 	sc.frags = sc.frags[:0]
+	for i := range sc.fragGz {
+		sc.fragGz[i] = nil
+	}
+	sc.fragGz = sc.fragGz[:0]
+	// Zero the profile slots so a pooled scratch does not pin arbitrary
+	// profile snapshots (and their packed forms) in memory between uses.
+	for i := range sc.profs {
+		sc.profs[i] = core.Profile{}
+	}
+	sc.profs = sc.profs[:0]
+	sc.hood = sc.hood[:0]
+	sc.recbuf = sc.recbuf[:0]
 	scratchPool.Put(sc)
 }
 
@@ -527,12 +554,25 @@ func (e *Engine) assembleJob(u core.UserID) *wire.Job {
 		Epoch:      view.Epoch(),
 		K:          e.cfg.K,
 		R:          e.cfg.R,
-		Profile:    wire.ProfileToMsg(p, view),
 		Candidates: make([]wire.ProfileMsg, 0, len(candidates)),
 	}
+	// All aliased item lists share one sized arena: two allocations per
+	// candidate become one per job. The arena escapes with the job, so
+	// no pooling — sizing is what matters here.
+	profs := slices.Grow(sc.profs[:0], len(candidates))
+	total := len(p.Liked()) + len(p.Disliked())
 	for _, c := range candidates {
 		cp := e.candidateProfileView(tv, c)
-		job.Candidates = append(job.Candidates, wire.ProfileToMsg(cp, view))
+		profs = append(profs, cp)
+		total += len(cp.Liked()) + len(cp.Disliked())
+	}
+	sc.profs = profs
+	arena := make([]uint32, 0, total)
+	job.Profile, arena = wire.ProfileToMsgArena(p, view, arena)
+	for _, cp := range profs {
+		var msg wire.ProfileMsg
+		msg, arena = wire.ProfileToMsgArena(cp, view, arena)
+		job.Candidates = append(job.Candidates, msg)
 	}
 	return job
 }
@@ -616,17 +656,21 @@ func (e *Engine) refreshLocally(ctx context.Context, u core.UserID) error {
 	defer releaseScratch(sc)
 	candidates := e.sampleCandidates(tv, sc, u)
 	e.recordCandidates(len(candidates))
-	profs := make([]core.Profile, 0, len(candidates))
+	profs := slices.Grow(sc.profs[:0], len(candidates))
 	for _, c := range candidates {
 		profs = append(profs, e.candidateProfileView(tv, c))
 	}
+	sc.profs = profs
 	metric := e.cfg.FallbackMetric
 	if metric == nil {
 		metric = core.Cosine{}
 	}
-	hood := core.SelectKNN(p, profs, e.cfg.K, metric)
-	ids := make([]core.UserID, 0, len(hood))
-	for _, n := range hood {
+	sc.hood = core.SelectKNNInto(p, profs, e.cfg.K, metric, sc.col, sc.hood)
+	// The KNN table retains the row it is handed, so this copy (exact
+	// size) and the recommendation row below are the only allocations a
+	// steady-state refresh performs — everything else lives in sc.
+	ids := make([]core.UserID, 0, len(sc.hood))
+	for _, n := range sc.hood {
 		if n.User != u {
 			ids = append(ids, n.User)
 		}
@@ -640,7 +684,10 @@ func (e *Engine) refreshLocally(ctx context.Context, u core.UserID) error {
 		return nil
 	}
 	e.knn.Put(u, ids)
-	if recs := core.Recommend(p, profs, e.cfg.R); len(recs) > 0 {
+	sc.recbuf = core.RecommendInto(p, profs, e.cfg.R, sc.col, sc.pop, sc.recbuf)
+	if len(sc.recbuf) > 0 {
+		recs := make([]core.ItemID, len(sc.recbuf))
+		copy(recs, sc.recbuf)
 		e.recs.Put(u, recs)
 	}
 	return nil
@@ -709,10 +756,18 @@ func (e *Engine) JobPayload(u core.UserID) (jsonBody, gzBody []byte, err error) 
 // profile fragments come from the serialized-profile cache, and the gzip
 // writer is pooled.
 func (e *Engine) AppendJobPayload(_ context.Context, u core.UserID, jsonDst, gzDst []byte) (jsonBody, gzBody []byte, err error) {
-	jsonBody = e.appendJobJSON(u, jsonDst)
-	gzBody, err = wire.AppendGzip(gzDst, jsonBody, e.cfg.GzipLevel)
-	if err != nil {
-		return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
+	// The default configuration (profile cache on, no candidate filter,
+	// no truncation) takes the spliced-gzip path: the payload is
+	// assembled from per-profile deflate fragments cached alongside the
+	// JSON fragments, so compression cost is a memcpy plus a CRC over
+	// the body instead of re-deflating every byte (wire/gzipsplice.go).
+	// Any other configuration falls back to whole-buffer gzip below.
+	jsonBody, gzBody, spliced := e.appendJob(u, jsonDst, gzDst, true)
+	if !spliced {
+		gzBody, err = wire.AppendGzip(gzDst, jsonBody, e.cfg.GzipLevel)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: compress job for %v: %w", u, err)
+		}
 	}
 	e.meter.CountJob(len(jsonBody), len(gzBody))
 	return jsonBody, gzBody, nil
@@ -731,6 +786,17 @@ func (e *Engine) AppendJobJSON(_ context.Context, u core.UserID, jsonDst []byte)
 // appendJobJSON assembles and serializes u's job (shared by the
 // gzip-producing and JSON-only serving paths; metering is theirs).
 func (e *Engine) appendJobJSON(u core.UserID, jsonDst []byte) (jsonBody []byte) {
+	jsonBody, _, _ = e.appendJob(u, jsonDst, nil, false)
+	return jsonBody
+}
+
+// appendJob assembles and serializes u's job, optionally building the
+// gzip payload in the same pass by splicing cached deflate fragments
+// (wantGz). spliced reports whether gzBody was produced; when false the
+// caller compresses jsonBody itself. Splicing engages only on the fully
+// cached path (cache enabled, no candidate filter, no truncation), where
+// every profile fragment's bytes appear verbatim in the JSON body.
+func (e *Engine) appendJob(u core.UserID, jsonDst, gzDst []byte, wantGz bool) (jsonBody, gzBody []byte, spliced bool) {
 	if !e.profiles.Known(u) {
 		e.profiles.Put(core.NewProfile(u))
 	}
@@ -771,6 +837,7 @@ func (e *Engine) appendJobJSON(u core.UserID, jsonDst []byte) (jsonBody []byte) 
 	// collide under one (user, version) key.
 	useCache := e.cache != nil && e.cfg.CandidateFilter == nil
 	useOwnCache := useCache && e.cfg.MaxProfileItems <= 0
+	splice := wantGz && useOwnCache
 	var msgs []wire.ProfileMsg
 	if !useCache {
 		// Non-nil even when empty, so the uncached encoder emits [] and
@@ -779,21 +846,62 @@ func (e *Engine) appendJobJSON(u core.UserID, jsonDst []byte) (jsonBody []byte) 
 	}
 	for _, c := range candidates {
 		cp := e.candidateProfileView(tv, c)
-		if useCache {
+		switch {
+		case splice:
+			fj, fgz, err := e.cache.FragmentGz(cp, view, e.cfg.GzipLevel)
+			if err != nil {
+				// Deflate failure (cannot happen writing to memory, but
+				// contractually possible): abandon splicing for this
+				// payload and let the caller whole-buffer compress.
+				splice = false
+				sc.frags = append(sc.frags, e.cache.Fragment(cp, view))
+				continue
+			}
+			sc.frags = append(sc.frags, fj)
+			sc.fragGz = append(sc.fragGz, fgz)
+		case useCache:
 			sc.frags = append(sc.frags, e.cache.Fragment(cp, view))
-		} else {
+		default:
 			msgs = append(msgs, wire.ProfileToMsg(cp, view))
 		}
 	}
+	if splice && len(sc.fragGz) != len(sc.frags) {
+		splice = false
+	}
 
 	if useCache {
-		var ownFrag []byte
+		var ownFrag, ownGz []byte
 		if useOwnCache {
-			ownFrag = e.cache.Fragment(p, view)
+			if splice {
+				var err error
+				ownFrag, ownGz, err = e.cache.FragmentGz(p, view, e.cfg.GzipLevel)
+				if err != nil {
+					splice = false
+				}
+			}
+			if ownFrag == nil {
+				ownFrag = e.cache.Fragment(p, view)
+			}
 		} else {
 			job.Profile = wire.ProfileToMsg(p, view)
 		}
-		jsonBody = e.assembleWithCache(jsonDst, &job, ownFrag, sc.frags)
+		var sp *wire.GzSplicer
+		if splice {
+			s := wire.BeginGzSplice(gzDst, e.cfg.GzipLevel, len(jsonDst))
+			sp = &s
+		}
+		jsonBody = e.assembleWithCache(jsonDst, &job, ownFrag, sc.frags, sp, ownGz, sc.fragGz)
+		if splice {
+			gzBody = sp.Finish(jsonBody)
+			// Splicing trades compression ratio for CPU: stored-block
+			// glue and per-fragment framing can outweigh the deflate win
+			// when profiles are tiny. Ship the spliced form only when it
+			// actually compressed; otherwise discard it and let the
+			// caller whole-buffer gzip the (small, cheap) body.
+			if len(gzBody)-len(gzDst) < len(jsonBody)-len(jsonDst) {
+				return jsonBody, gzBody, true
+			}
+		}
 	} else {
 		job.Profile = wire.ProfileToMsg(p, view)
 		job.Candidates = msgs
@@ -802,13 +910,16 @@ func (e *Engine) appendJobJSON(u core.UserID, jsonDst []byte) (jsonBody []byte) 
 		}
 		jsonBody = wire.AppendJob(jsonDst, &job, nil)
 	}
-	return jsonBody
+	return jsonBody, nil, false
 }
 
 // assembleWithCache builds the job JSON splicing pre-encoded profile
 // fragments (ownFrag may be nil, in which case job.Profile is encoded
-// directly). Byte-for-byte identical to wire.AppendJob output.
-func (e *Engine) assembleWithCache(dst []byte, job *wire.Job, ownFrag []byte, frags [][]byte) []byte {
+// directly). Byte-for-byte identical to wire.AppendJob output. A non-nil
+// sp additionally assembles the gzip payload in lockstep: each fragment's
+// cached deflate form (ownGz, fragGz — parallel to ownFrag, frags) is
+// spliced in as its JSON lands in dst.
+func (e *Engine) assembleWithCache(dst []byte, job *wire.Job, ownFrag []byte, frags [][]byte, sp *wire.GzSplicer, ownGz []byte, fragGz [][]byte) []byte {
 	if dst == nil {
 		size := 96 + len(ownFrag) + len(job.Profile.Liked)*11
 		for _, f := range frags {
@@ -828,6 +939,9 @@ func (e *Engine) assembleWithCache(dst []byte, job *wire.Job, ownFrag []byte, fr
 	dst = append(dst, `,"profile":`...)
 	if ownFrag != nil {
 		dst = append(dst, ownFrag...)
+		if sp != nil {
+			sp.Splice(dst, len(ownFrag), ownGz)
+		}
 	} else {
 		dst = wire.AppendProfileMsg(dst, job.Profile)
 	}
@@ -837,6 +951,9 @@ func (e *Engine) assembleWithCache(dst []byte, job *wire.Job, ownFrag []byte, fr
 			dst = append(dst, ',')
 		}
 		dst = append(dst, f...)
+		if sp != nil {
+			sp.Splice(dst, len(f), fragGz[i])
+		}
 	}
 	return append(dst, `]}`...)
 }

@@ -7,7 +7,10 @@
 // are reproducible regardless of offer order.
 package topk
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Entry is a scored identifier. ID is wide enough for both user and item
 // identifiers used throughout the module.
@@ -82,8 +85,52 @@ func (c *Collector) Sorted() []Entry {
 	return out
 }
 
+// PopWorst removes and returns the worst retained entry. It panics on an
+// empty collector (check Len first). Draining a collector with repeated
+// PopWorst yields entries in exact worst-to-best order — the reverse of
+// Sorted — without allocating.
+func (c *Collector) PopWorst() Entry {
+	e := c.h[0]
+	n := len(c.h) - 1
+	c.h[0] = c.h[n]
+	c.h = c.h[:n]
+	if n > 0 {
+		c.down(0)
+	}
+	return e
+}
+
+// DrainSorted empties the collector, appending its entries to dst
+// best-first (the exact order Sorted returns), and returns the extended
+// slice. Unlike Sorted it destroys the collector's contents and allocates
+// only if dst must grow — the zero-allocation path for pooled collectors.
+func (c *Collector) DrainSorted(dst []Entry) []Entry {
+	base := len(dst)
+	n := len(c.h)
+	dst = slices.Grow(dst, n)[:base+n]
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = c.PopWorst()
+	}
+	return dst
+}
+
 // Reset empties the collector, retaining its capacity.
 func (c *Collector) Reset() { c.h = c.h[:0] }
+
+// ResetK empties the collector and re-arms it with capacity k, reusing the
+// backing array when it is large enough. This lets one pooled Collector
+// serve requests with differing k without reallocating.
+func (c *Collector) ResetK(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	c.k = k
+	if cap(c.h) < k {
+		c.h = make([]Entry, 0, k)
+	} else {
+		c.h = c.h[:0]
+	}
+}
 
 // worse is the heap ordering: the root must be the entry that loses to all
 // others, i.e. the minimum under "better".

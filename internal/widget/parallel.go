@@ -31,9 +31,15 @@ func (w *Widget) Workers() int {
 	return w.workers
 }
 
-// selectKNN runs Algorithm 1 sequentially or across workers.
-func (w *Widget) selectKNN(own core.Profile, candidates []core.Profile, k int) []core.Neighbor {
+// selectKNN runs Algorithm 1 sequentially or across workers. The
+// sequential path writes into the pooled scratch (allocation-free); the
+// parallel fan-out keeps its own per-chunk storage.
+func (w *Widget) selectKNN(own core.Profile, candidates []core.Profile, k int, sc *execScratch) []core.Neighbor {
 	if w.workers <= 1 || len(candidates) < minParallelCandidates || k <= 0 {
+		if sc != nil && k > 0 {
+			sc.hood = core.SelectKNNInto(own, candidates, k, w.metric, sc.col, sc.hood)
+			return sc.hood
+		}
 		return core.SelectKNN(own, candidates, k, w.metric)
 	}
 	chunks := splitProfiles(candidates, w.workers)
@@ -57,7 +63,7 @@ func (w *Widget) selectKNN(own core.Profile, candidates []core.Profile, k int) [
 			col.Offer(uint32(n.User), n.Sim)
 		}
 	}
-	entries := col.Sorted()
+	entries := col.DrainSorted(nil)
 	out := make([]core.Neighbor, len(entries))
 	for i, e := range entries {
 		out[i] = core.Neighbor{User: core.UserID(e.ID), Sim: e.Score}
@@ -66,8 +72,12 @@ func (w *Widget) selectKNN(own core.Profile, candidates []core.Profile, k int) [
 }
 
 // recommend runs Algorithm 2 sequentially or across workers.
-func (w *Widget) recommend(own core.Profile, candidates []core.Profile, r int) []core.ItemID {
+func (w *Widget) recommend(own core.Profile, candidates []core.Profile, r int, sc *execScratch) []core.ItemID {
 	if w.workers <= 1 || len(candidates) < minParallelCandidates || r <= 0 {
+		if sc != nil && r > 0 {
+			sc.recs = core.RecommendInto(own, candidates, r, sc.col, sc.pop, sc.recs)
+			return sc.recs
+		}
 		return core.Recommend(own, candidates, r)
 	}
 	chunks := splitProfiles(candidates, w.workers)

@@ -11,9 +11,12 @@ package widget
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"hyrec/internal/core"
+	"hyrec/internal/topk"
 	"hyrec/internal/wire"
 )
 
@@ -133,24 +136,56 @@ func (w *Widget) ExecutePayload(gz []byte) (*wire.Result, Timing, error) {
 	return res, timing, nil
 }
 
+// execScratch is the pooled per-execution working set: the decoded
+// candidate profiles, the KNN neighborhood, Algorithm 2's tally map, a
+// rec buffer and a re-armable top-k collector. The widget stays stateless
+// across jobs — the pool only recycles storage, never results.
+type execScratch struct {
+	cands []core.Profile
+	hood  []core.Neighbor
+	recs  []core.ItemID
+	col   *topk.Collector
+	pop   map[core.ItemID]int
+}
+
+var execPool = sync.Pool{New: func() any {
+	return &execScratch{col: topk.New(8), pop: make(map[core.ItemID]int, 64)}
+}}
+
+func releaseExecScratch(sc *execScratch) {
+	// Zero the profile slots so pooled scratch does not pin decoded
+	// profiles (and their packed forms) between jobs.
+	for i := range sc.cands {
+		sc.cands[i] = core.Profile{}
+	}
+	sc.cands = sc.cands[:0]
+	sc.hood = sc.hood[:0]
+	sc.recs = sc.recs[:0]
+	execPool.Put(sc)
+}
+
 // Execute runs one personalization job: γ then α over the candidate set,
 // entirely in pseudonym space. It returns the result to POST back and the
 // measured timings.
 func (w *Widget) Execute(job *wire.Job) (*wire.Result, Timing) {
 	var timing Timing
 
+	sc := execPool.Get().(*execScratch)
+	defer releaseExecScratch(sc)
+
 	own := wire.MsgToProfile(job.Profile)
-	candidates := make([]core.Profile, 0, len(job.Candidates))
+	candidates := slices.Grow(sc.cands[:0], len(job.Candidates))
 	for _, msg := range job.Candidates {
 		candidates = append(candidates, wire.MsgToProfile(msg))
 	}
+	sc.cands = candidates
 
 	start := time.Now()
-	neighbors := w.selectKNN(own, candidates, job.K)
+	neighbors := w.selectKNN(own, candidates, job.K, sc)
 	timing.KNN = time.Since(start)
 
 	start = time.Now()
-	recs := w.recommend(own, candidates, job.R)
+	recs := w.recommend(own, candidates, job.R, sc)
 	timing.Recommend = time.Since(start)
 
 	res := &wire.Result{

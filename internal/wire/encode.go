@@ -128,6 +128,12 @@ type ProfileCache struct {
 type cachedFragment struct {
 	version uint64
 	data    []byte
+	// gz is data's deflate form (self-contained, sync-flushed fragment;
+	// see gzipsplice.go), built on the first FragmentGz call and reused
+	// until the fragment is invalidated. gzLevel records the level it was
+	// compressed at.
+	gz      []byte
+	gzLevel GzipLevel
 }
 
 // NewProfileCache returns an empty cache.
@@ -164,6 +170,44 @@ func (c *ProfileCache) Fragment(p core.Profile, anon core.Aliaser) []byte {
 	c.m[p.User()] = cachedFragment{version: p.Version(), data: data}
 	c.mu.Unlock()
 	return data
+}
+
+// FragmentGz returns both the JSON fragment for profile p and its cached
+// deflate form at the given level, for spliced gzip assembly
+// (gzipsplice.go). Semantics match Fragment; the deflate leg is built on
+// first use and memoised alongside the JSON. Both returned slices must
+// not be modified.
+func (c *ProfileCache) FragmentGz(p core.Profile, anon core.Aliaser, level GzipLevel) (data, gz []byte, err error) {
+	epoch := uint64(0)
+	if anon != nil {
+		epoch = anon.Epoch()
+	}
+	c.mu.RLock()
+	if c.epoch == epoch {
+		if f, ok := c.m[p.User()]; ok && f.version == p.Version() && f.gz != nil && f.gzLevel == level {
+			c.mu.RUnlock()
+			return f.data, f.gz, nil
+		}
+	}
+	c.mu.RUnlock()
+
+	// Miss (or JSON-only hit): rebuild both legs outside the lock. The
+	// JSON is re-encoded rather than fetched back under RLock — cheaper
+	// than a second lock round-trip and identical bytes either way.
+	data = AppendProfileMsg(nil, ProfileToMsg(p, anon))
+	gz, err = AppendDeflateFragment(make([]byte, 0, len(data)/2+16), data, level)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	c.mu.Lock()
+	if c.epoch != epoch {
+		c.m = make(map[core.UserID]cachedFragment, len(c.m))
+		c.epoch = epoch
+	}
+	c.m[p.User()] = cachedFragment{version: p.Version(), data: data, gz: gz, gzLevel: level}
+	c.mu.Unlock()
+	return data, gz, nil
 }
 
 // Len returns the number of cached fragments (for tests and stats).

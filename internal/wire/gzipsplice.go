@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"compress/flate"
+	"compress/gzip"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// This file implements spliced gzip assembly: building a job's gzip
+// payload by concatenating pre-compressed per-profile deflate fragments
+// with the small JSON glue between them emitted as stored (uncompressed)
+// deflate blocks. Compressing a job is then a memcpy of cached fragments
+// plus a CRC over the JSON body, instead of re-deflating the whole
+// payload — the gzip analogue of the serialized-profile cache.
+//
+// The deflate format makes this sound:
+//   - Each cached fragment is compressed by a flate.Writer that is Reset
+//     before the fragment and sync-Flushed after it, so no back-reference
+//     or Huffman state crosses a fragment boundary and the fragment ends
+//     byte-aligned (the flush marker is an empty stored block, 00 00 FF FF).
+//   - Glue bytes are emitted as stored blocks (BTYPE=00), which are
+//     byte-aligned by construction and cost 5 bytes of framing per 64 KiB.
+//   - The stream ends with an empty final fixed-Huffman block (03 00),
+//     then the gzip trailer: CRC-32/IEEE and length of the whole JSON body.
+//
+// Any gzip reader inflates the result to exactly the JSON body; the
+// spliced bytes differ from AppendGzip's (framing, not content), which
+// TestGzipSpliceRoundTrip and the server's payload tests pin.
+
+// flatePools pools raw-deflate writers per level, like the gzip writer
+// pools in gzip.go.
+var flatePools sync.Map // GzipLevel → *sync.Pool
+
+func flatePool(level GzipLevel) *sync.Pool {
+	if p, ok := flatePools.Load(level); ok {
+		return p.(*sync.Pool)
+	}
+	p := &sync.Pool{New: func() any {
+		w, err := flate.NewWriter(io.Discard, int(level))
+		if err != nil {
+			w, _ = flate.NewWriter(io.Discard, flate.DefaultCompression)
+		}
+		return w
+	}}
+	actual, _ := flatePools.LoadOrStore(level, p)
+	return actual.(*sync.Pool)
+}
+
+// AppendGzipHeader appends a 10-byte gzip member header for the given
+// level (no name, no mtime — same fields Go's gzip writer emits).
+func AppendGzipHeader(dst []byte, level GzipLevel) []byte {
+	var xfl byte
+	switch level {
+	case GzipLevel(gzip.BestCompression):
+		xfl = 2
+	case GzipLevel(gzip.BestSpeed):
+		xfl = 4
+	}
+	return append(dst, 0x1f, 0x8b, 8, 0, 0, 0, 0, 0, xfl, 255)
+}
+
+// AppendStoredBytes appends data to dst as non-final stored deflate
+// blocks (BTYPE=00): zero compression CPU, byte-aligned, 5 bytes of
+// framing per 64 KiB chunk. The destination must be at a deflate byte
+// boundary, which every splice primitive in this file preserves.
+func AppendStoredBytes(dst, data []byte) []byte {
+	for len(data) > 0 {
+		n := len(data)
+		if n > 0xffff {
+			n = 0xffff
+		}
+		dst = append(dst, 0, byte(n), byte(n>>8), byte(^n), byte(^n>>8))
+		dst = append(dst, data[:n]...)
+		data = data[n:]
+	}
+	return dst
+}
+
+// AppendDeflateFragment appends the deflate compression of data as a
+// self-contained, byte-aligned, non-final fragment: the pooled writer is
+// Reset first (no state from previous fragments) and sync-flushed after
+// (00 00 FF FF marker). Fragments produced this way can be concatenated
+// freely with stored blocks and other fragments.
+func AppendDeflateFragment(dst, data []byte, level GzipLevel) ([]byte, error) {
+	sw := sliceWriterPool.Get().(*sliceWriter)
+	sw.b = dst
+	p := flatePool(level)
+	w := p.Get().(*flate.Writer)
+	w.Reset(sw)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	out := sw.b
+	sw.b = nil
+	sliceWriterPool.Put(sw)
+	p.Put(w)
+	return out, nil
+}
+
+// AppendGzipTrailer terminates the deflate stream (empty final
+// fixed-Huffman block) and appends the gzip trailer for the given
+// uncompressed body.
+func AppendGzipTrailer(dst, body []byte) []byte {
+	crc := crc32.ChecksumIEEE(body)
+	n := uint32(len(body))
+	return append(dst, 0x03, 0x00,
+		byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24),
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+}
+
+// GzSplicer incrementally assembles a gzip payload alongside a JSON body
+// that is being append-built in the same pass. The caller appends JSON as
+// usual; whenever the bytes just appended have a cached deflate fragment,
+// it calls Splice, and everything between splices (the glue) is swept into
+// stored blocks automatically. Indices, not sub-slices, track the glue, so
+// reallocation of the JSON buffer between calls is fine.
+type GzSplicer struct {
+	dst       []byte
+	jsonStart int // where this payload's body begins in the JSON buffer
+	glueStart int // first JSON byte not yet represented in dst
+}
+
+// BeginGzSplice starts a spliced gzip payload appended to gzDst, for a
+// JSON body that will be built starting at index jsonStart of its buffer.
+func BeginGzSplice(gzDst []byte, level GzipLevel, jsonStart int) GzSplicer {
+	return GzSplicer{dst: AppendGzipHeader(gzDst, level), jsonStart: jsonStart, glueStart: jsonStart}
+}
+
+// Splice records that the last fragLen bytes of jsonBody were appended
+// from a cached fragment whose deflate form is fragGz: pending glue is
+// flushed as stored blocks, then fragGz is copied in verbatim.
+func (s *GzSplicer) Splice(jsonBody []byte, fragLen int, fragGz []byte) {
+	if glue := jsonBody[s.glueStart : len(jsonBody)-fragLen]; len(glue) > 0 {
+		s.dst = AppendStoredBytes(s.dst, glue)
+	}
+	s.dst = append(s.dst, fragGz...)
+	s.glueStart = len(jsonBody)
+}
+
+// Finish flushes any remaining glue and closes the gzip member, returning
+// the complete payload. jsonBody must be the finished JSON buffer.
+func (s *GzSplicer) Finish(jsonBody []byte) []byte {
+	if glue := jsonBody[s.glueStart:]; len(glue) > 0 {
+		s.dst = AppendStoredBytes(s.dst, glue)
+	}
+	s.glueStart = len(jsonBody)
+	return AppendGzipTrailer(s.dst, jsonBody[s.jsonStart:])
+}

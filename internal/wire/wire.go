@@ -150,16 +150,39 @@ func ProfileToMsg(p core.Profile, anon core.Aliaser) ProfileMsg {
 // MsgToProfile reconstructs a profile from its wire form. Identifiers are
 // kept as-is (pseudonymised); the widget works entirely in pseudonym space,
 // which is safe because the anonymiser's bijection preserves set
-// intersections and therefore similarities.
+// intersections and therefore similarities. The bulk constructor keeps
+// the rating-at-a-time semantics of the original decode loop (duplicates
+// collapse, dislikes win) at O(n log n) and two allocations — this is
+// the widget's per-candidate hot path.
 func MsgToProfile(m ProfileMsg) core.Profile {
-	p := core.NewProfile(core.UserID(m.ID))
-	for _, i := range m.Liked {
-		p = p.WithRating(core.ItemID(i), true)
+	return core.ProfileFromLists(core.UserID(m.ID), m.Liked, m.Disliked)
+}
+
+// ProfileToMsgArena is ProfileToMsg writing the aliased item lists into
+// arena instead of one fresh slice per list, returning the grown arena.
+// Job assembly aliases every candidate of a job this way: one sized
+// arena per job rather than two allocations per candidate. Sub-slices
+// are capacity-capped, so appending to a message's list later cannot
+// clobber a neighbouring message's items.
+func ProfileToMsgArena(p core.Profile, anon core.Aliaser, arena []uint32) (ProfileMsg, []uint32) {
+	msg := ProfileMsg{ID: aliasUser(p.User(), anon)}
+	msg.Liked, arena = appendAliased(arena, p.Liked(), anon)
+	if len(p.Disliked()) > 0 {
+		msg.Disliked, arena = appendAliased(arena, p.Disliked(), anon)
 	}
-	for _, i := range m.Disliked {
-		p = p.WithRating(core.ItemID(i), false)
+	return msg, arena
+}
+
+func appendAliased(arena []uint32, items []core.ItemID, anon core.Aliaser) (list, grown []uint32) {
+	off := len(arena)
+	for _, it := range items {
+		if anon == nil {
+			arena = append(arena, uint32(it))
+		} else {
+			arena = append(arena, uint32(anon.AliasItem(it)))
+		}
 	}
-	return p
+	return arena[off:len(arena):len(arena)], arena
 }
 
 func aliasUser(u core.UserID, anon core.Aliaser) uint32 {

@@ -10,9 +10,21 @@
 # baseline. Refresh the baseline after an intentional perf change with:
 #   go run ./cmd/hyrec-bench -exp capacity -window 1s -bench-out BENCH_hotpath.json
 #
+# On top of the ratio bounds, ALLOC_CAPS pins absolute allocs/op
+# ceilings on the rows the perf work guards hardest: the kernel row must
+# stay allocation-free and the serving hot path must stay pooled. These
+# do not loosen when the baseline is refreshed.
+#
 # Baseline keys: one row per (scenario, service, mode) — the engine
-# matrix (rate-heavy, job-worker-heavy, mixed-churn), the cluster
-# serving row (job-worker-heavy/cluster-4), the elastic-topology row
+# matrix (rate-heavy, job-worker-heavy, mixed-churn), the raw
+# similarity-kernel row (knn-kernel/core: ops are candidate scores
+# through SelectKNNInto, no server in the way), the parallel-scaling
+# row (job-worker-heavy/engine-w4: the same serving workload at 4
+# closed-loop workers regardless of the report's top-level worker
+# count — floors its window at 1s so per-worker startup allocations
+# amortize out of allocs/op), the cluster serving row
+# (job-worker-heavy/cluster-4), the
+# elastic-topology row
 # (rebalance/cluster-2x4: ops are users *moved* by live 2↔4 scale
 # cycles, throughput is users-moved/sec, latency is per-moved-user),
 # the WebSocket worker row (job-ws/engine-ws: ops are completed
@@ -35,6 +47,9 @@ cd "$(dirname "$0")/.."
 WINDOW="${WINDOW:-250ms}"
 TPUT_FLOOR="${TPUT_FLOOR:-0.20}"
 ALLOC_CEIL="${ALLOC_CEIL:-1.5}"
+# Absolute ceilings (allocs/op is deterministic per build): the kernel
+# row stays allocation-free, the serving hot path stays pooled.
+ALLOC_CAPS="${ALLOC_CAPS:-knn-kernel/core/inproc=0.5,job-worker-heavy/engine/inproc=30}"
 
 # Replay under the baseline's recorded workload configuration — per-op
 # numbers are only commensurate at matching concurrency, population and
@@ -48,4 +63,5 @@ go run ./cmd/hyrec-bench -exp capacity -window "$WINDOW" \
   -bench-workers "$WORKERS" -bench-users "$USERS" -seed "$SEED" \
   -bench-baseline BENCH_hotpath.json \
   -bench-tolerance "$TPUT_FLOOR" \
-  -bench-allocs-tolerance "$ALLOC_CEIL"
+  -bench-allocs-tolerance "$ALLOC_CEIL" \
+  -bench-allocs-cap "$ALLOC_CAPS"

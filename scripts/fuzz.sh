@@ -13,6 +13,7 @@ run() {
   go test -run xxx -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
 }
 
+run ./internal/core FuzzSimilarityKernelEquivalence
 run ./internal/wire FuzzDecodeRateBatch
 run ./internal/wire FuzzDecodeResult
 run ./internal/wire FuzzDecodeAck
